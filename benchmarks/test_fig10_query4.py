@@ -1,0 +1,24 @@
+"""Figure 10: Query 4 (scan every branch head under a weak predicate).
+
+Paper shape: tuple-first and hybrid offer the best, comparable performance --
+they scan each record once and use bitmaps to attribute it to branches --
+while version-first must make multiple passes, and degrades most on the
+merge-heavy curation strategy.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import figure10_query4
+
+
+def test_fig10_query4(benchmark, workdir, scale):
+    table = run_once(benchmark, figure10_query4, workdir, scale=scale)
+    table.print()
+    assert [row[0] for row in table.rows] == ["deep", "flat", "science", "curation"]
+    for strategy, vf, tf, hy in table.rows:
+        # Version-first is never meaningfully faster than the bitmap engines.
+        assert vf >= min(tf, hy) * 0.8, f"unexpected Q4 ordering on {strategy}"
+    rows = {row[0]: row[1:] for row in table.rows}
+    # Curation (with merges) is where version-first suffers the most relative
+    # to hybrid.
+    cur_vf, _, cur_hy = rows["curation"]
+    assert cur_vf >= cur_hy

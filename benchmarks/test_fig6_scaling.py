@@ -1,0 +1,39 @@
+"""Figure 6: the impact of scaling the number of branches (flat strategy).
+
+Paper shape: for Query 1, version-first and hybrid latencies *fall* as the
+branch count grows (total data is fixed, so each branch shrinks) while
+tuple-first stays flat or worsens because it always reads the whole
+interleaved heap.  For Query 4, version-first must scan the entire structure
+and is the slowest; tuple-first and hybrid answer it via their bitmap indexes.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import figure6_scaling
+
+
+def test_fig6_scaling_q1_and_q4(benchmark, workdir, scale):
+    q1_table, q4_table = run_once(
+        benchmark, figure6_scaling, workdir, branch_counts=(4, 8, 16), scale=scale
+    )
+    q1_table.print()
+    q4_table.print()
+    assert len(q1_table.rows) == 3
+    assert len(q4_table.rows) == 3
+
+    # Figure 6a shape: VF and HY get cheaper (or no worse) as branches grow,
+    # because the scanned branch holds a shrinking share of the fixed dataset.
+    vf_q1 = [row[1] for row in q1_table.rows]
+    hy_q1 = [row[3] for row in q1_table.rows]
+    assert vf_q1[-1] <= vf_q1[0] * 1.5
+    assert hy_q1[-1] <= hy_q1[0] * 1.5
+
+    # Tuple-first reads the whole heap regardless of the branch count, so it
+    # is the slowest single-branch scan at the largest branch count.
+    tf_q1 = [row[2] for row in q1_table.rows]
+    assert tf_q1[-1] >= max(vf_q1[-1], hy_q1[-1])
+
+    # Figure 6b shape: version-first is the slowest engine for the all-heads
+    # scan at every branch count.
+    for row in q4_table.rows:
+        _, vf, tf, hy = row
+        assert vf >= tf * 0.8 and vf >= hy * 0.8

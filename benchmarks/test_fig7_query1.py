@@ -1,0 +1,30 @@
+"""Figure 7: Query 1 (single-branch scan) across strategies and targets.
+
+Paper shape: tuple-first pays for reading the whole interleaved heap whatever
+the target; clustering records by branch helps it most on the flat strategy;
+version-first and hybrid are close, with latencies growing for the
+merge-heavy curation targets; hybrid never loses badly to either.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import figure7_query1
+
+
+def test_fig7_query1(benchmark, workdir, scale):
+    table = run_once(benchmark, figure7_query1, workdir, scale=scale)
+    table.print()
+    labels = [row[0] for row in table.rows]
+    assert "deep-tail" in labels
+    assert "flat-child" in labels
+    assert any(label.startswith("sci-") for label in labels)
+    assert any(label.startswith("cur-") for label in labels)
+
+    by_label = {row[0]: row[1:] for row in table.rows}
+    # On flat, the scanned child holds only a small share of the data:
+    # tuple-first (interleaved) must still read everything, so it is the
+    # slowest of the four configurations on that target.
+    vf, tf, tf_clustered, hy = by_label["flat-child"]
+    assert tf >= hy and tf >= vf
+    # Clustering the tuple-first heap by branch brings it back toward the
+    # segment-based engines on the flat target.
+    assert tf_clustered <= tf

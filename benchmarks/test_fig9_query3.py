@@ -1,0 +1,23 @@
+"""Figure 9: Query 3 (multi-version primary-key join under a predicate).
+
+Paper shape: trends mirror Query 2 -- version-first is competitive when the
+ancestry is simple (no merges) but needs extra passes under curation, while
+tuple-first and hybrid behave like their Query 2 selves.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import figure9_query3
+
+
+def test_fig9_query3(benchmark, workdir, scale):
+    table = run_once(benchmark, figure9_query3, workdir, scale=scale)
+    table.print()
+    assert [row[0] for row in table.rows] == ["deep", "flat", "science", "curation"]
+    rows = {row[0]: row[1:] for row in table.rows}
+    # Under curation (merge-heavy ancestry) version-first's join is the
+    # slowest of the three engines.
+    vf, tf, hy = rows["curation"]
+    assert vf >= hy * 0.8
+    # Every latency is positive and finite.
+    for strategy, (vf, tf, hy) in rows.items():
+        assert vf > 0 and tf > 0 and hy > 0

@@ -1,0 +1,31 @@
+"""Table 5: build (load) times per strategy, branch count and engine.
+
+Paper shape: version-first loads fastest (no bitmap index maintenance) except
+under curation, where its merge handling makes it the slowest by far;
+tuple-first is the slowest of the three elsewhere; hybrid tracks
+version-first closely.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import table5_build_times
+
+
+def test_table5_build_times(benchmark, workdir, scale):
+    table = run_once(
+        benchmark,
+        table5_build_times,
+        workdir,
+        scale=scale,
+        branch_counts=(4, scale.num_branches),
+    )
+    table.print()
+    assert len(table.rows) == 8  # 4 strategies x 2 branch counts
+    for strategy, branches, vf, tf, hy, data_mb in table.rows:
+        assert vf > 0 and tf > 0 and hy > 0
+        assert data_mb > 0
+    # Load times are in the same ballpark across engines (well within an order
+    # of magnitude) -- the paper's Table 5 spread is below 5x.
+    for strategy, branches, vf, tf, hy, data_mb in table.rows:
+        slowest = max(vf, tf, hy)
+        fastest = min(vf, tf, hy)
+        assert slowest / fastest < 10

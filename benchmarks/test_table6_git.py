@@ -1,0 +1,47 @@
+"""Table 6: git-backed storage versus Decibel (hybrid), deep, 100% inserts.
+
+Paper shape: the git configurations need a long ``repack`` pass and their
+commit/checkout latencies grow with dataset size (hashing and restoring whole
+objects), ending up orders of magnitude slower than Decibel's bitmap-snapshot
+commits and checkouts; Decibel's raw data footprint is somewhat larger (full
+record copies) but its commit metadata overhead is tiny.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import ExperimentScale, git_comparison
+
+
+def test_table6_git_vs_decibel_inserts(benchmark, workdir, scale):
+    local_scale = ExperimentScale(
+        total_operations=min(scale.total_operations, 3000),
+        num_branches=min(scale.num_branches, 10),
+        commit_interval=scale.commit_interval,
+        num_columns=scale.num_columns,
+    )
+    table = run_once(
+        benchmark,
+        git_comparison,
+        workdir,
+        update_fraction=0.0,
+        scale=local_scale,
+        num_branches=min(scale.num_branches, 10),
+        commits=40,
+    )
+    table.print()
+    systems = [row[0] for row in table.rows]
+    assert systems[-1] == "Decibel (hybrid)"
+    assert len(systems) == 5
+
+    decibel = table.rows[-1]
+    git_rows = table.rows[:-1]
+    decibel_commit_ms = decibel[4]
+    decibel_checkout_ms = decibel[6]
+    # Decibel's commit and checkout are faster than every git configuration.
+    for row in git_rows:
+        label, _, _, repack_s, commit_ms, _, checkout_ms, _ = row
+        assert commit_ms > decibel_commit_ms, f"{label} commit unexpectedly fast"
+        assert checkout_ms > decibel_checkout_ms, f"{label} checkout unexpectedly fast"
+        assert repack_s > 0
+    # CSV encodings are larger on disk than binary for the same layout.
+    sizes = {row[0]: row[1] for row in git_rows}
+    assert sizes["git 1 file (csv)"] > sizes["git 1 file (bin)"]

@@ -1,0 +1,34 @@
+"""Table 7: git-backed storage versus Decibel (hybrid), deep, 50% updates.
+
+Paper shape: the update-heavy workload keeps the dataset smaller (updates
+replace records), but git's commit and checkout latencies remain orders of
+magnitude above Decibel's, with file-per-tuple checkout being the worst.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import ExperimentScale, git_comparison
+
+
+def test_table7_git_vs_decibel_updates(benchmark, workdir, scale):
+    local_scale = ExperimentScale(
+        total_operations=min(scale.total_operations, 2500),
+        num_branches=min(scale.num_branches, 10),
+        commit_interval=scale.commit_interval,
+        num_columns=scale.num_columns,
+    )
+    table = run_once(
+        benchmark,
+        git_comparison,
+        workdir,
+        update_fraction=0.5,
+        scale=local_scale,
+        num_branches=min(scale.num_branches, 10),
+        commits=30,
+    )
+    table.print()
+    assert table.rows[-1][0] == "Decibel (hybrid)"
+    decibel_commit_ms = table.rows[-1][4]
+    decibel_checkout_ms = table.rows[-1][6]
+    for row in table.rows[:-1]:
+        assert row[4] > decibel_commit_ms
+        assert row[6] > decibel_checkout_ms

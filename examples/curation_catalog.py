@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""The curation pattern (paper Section 1.1): feature branches over a catalog.
+
+A team collectively maintains a canonical product catalog on the mainline.
+Curators stage their edits on development branches, short-lived fix branches
+hang off those, and everything is merged back with field-level conflict
+detection -- the same workflow the benchmark's "curation" strategy models.
+
+Run with::
+
+    python examples/curation_catalog.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from repro import Record
+from repro.core.schema import Column, ColumnType, Schema
+from repro.storage import create_engine
+from repro.versioning.conflicts import ThreeWayPolicy
+
+
+def main() -> None:
+    directory = tempfile.mkdtemp(prefix="decibel-curation-")
+    schema = Schema(
+        (
+            Column("sku", ColumnType.INT),
+            Column("price_cents", ColumnType.INT),
+            Column("stock", ColumnType.INT),
+            Column("category", ColumnType.STRING, width=16),
+        ),
+        primary_key="sku",
+    )
+    engine = create_engine("hybrid", directory, schema)
+
+    catalog = [
+        Record((1000 + i, 500 + 10 * i, 20, "gardening" if i % 2 else "kitchen"))
+        for i in range(40)
+    ]
+    engine.init(catalog, message="initial catalog")
+    print(f"catalog initialised with {len(catalog)} products")
+
+    # A development branch for the kitchen team's seasonal price update.
+    engine.create_branch("dev-kitchen-prices", from_branch="master")
+    for record in list(engine.scan_branch("dev-kitchen-prices")):
+        if record.value(schema, "category") == "kitchen":
+            engine.update(
+                "dev-kitchen-prices",
+                record.replace(schema, price_cents=record.value(schema, "price_cents") + 100),
+            )
+    engine.commit("dev-kitchen-prices", "kitchen price increase")
+
+    # A short-lived fix branch off the dev branch: one product is mislabelled.
+    engine.create_branch("fix-sku-1004", from_branch="dev-kitchen-prices")
+    record_1004 = next(
+        r for r in engine.scan_branch("fix-sku-1004") if r.key(schema) == 1004
+    )
+    engine.update("fix-sku-1004", record_1004.replace(schema, category="gardening"))
+    engine.commit("fix-sku-1004", "recategorize 1004")
+
+    # Meanwhile the mainline takes routine stock updates, including one that
+    # will conflict with the dev branch (same product, same field).
+    for sku in (1000, 1002, 1004):
+        record = next(r for r in engine.scan_branch("master") if r.key(schema) == sku)
+        engine.update("master", record.replace(schema, stock=5))
+    conflicting = next(r for r in engine.scan_branch("master") if r.key(schema) == 1006)
+    engine.update("master", conflicting.replace(schema, price_cents=9999))
+    engine.commit("master", "stock corrections + manual reprice of 1006")
+
+    # Merge the fix into its parent dev branch, then dev into the mainline.
+    fix_merge = engine.merge(
+        "dev-kitchen-prices", "fix-sku-1004", message="apply fix branch"
+    )
+    print(f"\nfix branch merged: {fix_merge.records_applied} records, "
+          f"{fix_merge.num_conflicts} conflicts")
+
+    dev_merge = engine.merge(
+        "master",
+        "dev-kitchen-prices",
+        policy=ThreeWayPolicy(prefer="b"),  # the curators' prices win conflicts
+        message="seasonal price update",
+    )
+    print(f"dev branch merged:  {dev_merge.records_applied} records, "
+          f"{dev_merge.num_conflicts} conflicts "
+          f"(resolved in favour of the dev branch)")
+    for conflict in dev_merge.conflicts:
+        fields = ", ".join(fc.column for fc in conflict.field_conflicts) or "delete/modify"
+        print(f"  conflict on sku {conflict.key}: {fields}")
+
+    # The canonical catalog now carries the curated changes.
+    merged = {r.key(schema): r for r in engine.scan_branch("master")}
+    print("\nspot checks on the merged mainline:")
+    print(f"  sku 1004 category  -> {merged[1004].value(schema, 'category')!r} "
+          "(from the fix branch)")
+    print(f"  sku 1004 stock     -> {merged[1004].value(schema, 'stock')} "
+          "(mainline stock correction preserved)")
+    print(f"  sku 1006 price     -> {merged[1006].value(schema, 'price_cents')} "
+          "(conflict resolved toward the dev branch)")
+    print(f"  total products     -> {len(merged)}")
+
+
+if __name__ == "__main__":
+    main()

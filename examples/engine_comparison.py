@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Compare the three storage layouts (and the git baseline) on one workload.
+
+Loads the same scaled-down "curation" benchmark dataset into the
+version-first, tuple-first and hybrid engines, runs the four benchmark
+queries against each, and then contrasts commit/checkout latency with the
+git-like baseline of the paper's Section 5.7.
+
+Run with::
+
+    python examples/engine_comparison.py
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+import tempfile
+import time
+
+from repro.bench.datagen import DataGenerator, GeneratorConfig
+from repro.bench.driver import BenchmarkConfig, load_dataset
+from repro.bench.queries import (
+    query1_single_scan,
+    query2_positive_diff,
+    query3_join,
+    query4_head_scan,
+)
+from repro.bench.report import ResultTable
+from repro.gitlike.engine import GitVersionedStore
+
+
+def main() -> None:
+    workdir = tempfile.mkdtemp(prefix="decibel-comparison-")
+    table = ResultTable(
+        "Benchmark queries by storage engine (curation strategy, scaled down)",
+        ["engine", "load (s)", "Q1 (ms)", "Q2 (ms)", "Q3 (ms)", "Q4 (ms)", "data MB"],
+    )
+    for engine_kind in ("version-first", "tuple-first", "hybrid"):
+        config = BenchmarkConfig(
+            strategy="curation",
+            engine=engine_kind,
+            num_branches=8,
+            total_operations=3000,
+            commit_interval=300,
+        )
+        result = load_dataset(config, workdir)
+        target = result.strategy.single_scan_branch(random.Random(0))
+        pair = result.strategy.multi_scan_pair(random.Random(1))
+        q1 = query1_single_scan(result.engine, target)
+        q2 = query2_positive_diff(result.engine, *pair)
+        q3 = query3_join(result.engine, *pair)
+        q4 = query4_head_scan(result.engine)
+        table.add_row(
+            engine_kind,
+            result.load_seconds,
+            q1.seconds * 1000,
+            q2.seconds * 1000,
+            q3.seconds * 1000,
+            q4.seconds * 1000,
+            result.data_size_mb,
+        )
+    table.print()
+
+    # Commit/checkout latency versus a git-like store (paper Table 6 flavour).
+    generator = DataGenerator(GeneratorConfig(num_columns=10, seed=1))
+    git_store = GitVersionedStore(
+        workdir + "/git", generator.schema, layout="single-file", record_format="binary"
+    )
+    git_store.init(generator.records(500))
+    git_commit_times = []
+    git_commits = []
+    for _ in range(10):
+        for record in generator.records(100):
+            git_store.insert("master", record)
+        started = time.perf_counter()
+        git_commits.append(git_store.commit("master"))
+        git_commit_times.append(1000 * (time.perf_counter() - started))
+    git_checkout_times = []
+    for commit_id in git_commits:
+        started = time.perf_counter()
+        git_store.checkout(commit_id)
+        git_checkout_times.append(1000 * (time.perf_counter() - started))
+
+    hybrid_config = BenchmarkConfig(
+        strategy="deep", engine="hybrid", num_branches=2,
+        total_operations=1500, commit_interval=100,
+    )
+    hybrid = load_dataset(hybrid_config, workdir + "/hybrid_vs_git")
+    hybrid_commit_ms = [1000 * s for s in hybrid.commit_seconds]
+
+    versus = ResultTable(
+        "Commit / checkout latency: git-like baseline vs Decibel (hybrid)",
+        ["system", "commit mean (ms)", "checkout mean (ms)"],
+    )
+    versus.add_row(
+        "git-like (1 file, binary)",
+        statistics.mean(git_commit_times),
+        statistics.mean(git_checkout_times),
+    )
+    checkout_ms = []
+    for commit_id in hybrid.commit_ids[-10:]:
+        started = time.perf_counter()
+        hybrid.engine.checkout_commit_bitmaps(commit_id)
+        checkout_ms.append(1000 * (time.perf_counter() - started))
+    versus.add_row(
+        "Decibel (hybrid)",
+        statistics.mean(hybrid_commit_ms),
+        statistics.mean(checkout_ms),
+    )
+    versus.print()
+
+
+if __name__ == "__main__":
+    main()

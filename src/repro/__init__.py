@@ -1,0 +1,46 @@
+"""Decibel reproduction: a relational dataset branching system.
+
+This package reproduces the system described in *Decibel: The Relational
+Dataset Branching System* (Maddox et al., PVLDB 9(9), 2016).  It provides:
+
+* ``repro.core`` -- a small relational storage substrate (pages, heap files,
+  buffer pool, iterators) standing in for MIT SimpleDB.
+* ``repro.versioning`` -- the version graph, commits, branches and sessions.
+* ``repro.bitmap`` -- bitmaps, bitmap indexes and delta-compressed commit
+  histories.
+* ``repro.storage`` -- the three versioned storage engines evaluated in the
+  paper: tuple-first, version-first and hybrid.
+* ``repro.gitlike`` -- a from-scratch git-like baseline used in the paper's
+  Section 5.7 comparison.
+* ``repro.query`` -- a minimal versioned SQL (VQuel-style) front end.
+* ``repro.db`` -- the user-facing ``Decibel`` facade.
+* ``repro.bench`` -- the versioning benchmark (branching strategies, data
+  generator, driver, and per-figure/table experiments).
+"""
+
+from repro.core.schema import Column, ColumnType, Schema
+from repro.core.record import Record
+from repro.versioning.version_graph import VersionGraph
+from repro.storage.base import MergeResult, StorageEngineKind, VersionedStorageEngine
+from repro.storage.tuple_first import TupleFirstEngine
+from repro.storage.version_first import VersionFirstEngine
+from repro.storage.hybrid import HybridEngine
+from repro.db.database import Decibel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "Schema",
+    "Record",
+    "VersionGraph",
+    "MergeResult",
+    "StorageEngineKind",
+    "VersionedStorageEngine",
+    "TupleFirstEngine",
+    "VersionFirstEngine",
+    "HybridEngine",
+    "Decibel",
+    "__version__",
+]

@@ -1,0 +1,58 @@
+"""The versioning benchmark (paper Section 4).
+
+The benchmark loads a synthetic versioned dataset into a storage engine using
+one of four branching strategies -- deep, flat, science and curation -- and
+measures the latency of four query classes over the loaded data:
+
+* Query 1: scan the active records of a single branch;
+* Query 2: positive difference between two branches;
+* Query 3: primary-key join of two branches under a predicate;
+* Query 4: full scan emitting every head record annotated with its branches.
+
+The driver mirrors the paper's loader: a fixed insert/update mix per branch,
+interleaved loading across the branches the strategy marks active, commits at
+a fixed operation interval, and optional insert skew toward the mainline.
+"""
+
+from repro.bench.datagen import DataGenerator, GeneratorConfig
+from repro.bench.strategies import (
+    BranchingStrategy,
+    CurationStrategy,
+    DeepStrategy,
+    FlatStrategy,
+    Operation,
+    OperationKind,
+    ScienceStrategy,
+    make_strategy,
+)
+from repro.bench.driver import BenchmarkConfig, LoadResult, load_dataset
+from repro.bench.queries import (
+    QueryMeasurement,
+    query1_single_scan,
+    query2_positive_diff,
+    query3_join,
+    query4_head_scan,
+)
+from repro.bench.report import ResultTable
+
+__all__ = [
+    "DataGenerator",
+    "GeneratorConfig",
+    "BranchingStrategy",
+    "DeepStrategy",
+    "FlatStrategy",
+    "ScienceStrategy",
+    "CurationStrategy",
+    "Operation",
+    "OperationKind",
+    "make_strategy",
+    "BenchmarkConfig",
+    "LoadResult",
+    "load_dataset",
+    "QueryMeasurement",
+    "query1_single_scan",
+    "query2_positive_diff",
+    "query3_join",
+    "query4_head_scan",
+    "ResultTable",
+]

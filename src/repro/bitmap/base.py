@@ -1,0 +1,123 @@
+"""The bitmap index interface shared by both orientations.
+
+The paper describes two ways to organize the tuple-first bitmap index
+(Section 3.1): *tuple-oriented* (one bitmap row per tuple, bit ``i`` says the
+tuple is live in branch ``i``) and *branch-oriented* (one bitmap per branch,
+bit ``i`` says tuple ``i`` is live).  Both support the same logical
+operations; they differ in which operations are cheap, which is exactly what
+the evaluation probes.  The engines program against this interface so the
+orientation is a construction-time choice (and an ablation axis).
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from typing import Iterator
+
+from repro.bitmap.bitmap import Bitmap
+from repro.errors import BranchNotFoundError
+
+
+class BitmapOrientation(enum.Enum):
+    """How the (tuple x branch) liveness matrix is laid out."""
+
+    BRANCH = "branch"
+    TUPLE = "tuple"
+
+
+class BitmapIndex(ABC):
+    """Tracks which branches each tuple is live in."""
+
+    orientation: BitmapOrientation
+
+    # -- branch management ----------------------------------------------------
+
+    @abstractmethod
+    def add_branch(self, branch: str, clone_from: str | None = None) -> None:
+        """Register ``branch``; optionally cloning another branch's bits."""
+
+    @abstractmethod
+    def has_branch(self, branch: str) -> bool:
+        """True if ``branch`` is registered."""
+
+    @abstractmethod
+    def branches(self) -> list[str]:
+        """All registered branch names in registration order."""
+
+    # -- bit manipulation -----------------------------------------------------
+
+    @abstractmethod
+    def set(self, tuple_index: int, branch: str) -> None:
+        """Mark ``tuple_index`` live in ``branch``."""
+
+    @abstractmethod
+    def clear(self, tuple_index: int, branch: str) -> None:
+        """Mark ``tuple_index`` not live in ``branch``."""
+
+    @abstractmethod
+    def is_set(self, tuple_index: int, branch: str) -> bool:
+        """True if ``tuple_index`` is live in ``branch``."""
+
+    # -- whole-branch views ---------------------------------------------------
+
+    @abstractmethod
+    def branch_bitmap(self, branch: str) -> Bitmap:
+        """The liveness bitmap of ``branch`` over all tuples.
+
+        For the branch-oriented layout this is a cheap copy; for the
+        tuple-oriented layout the entire index must be scanned to assemble
+        it -- the asymmetry the paper's Query 1 results hinge on.
+        """
+
+    @abstractmethod
+    def restore_branch(self, branch: str, bitmap: Bitmap) -> None:
+        """Overwrite the live bits of ``branch`` with ``bitmap``."""
+
+    @abstractmethod
+    def num_tuples(self) -> int:
+        """Number of tuple positions the index covers."""
+
+    @abstractmethod
+    def size_bytes(self) -> int:
+        """Approximate memory footprint of the index."""
+
+    # -- derived operations (shared implementations) ---------------------------
+
+    def iter_live_tuples(self, branch: str) -> Iterator[int]:
+        """Tuple indexes live in ``branch``, ascending."""
+        return self.branch_bitmap(branch).iter_set_bits()
+
+    def live_count(self, branch: str) -> int:
+        """Number of tuples live in ``branch``."""
+        return self.branch_bitmap(branch).count()
+
+    def union(self, branches: list[str]) -> Bitmap:
+        """Bitmap of tuples live in any of ``branches``."""
+        result = Bitmap()
+        for branch in branches:
+            result = result | self.branch_bitmap(branch)
+        return result
+
+    def intersection(self, branches: list[str]) -> Bitmap:
+        """Bitmap of tuples live in all of ``branches``."""
+        if not branches:
+            return Bitmap()
+        result = self.branch_bitmap(branches[0])
+        for branch in branches[1:]:
+            result = result & self.branch_bitmap(branch)
+        return result
+
+    def difference(self, branch_a: str, branch_b: str) -> Bitmap:
+        """Bitmap of tuples live in ``branch_a`` but not ``branch_b``."""
+        return self.branch_bitmap(branch_a).and_not(self.branch_bitmap(branch_b))
+
+    def symmetric_difference(self, branch_a: str, branch_b: str) -> Bitmap:
+        """Bitmap of tuples live in exactly one of the two branches (XOR)."""
+        return self.branch_bitmap(branch_a) ^ self.branch_bitmap(branch_b)
+
+    def _require_branch(self, branch: str) -> None:
+        if not self.has_branch(branch):
+            raise BranchNotFoundError(
+                f"branch {branch!r} is not present in this bitmap index"
+            )

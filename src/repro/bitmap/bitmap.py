@@ -1,0 +1,168 @@
+"""A growable bitset.
+
+Bitmaps are the indexing structure of the tuple-first and hybrid layouts: one
+bit per (tuple, branch) pair records whether the tuple is live in the branch.
+The backing store is a ``bytearray`` that grows by doubling, matching the
+amortized growth strategy described for branch creation in the paper
+(Section 3.2).  Bulk logical operations convert to Python integers, which
+gives word-at-a-time AND/OR/XOR without a native extension.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class Bitmap:
+    """A dynamically sized bitset with bulk logical operations."""
+
+    __slots__ = ("_bytes", "_num_bits")
+
+    def __init__(self, num_bits: int = 0):
+        if num_bits < 0:
+            raise ValueError("num_bits must be non-negative")
+        self._num_bits = num_bits
+        self._bytes = bytearray((num_bits + 7) // 8)
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def from_indices(cls, indices: Iterable[int], num_bits: int = 0) -> "Bitmap":
+        """A bitmap with exactly the given bit positions set."""
+        bitmap = cls(num_bits)
+        for index in indices:
+            bitmap.set(index)
+        return bitmap
+
+    @classmethod
+    def from_bytes(cls, data: bytes, num_bits: int) -> "Bitmap":
+        """Rebuild a bitmap from :meth:`to_bytes` output."""
+        bitmap = cls(num_bits)
+        payload = bytearray(data[: (num_bits + 7) // 8])
+        payload.extend(b"\x00" * ((num_bits + 7) // 8 - len(payload)))
+        bitmap._bytes = payload
+        return bitmap
+
+    def copy(self) -> "Bitmap":
+        """An independent copy of this bitmap."""
+        clone = Bitmap(self._num_bits)
+        clone._bytes = bytearray(self._bytes)
+        return clone
+
+    # -- size -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """The logical number of bits tracked (set or not)."""
+        return self._num_bits
+
+    @property
+    def size_bytes(self) -> int:
+        """Bytes used by the backing store."""
+        return len(self._bytes)
+
+    def _ensure(self, index: int) -> None:
+        if index < 0:
+            raise IndexError("bit index must be non-negative")
+        if index >= self._num_bits:
+            self._num_bits = index + 1
+        needed = (self._num_bits + 7) // 8
+        if needed > len(self._bytes):
+            # Grow by doubling to amortize repeated appends.
+            new_size = max(needed, 2 * len(self._bytes), 8)
+            self._bytes.extend(b"\x00" * (new_size - len(self._bytes)))
+
+    # -- single-bit operations ------------------------------------------------
+
+    def set(self, index: int) -> None:
+        """Set bit ``index`` to 1, growing the bitmap if needed."""
+        self._ensure(index)
+        self._bytes[index >> 3] |= 1 << (index & 7)
+
+    def clear(self, index: int) -> None:
+        """Set bit ``index`` to 0, growing the bitmap if needed."""
+        self._ensure(index)
+        self._bytes[index >> 3] &= ~(1 << (index & 7)) & 0xFF
+
+    def get(self, index: int) -> bool:
+        """True if bit ``index`` is set.  Out-of-range bits read as 0."""
+        if index < 0:
+            raise IndexError("bit index must be non-negative")
+        if index >= self._num_bits:
+            return False
+        return bool(self._bytes[index >> 3] & (1 << (index & 7)))
+
+    def __getitem__(self, index: int) -> bool:
+        return self.get(index)
+
+    # -- bulk operations ------------------------------------------------------
+
+    def _as_int(self) -> int:
+        return int.from_bytes(self._bytes, "little")
+
+    @classmethod
+    def _from_int(cls, value: int, num_bits: int) -> "Bitmap":
+        bitmap = cls(num_bits)
+        num_bytes = (num_bits + 7) // 8
+        bitmap._bytes = bytearray(value.to_bytes(max(num_bytes, 1), "little")[:num_bytes])
+        if len(bitmap._bytes) < num_bytes:
+            bitmap._bytes.extend(b"\x00" * (num_bytes - len(bitmap._bytes)))
+        return bitmap
+
+    def _binary(self, other: "Bitmap", op) -> "Bitmap":
+        num_bits = max(self._num_bits, other._num_bits)
+        return Bitmap._from_int(op(self._as_int(), other._as_int()), num_bits)
+
+    def __and__(self, other: "Bitmap") -> "Bitmap":
+        return self._binary(other, lambda a, b: a & b)
+
+    def __or__(self, other: "Bitmap") -> "Bitmap":
+        return self._binary(other, lambda a, b: a | b)
+
+    def __xor__(self, other: "Bitmap") -> "Bitmap":
+        return self._binary(other, lambda a, b: a ^ b)
+
+    def and_not(self, other: "Bitmap") -> "Bitmap":
+        """Bits set in ``self`` but not in ``other`` (set difference)."""
+        return self._binary(other, lambda a, b: a & ~b)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Bitmap):
+            return NotImplemented
+        return self._as_int() == other._as_int()
+
+    def __hash__(self) -> int:  # pragma: no cover - bitmaps rarely hashed
+        return hash(self._as_int())
+
+    # -- queries --------------------------------------------------------------
+
+    def count(self) -> int:
+        """Number of set bits (population count)."""
+        return self._as_int().bit_count()
+
+    def any(self) -> bool:
+        """True if at least one bit is set."""
+        return any(self._bytes)
+
+    def iter_set_bits(self) -> Iterator[int]:
+        """Yield the indices of set bits in ascending order."""
+        for byte_index, byte in enumerate(self._bytes):
+            if not byte:
+                continue
+            base = byte_index << 3
+            while byte:
+                low = byte & -byte
+                yield base + low.bit_length() - 1
+                byte ^= low
+
+    def to_indices(self) -> list[int]:
+        """The set bit positions as a list."""
+        return list(self.iter_set_bits())
+
+    # -- serialization --------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """The backing bytes, trimmed to the logical bit length."""
+        return bytes(self._bytes[: (self._num_bits + 7) // 8])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Bitmap(bits={self._num_bits}, set={self.count()})"

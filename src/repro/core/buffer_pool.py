@@ -1,0 +1,185 @@
+"""A buffer pool caching pages read from heap and segment files.
+
+The paper's prototype keeps pages in "a fairly conventional buffer pool
+architecture" (Section 2.1).  This implementation is a pin-aware LRU cache
+keyed by :class:`~repro.core.page.PageId`.  Files load pages through
+:meth:`BufferPool.get_page`, supplying a loader callback used on a miss;
+dirty pages are written back through a flusher callback on eviction or an
+explicit :meth:`flush_all`.
+
+Benchmarks call :meth:`clear` between runs to approximate the cold-cache
+(flushed OS page cache) measurements of the paper.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.page import Page, PageId
+from repro.errors import StorageError
+
+#: Default number of pages the pool may hold.
+DEFAULT_POOL_PAGES = 512
+
+
+@dataclass
+class BufferPoolStats:
+    """Counters describing buffer pool behaviour since the last reset."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    flushes: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.flushes = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of page requests served from the pool."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class _Frame:
+    page: Page
+    dirty: bool = False
+    pin_count: int = 0
+    flusher: Callable[[Page], None] | None = field(default=None, repr=False)
+
+
+class BufferPool:
+    """A pin-aware LRU page cache shared by all files of one engine."""
+
+    def __init__(self, capacity_pages: int = DEFAULT_POOL_PAGES):
+        if capacity_pages < 1:
+            raise StorageError("buffer pool needs capacity for at least one page")
+        self.capacity_pages = capacity_pages
+        self._frames: OrderedDict[PageId, _Frame] = OrderedDict()
+        self.stats = BufferPoolStats()
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    # -- core API -------------------------------------------------------------
+
+    def get_page(
+        self,
+        page_id: PageId,
+        loader: Callable[[], Page],
+        flusher: Callable[[Page], None] | None = None,
+    ) -> Page:
+        """Return the page for ``page_id``, loading it on a miss.
+
+        ``loader`` is invoked only when the page is not resident.  ``flusher``
+        is remembered and used to write the page back if it is dirty when
+        evicted or flushed.
+        """
+        frame = self._frames.get(page_id)
+        if frame is not None:
+            self.stats.hits += 1
+            self._frames.move_to_end(page_id)
+            return frame.page
+        self.stats.misses += 1
+        page = loader()
+        self._admit(page_id, _Frame(page=page, flusher=flusher))
+        return page
+
+    def put_page(
+        self,
+        page: Page,
+        *,
+        dirty: bool = False,
+        flusher: Callable[[Page], None] | None = None,
+    ) -> None:
+        """Insert (or overwrite) ``page`` in the pool."""
+        existing = self._frames.get(page.page_id)
+        if existing is not None:
+            existing.page = page
+            existing.dirty = existing.dirty or dirty
+            if flusher is not None:
+                existing.flusher = flusher
+            self._frames.move_to_end(page.page_id)
+            return
+        self._admit(page.page_id, _Frame(page=page, dirty=dirty, flusher=flusher))
+
+    def mark_dirty(self, page_id: PageId) -> None:
+        """Mark a resident page as modified."""
+        frame = self._frames.get(page_id)
+        if frame is None:
+            raise StorageError(f"page {page_id} is not resident")
+        frame.dirty = True
+
+    # -- pinning --------------------------------------------------------------
+
+    def pin(self, page_id: PageId) -> None:
+        """Pin a resident page so it cannot be evicted."""
+        frame = self._frames.get(page_id)
+        if frame is None:
+            raise StorageError(f"cannot pin non-resident page {page_id}")
+        frame.pin_count += 1
+
+    def unpin(self, page_id: PageId) -> None:
+        """Release one pin on a resident page."""
+        frame = self._frames.get(page_id)
+        if frame is None:
+            raise StorageError(f"cannot unpin non-resident page {page_id}")
+        if frame.pin_count <= 0:
+            raise StorageError(f"page {page_id} is not pinned")
+        frame.pin_count -= 1
+
+    # -- flushing and invalidation --------------------------------------------
+
+    def flush_all(self) -> None:
+        """Write back every dirty page that has a flusher."""
+        for frame in self._frames.values():
+            self._flush_frame(frame)
+
+    def invalidate_file(self, file_name: str) -> None:
+        """Drop (flushing if dirty) every cached page of ``file_name``."""
+        to_drop = [
+            page_id
+            for page_id in self._frames
+            if page_id.file_name == file_name
+        ]
+        for page_id in to_drop:
+            self._flush_frame(self._frames[page_id])
+            del self._frames[page_id]
+
+    def clear(self) -> None:
+        """Flush and drop every cached page (cold-cache simulation)."""
+        self.flush_all()
+        self._frames.clear()
+
+    # -- internals ------------------------------------------------------------
+
+    def _flush_frame(self, frame: _Frame) -> None:
+        if frame.dirty and frame.flusher is not None:
+            frame.flusher(frame.page)
+            frame.dirty = False
+            self.stats.flushes += 1
+
+    def _admit(self, page_id: PageId, frame: _Frame) -> None:
+        while len(self._frames) >= self.capacity_pages:
+            victim_id = self._pick_victim()
+            if victim_id is None:
+                # Everything is pinned; let the pool grow rather than fail a
+                # read, mirroring the forgiving behaviour of the prototype.
+                break
+            victim = self._frames.pop(victim_id)
+            self._flush_frame(victim)
+            self.stats.evictions += 1
+        self._frames[page_id] = frame
+
+    def _pick_victim(self) -> PageId | None:
+        for page_id, frame in self._frames.items():
+            if frame.pin_count == 0:
+                return page_id
+        return None

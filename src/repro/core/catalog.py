@@ -1,0 +1,126 @@
+"""The dataset catalog.
+
+A Decibel *dataset* is a collection of relations, each with a well-defined
+primary key (paper Section 2.2.1).  The catalog records which relations exist
+in a dataset, their schemas, and which storage engine instance manages each
+one.  It is persisted as a small JSON file alongside the data so a database
+directory can be re-opened.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+
+from repro.core.schema import Column, ColumnType, Schema
+from repro.errors import SchemaError, StorageError
+
+
+@dataclass
+class RelationInfo:
+    """Catalog entry for one relation."""
+
+    name: str
+    schema: Schema
+    engine_kind: str
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form of this entry."""
+        return {
+            "name": self.name,
+            "engine_kind": self.engine_kind,
+            "primary_key": self.schema.primary_key,
+            "columns": [
+                {
+                    "name": column.name,
+                    "type": column.type.value,
+                    "width": column.width,
+                }
+                for column in self.schema.columns
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "RelationInfo":
+        """Rebuild an entry from its JSON form."""
+        columns = tuple(
+            Column(c["name"], ColumnType(c["type"]), c.get("width", 0))
+            for c in raw["columns"]
+        )
+        schema = Schema(columns, primary_key=raw["primary_key"])
+        return cls(name=raw["name"], schema=schema, engine_kind=raw["engine_kind"])
+
+
+class Catalog:
+    """Relations registered in one database directory."""
+
+    FILE_NAME = "catalog.json"
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        self._relations: dict[str, RelationInfo] = {}
+        os.makedirs(directory, exist_ok=True)
+        self._load()
+
+    # -- persistence ----------------------------------------------------------
+
+    @property
+    def path(self) -> str:
+        """Path of the catalog file."""
+        return os.path.join(self.directory, self.FILE_NAME)
+
+    def _load(self) -> None:
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "r", encoding="utf-8") as handle:
+            raw = json.load(handle)
+        for entry in raw.get("relations", []):
+            info = RelationInfo.from_dict(entry)
+            self._relations[info.name] = info
+
+    def _save(self) -> None:
+        payload = {
+            "relations": [info.to_dict() for info in self._relations.values()]
+        }
+        with open(self.path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+
+    # -- relation management --------------------------------------------------
+
+    def create_relation(
+        self, name: str, schema: Schema, engine_kind: str
+    ) -> RelationInfo:
+        """Register a new relation; raises if the name is taken."""
+        if not name or not name.isidentifier():
+            raise SchemaError(f"invalid relation name: {name!r}")
+        if name in self._relations:
+            raise StorageError(f"relation {name!r} already exists")
+        info = RelationInfo(name=name, schema=schema, engine_kind=engine_kind)
+        self._relations[name] = info
+        self._save()
+        return info
+
+    def drop_relation(self, name: str) -> None:
+        """Remove a relation from the catalog (data files are left alone)."""
+        if name not in self._relations:
+            raise StorageError(f"relation {name!r} does not exist")
+        del self._relations[name]
+        self._save()
+
+    def relation(self, name: str) -> RelationInfo:
+        """Look up a relation by name."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise StorageError(f"relation {name!r} does not exist") from None
+
+    def relations(self) -> list[RelationInfo]:
+        """All registered relations, sorted by name."""
+        return [self._relations[name] for name in sorted(self._relations)]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __len__(self) -> int:
+        return len(self._relations)

@@ -1,0 +1,222 @@
+"""Append-only heap files of fixed-width records.
+
+Heap files are the on-disk unit shared by all three storage layouts: the
+tuple-first engine keeps a single heap file for all branches, while the
+version-first and hybrid engines keep one heap file per segment.  Records are
+packed into fixed-size pages (:mod:`repro.core.page`) and appended in arrival
+order, so a record's ordinal position (its *tuple index*) is stable and can be
+referenced by bitmap indexes and byte offsets alike.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.buffer_pool import BufferPool
+from repro.core.page import DEFAULT_PAGE_SIZE, Page, PageId
+from repro.core.record import Record, RecordCodec
+from repro.core.schema import Schema
+from repro.errors import StorageError
+
+
+@dataclass(frozen=True, order=True)
+class RecordId:
+    """Physical identity of a record within a heap file."""
+
+    page_number: int
+    slot: int
+
+    def ordinal(self, records_per_page: int) -> int:
+        """The record's zero-based position in append order."""
+        return self.page_number * records_per_page + self.slot
+
+
+class HeapFile:
+    """A single append-only file of pages of fixed-width records.
+
+    Parameters
+    ----------
+    path:
+        Filesystem path backing the heap file.  Created (empty) if missing.
+    schema:
+        Relation schema; determines the record codec and page capacity.
+    buffer_pool:
+        Shared :class:`BufferPool` used for reads.  Appends go to an
+        in-memory tail page that is written out when full or on
+        :meth:`flush`.
+    page_size:
+        Page size in bytes.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        schema: Schema,
+        buffer_pool: BufferPool,
+        page_size: int = DEFAULT_PAGE_SIZE,
+    ):
+        self.path = path
+        self.schema = schema
+        self.codec = RecordCodec(schema)
+        self.page_size = page_size
+        self.buffer_pool = buffer_pool
+        self._file_name = os.path.basename(path)
+        self._tail_page: Page | None = None
+        self._num_full_pages = 0
+        self._num_records = 0
+        if os.path.exists(path):
+            self._load_existing()
+        else:
+            with open(path, "wb"):
+                pass
+
+    # -- bookkeeping ----------------------------------------------------------
+
+    def _load_existing(self) -> None:
+        size = os.path.getsize(self.path)
+        if size % self.page_size != 0:
+            raise StorageError(
+                f"heap file {self.path} has size {size}, not a multiple of "
+                f"page size {self.page_size}"
+            )
+        num_pages = size // self.page_size
+        self._num_full_pages = num_pages
+        self._num_records = 0
+        if num_pages == 0:
+            return
+        # Count records: all pages but the last are full by construction.
+        per_page = self.records_per_page
+        self._num_records = (num_pages - 1) * per_page
+        last_page = self._read_page(num_pages - 1)
+        self._num_records += last_page.num_records
+        if not last_page.is_full:
+            # Re-open the final partial page as the tail for further appends.
+            self._tail_page = last_page
+            self._num_full_pages = num_pages - 1
+
+    @property
+    def records_per_page(self) -> int:
+        """Number of records that fit on one page."""
+        return (self.page_size - 4) // self.codec.record_size
+
+    @property
+    def num_records(self) -> int:
+        """Total number of records ever appended (including tombstones)."""
+        return self._num_records
+
+    @property
+    def num_pages(self) -> int:
+        """Number of pages, counting the in-memory tail page."""
+        return self._num_full_pages + (1 if self._tail_page is not None else 0)
+
+    def size_bytes(self) -> int:
+        """On-disk size of the heap file in bytes (after a flush)."""
+        return self.num_pages * self.page_size if self.num_records else 0
+
+    # -- writes ---------------------------------------------------------------
+
+    def append(self, record: Record) -> RecordId:
+        """Append ``record`` and return its :class:`RecordId`."""
+        if self._tail_page is None:
+            self._tail_page = Page(
+                PageId(self._file_name, self._num_full_pages),
+                self.codec,
+                self.page_size,
+            )
+        slot = self._tail_page.append(record)
+        record_id = RecordId(self._tail_page.page_id.page_number, slot)
+        self._num_records += 1
+        if self._tail_page.is_full:
+            self._write_page(self._tail_page)
+            self.buffer_pool.put_page(self._tail_page)
+            self._num_full_pages += 1
+            self._tail_page = None
+        return record_id
+
+    def append_many(self, records: list[Record]) -> list[RecordId]:
+        """Append a batch of records, returning their ids in order."""
+        return [self.append(record) for record in records]
+
+    def flush(self) -> None:
+        """Persist the tail page (if any) without sealing it."""
+        if self._tail_page is not None and self._tail_page.num_records:
+            self._write_page(self._tail_page)
+            self.buffer_pool.put_page(self._tail_page)
+
+    # -- reads ----------------------------------------------------------------
+
+    def record_at(self, record_id: RecordId) -> Record:
+        """Fetch one record by its id."""
+        page = self._get_page(record_id.page_number)
+        return page.record_at(record_id.slot)
+
+    def record_by_ordinal(self, ordinal: int) -> Record:
+        """Fetch the ``ordinal``-th record in append order."""
+        per_page = self.records_per_page
+        return self.record_at(RecordId(ordinal // per_page, ordinal % per_page))
+
+    def page(self, page_number: int) -> Page:
+        """Fetch a whole page (through the buffer pool).
+
+        Scans that touch many records of the same page should fetch the page
+        once and read slots from it rather than calling
+        :meth:`record_by_ordinal` per record.
+        """
+        return self._get_page(page_number)
+
+    def scan(self) -> Iterator[tuple[RecordId, Record]]:
+        """Iterate over every record in append order."""
+        for page_number in range(self.num_pages):
+            page = self._get_page(page_number)
+            for slot, record in enumerate(page.records()):
+                yield RecordId(page_number, slot), record
+
+    def scan_records(self) -> Iterator[Record]:
+        """Iterate over records only (without their ids)."""
+        for _, record in self.scan():
+            yield record
+
+    # -- page I/O -------------------------------------------------------------
+
+    def _get_page(self, page_number: int) -> Page:
+        if self._tail_page is not None and (
+            page_number == self._tail_page.page_id.page_number
+        ):
+            return self._tail_page
+        if page_number >= self._num_full_pages:
+            raise StorageError(
+                f"page {page_number} out of range in {self._file_name}"
+            )
+        page_id = PageId(self._file_name, page_number)
+        return self.buffer_pool.get_page(
+            page_id, loader=lambda: self._read_page(page_number)
+        )
+
+    def _read_page(self, page_number: int) -> Page:
+        with open(self.path, "rb") as handle:
+            handle.seek(page_number * self.page_size)
+            data = handle.read(self.page_size)
+        if len(data) != self.page_size:
+            raise StorageError(
+                f"short read of page {page_number} from {self.path}"
+            )
+        return Page(
+            PageId(self._file_name, page_number),
+            self.codec,
+            self.page_size,
+            data=data,
+        )
+
+    def _write_page(self, page: Page) -> None:
+        with open(self.path, "r+b") as handle:
+            handle.seek(page.page_id.page_number * self.page_size)
+            handle.write(page.to_bytes())
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush outstanding data and drop cached pages for this file."""
+        self.flush()
+        self.buffer_pool.invalidate_file(self._file_name)

@@ -1,0 +1,158 @@
+"""A two-phase-locking lock manager.
+
+Decibel isolates concurrent sessions on the same version through two-phase
+locking, and prevents concurrent commits to a branch the same way (paper
+Section 2.2.3).  The lock manager here grants shared and exclusive locks on
+named resources (branches, in practice) to transaction ids, supports lock
+upgrades, and detects deadlocks with a waits-for graph.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.errors import TransactionError
+
+
+class LockMode(enum.Enum):
+    """Lock modes: shared for readers, exclusive for writers."""
+
+    SHARED = "shared"
+    EXCLUSIVE = "exclusive"
+
+
+@dataclass
+class _ResourceLock:
+    holders: dict[int, LockMode] = field(default_factory=dict)
+    waiters: list[tuple[int, LockMode]] = field(default_factory=list)
+
+
+class LockManager:
+    """Grants shared/exclusive locks on named resources under 2PL.
+
+    Locks are requested with :meth:`acquire` and released all at once with
+    :meth:`release_all` (strict two-phase locking).  A request that cannot be
+    granted immediately either waits (bounded by ``timeout``) or raises
+    :class:`TransactionError` if waiting would create a deadlock.
+    """
+
+    def __init__(self, timeout: float = 5.0):
+        self.timeout = timeout
+        self._resources: dict[str, _ResourceLock] = defaultdict(_ResourceLock)
+        self._held_by: dict[int, set[str]] = defaultdict(set)
+        self._condition = threading.Condition()
+
+    # -- public API -----------------------------------------------------------
+
+    def acquire(self, transaction_id: int, resource: str, mode: LockMode) -> None:
+        """Acquire ``resource`` in ``mode`` for ``transaction_id``.
+
+        Raises :class:`TransactionError` on deadlock or timeout.
+        """
+        with self._condition:
+            deadline = None
+            while True:
+                if self._try_grant(transaction_id, resource, mode):
+                    self._held_by[transaction_id].add(resource)
+                    return
+                if self._would_deadlock(transaction_id, resource):
+                    raise TransactionError(
+                        f"deadlock: transaction {transaction_id} waiting on "
+                        f"{resource!r}"
+                    )
+                if deadline is None:
+                    import time
+
+                    deadline = time.monotonic() + self.timeout
+                entry = (transaction_id, mode)
+                lock = self._resources[resource]
+                if entry not in lock.waiters:
+                    lock.waiters.append(entry)
+                import time
+
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._condition.wait(remaining):
+                    if entry in lock.waiters:
+                        lock.waiters.remove(entry)
+                    raise TransactionError(
+                        f"timeout: transaction {transaction_id} could not lock "
+                        f"{resource!r} in {mode.value} mode"
+                    )
+                if entry in lock.waiters:
+                    lock.waiters.remove(entry)
+
+    def release_all(self, transaction_id: int) -> None:
+        """Release every lock held by ``transaction_id`` (end of 2PL phase 2)."""
+        with self._condition:
+            for resource in self._held_by.pop(transaction_id, set()):
+                lock = self._resources[resource]
+                lock.holders.pop(transaction_id, None)
+                if not lock.holders and not lock.waiters:
+                    del self._resources[resource]
+            self._condition.notify_all()
+
+    def holds(self, transaction_id: int, resource: str, mode: LockMode) -> bool:
+        """True if the transaction holds ``resource`` at least as strongly."""
+        with self._condition:
+            held = self._resources.get(resource)
+            if held is None:
+                return False
+            current = held.holders.get(transaction_id)
+            if current is None:
+                return False
+            if mode is LockMode.SHARED:
+                return True
+            return current is LockMode.EXCLUSIVE
+
+    def locked_resources(self, transaction_id: int) -> set[str]:
+        """Resources currently locked by ``transaction_id``."""
+        with self._condition:
+            return set(self._held_by.get(transaction_id, set()))
+
+    # -- internals ------------------------------------------------------------
+
+    def _try_grant(self, transaction_id: int, resource: str, mode: LockMode) -> bool:
+        lock = self._resources[resource]
+        current = lock.holders.get(transaction_id)
+        if current is LockMode.EXCLUSIVE:
+            return True
+        if current is LockMode.SHARED and mode is LockMode.SHARED:
+            return True
+        others = {
+            holder: held
+            for holder, held in lock.holders.items()
+            if holder != transaction_id
+        }
+        if mode is LockMode.SHARED:
+            if all(held is LockMode.SHARED for held in others.values()):
+                lock.holders[transaction_id] = current or LockMode.SHARED
+                return True
+            return False
+        # Exclusive request (possibly an upgrade from shared).
+        if not others:
+            lock.holders[transaction_id] = LockMode.EXCLUSIVE
+            return True
+        return False
+
+    def _would_deadlock(self, requester: int, resource: str) -> bool:
+        """Detect a cycle in the waits-for graph rooted at ``requester``."""
+        waits_for: dict[int, set[int]] = defaultdict(set)
+        for name, lock in self._resources.items():
+            holders = set(lock.holders)
+            for waiter, _ in lock.waiters:
+                waits_for[waiter] |= holders - {waiter}
+        waits_for[requester] |= set(self._resources[resource].holders) - {requester}
+        seen: set[int] = set()
+        stack = list(waits_for[requester])
+        while stack:
+            txn = stack.pop()
+            if txn == requester:
+                return True
+            if txn in seen:
+                continue
+            seen.add(txn)
+            stack.extend(waits_for.get(txn, ()))
+        return False

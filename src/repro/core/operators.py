@@ -1,0 +1,198 @@
+"""Iterator-style query operators.
+
+Decibel delegates general SQL processing (joins, aggregates) to the query
+layer of the host database while its storage engines expose iterators over
+single versions of a dataset (paper Section 2.1).  These operators mirror
+that split: each takes child iterators of :class:`~repro.core.record.Record`
+objects and produces records lazily, so benchmark queries and the small SQL
+executor can be composed out of them regardless of which storage engine the
+records came from.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Iterable, Iterator
+
+from repro.core.predicates import Predicate
+from repro.core.record import Record
+from repro.core.schema import Schema
+from repro.errors import QueryError
+
+
+class Operator:
+    """Base class: an operator is an iterable of records with a schema."""
+
+    schema: Schema
+
+    def __iter__(self) -> Iterator[Record]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class SeqScan(Operator):
+    """Sequential scan over any iterable of records (e.g. a branch scan)."""
+
+    def __init__(self, source: Iterable[Record], schema: Schema):
+        self.source = source
+        self.schema = schema
+
+    def __iter__(self) -> Iterator[Record]:
+        yield from self.source
+
+
+class Filter(Operator):
+    """Emit only the child records satisfying a predicate."""
+
+    def __init__(self, child: Operator, predicate: Predicate):
+        self.child = child
+        self.predicate = predicate
+        self.schema = child.schema
+
+    def __iter__(self) -> Iterator[Record]:
+        schema = self.schema
+        predicate = self.predicate
+        for record in self.child:
+            if predicate.evaluate(record, schema):
+                yield record
+
+
+class Project(Operator):
+    """Project child records onto a subset of columns."""
+
+    def __init__(self, child: Operator, columns: list[str]):
+        self.child = child
+        self.columns = list(columns)
+        self.schema = child.schema.project(self.columns)
+        self._indexes = [child.schema.index_of(name) for name in self.columns]
+
+    def __iter__(self) -> Iterator[Record]:
+        for record in self.child:
+            yield Record(tuple(record.values[i] for i in self._indexes))
+
+
+class Limit(Operator):
+    """Emit at most ``n`` child records."""
+
+    def __init__(self, child: Operator, n: int):
+        if n < 0:
+            raise QueryError("LIMIT must be non-negative")
+        self.child = child
+        self.n = n
+        self.schema = child.schema
+
+    def __iter__(self) -> Iterator[Record]:
+        remaining = self.n
+        if remaining == 0:
+            return
+        for record in self.child:
+            yield record
+            remaining -= 1
+            if remaining == 0:
+                return
+
+
+class HashJoin(Operator):
+    """Equi-join of two operators on one column from each side.
+
+    The build side (left) is materialized into a hash table; the probe side
+    (right) streams.  The output schema is the concatenation of both input
+    schemas with right-side duplicate column names suffixed by ``_r``, which
+    matches how the benchmark's Query 3 joins a relation with itself across
+    two versions.
+    """
+
+    def __init__(
+        self,
+        left: Operator,
+        right: Operator,
+        left_column: str,
+        right_column: str,
+    ):
+        self.left = left
+        self.right = right
+        self.left_column = left_column
+        self.right_column = right_column
+        from repro.core.schema import Column, Schema as _Schema
+
+        left_names = set(left.schema.column_names)
+        out_columns: list[Column] = list(left.schema.columns)
+        for column in right.schema.columns:
+            name = column.name if column.name not in left_names else f"{column.name}_r"
+            out_columns.append(
+                Column(name, column.type, column.width)
+                if column.type.name == "STRING"
+                else Column(name, column.type)
+            )
+        self.schema = _Schema(
+            tuple(out_columns), primary_key=left.schema.primary_key
+        )
+
+    def __iter__(self) -> Iterator[Record]:
+        build_index = self.left.schema.index_of(self.left_column)
+        probe_index = self.right.schema.index_of(self.right_column)
+        table: dict[object, list[Record]] = defaultdict(list)
+        for record in self.left:
+            table[record.values[build_index]].append(record)
+        for probe in self.right:
+            for match in table.get(probe.values[probe_index], ()):
+                yield Record(match.values + probe.values)
+
+
+class Aggregate(Operator):
+    """Grouped aggregation over one column.
+
+    Supports ``count``, ``sum``, ``min``, ``max`` and ``avg``.  With no
+    grouping column the whole input forms a single group.  Output records are
+    ``(group, value)`` pairs (or ``(value,)`` when ungrouped).
+    """
+
+    _FUNCTIONS: dict[str, Callable[[list], object]] = {
+        "count": len,
+        "sum": sum,
+        "min": min,
+        "max": max,
+        "avg": lambda values: sum(values) / len(values) if values else 0,
+    }
+
+    def __init__(
+        self,
+        child: Operator,
+        function: str,
+        column: str,
+        group_by: str | None = None,
+    ):
+        function = function.lower()
+        if function not in self._FUNCTIONS:
+            raise QueryError(f"unsupported aggregate function: {function!r}")
+        self.child = child
+        self.function = function
+        self.column = column
+        self.group_by = group_by
+        from repro.core.schema import Column, ColumnType, Schema as _Schema
+
+        out_columns = []
+        if group_by is not None:
+            out_columns.append(Column("group_key", ColumnType.INT))
+        out_columns.append(Column("agg_value", ColumnType.INT))
+        self.schema = _Schema(tuple(out_columns))
+
+    def __iter__(self) -> Iterator[Record]:
+        child_schema = self.child.schema
+        value_index = child_schema.index_of(self.column)
+        func = self._FUNCTIONS[self.function]
+        if self.group_by is None:
+            values = [record.values[value_index] for record in self.child]
+            result = func(values) if (values or self.function == "count") else 0
+            yield Record((int(result),))
+            return
+        group_index = child_schema.index_of(self.group_by)
+        groups: dict[object, list] = defaultdict(list)
+        for record in self.child:
+            groups[record.values[group_index]].append(record.values[value_index])
+        for key in sorted(groups):
+            yield Record((key, int(func(groups[key]))))
+
+
+def materialize(operator: Operator) -> list[Record]:
+    """Run an operator tree to completion and return all output records."""
+    return list(operator)

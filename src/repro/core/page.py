@@ -1,0 +1,123 @@
+"""Fixed-size pages holding fixed-width records.
+
+The original Decibel prototype uses 4 MB pages in a conventional buffer-pool
+architecture (paper Section 2.1).  Pages here are byte arrays of a configurable
+size (the benchmark default is much smaller since datasets are scaled down)
+holding a packed array of fixed-width encoded records after a small header.
+
+Page layout::
+
+    [u32 record_count][record 0][record 1]...[record n-1][free space]
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.core.record import Record, RecordCodec
+from repro.errors import PageError
+
+_PAGE_HEADER = struct.Struct("<I")
+
+#: Default page size in bytes.  The paper uses 4 MB pages over 100 GB of data;
+#: this reproduction scales datasets down by ~1000x so the default page keeps
+#: roughly the same records-per-page ratio.
+DEFAULT_PAGE_SIZE = 64 * 1024
+
+
+@dataclass(frozen=True)
+class PageId:
+    """Identity of a page: the owning file's name and the page's ordinal."""
+
+    file_name: str
+    page_number: int
+
+    def __str__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{self.file_name}#{self.page_number}"
+
+
+class Page:
+    """An in-memory image of one on-disk page.
+
+    Pages are created either empty (for appends) or from raw bytes read from
+    disk.  The buffer pool tracks dirtiness and pin counts; the page itself
+    only manages its record array.
+    """
+
+    def __init__(
+        self,
+        page_id: PageId,
+        codec: RecordCodec,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        data: bytes | None = None,
+    ):
+        if page_size <= _PAGE_HEADER.size + codec.record_size:
+            raise PageError(
+                f"page size {page_size} cannot hold even one record "
+                f"of size {codec.record_size}"
+            )
+        self.page_id = page_id
+        self.page_size = page_size
+        self._codec = codec
+        self._records: list[Record] = []
+        if data is not None:
+            if len(data) != page_size:
+                raise PageError(
+                    f"expected {page_size} bytes for page {page_id}, got {len(data)}"
+                )
+            (count,) = _PAGE_HEADER.unpack_from(data, 0)
+            if count > self.capacity:
+                raise PageError(f"corrupt page {page_id}: count {count}")
+            offset = _PAGE_HEADER.size
+            for _ in range(count):
+                self._records.append(codec.decode(data, offset))
+                offset += codec.record_size
+
+    # -- capacity -------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of records this page can hold."""
+        return (self.page_size - _PAGE_HEADER.size) // self._codec.record_size
+
+    @property
+    def num_records(self) -> int:
+        """Number of records currently stored on the page."""
+        return len(self._records)
+
+    @property
+    def is_full(self) -> bool:
+        """True when no further record fits on this page."""
+        return self.num_records >= self.capacity
+
+    # -- record access --------------------------------------------------------
+
+    def append(self, record: Record) -> int:
+        """Append ``record`` and return its slot number within the page."""
+        if self.is_full:
+            raise PageError(f"page {self.page_id} is full")
+        self._records.append(record)
+        return len(self._records) - 1
+
+    def record_at(self, slot: int) -> Record:
+        """The record stored in ``slot``."""
+        try:
+            return self._records[slot]
+        except IndexError:
+            raise PageError(
+                f"slot {slot} out of range on page {self.page_id}"
+            ) from None
+
+    def records(self) -> list[Record]:
+        """All records on the page, in slot order."""
+        return list(self._records)
+
+    # -- serialization --------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize the page to exactly ``page_size`` bytes."""
+        parts = [_PAGE_HEADER.pack(len(self._records))]
+        parts.extend(self._codec.encode(record) for record in self._records)
+        payload = b"".join(parts)
+        return payload + b"\x00" * (self.page_size - len(payload))

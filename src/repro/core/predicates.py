@@ -1,0 +1,140 @@
+"""Predicates evaluated against records during scans.
+
+The benchmark queries (paper Table 1 and Section 4.3) apply simple column
+predicates -- equality and range comparisons -- optionally combined with
+boolean connectives.  Predicates are small immutable objects with an
+``evaluate(record, schema)`` method so operators and storage engines can apply
+them without knowing their structure; ``selectivity_hint`` lets benchmarks
+describe the non-selective predicates used by Query 4.
+"""
+
+from __future__ import annotations
+
+import operator
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.core.record import Record
+from repro.core.schema import Schema
+from repro.errors import QueryError
+
+_OPERATORS = {
+    "=": operator.eq,
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<>": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+class Predicate(ABC):
+    """Base class for record predicates."""
+
+    @abstractmethod
+    def evaluate(self, record: Record, schema: Schema) -> bool:
+        """True if ``record`` satisfies this predicate under ``schema``."""
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And(self, other)
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or(self, other)
+
+    def __invert__(self) -> "Predicate":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class TruePredicate(Predicate):
+    """A predicate satisfied by every record (used for unfiltered scans)."""
+
+    def evaluate(self, record: Record, schema: Schema) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class ColumnPredicate(Predicate):
+    """Compare one column against a constant.
+
+    Parameters
+    ----------
+    column:
+        Column name.
+    op:
+        One of ``=``, ``!=``, ``<``, ``<=``, ``>``, ``>=`` (and their
+        aliases ``==`` / ``<>``).
+    value:
+        The constant to compare against.
+    """
+
+    column: str
+    op: str
+    value: object
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPERATORS:
+            raise QueryError(f"unsupported comparison operator: {self.op!r}")
+
+    def evaluate(self, record: Record, schema: Schema) -> bool:
+        return _OPERATORS[self.op](record.value(schema, self.column), self.value)
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    """Conjunction of two predicates."""
+
+    left: Predicate
+    right: Predicate
+
+    def evaluate(self, record: Record, schema: Schema) -> bool:
+        return self.left.evaluate(record, schema) and self.right.evaluate(
+            record, schema
+        )
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    """Disjunction of two predicates."""
+
+    left: Predicate
+    right: Predicate
+
+    def evaluate(self, record: Record, schema: Schema) -> bool:
+        return self.left.evaluate(record, schema) or self.right.evaluate(
+            record, schema
+        )
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    """Negation of a predicate."""
+
+    inner: Predicate
+
+    def evaluate(self, record: Record, schema: Schema) -> bool:
+        return not self.inner.evaluate(record, schema)
+
+
+def non_selective_predicate(column: str, modulus: int = 10) -> Predicate:
+    """A deliberately non-selective predicate for Query 4 style scans.
+
+    The paper uses "a very non-selective predicate such that sequential scans
+    are the preferred approach" (Section 5.2).  This helper returns a
+    predicate that passes whenever ``column % modulus != 0``, i.e. roughly
+    ``(modulus - 1) / modulus`` of uniformly random integers.
+    """
+    return ModuloPredicate(column, modulus)
+
+
+@dataclass(frozen=True)
+class ModuloPredicate(Predicate):
+    """True when ``column % modulus != 0`` -- a cheap, tunable selectivity."""
+
+    column: str
+    modulus: int
+
+    def evaluate(self, record: Record, schema: Schema) -> bool:
+        return record.value(schema, self.column) % self.modulus != 0

@@ -1,0 +1,138 @@
+"""Records and their fixed-width binary encoding.
+
+A :class:`Record` is an immutable tuple of values conforming to a
+:class:`~repro.core.schema.Schema`.  Records are identified across versions by
+their primary key (paper Section 2.2.1): updating a record produces a new
+physical copy with the same key, and deleting one leaves a tombstone in
+layouts that need it.
+
+The :class:`RecordCodec` packs records into the fixed-width byte layout used
+by pages, heap files and segment files.  A one-byte header precedes the
+payload; bit 0 marks tombstones (used by the version-first layout for
+deletes).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.core.schema import ColumnType, Schema
+from repro.errors import RecordError
+
+_HEADER_TOMBSTONE = 0x01
+
+
+@dataclass(frozen=True)
+class Record:
+    """A single relational record.
+
+    Parameters
+    ----------
+    values:
+        Tuple of column values in schema order.
+    tombstone:
+        True if this record marks the deletion of its primary key (only the
+        key column is meaningful for tombstones).
+    """
+
+    values: tuple
+    tombstone: bool = False
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.values, tuple):
+            object.__setattr__(self, "values", tuple(self.values))
+
+    def key(self, schema: Schema) -> int:
+        """The primary key value of this record under ``schema``."""
+        return self.values[schema.primary_key_index]
+
+    def value(self, schema: Schema, column: str):
+        """The value of ``column`` under ``schema``."""
+        return self.values[schema.index_of(column)]
+
+    def replace(self, schema: Schema, **updates) -> "Record":
+        """A copy of this record with the named columns replaced."""
+        values = list(self.values)
+        for name, new_value in updates.items():
+            values[schema.index_of(name)] = new_value
+        return Record(tuple(values), tombstone=self.tombstone)
+
+    def as_dict(self, schema: Schema) -> dict:
+        """The record as a ``{column name: value}`` mapping."""
+        return dict(zip(schema.column_names, self.values))
+
+    @classmethod
+    def deleted(cls, schema: Schema, key: int) -> "Record":
+        """A tombstone record for ``key``: payload columns are zeroed."""
+        values = []
+        for i, column in enumerate(schema.columns):
+            if i == schema.primary_key_index:
+                values.append(key)
+            elif column.type is ColumnType.STRING:
+                values.append("")
+            else:
+                values.append(0)
+        return cls(tuple(values), tombstone=True)
+
+
+class RecordCodec:
+    """Fixed-width binary encoder/decoder for records of one schema."""
+
+    def __init__(self, schema: Schema):
+        self.schema = schema
+        fmt = ["<B"]  # header byte
+        for column in schema.columns:
+            if column.type is ColumnType.INT:
+                fmt.append("q")
+            elif column.type is ColumnType.INT32:
+                fmt.append("i")
+            else:
+                fmt.append(f"{column.width}s")
+        self._struct = struct.Struct("".join(fmt))
+
+    @property
+    def record_size(self) -> int:
+        """Encoded size in bytes of one record, including the header byte."""
+        return self._struct.size
+
+    def encode(self, record: Record) -> bytes:
+        """Encode ``record`` to its fixed-width byte representation."""
+        self.schema.validate_values(record.values)
+        header = _HEADER_TOMBSTONE if record.tombstone else 0
+        packed_values = []
+        for column, value in zip(self.schema.columns, record.values):
+            if column.type is ColumnType.STRING:
+                packed_values.append(value.encode("utf-8"))
+            else:
+                packed_values.append(value)
+        try:
+            return self._struct.pack(header, *packed_values)
+        except struct.error as exc:  # pragma: no cover - guarded by validate
+            raise RecordError(f"cannot encode record {record!r}: {exc}") from exc
+
+    def decode(self, data: bytes, offset: int = 0) -> Record:
+        """Decode one record from ``data`` starting at ``offset``."""
+        try:
+            unpacked = self._struct.unpack_from(data, offset)
+        except struct.error as exc:
+            raise RecordError(
+                f"cannot decode record at offset {offset}: {exc}"
+            ) from exc
+        header, raw_values = unpacked[0], unpacked[1:]
+        values = []
+        for column, raw in zip(self.schema.columns, raw_values):
+            if column.type is ColumnType.STRING:
+                values.append(raw.rstrip(b"\x00").decode("utf-8"))
+            else:
+                values.append(raw)
+        return Record(tuple(values), tombstone=bool(header & _HEADER_TOMBSTONE))
+
+    def decode_many(self, data: bytes) -> list[Record]:
+        """Decode a buffer that is an exact concatenation of records."""
+        size = self.record_size
+        if len(data) % size != 0:
+            raise RecordError(
+                f"buffer length {len(data)} is not a multiple of record size {size}"
+            )
+        return [self.decode(data, offset) for offset in range(0, len(data), size)]

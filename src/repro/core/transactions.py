@@ -1,0 +1,159 @@
+"""Transactions over branches.
+
+Updates made as part of a commit are issued in a single transaction so they
+become atomically visible at commit time and are rolled back if the client
+disconnects first (paper Section 2.2.3).  A :class:`Transaction` buffers the
+data modifications made through it, acquires branch locks through the shared
+:class:`~repro.core.locks.LockManager`, writes intent records to the
+write-ahead log, and applies the buffered changes to the storage engine only
+when committed.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.locks import LockManager, LockMode
+from repro.core.record import Record
+from repro.core.wal import LogRecord, LogRecordType, WriteAheadLog
+from repro.errors import TransactionError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.storage.base import VersionedStorageEngine
+
+
+class TransactionState(enum.Enum):
+    """Lifecycle of a transaction."""
+
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass
+class _BufferedWrite:
+    kind: str  # "insert" | "update" | "delete"
+    branch: str
+    record: Record | None = None
+    key: int | None = None
+
+
+@dataclass
+class Transaction:
+    """A unit of atomically visible changes to one or more branches."""
+
+    transaction_id: int
+    manager: "TransactionManager"
+    state: TransactionState = TransactionState.ACTIVE
+    _writes: list[_BufferedWrite] = field(default_factory=list)
+
+    # -- buffered data operations ---------------------------------------------
+
+    def insert(self, branch: str, record: Record) -> None:
+        """Buffer an insert of ``record`` into ``branch``."""
+        self._check_active()
+        self._lock_branch(branch)
+        self._writes.append(_BufferedWrite("insert", branch, record=record))
+
+    def update(self, branch: str, record: Record) -> None:
+        """Buffer an update (by primary key) of ``record`` in ``branch``."""
+        self._check_active()
+        self._lock_branch(branch)
+        self._writes.append(_BufferedWrite("update", branch, record=record))
+
+    def delete(self, branch: str, key: int) -> None:
+        """Buffer a delete of the record with primary key ``key``."""
+        self._check_active()
+        self._lock_branch(branch)
+        self._writes.append(_BufferedWrite("delete", branch, key=key))
+
+    @property
+    def pending_writes(self) -> int:
+        """Number of buffered, not-yet-applied writes."""
+        return len(self._writes)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def commit(self, message: str = "") -> dict[str, str]:
+        """Apply buffered writes and create a commit on each touched branch.
+
+        Returns a mapping of branch name to the commit id created on it.
+        """
+        self._check_active()
+        engine = self.manager.engine
+        wal = self.manager.wal
+        wal.append(LogRecord(LogRecordType.BEGIN, self.transaction_id))
+        try:
+            for write in self._writes:
+                if write.kind == "insert":
+                    engine.insert(write.branch, write.record)
+                elif write.kind == "update":
+                    engine.update(write.branch, write.record)
+                else:
+                    engine.delete(write.branch, write.key)
+                wal.append(
+                    LogRecord(
+                        LogRecordType.WRITE,
+                        self.transaction_id,
+                        branch=write.branch,
+                        payload=write.kind,
+                    )
+                )
+            commits = {}
+            for branch in sorted({write.branch for write in self._writes}):
+                commits[branch] = engine.commit(branch, message=message)
+            wal.append(LogRecord(LogRecordType.COMMIT, self.transaction_id))
+            self.state = TransactionState.COMMITTED
+            return commits
+        finally:
+            self.manager.lock_manager.release_all(self.transaction_id)
+            if self.state is not TransactionState.COMMITTED:
+                self.state = TransactionState.ABORTED
+                wal.append(LogRecord(LogRecordType.ABORT, self.transaction_id))
+
+    def abort(self) -> None:
+        """Discard all buffered writes and release locks."""
+        self._check_active()
+        self._writes.clear()
+        self.state = TransactionState.ABORTED
+        self.manager.wal.append(LogRecord(LogRecordType.ABORT, self.transaction_id))
+        self.manager.lock_manager.release_all(self.transaction_id)
+
+    # -- helpers --------------------------------------------------------------
+
+    def _lock_branch(self, branch: str) -> None:
+        self.manager.lock_manager.acquire(
+            self.transaction_id, f"branch:{branch}", LockMode.EXCLUSIVE
+        )
+
+    def _check_active(self) -> None:
+        if self.state is not TransactionState.ACTIVE:
+            raise TransactionError(
+                f"transaction {self.transaction_id} is {self.state.value}"
+            )
+
+
+class TransactionManager:
+    """Creates transactions bound to one storage engine, WAL and lock manager."""
+
+    def __init__(
+        self,
+        engine: "VersionedStorageEngine",
+        wal: WriteAheadLog | None = None,
+        lock_manager: LockManager | None = None,
+    ):
+        self.engine = engine
+        self.wal = wal if wal is not None else WriteAheadLog.in_memory()
+        self.lock_manager = lock_manager if lock_manager is not None else LockManager()
+        self._ids = itertools.count(1)
+
+    def begin(self) -> Transaction:
+        """Start a new transaction."""
+        return Transaction(next(self._ids), self)
+
+    def active_transaction(self) -> Transaction:
+        """Alias of :meth:`begin` kept for API symmetry with sessions."""
+        return self.begin()

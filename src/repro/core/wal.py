@@ -1,0 +1,137 @@
+"""A minimal write-ahead log.
+
+The paper notes that by living inside a relational DBMS, Decibel can inherit
+fault tolerance "by employing standard write-ahead logging techniques on
+writes" (Section 2.1) and leaves a full treatment to future work.  This module
+provides that standard mechanism in a small form: an append-only log of
+typed records that can be persisted to disk, replayed after a crash, and
+truncated at a checkpoint.  Transactions write BEGIN/WRITE/COMMIT/ABORT
+records through it; recovery reports which transactions were committed so an
+engine can discard the effects of any that were not.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import os
+from dataclasses import dataclass, field
+
+
+class LogRecordType(enum.Enum):
+    """Kinds of log records."""
+
+    BEGIN = "begin"
+    WRITE = "write"
+    COMMIT = "commit"
+    ABORT = "abort"
+    CHECKPOINT = "checkpoint"
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One entry in the write-ahead log."""
+
+    type: LogRecordType
+    transaction_id: int
+    branch: str | None = None
+    payload: str | None = None
+
+    def to_json(self) -> str:
+        """Serialize to a single JSON line."""
+        return json.dumps(
+            {
+                "type": self.type.value,
+                "txn": self.transaction_id,
+                "branch": self.branch,
+                "payload": self.payload,
+            },
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "LogRecord":
+        """Parse a record previously produced by :meth:`to_json`."""
+        raw = json.loads(line)
+        return cls(
+            type=LogRecordType(raw["type"]),
+            transaction_id=raw["txn"],
+            branch=raw.get("branch"),
+            payload=raw.get("payload"),
+        )
+
+
+@dataclass
+class RecoveryReport:
+    """Summary of a log replay: which transactions survive a crash."""
+
+    committed: set[int] = field(default_factory=set)
+    aborted: set[int] = field(default_factory=set)
+    in_flight: set[int] = field(default_factory=set)
+
+    @property
+    def losers(self) -> set[int]:
+        """Transactions whose effects must be discarded (aborted or in flight)."""
+        return self.aborted | self.in_flight
+
+
+class WriteAheadLog:
+    """Append-only log, either purely in memory or backed by a file."""
+
+    def __init__(self, path: str | None = None):
+        self.path = path
+        self._records: list[LogRecord] = []
+        if path is not None and os.path.exists(path):
+            with open(path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if line:
+                        self._records.append(LogRecord.from_json(line))
+
+    @classmethod
+    def in_memory(cls) -> "WriteAheadLog":
+        """A log that is never persisted (used by tests and benchmarks)."""
+        return cls(path=None)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    # -- writing --------------------------------------------------------------
+
+    def append(self, record: LogRecord) -> None:
+        """Append a record, persisting it immediately when file-backed."""
+        self._records.append(record)
+        if self.path is not None:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(record.to_json() + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+
+    def checkpoint(self) -> None:
+        """Write a checkpoint record and drop everything before it."""
+        checkpoint = LogRecord(LogRecordType.CHECKPOINT, transaction_id=0)
+        self._records = [checkpoint]
+        if self.path is not None:
+            with open(self.path, "w", encoding="utf-8") as handle:
+                handle.write(checkpoint.to_json() + "\n")
+
+    # -- reading --------------------------------------------------------------
+
+    def records(self) -> list[LogRecord]:
+        """All records currently in the log, oldest first."""
+        return list(self._records)
+
+    def replay(self) -> RecoveryReport:
+        """Classify every transaction seen in the log."""
+        report = RecoveryReport()
+        for record in self._records:
+            txn = record.transaction_id
+            if record.type is LogRecordType.BEGIN:
+                report.in_flight.add(txn)
+            elif record.type is LogRecordType.COMMIT:
+                report.in_flight.discard(txn)
+                report.committed.add(txn)
+            elif record.type is LogRecordType.ABORT:
+                report.in_flight.discard(txn)
+                report.aborted.add(txn)
+        return report

@@ -1,0 +1,5 @@
+"""The user-facing Decibel database facade."""
+
+from repro.db.database import Decibel, VersionedRelation
+
+__all__ = ["Decibel", "VersionedRelation"]

@@ -1,0 +1,244 @@
+"""The Decibel facade: datasets of versioned relations plus a SQL entry point.
+
+This is the layer a user of the reproduction interacts with.  A
+:class:`Decibel` instance manages a directory containing one or more
+versioned relations; each relation is backed by one of the storage engines
+(hybrid by default) and shares the facade's catalog.  Branch, commit, and
+merge operations may be issued per relation or across the whole dataset
+(applied to every relation in lockstep, mirroring the paper's notion that a
+version snapshots all relations of a dataset together).
+
+Versioned queries in the SQL dialect of the paper's Table 1 are executed via
+:meth:`Decibel.query`, which delegates to :mod:`repro.query`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Iterator
+
+from repro.core.buffer_pool import BufferPool
+from repro.core.catalog import Catalog
+from repro.core.page import DEFAULT_PAGE_SIZE
+from repro.core.predicates import Predicate
+from repro.core.record import Record
+from repro.core.schema import Schema
+from repro.errors import StorageError
+from repro.storage import create_engine
+from repro.storage.base import MergeResult, StorageEngineKind, VersionedStorageEngine
+from repro.versioning.conflicts import MergePolicy
+from repro.versioning.diff import DiffResult
+from repro.versioning.session import Session
+
+
+class VersionedRelation:
+    """One versioned relation: a thin, user-friendly wrapper over an engine."""
+
+    def __init__(self, name: str, engine: VersionedStorageEngine):
+        self.name = name
+        self.engine = engine
+
+    # -- properties -------------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        """The relation's schema."""
+        return self.engine.schema
+
+    @property
+    def graph(self):
+        """The relation's version graph."""
+        return self.engine.graph
+
+    # -- versioning -------------------------------------------------------------
+
+    def init(self, records: Iterable[Record] = (), message: str = "init") -> str:
+        """Create the master branch and load the initial records."""
+        return self.engine.init(records, message=message)
+
+    def branch(self, name: str, from_branch: str | None = None, from_commit: str | None = None) -> None:
+        """Create a branch off a branch head or a historical commit."""
+        self.engine.create_branch(name, from_branch=from_branch, from_commit=from_commit)
+
+    def commit(self, branch: str = "master", message: str = "") -> str:
+        """Commit the current state of ``branch``."""
+        return self.engine.commit(branch, message=message)
+
+    def checkout(self, commit_id: str) -> list[Record]:
+        """Materialize a historical commit."""
+        return self.engine.checkout(commit_id)
+
+    def merge(
+        self,
+        target_branch: str,
+        source_branch: str,
+        *,
+        policy: MergePolicy | None = None,
+        three_way: bool = True,
+        message: str = "",
+    ) -> MergeResult:
+        """Merge ``source_branch`` into ``target_branch``."""
+        return self.engine.merge(
+            target_branch,
+            source_branch,
+            policy=policy,
+            three_way=three_way,
+            message=message,
+        )
+
+    def diff(self, branch_a: str, branch_b: str) -> DiffResult:
+        """Positive/negative difference between two branch heads."""
+        return self.engine.diff(branch_a, branch_b)
+
+    def session(self, branch: str = "master") -> Session:
+        """Open a session positioned on ``branch``."""
+        return Session(self.engine, branch=branch)
+
+    # -- data -----------------------------------------------------------------------
+
+    def insert(self, branch: str, record: Record | tuple) -> None:
+        """Insert a record (or a plain value tuple) into ``branch``."""
+        self.engine.insert(branch, self._coerce(record))
+
+    def update(self, branch: str, record: Record | tuple) -> None:
+        """Update (by primary key) a record in ``branch``."""
+        self.engine.update(branch, self._coerce(record))
+
+    def delete(self, branch: str, key: int) -> None:
+        """Delete the record with primary key ``key`` from ``branch``."""
+        self.engine.delete(branch, key)
+
+    def scan(self, branch: str = "master", predicate: Predicate | None = None) -> Iterator[Record]:
+        """Iterate the live records of ``branch``."""
+        return self.engine.scan_branch(branch, predicate)
+
+    def scan_heads(self, predicate: Predicate | None = None):
+        """Iterate ``(record, branches)`` pairs over all branch heads."""
+        return self.engine.scan_heads(predicate)
+
+    def _coerce(self, record: Record | tuple) -> Record:
+        if isinstance(record, Record):
+            return record
+        return Record(tuple(record))
+
+
+class Decibel:
+    """A directory of versioned relations sharing a catalog.
+
+    Parameters
+    ----------
+    directory:
+        Where data, commit histories and the catalog live.
+    engine:
+        Default storage engine kind for new relations: ``"hybrid"``,
+        ``"tuple-first"`` or ``"version-first"`` (or a
+        :class:`StorageEngineKind`).
+    page_size:
+        Page size passed to every engine.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        engine: StorageEngineKind | str = StorageEngineKind.HYBRID,
+        page_size: int = DEFAULT_PAGE_SIZE,
+    ):
+        self.directory = directory
+        self.default_engine_kind = (
+            StorageEngineKind(engine) if isinstance(engine, str) else engine
+        )
+        self.page_size = page_size
+        self.buffer_pool = BufferPool()
+        os.makedirs(directory, exist_ok=True)
+        self.catalog = Catalog(directory)
+        self._relations: dict[str, VersionedRelation] = {}
+
+    # -- relation management ------------------------------------------------------------
+
+    def create_relation(
+        self,
+        name: str,
+        schema: Schema,
+        engine: StorageEngineKind | str | None = None,
+    ) -> VersionedRelation:
+        """Create (and register) a new versioned relation."""
+        kind = self.default_engine_kind if engine is None else (
+            StorageEngineKind(engine) if isinstance(engine, str) else engine
+        )
+        self.catalog.create_relation(name, schema, kind.value)
+        relation = self._open_relation(name, schema, kind)
+        return relation
+
+    def relation(self, name: str) -> VersionedRelation:
+        """Fetch a relation, opening it from the catalog if needed."""
+        if name in self._relations:
+            return self._relations[name]
+        info = self.catalog.relation(name)
+        return self._open_relation(
+            name, info.schema, StorageEngineKind(info.engine_kind)
+        )
+
+    def relations(self) -> list[str]:
+        """Names of all registered relations."""
+        return [info.name for info in self.catalog.relations()]
+
+    def drop_relation(self, name: str) -> None:
+        """Remove a relation and its on-disk data."""
+        relation = self.relation(name)
+        relation.engine.destroy()
+        self.catalog.drop_relation(name)
+        self._relations.pop(name, None)
+
+    def _open_relation(
+        self, name: str, schema: Schema, kind: StorageEngineKind
+    ) -> VersionedRelation:
+        engine = create_engine(
+            kind,
+            os.path.join(self.directory, name),
+            schema,
+            page_size=self.page_size,
+            buffer_pool=self.buffer_pool,
+        )
+        relation = VersionedRelation(name, engine)
+        self._relations[name] = relation
+        return relation
+
+    # -- dataset-wide versioning ----------------------------------------------------------
+
+    def branch_all(self, name: str, from_branch: str | None = None) -> None:
+        """Create branch ``name`` on every relation of the dataset."""
+        for relation_name in self.relations():
+            self.relation(relation_name).branch(name, from_branch=from_branch)
+
+    def commit_all(self, branch: str = "master", message: str = "") -> dict[str, str]:
+        """Commit every relation on ``branch``; returns per-relation commit ids."""
+        return {
+            relation_name: self.relation(relation_name).commit(branch, message=message)
+            for relation_name in self.relations()
+        }
+
+    # -- queries -----------------------------------------------------------------------------
+
+    def query(self, sql: str) -> "QueryResult":
+        """Execute a versioned SQL query (the dialect of the paper's Table 1)."""
+        from repro.query.executor import execute_query
+
+        return execute_query(self, sql)
+
+    # -- lifecycle ------------------------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Flush every open relation."""
+        for relation in self._relations.values():
+            relation.engine.flush()
+
+    def close(self) -> None:
+        """Flush and drop cached pages for every open relation."""
+        for relation in self._relations.values():
+            relation.engine.close()
+
+    def __enter__(self) -> "Decibel":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

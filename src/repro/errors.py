@@ -1,0 +1,60 @@
+"""Exception hierarchy for the Decibel reproduction.
+
+All errors raised by the library derive from :class:`DecibelError` so callers
+can catch library failures with a single ``except`` clause while still
+distinguishing the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class DecibelError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SchemaError(DecibelError):
+    """A schema definition or a record/schema mismatch is invalid."""
+
+
+class RecordError(DecibelError):
+    """A record could not be encoded, decoded or validated."""
+
+
+class PageError(DecibelError):
+    """A page is full, corrupt, or addressed out of bounds."""
+
+
+class StorageError(DecibelError):
+    """A heap file, segment file or buffer pool operation failed."""
+
+
+class TransactionError(DecibelError):
+    """A transaction violated the locking protocol or was aborted."""
+
+
+class VersionError(DecibelError):
+    """A version-graph operation referenced an unknown or invalid version."""
+
+
+class BranchNotFoundError(VersionError):
+    """The named branch does not exist in the version graph."""
+
+
+class CommitNotFoundError(VersionError):
+    """The referenced commit does not exist in the version graph."""
+
+
+class BranchExistsError(VersionError):
+    """An attempt was made to create a branch whose name is already taken."""
+
+
+class MergeConflictError(VersionError):
+    """A merge produced conflicts and no resolution policy was supplied."""
+
+
+class QueryError(DecibelError):
+    """A versioned query could not be parsed, planned or executed."""
+
+
+class BenchmarkError(DecibelError):
+    """The benchmark driver was configured inconsistently."""

@@ -1,0 +1,35 @@
+"""A from-scratch git-like version control baseline.
+
+Section 5.7 of the paper compares Decibel against an implementation of the
+Decibel API on top of git, storing the dataset either as one file ("git 1
+file") or as one file per tuple ("git file/tup"), in CSV or binary record
+formats.  Since this reproduction builds every substrate itself, this package
+implements the relevant git mechanics from scratch:
+
+* a content-addressed object store of zlib-compressed loose objects
+  (:mod:`~repro.gitlike.object_store`);
+* packfiles with delta encoding and a sliding-window ``repack`` that searches
+  for good delta bases (:mod:`~repro.gitlike.packfile`) -- the operation whose
+  cost the paper highlights;
+* a repository layer with trees, commits, branches and checkouts
+  (:mod:`~repro.gitlike.repo`);
+* an adapter exposing the Decibel storage-engine API on top of the repository
+  in the four configurations the paper benchmarks
+  (:mod:`~repro.gitlike.engine`).
+"""
+
+from repro.gitlike.object_store import ObjectStore
+from repro.gitlike.packfile import PackFile, delta_decode, delta_encode
+from repro.gitlike.repo import GitLikeRepo
+from repro.gitlike.engine import GitRecordFormat, GitStorageLayout, GitVersionedStore
+
+__all__ = [
+    "ObjectStore",
+    "PackFile",
+    "delta_encode",
+    "delta_decode",
+    "GitLikeRepo",
+    "GitVersionedStore",
+    "GitStorageLayout",
+    "GitRecordFormat",
+]

@@ -1,0 +1,188 @@
+"""The Decibel API implemented on top of the git-like repository.
+
+The paper's Section 5.7 implements the Decibel API with git as the storage
+manager in two layouts -- a single heap file for all records ("git 1 file")
+and one file per tuple ("git file/tup") -- each in CSV and binary record
+formats.  This adapter reproduces those four configurations over
+:class:`~repro.gitlike.repo.GitLikeRepo` and exposes the operations the
+benchmark measures: insert/update/delete on a branch's working copy, commit,
+checkout, branch, scan, repack, and repository size.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.core.record import Record, RecordCodec
+from repro.core.schema import ColumnType, Schema
+from repro.errors import StorageError, VersionError
+from repro.gitlike.repo import GitLikeRepo, RepackReport
+
+
+class GitStorageLayout(enum.Enum):
+    """How records are mapped to files in the repository."""
+
+    SINGLE_FILE = "single-file"
+    FILE_PER_TUPLE = "file-per-tuple"
+
+
+class GitRecordFormat(enum.Enum):
+    """How a record is serialized inside a file."""
+
+    CSV = "csv"
+    BINARY = "binary"
+
+
+class GitVersionedStore:
+    """A versioned relation stored in a git-like repository."""
+
+    def __init__(
+        self,
+        directory: str,
+        schema: Schema,
+        layout: GitStorageLayout | str = GitStorageLayout.SINGLE_FILE,
+        record_format: GitRecordFormat | str = GitRecordFormat.BINARY,
+    ):
+        self.schema = schema
+        self.layout = (
+            GitStorageLayout(layout) if isinstance(layout, str) else layout
+        )
+        self.record_format = (
+            GitRecordFormat(record_format)
+            if isinstance(record_format, str)
+            else record_format
+        )
+        self.repo = GitLikeRepo(directory)
+        self._codec = RecordCodec(schema)
+        #: Working copies: branch -> {primary key -> record}.
+        self._working: dict[str, dict[int, Record]] = {}
+        self._commits_per_branch: dict[str, list[str]] = {}
+
+    # -- record serialization -------------------------------------------------------
+
+    def _encode_record(self, record: Record) -> bytes:
+        if self.record_format is GitRecordFormat.BINARY:
+            return self._codec.encode(record)
+        return (",".join(str(value) for value in record.values) + "\n").encode("utf-8")
+
+    def _decode_record(self, data: bytes) -> Record:
+        if self.record_format is GitRecordFormat.BINARY:
+            return self._codec.decode(data)
+        parts = data.decode("utf-8").strip().split(",")
+        values = []
+        for column, raw in zip(self.schema.columns, parts):
+            if column.type is ColumnType.STRING:
+                values.append(raw)
+            else:
+                values.append(int(raw))
+        return Record(tuple(values))
+
+    def _encode_tree(self, records: dict[int, Record]) -> dict[str, bytes]:
+        suffix = "csv" if self.record_format is GitRecordFormat.CSV else "bin"
+        if self.layout is GitStorageLayout.FILE_PER_TUPLE:
+            return {
+                f"{key}.{suffix}": self._encode_record(record)
+                for key, record in records.items()
+            }
+        payload = b"".join(
+            self._encode_record(records[key]) for key in sorted(records)
+        )
+        return {f"data.{suffix}": payload}
+
+    def _decode_tree(self, files: dict[str, bytes]) -> dict[int, Record]:
+        records: dict[int, Record] = {}
+        pk_position = self.schema.primary_key_index
+        if self.layout is GitStorageLayout.FILE_PER_TUPLE:
+            for content in files.values():
+                record = self._decode_record(content)
+                records[record.values[pk_position]] = record
+            return records
+        for content in files.values():
+            if self.record_format is GitRecordFormat.BINARY:
+                for record in self._codec.decode_many(content):
+                    records[record.values[pk_position]] = record
+            else:
+                for line in content.decode("utf-8").splitlines():
+                    if line.strip():
+                        record = self._decode_record(line.encode("utf-8") + b"\n")
+                        records[record.values[pk_position]] = record
+        return records
+
+    # -- versioning API -------------------------------------------------------------------
+
+    def init(self, records=(), message: str = "init") -> str:
+        """Create the master branch with the given initial records."""
+        if "master" in self._working:
+            raise VersionError("store is already initialized")
+        working: dict[int, Record] = {}
+        pk_position = self.schema.primary_key_index
+        for record in records:
+            working[record.values[pk_position]] = record
+        self._working["master"] = working
+        commit_id = self.repo.commit("master", self._encode_tree(working), message)
+        self._commits_per_branch["master"] = [commit_id]
+        return commit_id
+
+    def create_branch(self, name: str, from_branch: str = "master") -> None:
+        """Branch the working copy (and the ref) off ``from_branch``."""
+        if name in self._working:
+            raise VersionError(f"branch {name!r} already exists")
+        self.repo.create_branch(name, from_branch)
+        self._working[name] = dict(self._working[from_branch])
+        self._commits_per_branch[name] = []
+
+    def insert(self, branch: str, record: Record) -> None:
+        """Insert a record into the branch's working copy."""
+        self._working[branch][record.key(self.schema)] = record
+
+    def update(self, branch: str, record: Record) -> None:
+        """Update the record with the same key in the branch's working copy."""
+        self._working[branch][record.key(self.schema)] = record
+
+    def delete(self, branch: str, key: int) -> None:
+        """Delete a record from the branch's working copy."""
+        if key not in self._working[branch]:
+            raise StorageError(f"key {key} is not live in branch {branch!r}")
+        del self._working[branch][key]
+
+    def commit(self, branch: str, message: str = "") -> str:
+        """Hash the whole working tree of ``branch`` and commit it."""
+        files = self._encode_tree(self._working[branch])
+        commit_id = self.repo.commit(branch, files, message)
+        self._commits_per_branch.setdefault(branch, []).append(commit_id)
+        return commit_id
+
+    def checkout(self, commit_id: str) -> list[Record]:
+        """Restore every record of a commit."""
+        files = self.repo.checkout(commit_id)
+        return list(self._decode_tree(files).values())
+
+    def scan_branch(self, branch: str) -> list[Record]:
+        """The live records of a branch's working copy."""
+        return list(self._working[branch].values())
+
+    def branch_contains_key(self, branch: str, key: int) -> bool:
+        """True if the key is live in the branch's working copy."""
+        return key in self._working[branch]
+
+    def commits(self, branch: str) -> list[str]:
+        """Commits made through this adapter on ``branch``."""
+        return list(self._commits_per_branch.get(branch, []))
+
+    # -- maintenance and sizes ------------------------------------------------------------------
+
+    def repack(self, window: int = 10) -> RepackReport:
+        """Run the repository's delta-compression pass."""
+        return self.repo.repack(window=window)
+
+    def repo_size_bytes(self) -> int:
+        """Size of the backing repository (loose objects plus packs)."""
+        return self.repo.repo_size_bytes()
+
+    def data_size_bytes(self) -> int:
+        """Logical size of the live data across all branch working copies."""
+        return sum(
+            len(self._encode_record(record))
+            for working in self._working.values()
+            for record in working.values()
+        )

@@ -1,0 +1,110 @@
+"""Content-addressed object storage (git's loose objects).
+
+Every object is addressed by the SHA-1 of its contents (prefixed, as in git,
+with a small header naming the object type and length) and stored
+zlib-compressed in a two-level directory layout (``objects/ab/cdef...``).
+The paper attributes part of git's cost to exactly this mechanism: every
+commit hashes and compresses entire objects, with cost proportional to the
+dataset size.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import zlib
+
+from repro.errors import StorageError
+
+
+class ObjectStore:
+    """Loose, zlib-compressed, SHA-1 addressed objects on disk."""
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        #: Cheap in-memory presence cache to avoid repeated stat calls.
+        self._known: set[str] = set()
+        self._scan_existing()
+
+    def _scan_existing(self) -> None:
+        for prefix in os.listdir(self.directory):
+            subdir = os.path.join(self.directory, prefix)
+            if len(prefix) == 2 and os.path.isdir(subdir):
+                for rest in os.listdir(subdir):
+                    self._known.add(prefix + rest)
+
+    # -- hashing ------------------------------------------------------------------
+
+    @staticmethod
+    def hash_object(data: bytes, object_type: str = "blob") -> str:
+        """The SHA-1 id git would assign to ``data`` of ``object_type``."""
+        header = f"{object_type} {len(data)}\x00".encode("ascii")
+        return hashlib.sha1(header + data).hexdigest()
+
+    # -- storage -------------------------------------------------------------------
+
+    def _path(self, object_id: str) -> str:
+        return os.path.join(self.directory, object_id[:2], object_id[2:])
+
+    def put(self, data: bytes, object_type: str = "blob") -> str:
+        """Store ``data`` and return its object id (idempotent)."""
+        object_id = self.hash_object(data, object_type)
+        if object_id in self._known:
+            return object_id
+        path = self._path(object_id)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        header = f"{object_type} {len(data)}\x00".encode("ascii")
+        with open(path, "wb") as handle:
+            handle.write(zlib.compress(header + data))
+        self._known.add(object_id)
+        return object_id
+
+    def get(self, object_id: str) -> bytes:
+        """Fetch an object's payload (without the type header)."""
+        path = self._path(object_id)
+        if not os.path.exists(path):
+            raise StorageError(f"object {object_id} not found")
+        with open(path, "rb") as handle:
+            raw = zlib.decompress(handle.read())
+        null = raw.index(b"\x00")
+        return raw[null + 1 :]
+
+    def object_type(self, object_id: str) -> str:
+        """The type recorded in an object's header."""
+        path = self._path(object_id)
+        if not os.path.exists(path):
+            raise StorageError(f"object {object_id} not found")
+        with open(path, "rb") as handle:
+            raw = zlib.decompress(handle.read())
+        header = raw[: raw.index(b"\x00")].decode("ascii")
+        return header.split(" ", 1)[0]
+
+    def contains(self, object_id: str) -> bool:
+        """True if the object exists as a loose object."""
+        return object_id in self._known
+
+    def remove(self, object_id: str) -> None:
+        """Delete a loose object (after it has been packed)."""
+        path = self._path(object_id)
+        if os.path.exists(path):
+            os.remove(path)
+        self._known.discard(object_id)
+
+    # -- enumeration / sizes --------------------------------------------------------
+
+    def all_ids(self) -> list[str]:
+        """Ids of every loose object."""
+        return sorted(self._known)
+
+    def __len__(self) -> int:
+        return len(self._known)
+
+    def size_bytes(self) -> int:
+        """Total on-disk size of all loose objects."""
+        total = 0
+        for object_id in self._known:
+            path = self._path(object_id)
+            if os.path.exists(path):
+                total += os.path.getsize(path)
+        return total

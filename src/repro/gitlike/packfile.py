@@ -1,0 +1,229 @@
+"""Packfiles and delta compression.
+
+git minimizes storage by periodically packing loose objects into packfiles,
+storing most objects as deltas against a similar base object.  Finding good
+bases is expensive -- git sorts candidate objects and slides a window across
+them, attempting a delta against every window member -- and the paper's
+Section 5.7 measures exactly this cost (the ``repack`` column of Table 6).
+
+The delta format here is a simple copy/insert encoding computed against
+fixed-size blocks of the base object; the repacker mirrors git's
+sliding-window search (sort by size, try each of the last ``window`` objects
+as a base, keep the smallest encoding that actually saves space).
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass, field
+
+from repro.errors import StorageError
+from repro.gitlike.object_store import ObjectStore
+
+#: Block granularity for delta matching.
+_BLOCK = 64
+
+_OP_COPY = 0
+_OP_INSERT = 1
+
+
+def delta_encode(base: bytes, target: bytes) -> bytes:
+    """Encode ``target`` as a delta against ``base``.
+
+    The encoding is a sequence of COPY(offset, length) and INSERT(data)
+    operations over :data:`_BLOCK`-sized chunks, preceded by the target
+    length.  It is compact when the two byte strings share long runs of
+    identical blocks -- the common case for successive versions of a dataset
+    file -- and degrades to a single INSERT otherwise.
+    """
+    block_index: dict[bytes, int] = {}
+    for offset in range(0, len(base) - _BLOCK + 1, _BLOCK):
+        block = base[offset : offset + _BLOCK]
+        block_index.setdefault(block, offset)
+    out = bytearray(struct.pack("<I", len(target)))
+    pending = bytearray()
+
+    def flush_insert() -> None:
+        if pending:
+            out.append(_OP_INSERT)
+            out.extend(struct.pack("<I", len(pending)))
+            out.extend(pending)
+            pending.clear()
+
+    position = 0
+    n = len(target)
+    while position < n:
+        block = target[position : position + _BLOCK]
+        base_offset = block_index.get(block) if len(block) == _BLOCK else None
+        if base_offset is None:
+            pending.extend(block)
+            position += len(block)
+            continue
+        # Extend the match block by block while it continues in the base.
+        length = _BLOCK
+        while (
+            position + length + _BLOCK <= n
+            and base_offset + length + _BLOCK <= len(base)
+            and target[position + length : position + length + _BLOCK]
+            == base[base_offset + length : base_offset + length + _BLOCK]
+        ):
+            length += _BLOCK
+        flush_insert()
+        out.append(_OP_COPY)
+        out.extend(struct.pack("<II", base_offset, length))
+        position += length
+    flush_insert()
+    return bytes(out)
+
+
+def delta_decode(base: bytes, delta: bytes) -> bytes:
+    """Apply a delta produced by :func:`delta_encode` to ``base``."""
+    (expected_length,) = struct.unpack_from("<I", delta, 0)
+    out = bytearray()
+    offset = 4
+    while offset < len(delta):
+        op = delta[offset]
+        offset += 1
+        if op == _OP_COPY:
+            base_offset, length = struct.unpack_from("<II", delta, offset)
+            offset += 8
+            out.extend(base[base_offset : base_offset + length])
+        elif op == _OP_INSERT:
+            (length,) = struct.unpack_from("<I", delta, offset)
+            offset += 4
+            out.extend(delta[offset : offset + length])
+            offset += length
+        else:
+            raise StorageError(f"unknown delta opcode {op}")
+    if len(out) != expected_length:
+        raise StorageError(
+            f"delta produced {len(out)} bytes, expected {expected_length}"
+        )
+    return bytes(out)
+
+
+@dataclass
+class _PackEntry:
+    object_id: str
+    kind: str  # "full" or "delta"
+    base_id: str | None
+    payload: bytes  # zlib-compressed full data or delta
+
+
+@dataclass
+class PackFile:
+    """An in-memory/packed-to-disk collection of (possibly delta'd) objects."""
+
+    entries: dict[str, _PackEntry] = field(default_factory=dict)
+
+    def add_full(self, object_id: str, data: bytes) -> None:
+        """Store an object in full (compressed)."""
+        self.entries[object_id] = _PackEntry(
+            object_id, "full", None, zlib.compress(data)
+        )
+
+    def add_delta(self, object_id: str, base_id: str, delta: bytes) -> None:
+        """Store an object as a delta against ``base_id``."""
+        self.entries[object_id] = _PackEntry(
+            object_id, "delta", base_id, zlib.compress(delta)
+        )
+
+    def __contains__(self, object_id: str) -> bool:
+        return object_id in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def get(self, object_id: str) -> bytes:
+        """Reconstruct an object, chasing delta chains as needed."""
+        entry = self.entries.get(object_id)
+        if entry is None:
+            raise StorageError(f"object {object_id} not in pack")
+        if entry.kind == "full":
+            return zlib.decompress(entry.payload)
+        base = self.get(entry.base_id)
+        return delta_decode(base, zlib.decompress(entry.payload))
+
+    def size_bytes(self) -> int:
+        """Total compressed payload size of the pack."""
+        overhead_per_entry = 64  # id + header, roughly what git's index costs
+        return sum(
+            len(entry.payload) + overhead_per_entry
+            for entry in self.entries.values()
+        )
+
+    def save(self, path: str) -> None:
+        """Serialize the pack to ``path``."""
+        with open(path, "wb") as handle:
+            handle.write(struct.pack("<I", len(self.entries)))
+            for entry in self.entries.values():
+                object_id = entry.object_id.encode("ascii")
+                base_id = (entry.base_id or "").encode("ascii")
+                handle.write(struct.pack("<BII", 0 if entry.kind == "full" else 1, len(base_id), len(entry.payload)))
+                handle.write(object_id)
+                handle.write(base_id)
+                handle.write(entry.payload)
+
+    @classmethod
+    def load(cls, path: str) -> "PackFile":
+        """Load a pack previously written by :meth:`save`."""
+        pack = cls()
+        with open(path, "rb") as handle:
+            data = handle.read()
+        (count,) = struct.unpack_from("<I", data, 0)
+        offset = 4
+        for _ in range(count):
+            kind_flag, base_len, payload_len = struct.unpack_from("<BII", data, offset)
+            offset += 9
+            object_id = data[offset : offset + 40].decode("ascii")
+            offset += 40
+            base_id = data[offset : offset + base_len].decode("ascii") or None
+            offset += base_len
+            payload = data[offset : offset + payload_len]
+            offset += payload_len
+            pack.entries[object_id] = _PackEntry(
+                object_id, "full" if kind_flag == 0 else "delta", base_id, payload
+            )
+        return pack
+
+
+def repack(
+    store: ObjectStore,
+    object_ids: list[str] | None = None,
+    window: int = 10,
+    max_delta_ratio: float = 0.75,
+) -> PackFile:
+    """Pack loose objects, searching a sliding window for delta bases.
+
+    Objects are sorted by size (git sorts by type/name/size; size alone is
+    enough for our single-relation datasets) and each object attempts a delta
+    against up to ``window`` previously packed objects, keeping the smallest
+    delta if it is under ``max_delta_ratio`` of the full size.  The exhaustive
+    window search is what makes this slow on large repositories -- the
+    behaviour Table 6 reports.
+    """
+    ids = object_ids if object_ids is not None else store.all_ids()
+    contents = {object_id: store.get(object_id) for object_id in ids}
+    ordered = sorted(ids, key=lambda object_id: (len(contents[object_id]), object_id))
+    pack = PackFile()
+    recent: list[str] = []
+    for object_id in ordered:
+        data = contents[object_id]
+        best_delta: bytes | None = None
+        best_base: str | None = None
+        for base_id in reversed(recent[-window:]):
+            delta = delta_encode(contents[base_id], data)
+            if best_delta is None or len(delta) < len(best_delta):
+                best_delta = delta
+                best_base = base_id
+        if (
+            best_delta is not None
+            and best_base is not None
+            and len(best_delta) < max_delta_ratio * max(len(data), 1)
+        ):
+            pack.add_delta(object_id, best_base, best_delta)
+        else:
+            pack.add_full(object_id, data)
+        recent.append(object_id)
+    return pack

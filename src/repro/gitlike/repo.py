@@ -1,0 +1,188 @@
+"""A minimal git-like repository: blobs, trees, commits, branches, repack.
+
+The repository stores *files* (named byte strings).  A commit captures a tree
+(the mapping of file names to blob ids), its parent commits and a message.
+Branches are named refs pointing at commits.  As in git, committing hashes
+every file in the working tree -- cost proportional to the dataset size --
+and ``repack`` performs the delta-compression pass whose runtime the paper's
+Table 6 reports separately.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+
+from repro.errors import StorageError, VersionError
+from repro.gitlike.object_store import ObjectStore
+from repro.gitlike.packfile import PackFile, repack
+
+
+@dataclass
+class RepackReport:
+    """Outcome of a repack: how long it took and how much space it saved."""
+
+    seconds: float
+    objects_packed: int
+    loose_bytes_before: int
+    pack_bytes_after: int
+
+
+class GitLikeRepo:
+    """Blobs + trees + commits + refs over an :class:`ObjectStore`."""
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self.objects = ObjectStore(os.path.join(directory, "objects"))
+        self._refs: dict[str, str] = {}
+        self._packs: list[PackFile] = []
+        self._refs_path = os.path.join(directory, "refs.json")
+        if os.path.exists(self._refs_path):
+            with open(self._refs_path, "r", encoding="utf-8") as handle:
+                self._refs = json.load(handle)
+
+    # -- refs -------------------------------------------------------------------
+
+    def branches(self) -> list[str]:
+        """All branch names."""
+        return sorted(self._refs)
+
+    def head_of(self, branch: str) -> str:
+        """The commit id a branch points to."""
+        try:
+            return self._refs[branch]
+        except KeyError:
+            raise VersionError(f"unknown branch: {branch!r}") from None
+
+    def create_branch(self, name: str, from_branch: str) -> None:
+        """Create branch ``name`` at ``from_branch``'s current head."""
+        if name in self._refs:
+            raise VersionError(f"branch {name!r} already exists")
+        self._refs[name] = self.head_of(from_branch)
+        self._save_refs()
+
+    def _save_refs(self) -> None:
+        with open(self._refs_path, "w", encoding="utf-8") as handle:
+            json.dump(self._refs, handle, indent=2)
+
+    # -- object plumbing -----------------------------------------------------------
+
+    def _read_object(self, object_id: str) -> bytes:
+        if self.objects.contains(object_id):
+            return self.objects.get(object_id)
+        for pack in self._packs:
+            if object_id in pack:
+                return pack.get(object_id)
+        raise StorageError(f"object {object_id} not found (loose or packed)")
+
+    # -- commits ----------------------------------------------------------------------
+
+    def commit(
+        self,
+        branch: str,
+        files: dict[str, bytes],
+        message: str = "",
+        parents: list[str] | None = None,
+    ) -> str:
+        """Commit the full working tree ``files`` onto ``branch``.
+
+        Every file is hashed (and stored if new), a tree object is built, and
+        a commit object referencing the tree and the branch's previous head is
+        written; the branch ref then advances.  ``parents`` may be supplied
+        for merge commits.
+        """
+        tree = {
+            name: self.objects.put(content, "blob")
+            for name, content in sorted(files.items())
+        }
+        tree_id = self.objects.put(
+            json.dumps(tree, sort_keys=True).encode("utf-8"), "tree"
+        )
+        if parents is None:
+            parents = [self._refs[branch]] if branch in self._refs else []
+        commit_payload = json.dumps(
+            {"tree": tree_id, "parents": parents, "message": message},
+            sort_keys=True,
+        ).encode("utf-8")
+        commit_id = self.objects.put(commit_payload, "commit")
+        self._refs[branch] = commit_id
+        self._save_refs()
+        return commit_id
+
+    def commit_info(self, commit_id: str) -> dict:
+        """The decoded commit object."""
+        return json.loads(self._read_object(commit_id))
+
+    def tree_of(self, commit_id: str) -> dict[str, str]:
+        """The ``{file name -> blob id}`` tree of a commit."""
+        info = self.commit_info(commit_id)
+        return json.loads(self._read_object(info["tree"]))
+
+    def checkout(self, commit_id: str) -> dict[str, bytes]:
+        """Materialize every file of a commit."""
+        return {
+            name: self._read_object(blob_id)
+            for name, blob_id in self.tree_of(commit_id).items()
+        }
+
+    def log(self, branch: str) -> list[str]:
+        """Commit ids reachable from the branch head, newest first."""
+        result = []
+        seen = set()
+        stack = [self.head_of(branch)]
+        while stack:
+            commit_id = stack.pop()
+            if commit_id in seen:
+                continue
+            seen.add(commit_id)
+            result.append(commit_id)
+            stack.extend(self.commit_info(commit_id)["parents"])
+        return result
+
+    # -- diff ----------------------------------------------------------------------------
+
+    def diff(self, commit_a: str, commit_b: str) -> dict[str, list[str]]:
+        """File-level diff: names added, removed and modified from A to B."""
+        tree_a = self.tree_of(commit_a)
+        tree_b = self.tree_of(commit_b)
+        added = [name for name in tree_b if name not in tree_a]
+        removed = [name for name in tree_a if name not in tree_b]
+        modified = [
+            name
+            for name in tree_a
+            if name in tree_b and tree_a[name] != tree_b[name]
+        ]
+        return {"added": added, "removed": removed, "modified": modified}
+
+    # -- repack -----------------------------------------------------------------------------
+
+    def repack(self, window: int = 10) -> RepackReport:
+        """Delta-compress all loose objects into a packfile."""
+        start = time.perf_counter()
+        loose_before = self.objects.size_bytes()
+        loose_ids = self.objects.all_ids()
+        pack = repack(self.objects, loose_ids, window=window)
+        pack_path = os.path.join(
+            self.directory, f"pack-{len(self._packs):04d}.pack"
+        )
+        pack.save(pack_path)
+        self._packs.append(pack)
+        for object_id in loose_ids:
+            self.objects.remove(object_id)
+        return RepackReport(
+            seconds=time.perf_counter() - start,
+            objects_packed=len(loose_ids),
+            loose_bytes_before=loose_before,
+            pack_bytes_after=pack.size_bytes(),
+        )
+
+    # -- sizes --------------------------------------------------------------------------------
+
+    def repo_size_bytes(self) -> int:
+        """Loose objects plus packfiles (the paper's "Repo Size")."""
+        return self.objects.size_bytes() + sum(
+            pack.size_bytes() for pack in self._packs
+        )

@@ -1,0 +1,39 @@
+"""A small versioned SQL front end.
+
+Decibel supports arbitrary declarative queries that compare multiple versions
+(paper Section 2.2.3); its companion language VQuel is defined elsewhere and
+the paper communicates queries through their SQL equivalents (Table 1).  This
+package implements that SQL dialect: single-version scans
+(``WHERE R.Version = 'v01'``), positive diffs (``NOT IN`` subqueries over
+another version), multi-version self-joins, and head scans
+(``WHERE HEAD(R.Version) = true``), plus ordinary column predicates.
+"""
+
+from repro.query.tokenizer import Token, TokenType, tokenize
+from repro.query.parser import (
+    ColumnComparison,
+    HeadCondition,
+    JoinCondition,
+    NotInSubquery,
+    SelectQuery,
+    TableRef,
+    VersionCondition,
+    parse_query,
+)
+from repro.query.executor import QueryResult, execute_query
+
+__all__ = [
+    "Token",
+    "TokenType",
+    "tokenize",
+    "SelectQuery",
+    "TableRef",
+    "VersionCondition",
+    "HeadCondition",
+    "ColumnComparison",
+    "JoinCondition",
+    "NotInSubquery",
+    "parse_query",
+    "QueryResult",
+    "execute_query",
+]

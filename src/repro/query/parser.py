@@ -1,0 +1,278 @@
+"""Recursive-descent parser for the versioned SQL dialect.
+
+The grammar covers the query shapes of the paper's Table 1::
+
+    query      := SELECT select_list FROM table_ref ("," table_ref)* [WHERE condition]
+    select_list:= "*" | column ("," column)*
+    table_ref  := identifier [AS identifier | identifier]
+    condition  := term (AND term)*
+    term       := version_eq | head_eq | not_in | join_eq | column_cmp
+    version_eq := [alias "."] "Version" "=" string
+    head_eq    := HEAD "(" [alias "."] "Version" ")" "=" (TRUE|FALSE)
+    not_in     := [alias "."] column NOT IN "(" query ")"
+    join_eq    := alias "." column "=" alias "." column
+    column_cmp := [alias "."] column op literal
+
+Only conjunctions (AND) are supported, which is all the benchmark queries
+need; OR raises a clear error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import QueryError
+from repro.query.tokenizer import Token, TokenType, tokenize
+
+#: The pseudo-column used to bind a table reference to a version.
+VERSION_COLUMN = "version"
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A relation reference with its alias (alias defaults to the name)."""
+
+    relation: str
+    alias: str
+
+
+@dataclass(frozen=True)
+class VersionCondition:
+    """``alias.Version = 'v01'`` -- binds a table ref to a branch or commit."""
+
+    alias: str | None
+    version: str
+
+
+@dataclass(frozen=True)
+class HeadCondition:
+    """``HEAD(alias.Version) = true`` -- scan all branch heads."""
+
+    alias: str | None
+    value: bool
+
+
+@dataclass(frozen=True)
+class ColumnComparison:
+    """``alias.column op literal``."""
+
+    alias: str | None
+    column: str
+    op: str
+    value: object
+
+
+@dataclass(frozen=True)
+class JoinCondition:
+    """``a.column = b.column`` between two different table refs."""
+
+    left_alias: str
+    left_column: str
+    right_alias: str
+    right_column: str
+
+
+@dataclass(frozen=True)
+class NotInSubquery:
+    """``alias.column NOT IN (SELECT ...)`` -- the positive-diff shape."""
+
+    alias: str | None
+    column: str
+    subquery: "SelectQuery"
+
+
+@dataclass
+class SelectQuery:
+    """A parsed SELECT statement."""
+
+    columns: list[str]
+    tables: list[TableRef]
+    version_conditions: list[VersionCondition] = field(default_factory=list)
+    head_conditions: list[HeadCondition] = field(default_factory=list)
+    column_comparisons: list[ColumnComparison] = field(default_factory=list)
+    join_conditions: list[JoinCondition] = field(default_factory=list)
+    not_in_subqueries: list[NotInSubquery] = field(default_factory=list)
+
+    @property
+    def is_star(self) -> bool:
+        """True for ``SELECT *``."""
+        return self.columns == ["*"]
+
+    def version_for(self, alias: str) -> str | None:
+        """The version bound to ``alias``, if any."""
+        for condition in self.version_conditions:
+            if condition.alias in (alias, None):
+                return condition.version
+        return None
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._position = 0
+
+    # -- token helpers ----------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        return self._tokens[min(self._position + offset, len(self._tokens) - 1)]
+
+    def _advance(self) -> Token:
+        token = self._peek()
+        self._position += 1
+        return token
+
+    def _expect(self, token_type: TokenType, value: str | None = None) -> Token:
+        token = self._peek()
+        if not token.matches(token_type, value):
+            wanted = value or token_type.value
+            raise QueryError(
+                f"expected {wanted!r} at position {token.position}, got {token.value!r}"
+            )
+        return self._advance()
+
+    def _accept(self, token_type: TokenType, value: str | None = None) -> Token | None:
+        if self._peek().matches(token_type, value):
+            return self._advance()
+        return None
+
+    # -- grammar ------------------------------------------------------------------
+
+    def parse(self) -> SelectQuery:
+        query = self._select()
+        self._expect(TokenType.END)
+        return query
+
+    def _select(self) -> SelectQuery:
+        self._expect(TokenType.KEYWORD, "select")
+        columns = self._select_list()
+        self._expect(TokenType.KEYWORD, "from")
+        tables = [self._table_ref()]
+        while self._accept(TokenType.SYMBOL, ","):
+            tables.append(self._table_ref())
+        query = SelectQuery(columns=columns, tables=tables)
+        if self._accept(TokenType.KEYWORD, "where"):
+            self._conditions(query)
+        return query
+
+    def _select_list(self) -> list[str]:
+        if self._accept(TokenType.SYMBOL, "*"):
+            return ["*"]
+        columns = [self._column_name()]
+        while self._accept(TokenType.SYMBOL, ","):
+            columns.append(self._column_name())
+        return columns
+
+    def _column_name(self) -> str:
+        name = self._expect(TokenType.IDENTIFIER).value
+        if self._accept(TokenType.SYMBOL, "."):
+            name = self._expect(TokenType.IDENTIFIER).value
+        return name
+
+    def _table_ref(self) -> TableRef:
+        relation = self._expect(TokenType.IDENTIFIER).value
+        alias = relation
+        if self._accept(TokenType.KEYWORD, "as"):
+            alias = self._expect(TokenType.IDENTIFIER).value
+        elif self._peek().type is TokenType.IDENTIFIER:
+            alias = self._advance().value
+        return TableRef(relation=relation, alias=alias)
+
+    def _conditions(self, query: SelectQuery) -> None:
+        self._condition_term(query)
+        while True:
+            if self._accept(TokenType.KEYWORD, "and"):
+                self._condition_term(query)
+                continue
+            if self._peek().matches(TokenType.KEYWORD, "or"):
+                raise QueryError("OR is not supported in this dialect")
+            return
+
+    def _condition_term(self, query: SelectQuery) -> None:
+        if self._peek().matches(TokenType.KEYWORD, "head"):
+            query.head_conditions.append(self._head_condition())
+            return
+        alias, column = self._qualified_column()
+        if self._peek().matches(TokenType.KEYWORD, "not"):
+            self._advance()
+            self._expect(TokenType.KEYWORD, "in")
+            self._expect(TokenType.SYMBOL, "(")
+            subquery = self._select()
+            self._expect(TokenType.SYMBOL, ")")
+            query.not_in_subqueries.append(
+                NotInSubquery(alias=alias, column=column, subquery=subquery)
+            )
+            return
+        op_token = self._expect(TokenType.SYMBOL)
+        op = op_token.value
+        if op not in ("=", "!=", "<>", "<", "<=", ">", ">="):
+            raise QueryError(f"unsupported operator {op!r} in WHERE clause")
+        if column.lower() == VERSION_COLUMN:
+            version = self._expect(TokenType.STRING).value
+            query.version_conditions.append(
+                VersionCondition(alias=alias, version=version)
+            )
+            return
+        next_token = self._peek()
+        if next_token.type is TokenType.IDENTIFIER and self._peek(1).matches(
+            TokenType.SYMBOL, "."
+        ):
+            right_alias, right_column = self._qualified_column()
+            query.join_conditions.append(
+                JoinCondition(
+                    left_alias=alias or "",
+                    left_column=column,
+                    right_alias=right_alias or "",
+                    right_column=right_column,
+                )
+            )
+            return
+        value = self._literal()
+        query.column_comparisons.append(
+            ColumnComparison(alias=alias, column=column, op=op, value=value)
+        )
+
+    def _head_condition(self) -> HeadCondition:
+        self._expect(TokenType.KEYWORD, "head")
+        self._expect(TokenType.SYMBOL, "(")
+        alias, column = self._qualified_column()
+        if column.lower() != VERSION_COLUMN:
+            raise QueryError("HEAD() applies to a Version column")
+        self._expect(TokenType.SYMBOL, ")")
+        self._expect(TokenType.SYMBOL, "=")
+        if self._accept(TokenType.KEYWORD, "true"):
+            value = True
+        elif self._accept(TokenType.KEYWORD, "false"):
+            value = False
+        else:
+            raise QueryError("HEAD() must be compared against TRUE or FALSE")
+        return HeadCondition(alias=alias, value=value)
+
+    def _qualified_column(self) -> tuple[str | None, str]:
+        first = self._expect(TokenType.IDENTIFIER).value
+        if self._accept(TokenType.SYMBOL, "."):
+            column = self._expect(TokenType.IDENTIFIER).value
+            return first, column
+        return None, first
+
+    def _literal(self):
+        token = self._peek()
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            return int(token.value)
+        if token.type is TokenType.STRING:
+            self._advance()
+            return token.value
+        if token.matches(TokenType.KEYWORD, "true"):
+            self._advance()
+            return True
+        if token.matches(TokenType.KEYWORD, "false"):
+            self._advance()
+            return False
+        raise QueryError(
+            f"expected a literal at position {token.position}, got {token.value!r}"
+        )
+
+
+def parse_query(sql: str) -> SelectQuery:
+    """Parse ``sql`` into a :class:`SelectQuery`."""
+    return _Parser(tokenize(sql)).parse()

@@ -1,0 +1,96 @@
+"""Tokenizer for the versioned SQL dialect."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+
+_KEYWORDS = {
+    "select",
+    "from",
+    "where",
+    "and",
+    "or",
+    "not",
+    "in",
+    "as",
+    "true",
+    "false",
+    "head",
+}
+
+_SYMBOLS = ("<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", ",", ".", "*")
+
+
+class TokenType(enum.Enum):
+    """Lexical categories of the dialect."""
+
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    STRING = "string"
+    NUMBER = "number"
+    SYMBOL = "symbol"
+    END = "end"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (for error messages)."""
+
+    type: TokenType
+    value: str
+    position: int
+
+    def matches(self, token_type: TokenType, value: str | None = None) -> bool:
+        """True if the token has the given type (and value, case-insensitive)."""
+        if self.type is not token_type:
+            return False
+        return value is None or self.value.lower() == value.lower()
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Split ``sql`` into tokens, ending with a sentinel END token."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        char = sql[i]
+        if char.isspace():
+            i += 1
+            continue
+        if char == "'":
+            end = sql.find("'", i + 1)
+            if end < 0:
+                raise QueryError(f"unterminated string literal at position {i}")
+            tokens.append(Token(TokenType.STRING, sql[i + 1 : end], i))
+            i = end + 1
+            continue
+        if char.isdigit() or (char == "-" and i + 1 < n and sql[i + 1].isdigit()):
+            j = i + 1
+            while j < n and (sql[j].isdigit()):
+                j += 1
+            tokens.append(Token(TokenType.NUMBER, sql[i:j], i))
+            i = j
+            continue
+        if char.isalpha() or char == "_":
+            j = i + 1
+            while j < n and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            word = sql[i:j]
+            token_type = (
+                TokenType.KEYWORD if word.lower() in _KEYWORDS else TokenType.IDENTIFIER
+            )
+            tokens.append(Token(token_type, word, i))
+            i = j
+            continue
+        for symbol in _SYMBOLS:
+            if sql.startswith(symbol, i):
+                tokens.append(Token(TokenType.SYMBOL, symbol, i))
+                i += len(symbol)
+                break
+        else:
+            raise QueryError(f"unexpected character {char!r} at position {i}")
+    tokens.append(Token(TokenType.END, "", n))
+    return tokens

@@ -1,0 +1,427 @@
+"""The interface shared by all versioned storage engines.
+
+Every engine supports the paper's core operations (Section 2.2.3): init,
+branch, commit, checkout, data modification on branch heads, single- and
+multi-branch scans, diff, and merge with either whole-record precedence
+("two-way") or field-level three-way conflict resolution.
+
+The merge algorithm differs across engines only in how the *inputs* are
+gathered -- which records changed on each side relative to the lowest common
+ancestor, and what the ancestor records were.  The application of those
+changes to the target branch is identical everywhere, so :meth:`merge` is a
+template method here and each engine implements
+:meth:`_collect_merge_inputs` with its characteristic I/O pattern (bitmap
+intersections for tuple-first and hybrid, full segment scans for
+version-first), which is exactly the cost difference Table 3 measures.
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+import shutil
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.core.buffer_pool import BufferPool
+from repro.core.page import DEFAULT_PAGE_SIZE
+from repro.core.predicates import Predicate
+from repro.core.record import Record
+from repro.core.schema import Schema
+from repro.errors import VersionError
+from repro.versioning.conflicts import (
+    MergePolicy,
+    PrecedencePolicy,
+    RecordConflict,
+    ThreeWayPolicy,
+    detect_record_conflict,
+)
+from repro.versioning.diff import DiffResult
+from repro.versioning.version_graph import MASTER_BRANCH, VersionGraph
+
+
+class StorageEngineKind(enum.Enum):
+    """The physical layouts evaluated in the paper, plus the git baseline."""
+
+    TUPLE_FIRST = "tuple-first"
+    VERSION_FIRST = "version-first"
+    HYBRID = "hybrid"
+    GIT = "git"
+
+
+@dataclass
+class EngineStats:
+    """Operation counters kept by every engine (useful in tests and benches)."""
+
+    records_inserted: int = 0
+    records_updated: int = 0
+    records_deleted: int = 0
+    records_scanned: int = 0
+    commits: int = 0
+    branches_created: int = 0
+    merges: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        for name in vars(self):
+            setattr(self, name, 0)
+
+
+@dataclass
+class MergeResult:
+    """Outcome of merging one branch into another."""
+
+    target_branch: str
+    source_branch: str
+    commit_id: str
+    policy: str
+    lca_commit: str | None
+    conflicts: list[RecordConflict] = field(default_factory=list)
+    records_applied: int = 0
+    diff_bytes: int = 0
+
+    @property
+    def num_conflicts(self) -> int:
+        """Number of keys that required conflict resolution."""
+        return len(self.conflicts)
+
+
+#: A "changed record" map: primary key -> new record, or None for a delete.
+ChangeMap = dict[int, "Record | None"]
+
+
+class VersionedStorageEngine(ABC):
+    """Base class for the tuple-first, version-first and hybrid engines."""
+
+    kind: StorageEngineKind
+
+    def __init__(
+        self,
+        directory: str,
+        schema: Schema,
+        *,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        buffer_pool: BufferPool | None = None,
+    ):
+        self.directory = directory
+        self.schema = schema
+        self.page_size = page_size
+        self.buffer_pool = buffer_pool if buffer_pool is not None else BufferPool()
+        self.graph = VersionGraph()
+        self.stats = EngineStats()
+        os.makedirs(directory, exist_ok=True)
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def init(self, records: Iterable[Record] = (), message: str = "init") -> str:
+        """Create the master branch, load ``records`` into it, and commit.
+
+        Returns the id of the initial commit (paper Section 2.2.3, *Init*).
+        """
+        if self.graph.initialized:
+            raise VersionError("engine is already initialized")
+        self._prepare_master()
+        commit = self.graph.init(message=message)
+        for record in records:
+            self.insert(MASTER_BRANCH, record)
+        self._record_commit_state(MASTER_BRANCH, commit.commit_id)
+        self.stats.commits += 1
+        self._persist_graph()
+        return commit.commit_id
+
+    def flush(self) -> None:
+        """Persist any buffered pages and metadata."""
+        self._flush_storage()
+        self._persist_graph()
+
+    def close(self) -> None:
+        """Flush and release cached pages."""
+        self.flush()
+        self.buffer_pool.clear()
+
+    def drop_caches(self) -> None:
+        """Drop cached pages to approximate a cold start (paper Section 5)."""
+        self.buffer_pool.clear()
+
+    def destroy(self) -> None:
+        """Delete all on-disk state of this engine."""
+        self.buffer_pool.clear()
+        if os.path.isdir(self.directory):
+            shutil.rmtree(self.directory)
+
+    # -- versioning operations ---------------------------------------------------
+
+    def create_branch(
+        self,
+        name: str,
+        from_branch: str | None = None,
+        from_commit: str | None = None,
+    ) -> None:
+        """Create a branch off a branch head or any historical commit."""
+        if from_branch is None and from_commit is None:
+            from_branch = MASTER_BRANCH
+        if from_commit is not None:
+            parent_branch = self.graph.get_commit(from_commit).branch
+            at_head = self.graph.head(parent_branch) == from_commit
+        else:
+            parent_branch = from_branch
+            from_commit = self.graph.head(parent_branch)
+            at_head = True
+        self.graph.create_branch(
+            name, from_commit=from_commit, from_branch=parent_branch
+        )
+        self._materialize_branch(name, parent_branch, from_commit, at_head)
+        self.stats.branches_created += 1
+        self._persist_graph()
+
+    def commit(self, branch: str, message: str = "") -> str:
+        """Create a commit capturing the current state of ``branch``'s head."""
+        commit = self.graph.commit(branch, message=message)
+        self._record_commit_state(branch, commit.commit_id)
+        self.stats.commits += 1
+        self._persist_graph()
+        return commit.commit_id
+
+    def checkout(self, commit_id: str) -> list[Record]:
+        """Materialize the full contents of a historical commit."""
+        return list(self.scan_commit(commit_id))
+
+    def merge(
+        self,
+        target_branch: str,
+        source_branch: str,
+        *,
+        policy: MergePolicy | None = None,
+        three_way: bool = True,
+        message: str = "",
+    ) -> MergeResult:
+        """Merge ``source_branch`` into ``target_branch``.
+
+        With ``three_way=True`` (the default) field-level conflicts are
+        detected against the lowest common ancestor and resolved by
+        ``policy`` (default: :class:`ThreeWayPolicy` preferring the target).
+        With ``three_way=False`` the merge uses whole-record precedence and
+        never consults the ancestor, matching the paper's two-way mode.
+        """
+        if policy is None:
+            policy = ThreeWayPolicy(prefer="a") if three_way else PrecedencePolicy(prefer="a")
+        target_head = self.graph.head(target_branch)
+        source_head = self.graph.head(source_branch)
+        lca = self.graph.lowest_common_ancestor(target_head, source_head)
+        changed_target, changed_source, ancestors = self._collect_merge_inputs(
+            target_branch, source_branch, lca, three_way=three_way
+        )
+        record_width = self.schema.record_width + 1
+        result = MergeResult(
+            target_branch=target_branch,
+            source_branch=source_branch,
+            commit_id="",
+            policy=policy.name,
+            lca_commit=lca if three_way else None,
+            diff_bytes=(len(changed_target) + len(changed_source)) * record_width,
+        )
+        for key, source_record in changed_source.items():
+            if key in changed_target:
+                conflict = detect_record_conflict(
+                    self.schema,
+                    key,
+                    changed_target.get(key),
+                    source_record,
+                    ancestors.get(key),
+                )
+                if conflict.has_conflicts:
+                    result.conflicts.append(conflict)
+                    resolved, _ = policy.resolve(self.schema, conflict)
+                else:
+                    # Both sides changed the key compatibly; a three-way merge
+                    # of the field updates is still needed to combine them.
+                    resolved, _ = ThreeWayPolicy(prefer=policy.prefer if hasattr(policy, "prefer") else "a").resolve(
+                        self.schema, conflict
+                    )
+                self._apply_merge_change(target_branch, source_branch, key, resolved)
+                result.records_applied += 1
+            else:
+                self._apply_merge_change(target_branch, source_branch, key, source_record)
+                result.records_applied += 1
+        merge_commit = self.graph.merge(
+            target_branch, source_branch, message=message, precedence=target_branch
+        )
+        self._record_commit_state(target_branch, merge_commit.commit_id)
+        self.stats.merges += 1
+        self.stats.commits += 1
+        result.commit_id = merge_commit.commit_id
+        self._persist_graph()
+        return result
+
+    def _apply_merge_change(
+        self, target_branch: str, source_branch: str, key: int, record: Record | None
+    ) -> None:
+        """Apply one resolved change to the target branch.
+
+        The default implementation copies the record into the target's head
+        (a new physical copy).  The bitmap-based engines override this to
+        *share* the source branch's existing tuple when the resolved record is
+        identical to it, as the paper's merge procedures do -- without the
+        sharing, bitmap diffs would report physically distinct but logically
+        identical copies as differences.
+        """
+        if record is None:
+            if self.branch_contains_key(target_branch, key):
+                self.delete(target_branch, key)
+            return
+        if self.branch_contains_key(target_branch, key):
+            self.update(target_branch, record)
+        else:
+            self.insert(target_branch, record)
+
+    # -- data operations (branch heads only) --------------------------------------
+
+    @abstractmethod
+    def insert(self, branch: str, record: Record) -> None:
+        """Insert a new record into ``branch``'s head."""
+
+    @abstractmethod
+    def update(self, branch: str, record: Record) -> None:
+        """Replace the record with the same primary key in ``branch``'s head."""
+
+    @abstractmethod
+    def delete(self, branch: str, key: int) -> None:
+        """Delete the record with primary key ``key`` from ``branch``'s head."""
+
+    @abstractmethod
+    def branch_contains_key(self, branch: str, key: int) -> bool:
+        """True if ``key`` is live in ``branch``'s head."""
+
+    # -- scans ---------------------------------------------------------------------
+
+    @abstractmethod
+    def scan_branch(
+        self, branch: str, predicate: Predicate | None = None
+    ) -> Iterator[Record]:
+        """Yield the live records of ``branch``'s head (benchmark Query 1)."""
+
+    @abstractmethod
+    def scan_commit(
+        self, commit_id: str, predicate: Predicate | None = None
+    ) -> Iterator[Record]:
+        """Yield the records of a historical commit."""
+
+    @abstractmethod
+    def scan_branches(
+        self, branches: list[str], predicate: Predicate | None = None
+    ) -> Iterator[tuple[Record, frozenset[str]]]:
+        """Yield ``(record, branches containing it)`` over several branches.
+
+        Used by multi-branch queries, including Query 4's full scan over all
+        branch heads.
+        """
+
+    def scan_heads(
+        self, predicate: Predicate | None = None, active_only: bool = False
+    ) -> Iterator[tuple[Record, frozenset[str]]]:
+        """Scan the heads of all (or all active) branches (benchmark Query 4)."""
+        return self.scan_branches(
+            self.graph.branch_names(active_only=active_only), predicate
+        )
+
+    def branch_record_map(self, branch: str) -> dict[int, Record]:
+        """Materialize ``branch``'s head as ``{primary key -> record}``."""
+        pk_index = self.schema.primary_key_index
+        return {record.values[pk_index]: record for record in self.scan_branch(branch)}
+
+    def commit_record_map(self, commit_id: str) -> dict[int, Record]:
+        """Materialize a historical commit as ``{primary key -> record}``."""
+        pk_index = self.schema.primary_key_index
+        return {record.values[pk_index]: record for record in self.scan_commit(commit_id)}
+
+    # -- diff ------------------------------------------------------------------------
+
+    @abstractmethod
+    def diff(self, branch_a: str, branch_b: str) -> DiffResult:
+        """Positive/negative difference of two branch heads (benchmark Query 2)."""
+
+    # -- merge inputs (engine-specific I/O pattern) ------------------------------------
+
+    @abstractmethod
+    def _collect_merge_inputs(
+        self, target_branch: str, source_branch: str, lca_commit: str, three_way: bool
+    ) -> tuple[ChangeMap, ChangeMap, dict[int, Record]]:
+        """Gather the records changed on each side since the LCA.
+
+        Returns ``(changed_in_target, changed_in_source, ancestor_records)``
+        where the change maps send a primary key to its new record (or None
+        for deletes) and ``ancestor_records`` holds the LCA-version record of
+        every key present in either change map (empty for two-way merges).
+        """
+
+    # -- engine-specific hooks -----------------------------------------------------------
+
+    @abstractmethod
+    def _prepare_master(self) -> None:
+        """Create engine-side structures for the master branch before init."""
+
+    @abstractmethod
+    def _materialize_branch(
+        self, name: str, parent_branch: str, from_commit: str, at_head: bool
+    ) -> None:
+        """Create engine-side structures for a new branch."""
+
+    @abstractmethod
+    def _record_commit_state(self, branch: str, commit_id: str) -> None:
+        """Snapshot whatever per-branch state a commit must preserve."""
+
+    @abstractmethod
+    def _flush_storage(self) -> None:
+        """Flush engine-specific files."""
+
+    # -- sizes ----------------------------------------------------------------------------
+
+    @abstractmethod
+    def data_size_bytes(self) -> int:
+        """Bytes of record data stored on disk."""
+
+    @abstractmethod
+    def commit_metadata_bytes(self) -> int:
+        """Bytes used by commit histories / commit metadata."""
+
+    # -- shared helpers ---------------------------------------------------------------------
+
+    def _persist_graph(self) -> None:
+        self.graph.save(os.path.join(self.directory, "version_graph.json"))
+
+    def _changes_between(
+        self, ancestor_map: dict[int, Record], head_map: dict[int, Record]
+    ) -> ChangeMap:
+        """Keys whose record differs between an ancestor map and a head map."""
+        changes: ChangeMap = {}
+        for key, record in head_map.items():
+            old = ancestor_map.get(key)
+            if old is None or old.values != record.values:
+                changes[key] = record
+        for key in ancestor_map:
+            if key not in head_map:
+                changes[key] = None
+        return changes
+
+    def _two_way_changes(
+        self, target_map: dict[int, Record], source_map: dict[int, Record]
+    ) -> tuple[ChangeMap, ChangeMap]:
+        """Each side's contribution for a two-way (no-ancestor) merge.
+
+        Without the LCA, a key missing from one side cannot be distinguished
+        between "deleted there" and "added here", so two-way merges never
+        propagate deletions: each side's change map contains only the records
+        it holds that the other side lacks or holds differently.
+        """
+        changed_target: ChangeMap = {
+            key: record
+            for key, record in target_map.items()
+            if key not in source_map or source_map[key].values != record.values
+        }
+        changed_source: ChangeMap = {
+            key: record
+            for key, record in source_map.items()
+            if key not in target_map or target_map[key].values != record.values
+        }
+        return changed_target, changed_source

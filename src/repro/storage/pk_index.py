@@ -1,0 +1,86 @@
+"""Per-branch primary-key indexes.
+
+To support efficient updates and deletes, the tuple-first layout keeps "a
+primary-key index indicating the most recent version of each primary key in
+each branch" (paper Section 3.2); the hybrid layout needs the same thing with
+a (segment, position) location instead of a global tuple index.  The index is
+a mapping from branch name to ``{primary key -> location}``, where the
+location type is whatever the owning engine uses.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, TypeVar
+
+from repro.errors import BranchNotFoundError
+
+LocationT = TypeVar("LocationT")
+
+
+class PrimaryKeyIndex(Generic[LocationT]):
+    """Maps (branch, primary key) to the latest physical location of the key."""
+
+    def __init__(self):
+        self._branches: dict[str, dict[int, LocationT]] = {}
+
+    # -- branch management ----------------------------------------------------
+
+    def add_branch(self, branch: str, clone_from: str | None = None) -> None:
+        """Register ``branch``, optionally cloning another branch's entries."""
+        if clone_from is None:
+            self._branches.setdefault(branch, {})
+        else:
+            self._branches[branch] = dict(self._branch(clone_from))
+
+    def has_branch(self, branch: str) -> bool:
+        """True if ``branch`` is registered."""
+        return branch in self._branches
+
+    def drop_branch(self, branch: str) -> None:
+        """Forget all entries of ``branch``."""
+        self._branch(branch)
+        del self._branches[branch]
+
+    def replace_branch(self, branch: str, entries: dict[int, LocationT]) -> None:
+        """Overwrite the whole key map of ``branch`` (used by checkouts)."""
+        self._branches[branch] = dict(entries)
+
+    # -- key operations ---------------------------------------------------------
+
+    def put(self, branch: str, key: int, location: LocationT) -> None:
+        """Record that ``key``'s latest version in ``branch`` lives at ``location``."""
+        self._branch(branch)[key] = location
+
+    def get(self, branch: str, key: int) -> LocationT | None:
+        """The latest location of ``key`` in ``branch``, or None if absent."""
+        return self._branch(branch).get(key)
+
+    def remove(self, branch: str, key: int) -> None:
+        """Forget ``key`` in ``branch`` (after a delete)."""
+        self._branch(branch).pop(key, None)
+
+    def contains(self, branch: str, key: int) -> bool:
+        """True if ``key`` currently exists in ``branch``."""
+        return key in self._branch(branch)
+
+    def keys(self, branch: str) -> Iterator[int]:
+        """All live primary keys of ``branch``."""
+        return iter(self._branch(branch))
+
+    def entries(self, branch: str) -> dict[int, LocationT]:
+        """A copy of the full key map of ``branch``."""
+        return dict(self._branch(branch))
+
+    def live_count(self, branch: str) -> int:
+        """Number of live keys in ``branch``."""
+        return len(self._branch(branch))
+
+    # -- internals --------------------------------------------------------------
+
+    def _branch(self, branch: str) -> dict[int, LocationT]:
+        try:
+            return self._branches[branch]
+        except KeyError:
+            raise BranchNotFoundError(
+                f"branch {branch!r} is not present in the primary-key index"
+            ) from None

@@ -1,0 +1,206 @@
+"""Segment files.
+
+The version-first and hybrid layouts store records in *segments*: append-only
+heap files, each holding the local modifications of one branch over some span
+of its life, chained to ancestor segments by branch points (paper Sections
+3.3 and 3.4).  A branch point is recorded as the ancestor segment's record
+count at the moment of branching, so records appended to the ancestor after
+the branch are invisible to the child.
+
+A segment is a *head* segment while a branch is still writing to it and
+becomes *internal* (frozen) once superseded -- in hybrid this happens on every
+branch operation; in version-first a branch writes to the same segment for its
+whole life.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.buffer_pool import BufferPool
+from repro.core.heapfile import HeapFile
+from repro.core.page import DEFAULT_PAGE_SIZE
+from repro.core.record import Record
+from repro.core.schema import Schema
+from repro.errors import StorageError
+
+
+@dataclass(frozen=True)
+class ParentPointer:
+    """A branch point: the parent segment and how much of it is visible."""
+
+    segment_id: str
+    limit: int  # records with ordinal < limit are visible through this pointer
+
+
+@dataclass
+class Segment:
+    """One segment: a heap file plus its branch-point metadata."""
+
+    segment_id: str
+    heap: HeapFile
+    owner_branch: str | None
+    parents: tuple[ParentPointer, ...] = ()
+    frozen: bool = False
+    #: Per-segment annotations used by the hybrid engine (local bitmaps are
+    #: kept by the engine itself; this dict persists lightweight metadata).
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def record_count(self) -> int:
+        """Number of records (including tombstones and stale copies)."""
+        return self.heap.num_records
+
+    def append(self, record: Record) -> int:
+        """Append a record and return its ordinal within this segment."""
+        if self.frozen:
+            raise StorageError(
+                f"segment {self.segment_id} is frozen and cannot accept writes"
+            )
+        record_id = self.heap.append(record)
+        return record_id.ordinal(self.heap.records_per_page)
+
+    def record_at(self, ordinal: int) -> Record:
+        """Fetch the record at ``ordinal``."""
+        return self.heap.record_by_ordinal(ordinal)
+
+    def records(self, limit: int | None = None) -> Iterator[tuple[int, Record]]:
+        """Iterate ``(ordinal, record)`` pairs, optionally up to ``limit``."""
+        for ordinal, (_, record) in enumerate(self.heap.scan()):
+            if limit is not None and ordinal >= limit:
+                return
+            yield ordinal, record
+
+    def freeze(self) -> None:
+        """Seal the segment against further writes."""
+        self.heap.flush()
+        self.frozen = True
+
+    def size_bytes(self) -> int:
+        """On-disk size of the segment's heap file."""
+        return self.heap.size_bytes()
+
+
+class SegmentSet:
+    """All segments of one engine, with id allocation and persistence."""
+
+    def __init__(
+        self,
+        directory: str,
+        schema: Schema,
+        buffer_pool: BufferPool,
+        page_size: int = DEFAULT_PAGE_SIZE,
+    ):
+        self.directory = directory
+        self.schema = schema
+        self.buffer_pool = buffer_pool
+        self.page_size = page_size
+        self._segments: dict[str, Segment] = {}
+        self._next_id = 0
+        os.makedirs(directory, exist_ok=True)
+
+    # -- creation and lookup -----------------------------------------------------
+
+    def create(
+        self,
+        owner_branch: str | None,
+        parents: tuple[ParentPointer, ...] = (),
+    ) -> Segment:
+        """Create a new, empty segment owned by ``owner_branch``."""
+        segment_id = f"seg{self._next_id:05d}"
+        self._next_id += 1
+        heap = HeapFile(
+            os.path.join(self.directory, f"{segment_id}.seg"),
+            self.schema,
+            self.buffer_pool,
+            page_size=self.page_size,
+        )
+        segment = Segment(
+            segment_id=segment_id,
+            heap=heap,
+            owner_branch=owner_branch,
+            parents=parents,
+        )
+        self._segments[segment_id] = segment
+        return segment
+
+    def get(self, segment_id: str) -> Segment:
+        """Fetch a segment by id."""
+        try:
+            return self._segments[segment_id]
+        except KeyError:
+            raise StorageError(f"unknown segment: {segment_id!r}") from None
+
+    def __contains__(self, segment_id: str) -> bool:
+        return segment_id in self._segments
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def all(self) -> list[Segment]:
+        """All segments in creation order."""
+        return [self._segments[sid] for sid in sorted(self._segments)]
+
+    # -- maintenance ----------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Flush every segment's heap file."""
+        for segment in self._segments.values():
+            segment.heap.flush()
+
+    def total_size_bytes(self) -> int:
+        """Combined on-disk size of all segments."""
+        return sum(segment.size_bytes() for segment in self._segments.values())
+
+    # -- persistence of metadata -------------------------------------------------------
+
+    def save_metadata(self) -> None:
+        """Persist segment topology (parents, owners, frozen flags) as JSON."""
+        payload = {
+            "next_id": self._next_id,
+            "segments": [
+                {
+                    "id": segment.segment_id,
+                    "owner": segment.owner_branch,
+                    "frozen": segment.frozen,
+                    "parents": [
+                        {"segment_id": p.segment_id, "limit": p.limit}
+                        for p in segment.parents
+                    ],
+                    "metadata": segment.metadata,
+                }
+                for segment in self.all()
+            ],
+        }
+        with open(os.path.join(self.directory, "segments.json"), "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+
+    def load_metadata(self) -> None:
+        """Reload segment topology written by :meth:`save_metadata`."""
+        path = os.path.join(self.directory, "segments.json")
+        if not os.path.exists(path):
+            return
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        self._next_id = payload["next_id"]
+        for entry in payload["segments"]:
+            heap = HeapFile(
+                os.path.join(self.directory, f"{entry['id']}.seg"),
+                self.schema,
+                self.buffer_pool,
+                page_size=self.page_size,
+            )
+            self._segments[entry["id"]] = Segment(
+                segment_id=entry["id"],
+                heap=heap,
+                owner_branch=entry["owner"],
+                parents=tuple(
+                    ParentPointer(p["segment_id"], p["limit"])
+                    for p in entry["parents"]
+                ),
+                frozen=entry["frozen"],
+                metadata=entry.get("metadata", {}),
+            )

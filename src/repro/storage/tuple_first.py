@@ -1,0 +1,339 @@
+"""The tuple-first storage engine.
+
+Tuples from every branch live together in a single shared heap file, and a
+bitmap index records which branches each tuple is live in (paper Section 3.2).
+Commits snapshot the committing branch's bitmap into a per-branch,
+delta-and-RLE-compressed commit history file kept outside the live index.
+Multi-branch operations (diff, Query 4) reduce to bitmap algebra; single-branch
+scans must visit the shared heap file, where tuples of the scanned branch are
+interleaved with everyone else's -- the weakness the evaluation highlights.
+
+The bitmap index may be branch-oriented (the default, and what the paper's
+evaluation uses) or tuple-oriented; see :mod:`repro.bitmap`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterator
+
+from repro.bitmap import BitmapOrientation, CommitHistory, make_bitmap_index
+from repro.bitmap.bitmap import Bitmap
+from repro.core.buffer_pool import BufferPool
+from repro.core.heapfile import HeapFile
+from repro.core.page import DEFAULT_PAGE_SIZE
+from repro.core.predicates import Predicate
+from repro.core.record import Record
+from repro.core.schema import Schema
+from repro.errors import CommitNotFoundError, StorageError
+from repro.storage.base import ChangeMap, StorageEngineKind, VersionedStorageEngine
+from repro.storage.pk_index import PrimaryKeyIndex
+from repro.versioning.diff import DiffResult
+from repro.versioning.version_graph import MASTER_BRANCH
+
+
+class TupleFirstEngine(VersionedStorageEngine):
+    """Single shared heap file plus a branch/tuple bitmap index."""
+
+    kind = StorageEngineKind.TUPLE_FIRST
+
+    def __init__(
+        self,
+        directory: str,
+        schema: Schema,
+        *,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        buffer_pool: BufferPool | None = None,
+        bitmap_orientation: BitmapOrientation | str = BitmapOrientation.BRANCH,
+        commit_layer_interval: int = 8,
+    ):
+        super().__init__(
+            directory, schema, page_size=page_size, buffer_pool=buffer_pool
+        )
+        self.heap = HeapFile(
+            os.path.join(directory, "data.heap"),
+            schema,
+            self.buffer_pool,
+            page_size=page_size,
+        )
+        self.bitmap_index = make_bitmap_index(bitmap_orientation)
+        self.pk_index: PrimaryKeyIndex[int] = PrimaryKeyIndex()
+        self.commit_layer_interval = commit_layer_interval
+        self._histories: dict[str, CommitHistory] = {}
+
+    # -- engine hooks ---------------------------------------------------------
+
+    def _prepare_master(self) -> None:
+        self._add_branch_structures(MASTER_BRANCH, clone_from=None)
+
+    def _add_branch_structures(self, branch: str, clone_from: str | None) -> None:
+        self.bitmap_index.add_branch(branch, clone_from=clone_from)
+        self.pk_index.add_branch(branch, clone_from=clone_from)
+        self._histories[branch] = CommitHistory(
+            path=os.path.join(self.directory, f"commits_{branch}.hist"),
+            layer_interval=self.commit_layer_interval,
+        )
+
+    def _materialize_branch(
+        self, name: str, parent_branch: str, from_commit: str, at_head: bool
+    ) -> None:
+        if at_head:
+            # A branch is a straight clone of the parent's bitmap (and key map).
+            self._add_branch_structures(name, clone_from=parent_branch)
+            return
+        # Branching from a historical commit: restore that commit's bitmap
+        # from the parent's commit history, then rebuild the key map from it.
+        snapshot = self._bitmap_at_commit(from_commit)
+        self._add_branch_structures(name, clone_from=None)
+        self.bitmap_index.restore_branch(name, snapshot)
+        entries: dict[int, int] = {}
+        pk_position = self.schema.primary_key_index
+        for ordinal in snapshot.iter_set_bits():
+            record = self.heap.record_by_ordinal(ordinal)
+            entries[record.values[pk_position]] = ordinal
+        self.pk_index.replace_branch(name, entries)
+
+    def _record_commit_state(self, branch: str, commit_id: str) -> None:
+        snapshot = self.bitmap_index.branch_bitmap(branch)
+        self._histories[branch].record_commit(commit_id, snapshot)
+
+    def _flush_storage(self) -> None:
+        self.heap.flush()
+
+    # -- data operations --------------------------------------------------------
+
+    def insert(self, branch: str, record: Record) -> None:
+        ordinal = self._append(record)
+        self.bitmap_index.set(ordinal, branch)
+        self.pk_index.put(branch, record.key(self.schema), ordinal)
+        self.stats.records_inserted += 1
+
+    def update(self, branch: str, record: Record) -> None:
+        key = record.key(self.schema)
+        previous = self.pk_index.get(branch, key)
+        if previous is not None:
+            # The old copy stays in the heap (historical commits still see
+            # it); only its live bit for this branch is cleared.
+            self.bitmap_index.clear(previous, branch)
+        ordinal = self._append(record)
+        self.bitmap_index.set(ordinal, branch)
+        self.pk_index.put(branch, key, ordinal)
+        self.stats.records_updated += 1
+
+    def delete(self, branch: str, key: int) -> None:
+        previous = self.pk_index.get(branch, key)
+        if previous is None:
+            raise StorageError(f"key {key} is not live in branch {branch!r}")
+        self.bitmap_index.clear(previous, branch)
+        self.pk_index.remove(branch, key)
+        self.stats.records_deleted += 1
+
+    def branch_contains_key(self, branch: str, key: int) -> bool:
+        return self.pk_index.contains(branch, key)
+
+    def _append(self, record: Record) -> int:
+        record_id = self.heap.append(record)
+        return record_id.ordinal(self.heap.records_per_page)
+
+    # -- scans --------------------------------------------------------------------
+
+    def scan_branch(
+        self, branch: str, predicate: Predicate | None = None
+    ) -> Iterator[Record]:
+        bitmap = self.bitmap_index.branch_bitmap(branch)
+        yield from self._scan_bitmap(bitmap, predicate)
+
+    def scan_commit(
+        self, commit_id: str, predicate: Predicate | None = None
+    ) -> Iterator[Record]:
+        yield from self._scan_bitmap(self._bitmap_at_commit(commit_id), predicate)
+
+    def _bitmap_at_commit(self, commit_id: str) -> Bitmap:
+        branch = self.graph.get_commit(commit_id).branch
+        history = self._histories.get(branch)
+        if history is None or commit_id not in history:
+            raise CommitNotFoundError(
+                f"commit {commit_id!r} has no recorded bitmap snapshot"
+            )
+        return history.checkout(commit_id)
+
+    def _scan_bitmap(
+        self, bitmap: Bitmap, predicate: Predicate | None
+    ) -> Iterator[Record]:
+        """Emit the records whose bits are set, reading page by page.
+
+        Because tuples of a branch are interleaved with other branches', the
+        scan walks every heap page that contains at least one live tuple --
+        typically all of them -- which is the behaviour the paper's Query 1
+        measurements expose.
+        """
+        per_page = self.heap.records_per_page
+        schema = self.schema
+        live_pages: dict[int, list[int]] = {}
+        for ordinal in bitmap.iter_set_bits():
+            live_pages.setdefault(ordinal // per_page, []).append(ordinal % per_page)
+        for page_number in sorted(live_pages):
+            page = self.heap.page(page_number)
+            for slot in live_pages[page_number]:
+                record = page.record_at(slot)
+                self.stats.records_scanned += 1
+                if predicate is None or predicate.evaluate(record, schema):
+                    yield record
+
+    def scan_branches(
+        self, branches: list[str], predicate: Predicate | None = None
+    ) -> Iterator[tuple[Record, frozenset[str]]]:
+        """One pass over the shared heap, page at a time, consulting bitmaps."""
+        bitmaps = {name: self.bitmap_index.branch_bitmap(name) for name in branches}
+        union = Bitmap()
+        for bitmap in bitmaps.values():
+            union = union | bitmap
+        schema = self.schema
+        per_page = self.heap.records_per_page
+        live_pages: dict[int, list[int]] = {}
+        for ordinal in union.iter_set_bits():
+            live_pages.setdefault(ordinal // per_page, []).append(ordinal % per_page)
+        for page_number in sorted(live_pages):
+            page = self.heap.page(page_number)
+            base = page_number * per_page
+            for slot in live_pages[page_number]:
+                record = page.record_at(slot)
+                ordinal = base + slot
+                self.stats.records_scanned += 1
+                if predicate is not None and not predicate.evaluate(record, schema):
+                    continue
+                members = frozenset(
+                    name for name, bitmap in bitmaps.items() if bitmap.get(ordinal)
+                )
+                yield record, members
+
+    # -- diff ------------------------------------------------------------------------
+
+    def diff(self, branch_a: str, branch_b: str) -> DiffResult:
+        """XOR the two branch bitmaps and route records to the two sides."""
+        bitmap_a = self.bitmap_index.branch_bitmap(branch_a)
+        bitmap_b = self.bitmap_index.branch_bitmap(branch_b)
+        result = DiffResult(version_a=branch_a, version_b=branch_b)
+        for ordinal in bitmap_a.and_not(bitmap_b).iter_set_bits():
+            result.positive.append(self.heap.record_by_ordinal(ordinal))
+            self.stats.records_scanned += 1
+        for ordinal in bitmap_b.and_not(bitmap_a).iter_set_bits():
+            result.negative.append(self.heap.record_by_ordinal(ordinal))
+            self.stats.records_scanned += 1
+        return result
+
+    # -- merge inputs -------------------------------------------------------------------
+
+    def _collect_merge_inputs(
+        self, target_branch: str, source_branch: str, lca_commit: str, three_way: bool
+    ) -> tuple[ChangeMap, ChangeMap, dict[int, Record]]:
+        """Use bitmap comparisons against the LCA snapshot (paper Section 3.2).
+
+        Only tuples whose liveness differs from the LCA are fetched from the
+        heap, which is what keeps tuple-first merges cheaper than
+        version-first's full scans.
+        """
+        pk_position = self.schema.primary_key_index
+        if not three_way:
+            # Two-way precedence mode: no ancestor scan at all; each side's
+            # contribution comes from comparing the two heads directly.
+            changed_target, changed_source = self._two_way_changes(
+                self.branch_record_map(target_branch),
+                self.branch_record_map(source_branch),
+            )
+            return changed_target, changed_source, {}
+        target_bitmap = self.bitmap_index.branch_bitmap(target_branch)
+        source_bitmap = self.bitmap_index.branch_bitmap(source_branch)
+        lca_bitmap = self._bitmap_at_commit(lca_commit)
+
+        def changes_vs_lca(branch_bitmap: Bitmap, branch: str) -> ChangeMap:
+            changes: ChangeMap = {}
+            added = branch_bitmap.and_not(lca_bitmap)
+            removed = lca_bitmap.and_not(branch_bitmap)
+            for ordinal in added.iter_set_bits():
+                record = self.heap.record_by_ordinal(ordinal)
+                changes[record.values[pk_position]] = record
+            for ordinal in removed.iter_set_bits():
+                record = self.heap.record_by_ordinal(ordinal)
+                key = record.values[pk_position]
+                if key not in changes:
+                    # Live at the LCA but no longer live here and not
+                    # re-inserted: the branch deleted it.
+                    if not self.pk_index.contains(branch, key):
+                        changes[key] = None
+            return changes
+
+        changed_target = changes_vs_lca(target_bitmap, target_branch)
+        changed_source = changes_vs_lca(source_bitmap, source_branch)
+        ancestors: dict[int, Record] = {}
+        wanted = set(changed_target) | set(changed_source)
+        # The LCA records that can possibly matter are those no longer live in
+        # one of the branches (an updated or deleted tuple clears its LCA
+        # bit), so only that bitmap difference is scanned -- "using the bitmap
+        # this way reduces the amount of data that needs to be scanned from
+        # the lca" (paper Section 3.2).
+        touched = lca_bitmap.and_not(target_bitmap) | lca_bitmap.and_not(source_bitmap)
+        for ordinal in touched.iter_set_bits():
+            record = self.heap.record_by_ordinal(ordinal)
+            key = record.values[pk_position]
+            if key in wanted:
+                ancestors[key] = record
+        return changed_target, changed_source, ancestors
+
+    # -- merge application ---------------------------------------------------------------
+
+    def _apply_merge_change(
+        self, target_branch: str, source_branch: str, key: int, record: Record | None
+    ) -> None:
+        """Prefer sharing the source branch's tuple over copying it.
+
+        When the resolved record is exactly the source branch's current copy,
+        the merge only flips bits: the target's old copy (if any) is cleared
+        and the source's tuple becomes live in the target too.  Only records
+        whose resolved values match neither branch (field-level merges) are
+        physically appended.
+        """
+        if record is None:
+            if self.branch_contains_key(target_branch, key):
+                self.delete(target_branch, key)
+            return
+        target_ordinal = self.pk_index.get(target_branch, key)
+        if target_ordinal is not None:
+            current = self.heap.record_by_ordinal(target_ordinal)
+            if current.values == record.values:
+                return  # the target already holds the resolved record
+        source_ordinal = self.pk_index.get(source_branch, key)
+        if source_ordinal is not None:
+            source_record = self.heap.record_by_ordinal(source_ordinal)
+            if source_record.values == record.values:
+                if target_ordinal is not None:
+                    self.bitmap_index.clear(target_ordinal, target_branch)
+                self.bitmap_index.set(source_ordinal, target_branch)
+                self.pk_index.put(target_branch, key, source_ordinal)
+                return
+        super()._apply_merge_change(target_branch, source_branch, key, record)
+
+    # -- sizes ------------------------------------------------------------------------------
+
+    def data_size_bytes(self) -> int:
+        return self.heap.size_bytes()
+
+    def commit_metadata_bytes(self) -> int:
+        return sum(history.size_bytes() for history in self._histories.values())
+
+    def bitmap_index_bytes(self) -> int:
+        """Memory footprint of the live bitmap index."""
+        return self.bitmap_index.size_bytes()
+
+    def commit_history(self, branch: str) -> CommitHistory:
+        """The commit history file of ``branch`` (exposed for benchmarks)."""
+        return self._histories[branch]
+
+    def checkout_commit_bitmap(self, commit_id: str) -> Bitmap:
+        """Reconstruct only the bitmap snapshot of a commit (no data scan).
+
+        This is the operation the paper's Table 2 times as "checkout": the
+        delta chain of the owning branch's commit history is replayed up to
+        the commit, without touching the heap file.
+        """
+        return self._bitmap_at_commit(commit_id)

@@ -1,0 +1,362 @@
+"""The version-first storage engine.
+
+Each branch's modifications are stored in that branch's own segment file,
+chained to ancestor segments by branch-point offsets (paper Section 3.3).
+Reading a branch traverses the chain from the branch's own segment back
+towards the root, newest records first, suppressing keys that were already
+emitted (or tombstoned) by a nearer segment.  Because data of one branch is
+clustered in its lineage, single-branch scans are cheap; operations that
+compare many branches (diff, Query 4) must scan whole chains and keep
+in-memory key tables, which is the weakness the evaluation exposes.
+
+Commits map a commit id to the byte position -- here, the record ordinal -- of
+the latest record active in the committing branch's segment file, stored in an
+external structure (paper Section 3.3, *Commit*).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterator
+
+from repro.core.buffer_pool import BufferPool
+from repro.core.page import DEFAULT_PAGE_SIZE
+from repro.core.predicates import Predicate
+from repro.core.record import Record
+from repro.core.schema import Schema
+from repro.errors import CommitNotFoundError, StorageError
+from repro.storage.base import ChangeMap, StorageEngineKind, VersionedStorageEngine
+from repro.storage.segments import ParentPointer, SegmentSet
+from repro.versioning.diff import DiffResult
+from repro.versioning.version_graph import MASTER_BRANCH
+
+
+class VersionFirstEngine(VersionedStorageEngine):
+    """One segment file per branch, chained by branch points."""
+
+    kind = StorageEngineKind.VERSION_FIRST
+
+    def __init__(
+        self,
+        directory: str,
+        schema: Schema,
+        *,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        buffer_pool: BufferPool | None = None,
+    ):
+        super().__init__(
+            directory, schema, page_size=page_size, buffer_pool=buffer_pool
+        )
+        self.segments = SegmentSet(
+            os.path.join(directory, "segments"),
+            schema,
+            self.buffer_pool,
+            page_size=page_size,
+        )
+        #: branch name -> id of the segment the branch currently writes to.
+        self._head_segment: dict[str, str] = {}
+        #: commit id -> (segment id, record-count offset at commit time).
+        self._commit_locations: dict[str, tuple[str, int]] = {}
+        #: in-memory live-key sets per branch; an aid for update/delete and the
+        #: merge machinery, not part of the on-disk layout (the paper's
+        #: version-first design has no index structure).
+        self._live_keys: dict[str, set[int]] = {}
+
+    # -- engine hooks -------------------------------------------------------------
+
+    def _prepare_master(self) -> None:
+        segment = self.segments.create(owner_branch=MASTER_BRANCH)
+        self._head_segment[MASTER_BRANCH] = segment.segment_id
+        self._live_keys[MASTER_BRANCH] = set()
+
+    def _materialize_branch(
+        self, name: str, parent_branch: str, from_commit: str, at_head: bool
+    ) -> None:
+        if at_head:
+            parent_segment_id = self._head_segment[parent_branch]
+            limit = self.segments.get(parent_segment_id).record_count
+            live = set(self._live_keys[parent_branch])
+        else:
+            parent_segment_id, limit = self._commit_location(from_commit)
+            pk_position = self.schema.primary_key_index
+            live = {
+                record.values[pk_position]
+                for record in self.scan_commit(from_commit)
+            }
+        segment = self.segments.create(
+            owner_branch=name,
+            parents=(ParentPointer(parent_segment_id, limit),),
+        )
+        self._head_segment[name] = segment.segment_id
+        self._live_keys[name] = live
+
+    def _record_commit_state(self, branch: str, commit_id: str) -> None:
+        segment_id = self._head_segment[branch]
+        offset = self.segments.get(segment_id).record_count
+        self._commit_locations[commit_id] = (segment_id, offset)
+        self._persist_commit_locations()
+
+    def _flush_storage(self) -> None:
+        self.segments.flush()
+        self.segments.save_metadata()
+
+    # -- data operations -------------------------------------------------------------
+
+    def insert(self, branch: str, record: Record) -> None:
+        self._head(branch).append(record)
+        self._live_keys[branch].add(record.key(self.schema))
+        self.stats.records_inserted += 1
+
+    def update(self, branch: str, record: Record) -> None:
+        # Updates append a new copy with the same primary key; scans ignore
+        # the earlier copy (paper Section 3.3, *Data Modification*).
+        self._head(branch).append(record)
+        self._live_keys[branch].add(record.key(self.schema))
+        self.stats.records_updated += 1
+
+    def delete(self, branch: str, key: int) -> None:
+        if key not in self._live_keys[branch]:
+            raise StorageError(f"key {key} is not live in branch {branch!r}")
+        self._head(branch).append(Record.deleted(self.schema, key))
+        self._live_keys[branch].discard(key)
+        self.stats.records_deleted += 1
+
+    def branch_contains_key(self, branch: str, key: int) -> bool:
+        return key in self._live_keys[branch]
+
+    def _head(self, branch: str):
+        try:
+            segment_id = self._head_segment[branch]
+        except KeyError:
+            raise StorageError(f"branch {branch!r} has no head segment") from None
+        return self.segments.get(segment_id)
+
+    # -- chain traversal ----------------------------------------------------------------
+
+    def _chain(
+        self, segment_id: str, limit: int | None
+    ) -> list[tuple[str, int | None]]:
+        """Segments to visit (leaf to root) with their visibility limits.
+
+        Segments reachable by multiple paths (after merges) are visited once,
+        at the first -- highest precedence -- position they appear.
+        """
+        order: list[tuple[str, int | None]] = []
+        seen: set[str] = set()
+
+        def visit(current_id: str, current_limit: int | None) -> None:
+            if current_id in seen:
+                return
+            seen.add(current_id)
+            order.append((current_id, current_limit))
+            segment = self.segments.get(current_id)
+            for pointer in segment.parents:
+                visit(pointer.segment_id, pointer.limit)
+
+        visit(segment_id, limit)
+        return order
+
+    def _scan_chain(
+        self,
+        segment_id: str,
+        limit: int | None,
+        predicate: Predicate | None = None,
+        segment_cache: dict[str, list[Record]] | None = None,
+    ) -> Iterator[Record]:
+        """Scan a segment chain, emitting each live key's newest record."""
+        schema = self.schema
+        pk_position = schema.primary_key_index
+        emitted: set[int] = set()
+        for seg_id, seg_limit in self._chain(segment_id, limit):
+            records = self._segment_records(seg_id, segment_cache)
+            upto = len(records) if seg_limit is None else min(seg_limit, len(records))
+            # Newest records within a segment shadow older copies of the same
+            # key, so the segment is read in reverse.
+            for ordinal in range(upto - 1, -1, -1):
+                record = records[ordinal]
+                self.stats.records_scanned += 1
+                key = record.values[pk_position]
+                if key in emitted:
+                    continue
+                emitted.add(key)
+                if record.tombstone:
+                    continue
+                if predicate is None or predicate.evaluate(record, schema):
+                    yield record
+
+    def _segment_records(
+        self, segment_id: str, cache: dict[str, list[Record]] | None
+    ) -> list[Record]:
+        if cache is not None and segment_id in cache:
+            return cache[segment_id]
+        records = list(self.segments.get(segment_id).heap.scan_records())
+        if cache is not None:
+            cache[segment_id] = records
+        return records
+
+    # -- scans -----------------------------------------------------------------------------
+
+    def scan_branch(
+        self, branch: str, predicate: Predicate | None = None
+    ) -> Iterator[Record]:
+        segment_id = self._head_segment[branch]
+        yield from self._scan_chain(segment_id, None, predicate)
+
+    def scan_commit(
+        self, commit_id: str, predicate: Predicate | None = None
+    ) -> Iterator[Record]:
+        segment_id, offset = self._commit_location(commit_id)
+        yield from self._scan_chain(segment_id, offset, predicate)
+
+    def scan_branches(
+        self, branches: list[str], predicate: Predicate | None = None
+    ) -> Iterator[tuple[Record, frozenset[str]]]:
+        """Two-pass multi-branch scan (paper Section 3.3).
+
+        The first pass walks every requested branch's segment chain, building
+        in-memory tables of the (segment, ordinal) locations of the records
+        live in each branch.  The second pass re-reads the relevant segment
+        files and emits each located record annotated with the branches it
+        belongs to.  The repeated chain walks plus the second pass over the
+        files are the extra work the paper attributes to version-first
+        multi-branch scans.
+        """
+        schema = self.schema
+        pk_position = schema.primary_key_index
+        located: dict[str, dict[int, set[str]]] = {}
+        for branch in branches:
+            emitted: set[int] = set()
+            for seg_id, seg_limit in self._chain(self._head_segment[branch], None):
+                records = self._segment_records(seg_id, None)
+                upto = (
+                    len(records) if seg_limit is None else min(seg_limit, len(records))
+                )
+                for ordinal in range(upto - 1, -1, -1):
+                    record = records[ordinal]
+                    self.stats.records_scanned += 1
+                    key = record.values[pk_position]
+                    if key in emitted:
+                        continue
+                    emitted.add(key)
+                    if record.tombstone:
+                        continue
+                    located.setdefault(seg_id, {}).setdefault(ordinal, set()).add(
+                        branch
+                    )
+        for seg_id in sorted(located):
+            records = self._segment_records(seg_id, None)
+            for ordinal in sorted(located[seg_id]):
+                record = records[ordinal]
+                self.stats.records_scanned += 1
+                if predicate is not None and not predicate.evaluate(record, schema):
+                    continue
+                yield record, frozenset(located[seg_id][ordinal])
+
+    # -- diff --------------------------------------------------------------------------------
+
+    def diff(self, branch_a: str, branch_b: str) -> DiffResult:
+        """Compare the two branches by materializing both heads.
+
+        Version-first has no incremental structure tracking differences from a
+        common ancestor, so both chains are scanned in full (sharing segment
+        reads) and joined by key -- the multiple passes the paper calls out in
+        its Query 2 discussion.
+        """
+        segment_cache: dict[str, list[Record]] = {}
+        pk_position = self.schema.primary_key_index
+        map_a = {
+            record.values[pk_position]: record
+            for record in self._scan_chain(
+                self._head_segment[branch_a], None, None, segment_cache
+            )
+        }
+        map_b = {
+            record.values[pk_position]: record
+            for record in self._scan_chain(
+                self._head_segment[branch_b], None, None, segment_cache
+            )
+        }
+        return DiffResult.from_record_maps(branch_a, branch_b, map_a, map_b)
+
+    # -- merge inputs -----------------------------------------------------------------------------
+
+    def _collect_merge_inputs(
+        self, target_branch: str, source_branch: str, lca_commit: str, three_way: bool
+    ) -> tuple[ChangeMap, ChangeMap, dict[int, Record]]:
+        """Scan both heads (and, for three-way, the whole LCA commit).
+
+        The LCA commit must be scanned in its entirety to determine conflicts
+        (paper Section 5.4), which is why version-first underperforms most in
+        the three-way mode.
+        """
+        segment_cache: dict[str, list[Record]] = {}
+        pk_position = self.schema.primary_key_index
+        target_map = {
+            record.values[pk_position]: record
+            for record in self._scan_chain(
+                self._head_segment[target_branch], None, None, segment_cache
+            )
+        }
+        source_map = {
+            record.values[pk_position]: record
+            for record in self._scan_chain(
+                self._head_segment[source_branch], None, None, segment_cache
+            )
+        }
+        if not three_way:
+            changed_target, changed_source = self._two_way_changes(
+                target_map, source_map
+            )
+            return changed_target, changed_source, {}
+        lca_segment, lca_offset = self._commit_location(lca_commit)
+        ancestor_map = {
+            record.values[pk_position]: record
+            for record in self._scan_chain(
+                lca_segment, lca_offset, None, segment_cache
+            )
+        }
+        changed_target = self._changes_between(ancestor_map, target_map)
+        changed_source = self._changes_between(ancestor_map, source_map)
+        wanted = set(changed_target) | set(changed_source)
+        ancestors = {
+            key: record for key, record in ancestor_map.items() if key in wanted
+        }
+        return changed_target, changed_source, ancestors
+
+    # -- sizes -------------------------------------------------------------------------------------
+
+    def data_size_bytes(self) -> int:
+        return self.segments.total_size_bytes()
+
+    def commit_metadata_bytes(self) -> int:
+        return sum(
+            len(commit_id) + len(segment_id) + 8
+            for commit_id, (segment_id, _) in self._commit_locations.items()
+        )
+
+    def segment_count(self) -> int:
+        """Number of segment files (exposed for tests and benchmarks)."""
+        return len(self.segments)
+
+    # -- commit location persistence -------------------------------------------------------------------
+
+    def _commit_location(self, commit_id: str) -> tuple[str, int]:
+        try:
+            return self._commit_locations[commit_id]
+        except KeyError:
+            raise CommitNotFoundError(
+                f"commit {commit_id!r} has no recorded segment offset"
+            ) from None
+
+    def _persist_commit_locations(self) -> None:
+        path = os.path.join(self.directory, "commit_locations.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    commit_id: {"segment": segment_id, "offset": offset}
+                    for commit_id, (segment_id, offset) in self._commit_locations.items()
+                },
+                handle,
+                indent=2,
+            )

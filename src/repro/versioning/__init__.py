@@ -1,0 +1,37 @@
+"""Version control model: commits, branches, the version graph and sessions.
+
+Decibel's version control model mirrors git's (paper Section 2.2): a version
+(commit) is an immutable point-in-time snapshot of a dataset; branches are
+working copies whose heads advance as commits are made; the provenance of
+versions forms a directed acyclic graph.  This subpackage holds that logical
+model -- it is shared by all three physical storage engines, which each keep a
+reference to one :class:`~repro.versioning.version_graph.VersionGraph`.
+"""
+
+from repro.versioning.version_graph import Branch, Commit, VersionGraph
+from repro.versioning.diff import DiffResult
+from repro.versioning.conflicts import (
+    ConflictResolution,
+    FieldConflict,
+    MergePolicy,
+    PrecedencePolicy,
+    RecordConflict,
+    ThreeWayPolicy,
+    detect_record_conflict,
+)
+from repro.versioning.session import Session
+
+__all__ = [
+    "Branch",
+    "Commit",
+    "VersionGraph",
+    "DiffResult",
+    "FieldConflict",
+    "RecordConflict",
+    "ConflictResolution",
+    "MergePolicy",
+    "PrecedencePolicy",
+    "ThreeWayPolicy",
+    "detect_record_conflict",
+    "Session",
+]

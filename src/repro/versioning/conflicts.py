@@ -1,0 +1,224 @@
+"""Field-level conflict detection and merge resolution policies.
+
+Decibel tracks conflicts at the field level (paper Section 2.2.3, *Merge*):
+two records conflict when they share a primary key but differ in field values,
+and the decision of whether a true conflict exists is made by a three-way
+comparison against the lowest common ancestor -- only fields changed on *both*
+sides (to different values) conflict.  A record deleted in one branch and
+modified in the other also conflicts.
+
+Resolution is pluggable.  The paper's default gives one branch precedence for
+conflicting fields while auto-merging non-overlapping field updates; both that
+policy (:class:`ThreeWayPolicy`) and the simpler whole-record precedence
+(:class:`PrecedencePolicy`) are provided, and callers may supply their own
+:class:`MergePolicy`.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.core.record import Record
+from repro.core.schema import Schema
+
+
+@dataclass(frozen=True)
+class FieldConflict:
+    """A single field updated to different values in both branches."""
+
+    key: int
+    column: str
+    ancestor_value: object
+    value_a: object
+    value_b: object
+
+
+@dataclass
+class RecordConflict:
+    """All information about one conflicting primary key.
+
+    ``record_a`` / ``record_b`` are the branch-side versions of the record
+    (``None`` when the branch deleted it); ``ancestor`` is the LCA version
+    (``None`` when the key did not exist at the LCA).
+    """
+
+    key: int
+    record_a: Record | None
+    record_b: Record | None
+    ancestor: Record | None
+    field_conflicts: list[FieldConflict] = field(default_factory=list)
+
+    @property
+    def is_delete_modify(self) -> bool:
+        """True when one side deleted the record and the other modified it."""
+        return (self.record_a is None) != (self.record_b is None)
+
+    @property
+    def has_conflicts(self) -> bool:
+        """True when this key genuinely conflicts."""
+        return self.is_delete_modify or bool(self.field_conflicts)
+
+
+def detect_record_conflict(
+    schema: Schema,
+    key: int,
+    record_a: Record | None,
+    record_b: Record | None,
+    ancestor: Record | None,
+) -> RecordConflict:
+    """Three-way, field-level conflict detection for one primary key.
+
+    Returns a :class:`RecordConflict`; check :attr:`RecordConflict.has_conflicts`
+    to see whether the key needs resolution.  Keys modified on only one side,
+    or modified identically on both, never conflict.
+    """
+    conflict = RecordConflict(
+        key=key, record_a=record_a, record_b=record_b, ancestor=ancestor
+    )
+    if record_a is None or record_b is None:
+        # Deletion on at least one side.  Delete+delete is not a conflict;
+        # delete+modify is, and is reported via ``is_delete_modify``.
+        return conflict
+    if record_a.values == record_b.values:
+        return conflict
+    for index, column in enumerate(schema.columns):
+        value_a = record_a.values[index]
+        value_b = record_b.values[index]
+        if value_a == value_b:
+            continue
+        ancestor_value = ancestor.values[index] if ancestor is not None else None
+        changed_a = ancestor is None or value_a != ancestor_value
+        changed_b = ancestor is None or value_b != ancestor_value
+        if changed_a and changed_b:
+            conflict.field_conflicts.append(
+                FieldConflict(
+                    key=key,
+                    column=column.name,
+                    ancestor_value=ancestor_value,
+                    value_a=value_a,
+                    value_b=value_b,
+                )
+            )
+    return conflict
+
+
+class ConflictResolution(enum.Enum):
+    """Which side a resolved field (or record) was taken from."""
+
+    SIDE_A = "a"
+    SIDE_B = "b"
+    MERGED = "merged"
+    DELETED = "deleted"
+
+
+class MergePolicy(ABC):
+    """Strategy that turns a :class:`RecordConflict` into a merged record."""
+
+    #: Human-readable policy name (used in merge reports).
+    name = "abstract"
+
+    @abstractmethod
+    def resolve(
+        self, schema: Schema, conflict: RecordConflict
+    ) -> tuple[Record | None, ConflictResolution]:
+        """Resolve one conflicting key.
+
+        Returns the merged record (or ``None`` if the key should be deleted)
+        and how the resolution was reached.
+        """
+
+
+@dataclass
+class PrecedencePolicy(MergePolicy):
+    """Whole-record precedence: the preferred branch wins every conflict.
+
+    This is the paper's "two-way" merge mode (Table 3): no ancestor scan is
+    needed because conflicting records from exactly one parent are taken and
+    the other parent's are discarded.
+    """
+
+    prefer: str = "a"
+    name: str = "precedence"
+
+    def resolve(
+        self, schema: Schema, conflict: RecordConflict
+    ) -> tuple[Record | None, ConflictResolution]:
+        if self.prefer == "a":
+            winner, side = conflict.record_a, ConflictResolution.SIDE_A
+            fallback, fallback_side = conflict.record_b, ConflictResolution.SIDE_B
+        else:
+            winner, side = conflict.record_b, ConflictResolution.SIDE_B
+            fallback, fallback_side = conflict.record_a, ConflictResolution.SIDE_A
+        if winner is not None:
+            return winner, side
+        if fallback is not None:
+            # The preferred branch deleted the record; precedence means the
+            # deletion wins.
+            return None, ConflictResolution.DELETED
+        return None, ConflictResolution.DELETED
+
+
+@dataclass
+class ThreeWayPolicy(MergePolicy):
+    """Field-level three-way merge with precedence for true conflicts.
+
+    Non-overlapping field updates are auto-merged; fields updated on both
+    sides take the value from the preferred branch (paper Section 2.2.3).
+    Delete-vs-modify conflicts are resolved in favour of the preferred side.
+    """
+
+    prefer: str = "a"
+    name: str = "three-way"
+
+    def resolve(
+        self, schema: Schema, conflict: RecordConflict
+    ) -> tuple[Record | None, ConflictResolution]:
+        record_a, record_b, ancestor = (
+            conflict.record_a,
+            conflict.record_b,
+            conflict.ancestor,
+        )
+        if conflict.is_delete_modify:
+            preferred = record_a if self.prefer == "a" else record_b
+            if preferred is None:
+                return None, ConflictResolution.DELETED
+            return preferred, (
+                ConflictResolution.SIDE_A
+                if self.prefer == "a"
+                else ConflictResolution.SIDE_B
+            )
+        if record_a is None and record_b is None:
+            return None, ConflictResolution.DELETED
+        assert record_a is not None and record_b is not None
+        merged = list(record_a.values)
+        used_b = False
+        used_a = False
+        for index in range(len(schema.columns)):
+            value_a = record_a.values[index]
+            value_b = record_b.values[index]
+            if value_a == value_b:
+                merged[index] = value_a
+                continue
+            ancestor_value = ancestor.values[index] if ancestor is not None else None
+            changed_a = ancestor is None or value_a != ancestor_value
+            changed_b = ancestor is None or value_b != ancestor_value
+            if changed_a and not changed_b:
+                merged[index] = value_a
+                used_a = True
+            elif changed_b and not changed_a:
+                merged[index] = value_b
+                used_b = True
+            else:
+                # Both sides changed the field: the preferred branch wins.
+                merged[index] = value_a if self.prefer == "a" else value_b
+                used_a = used_a or self.prefer == "a"
+                used_b = used_b or self.prefer == "b"
+        if used_a and used_b:
+            resolution = ConflictResolution.MERGED
+        elif used_b:
+            resolution = ConflictResolution.SIDE_B
+        else:
+            resolution = ConflictResolution.SIDE_A
+        return Record(tuple(merged)), resolution

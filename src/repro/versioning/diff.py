@@ -1,0 +1,89 @@
+"""Results of differencing two versions.
+
+``diff(A, B)`` materializes two record sets (paper Section 2.2.3,
+*Difference*): the *positive difference* -- records in A but not in B -- and
+the *negative difference* -- records in B but not in A.  Record identity is by
+primary key *and* content: a record updated between the two versions appears
+with its A-side values in the positive set and its B-side values in the
+negative set, which is what the merge machinery needs to find modified keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.record import Record
+from repro.core.schema import Schema
+
+
+@dataclass
+class DiffResult:
+    """The outcome of ``diff(version_a, version_b)``.
+
+    Attributes
+    ----------
+    positive:
+        Records present in version A but not in version B (by key+content).
+    negative:
+        Records present in version B but not in version A.
+    """
+
+    version_a: str
+    version_b: str
+    positive: list[Record] = field(default_factory=list)
+    negative: list[Record] = field(default_factory=list)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the two versions have identical contents."""
+        return not self.positive and not self.negative
+
+    @property
+    def total_records(self) -> int:
+        """Number of records reported on either side."""
+        return len(self.positive) + len(self.negative)
+
+    def size_bytes(self, schema: Schema) -> int:
+        """Approximate byte volume of the differing records.
+
+        The paper's Table 3 reports merge throughput relative to the size of
+        the diff between the branches being merged; this is that size.
+        """
+        record_width = schema.record_width + 1  # payload plus header byte
+        return self.total_records * record_width
+
+    def keys_only_in_a(self, schema: Schema) -> set[int]:
+        """Primary keys appearing in the positive side."""
+        return {record.key(schema) for record in self.positive}
+
+    def keys_only_in_b(self, schema: Schema) -> set[int]:
+        """Primary keys appearing in the negative side."""
+        return {record.key(schema) for record in self.negative}
+
+    def modified_keys(self, schema: Schema) -> set[int]:
+        """Keys present on both sides, i.e. records updated between A and B."""
+        return self.keys_only_in_a(schema) & self.keys_only_in_b(schema)
+
+    @classmethod
+    def from_record_maps(
+        cls,
+        version_a: str,
+        version_b: str,
+        records_a: dict[int, Record],
+        records_b: dict[int, Record],
+    ) -> "DiffResult":
+        """Build a diff from two ``{key -> record}`` maps.
+
+        A record counts as "in A but not B" when its key is missing from B or
+        its values differ from B's record for the same key.
+        """
+        result = cls(version_a=version_a, version_b=version_b)
+        for key, record in records_a.items():
+            other = records_b.get(key)
+            if other is None or other.values != record.values:
+                result.positive.append(record)
+        for key, record in records_b.items():
+            other = records_a.get(key)
+            if other is None or other.values != record.values:
+                result.negative.append(record)
+        return result

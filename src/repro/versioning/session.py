@@ -1,0 +1,126 @@
+"""User sessions.
+
+Users interact with Decibel by opening a connection, which creates a session
+capturing the user's state: the commit or branch that their operations read or
+modify (paper Section 2.2.3).  A session therefore holds a pointer into the
+version graph -- either a branch head (writable) or a checked-out historical
+commit (read-only) -- and forwards data and versioning operations to the
+storage engine with that context applied.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.core.record import Record
+from repro.errors import VersionError
+from repro.versioning.diff import DiffResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.storage.base import VersionedStorageEngine
+
+
+class Session:
+    """One user's view of a versioned relation.
+
+    A session is positioned either *on a branch* (reads see the branch head
+    and writes are allowed) or *on a commit* (a historical checkout; writes
+    are rejected, matching the paper's rule that commits are only made to
+    branch heads).
+    """
+
+    def __init__(self, engine: "VersionedStorageEngine", branch: str = "master"):
+        self._engine = engine
+        self._branch: str | None = None
+        self._commit: str | None = None
+        self.use_branch(branch)
+
+    # -- positioning ------------------------------------------------------------
+
+    @property
+    def branch(self) -> str | None:
+        """The branch this session writes to, or None if on a checkout."""
+        return self._branch
+
+    @property
+    def commit_id(self) -> str | None:
+        """The commit this session reads, when positioned on a checkout."""
+        return self._commit
+
+    @property
+    def is_writable(self) -> bool:
+        """True when positioned on a branch head."""
+        return self._branch is not None
+
+    def use_branch(self, branch: str) -> None:
+        """Position the session on ``branch``'s head."""
+        self._engine.graph.branch(branch)  # validates existence
+        self._branch = branch
+        self._commit = None
+
+    def checkout(self, commit_id: str) -> None:
+        """Position the session on a historical commit (read-only).
+
+        Any committed version may be checked out, reverting the state of the
+        dataset to that version within this session only.
+        """
+        self._engine.graph.get_commit(commit_id)
+        self._commit = commit_id
+        self._branch = None
+
+    # -- reads ------------------------------------------------------------------
+
+    def scan(self) -> Iterator[Record]:
+        """Iterate the records visible at the session's position."""
+        if self._branch is not None:
+            return self._engine.scan_branch(self._branch)
+        assert self._commit is not None
+        return self._engine.scan_commit(self._commit)
+
+    def records(self) -> list[Record]:
+        """Materialize :meth:`scan` into a list."""
+        return list(self.scan())
+
+    def diff_against(self, other_branch: str) -> DiffResult:
+        """Diff the session's branch against another branch."""
+        self._require_branch("diff")
+        return self._engine.diff(self._branch, other_branch)
+
+    # -- writes -----------------------------------------------------------------
+
+    def insert(self, record: Record) -> None:
+        """Insert a record into the session's branch."""
+        self._require_branch("insert")
+        self._engine.insert(self._branch, record)
+
+    def update(self, record: Record) -> None:
+        """Update the record with the same primary key in the session's branch."""
+        self._require_branch("update")
+        self._engine.update(self._branch, record)
+
+    def delete(self, key: int) -> None:
+        """Delete the record with primary key ``key`` from the session's branch."""
+        self._require_branch("delete")
+        self._engine.delete(self._branch, key)
+
+    def commit(self, message: str = "") -> str:
+        """Commit the session's branch, returning the new commit id."""
+        self._require_branch("commit")
+        return self._engine.commit(self._branch, message=message)
+
+    def create_branch(self, name: str) -> None:
+        """Create a new branch at the session's current position."""
+        if self._branch is not None:
+            self._engine.create_branch(name, from_branch=self._branch)
+        else:
+            assert self._commit is not None
+            self._engine.create_branch(name, from_commit=self._commit)
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _require_branch(self, operation: str) -> None:
+        if self._branch is None:
+            raise VersionError(
+                f"cannot {operation}: session is on a read-only checkout "
+                f"of {self._commit!r}; use a branch head instead"
+            )

@@ -1,0 +1,87 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.buffer_pool import BufferPool
+from repro.core.record import Record
+from repro.core.schema import Column, ColumnType, Schema
+from repro.storage.hybrid import HybridEngine
+from repro.storage.tuple_first import TupleFirstEngine
+from repro.storage.version_first import VersionFirstEngine
+
+#: The engine classes under test, keyed by their short benchmark label.
+ENGINE_CLASSES = {
+    "version-first": VersionFirstEngine,
+    "tuple-first": TupleFirstEngine,
+    "hybrid": HybridEngine,
+}
+
+#: A small page size so multi-page behaviour is exercised by small datasets.
+SMALL_PAGE_SIZE = 4096
+
+
+@pytest.fixture
+def schema() -> Schema:
+    """A 4-column integer schema (id plus three payload columns)."""
+    return Schema.of_ints(4)
+
+@pytest.fixture
+def wide_schema() -> Schema:
+    """A schema with integer and string columns for mixed-type tests."""
+    return Schema(
+        (
+            Column("id", ColumnType.INT),
+            Column("count", ColumnType.INT32),
+            Column("name", ColumnType.STRING, width=16),
+        ),
+        primary_key="id",
+    )
+
+
+@pytest.fixture
+def buffer_pool() -> BufferPool:
+    """A buffer pool with a small capacity to exercise eviction."""
+    return BufferPool(capacity_pages=16)
+
+
+def make_records(count: int, start: int = 0, payload: int = 7) -> list[Record]:
+    """``count`` records over the 4-column integer schema."""
+    return [
+        Record((key, key * 10, key * 100, payload))
+        for key in range(start, start + count)
+    ]
+
+
+@pytest.fixture
+def records() -> list[Record]:
+    """Twenty deterministic records for the 4-column schema."""
+    return make_records(20)
+
+
+@pytest.fixture(params=sorted(ENGINE_CLASSES))
+def engine_kind(request) -> str:
+    """Parametrize a test over all three storage engine kinds."""
+    return request.param
+
+
+@pytest.fixture
+def engine(engine_kind, schema, tmp_path):
+    """A freshly constructed (uninitialized) engine of the current kind."""
+    cls = ENGINE_CLASSES[engine_kind]
+    return cls(str(tmp_path / "engine"), schema, page_size=SMALL_PAGE_SIZE)
+
+
+@pytest.fixture
+def loaded_engine(engine, records):
+    """An engine initialized with twenty records on master."""
+    engine.init(records, message="initial data")
+    return engine
+
+
+def engine_factory(kind: str, schema: Schema, directory: str, **kwargs):
+    """Create an engine of ``kind`` rooted at ``directory``."""
+    cls = ENGINE_CLASSES[kind]
+    kwargs.setdefault("page_size", SMALL_PAGE_SIZE)
+    return cls(directory, schema, **kwargs)

@@ -1,0 +1,70 @@
+"""Tests for the benchmark data generator."""
+
+import pytest
+
+from repro.bench.datagen import DataGenerator, GeneratorConfig
+from repro.errors import BenchmarkError
+
+
+class TestGeneratorConfig:
+    def test_defaults(self):
+        config = GeneratorConfig()
+        assert config.num_columns == 10
+        assert config.column_width_bytes == 8
+
+    def test_rejects_too_few_columns(self):
+        with pytest.raises(BenchmarkError):
+            GeneratorConfig(num_columns=1)
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(BenchmarkError):
+            GeneratorConfig(column_width_bytes=3)
+
+
+class TestDataGenerator:
+    def test_schema_matches_config(self):
+        generator = DataGenerator(GeneratorConfig(num_columns=6))
+        assert len(generator.schema) == 6
+        assert generator.schema.primary_key == "id"
+
+    def test_keys_are_unique_and_sequential(self):
+        generator = DataGenerator()
+        records = generator.records(100)
+        keys = [r.values[0] for r in records]
+        assert keys == list(range(100))
+
+    def test_new_record_fits_schema(self):
+        generator = DataGenerator(GeneratorConfig(num_columns=5, column_width_bytes=4))
+        record = generator.new_record()
+        generator.schema.validate_values(record.values)
+
+    def test_updated_record_keeps_key(self):
+        generator = DataGenerator()
+        original = generator.new_record()
+        updated = generator.updated_record(original.values[0])
+        assert updated.values[0] == original.values[0]
+        assert updated.values[1:] != original.values[1:]
+
+    def test_determinism_by_seed(self):
+        first = DataGenerator(GeneratorConfig(seed=5)).records(20)
+        second = DataGenerator(GeneratorConfig(seed=5)).records(20)
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        first = DataGenerator(GeneratorConfig(seed=5)).records(20)
+        second = DataGenerator(GeneratorConfig(seed=6)).records(20)
+        assert first != second
+
+    def test_record_size_matches_paper_geometry(self):
+        # 250 four-byte columns plus an 8-byte key ~ the paper's 1 KB records.
+        generator = DataGenerator(
+            GeneratorConfig(num_columns=250, column_width_bytes=4)
+        )
+        assert generator.record_size_bytes >= 1000
+
+    def test_fork_is_independent_but_deterministic(self):
+        generator = DataGenerator(GeneratorConfig(seed=9))
+        fork_a = generator.fork(1).records(5)
+        fork_b = DataGenerator(GeneratorConfig(seed=9)).fork(1).records(5)
+        assert fork_a == fork_b
+        assert fork_a != generator.records(5)

@@ -1,0 +1,188 @@
+"""Tests for the benchmark branching strategies."""
+
+import pytest
+
+from repro.bench.strategies import (
+    CurationStrategy,
+    DeepStrategy,
+    FlatStrategy,
+    OperationKind,
+    ScienceStrategy,
+    StrategyConfig,
+    make_strategy,
+)
+from repro.errors import BenchmarkError
+
+
+def count_kinds(plan):
+    counts = {}
+    for operation in plan:
+        counts[operation.kind] = counts.get(operation.kind, 0) + 1
+    return counts
+
+
+class TestStrategyConfig:
+    def test_validation(self):
+        with pytest.raises(BenchmarkError):
+            StrategyConfig(num_branches=0)
+        with pytest.raises(BenchmarkError):
+            StrategyConfig(num_branches=10, total_operations=5)
+        with pytest.raises(BenchmarkError):
+            StrategyConfig(update_fraction=1.5)
+
+    def test_factory(self):
+        assert isinstance(make_strategy("deep", num_branches=3, total_operations=30), DeepStrategy)
+        assert isinstance(make_strategy("sci", num_branches=3, total_operations=30), ScienceStrategy)
+        assert isinstance(make_strategy("cur", num_branches=3, total_operations=30), CurationStrategy)
+        with pytest.raises(BenchmarkError):
+            make_strategy("zigzag")
+
+    def test_factory_rejects_config_plus_overrides(self):
+        with pytest.raises(BenchmarkError):
+            make_strategy("deep", StrategyConfig(), num_branches=3)
+
+
+class TestDeepStrategy:
+    def test_linear_chain(self):
+        strategy = DeepStrategy(num_branches=5, total_operations=500, seed=1)
+        plan = strategy.plan()
+        creations = [op for op in plan if op.kind is OperationKind.CREATE_BRANCH]
+        assert len(creations) == 4
+        parents = [op.parent for op in creations]
+        assert parents == ["master", "b001", "b002", "b003"]
+
+    def test_only_tail_receives_operations_after_branching(self):
+        strategy = DeepStrategy(num_branches=3, total_operations=300, seed=1)
+        plan = strategy.plan()
+        last_creation = max(
+            i for i, op in enumerate(plan) if op.kind is OperationKind.CREATE_BRANCH
+        )
+        tail = plan[last_creation].branch
+        assert all(op.branch == tail for op in plan[last_creation + 1 :])
+        assert strategy.single_scan_branch() == tail
+
+    def test_equal_operations_per_branch(self):
+        strategy = DeepStrategy(num_branches=4, total_operations=400, seed=1)
+        counts = {}
+        for op in strategy.plan():
+            if op.kind in (OperationKind.INSERT, OperationKind.UPDATE):
+                counts[op.branch] = counts.get(op.branch, 0) + 1
+        assert set(counts.values()) == {100}
+
+    def test_multi_scan_pair_includes_tail(self):
+        strategy = DeepStrategy(num_branches=4, total_operations=400, seed=1)
+        strategy.plan()
+        pair = strategy.multi_scan_pair()
+        assert strategy.single_scan_branch() in pair
+
+
+class TestFlatStrategy:
+    def test_all_children_branch_from_master(self):
+        strategy = FlatStrategy(num_branches=5, total_operations=500, seed=1)
+        creations = [
+            op for op in strategy.plan() if op.kind is OperationKind.CREATE_BRANCH
+        ]
+        assert len(creations) == 4
+        assert all(op.parent == "master" for op in creations)
+
+    def test_children_receive_equal_shares(self):
+        strategy = FlatStrategy(num_branches=5, total_operations=500, seed=1)
+        counts = {}
+        for op in strategy.plan():
+            if op.kind in (OperationKind.INSERT, OperationKind.UPDATE):
+                counts[op.branch] = counts.get(op.branch, 0) + 1
+        assert set(counts.values()) == {100}
+
+    def test_query_targets(self):
+        strategy = FlatStrategy(num_branches=5, total_operations=500, seed=1)
+        strategy.plan()
+        assert strategy.single_scan_branch() == "b004"
+        pair = strategy.multi_scan_pair()
+        assert "master" in pair
+
+
+class TestScienceStrategy:
+    def test_no_merges_and_branch_retirement(self):
+        strategy = ScienceStrategy(num_branches=6, total_operations=1200, seed=3)
+        plan = strategy.plan()
+        kinds = count_kinds(plan)
+        assert OperationKind.MERGE not in kinds
+        assert kinds.get(OperationKind.CREATE_BRANCH, 0) == 5
+        assert kinds.get(OperationKind.RETIRE, 0) >= 1
+
+    def test_mainline_skew(self):
+        strategy = ScienceStrategy(
+            num_branches=6, total_operations=3000, seed=3, mainline_skew=2
+        )
+        counts = {}
+        for op in strategy.plan():
+            if op.kind in (OperationKind.INSERT, OperationKind.UPDATE):
+                counts[op.branch] = counts.get(op.branch, 0) + 1
+        mainline = counts.pop("master")
+        assert counts and mainline > max(counts.values())
+
+    def test_query_targets_named_by_age(self):
+        strategy = ScienceStrategy(num_branches=6, total_operations=1200, seed=3)
+        strategy.plan()
+        targets = strategy.query1_targets()
+        assert set(targets) == {"sci-young-active", "sci-old-active"}
+
+
+class TestCurationStrategy:
+    def test_dev_branches_merge_back(self):
+        strategy = CurationStrategy(num_branches=8, total_operations=1600, seed=4)
+        plan = strategy.plan()
+        kinds = count_kinds(plan)
+        assert kinds.get(OperationKind.MERGE, 0) >= 2
+        assert strategy.merge_count == kinds[OperationKind.MERGE]
+
+    def test_merge_targets_are_parents(self):
+        strategy = CurationStrategy(num_branches=8, total_operations=1600, seed=4)
+        plan = strategy.plan()
+        created_parent = {
+            op.branch: op.parent
+            for op in plan
+            if op.kind is OperationKind.CREATE_BRANCH
+        }
+        for op in plan:
+            if op.kind is OperationKind.MERGE:
+                assert created_parent[op.source] == op.target
+
+    def test_branch_creation_precedes_operations_on_it(self):
+        strategy = CurationStrategy(num_branches=8, total_operations=800, seed=4)
+        seen = {"master"}
+        for op in strategy.plan():
+            if op.kind is OperationKind.CREATE_BRANCH:
+                assert op.parent in seen
+                seen.add(op.branch)
+            elif op.kind in (OperationKind.INSERT, OperationKind.UPDATE):
+                assert op.branch in seen
+
+    def test_query_targets(self):
+        strategy = CurationStrategy(num_branches=8, total_operations=1600, seed=4)
+        strategy.plan()
+        targets = strategy.query1_targets()
+        assert set(targets) == {"cur-feature", "cur-dev", "cur-mainline"}
+        assert targets["cur-mainline"] == "master"
+
+
+class TestPlanDeterminism:
+    @pytest.mark.parametrize("name", ["deep", "flat", "science", "curation"])
+    def test_same_seed_same_plan(self, name):
+        first = make_strategy(name, num_branches=5, total_operations=500, seed=11)
+        second = make_strategy(name, num_branches=5, total_operations=500, seed=11)
+        assert first.plan() == second.plan()
+
+    @pytest.mark.parametrize("name", ["deep", "flat", "science", "curation"])
+    def test_update_fraction_respected(self, name):
+        strategy = make_strategy(
+            name, num_branches=5, total_operations=2000, seed=11, update_fraction=0.2
+        )
+        kinds = count_kinds(strategy.plan())
+        updates = kinds.get(OperationKind.UPDATE, 0)
+        inserts = kinds.get(OperationKind.INSERT, 0)
+        assert 0.1 < updates / (updates + inserts) < 0.3
+
+    def test_plan_is_cached(self):
+        strategy = make_strategy("deep", num_branches=3, total_operations=30, seed=1)
+        assert strategy.plan() is strategy.plan()

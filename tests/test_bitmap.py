@@ -1,0 +1,129 @@
+"""Tests for the growable bitmap."""
+
+import pytest
+
+from repro.bitmap.bitmap import Bitmap
+
+
+class TestBitmapBasics:
+    def test_new_bitmap_is_empty(self):
+        bitmap = Bitmap(10)
+        assert len(bitmap) == 10
+        assert bitmap.count() == 0
+        assert not bitmap.any()
+
+    def test_set_and_get(self):
+        bitmap = Bitmap()
+        bitmap.set(3)
+        assert bitmap.get(3)
+        assert bitmap[3]
+        assert not bitmap.get(2)
+
+    def test_set_grows_bitmap(self):
+        bitmap = Bitmap()
+        bitmap.set(1000)
+        assert len(bitmap) == 1001
+        assert bitmap.get(1000)
+
+    def test_clear(self):
+        bitmap = Bitmap()
+        bitmap.set(5)
+        bitmap.clear(5)
+        assert not bitmap.get(5)
+
+    def test_clear_can_grow(self):
+        bitmap = Bitmap()
+        bitmap.clear(50)
+        assert len(bitmap) == 51
+        assert bitmap.count() == 0
+
+    def test_out_of_range_reads_as_zero(self):
+        bitmap = Bitmap(4)
+        assert not bitmap.get(100)
+
+    def test_negative_index_rejected(self):
+        bitmap = Bitmap()
+        with pytest.raises(IndexError):
+            bitmap.set(-1)
+        with pytest.raises(IndexError):
+            bitmap.get(-1)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Bitmap(-1)
+
+    def test_from_indices(self):
+        bitmap = Bitmap.from_indices([1, 3, 5])
+        assert bitmap.to_indices() == [1, 3, 5]
+        assert bitmap.count() == 3
+
+    def test_copy_is_independent(self):
+        original = Bitmap.from_indices([1, 2])
+        clone = original.copy()
+        clone.set(9)
+        assert not original.get(9)
+        assert clone.get(9)
+
+
+class TestBitmapBulkOps:
+    def test_and(self):
+        a = Bitmap.from_indices([1, 2, 3])
+        b = Bitmap.from_indices([2, 3, 4])
+        assert (a & b).to_indices() == [2, 3]
+
+    def test_or(self):
+        a = Bitmap.from_indices([1, 2])
+        b = Bitmap.from_indices([2, 8])
+        assert (a | b).to_indices() == [1, 2, 8]
+
+    def test_xor(self):
+        a = Bitmap.from_indices([1, 2, 3])
+        b = Bitmap.from_indices([3, 4])
+        assert (a ^ b).to_indices() == [1, 2, 4]
+
+    def test_and_not(self):
+        a = Bitmap.from_indices([1, 2, 3])
+        b = Bitmap.from_indices([2])
+        assert a.and_not(b).to_indices() == [1, 3]
+
+    def test_ops_with_different_lengths(self):
+        a = Bitmap.from_indices([1])
+        b = Bitmap.from_indices([100])
+        assert (a | b).to_indices() == [1, 100]
+        assert (a & b).count() == 0
+
+    def test_equality_ignores_trailing_zeros(self):
+        a = Bitmap.from_indices([1], num_bits=8)
+        b = Bitmap.from_indices([1], num_bits=64)
+        assert a == b
+
+    def test_equality_with_other_types(self):
+        assert Bitmap() != object()
+
+    def test_xor_is_its_own_inverse(self):
+        a = Bitmap.from_indices([1, 5, 9])
+        b = Bitmap.from_indices([5, 12])
+        assert (a ^ b) ^ b == a
+
+
+class TestBitmapSerialization:
+    def test_roundtrip(self):
+        bitmap = Bitmap.from_indices([0, 7, 8, 63, 64])
+        restored = Bitmap.from_bytes(bitmap.to_bytes(), len(bitmap))
+        assert restored == bitmap
+        assert restored.to_indices() == [0, 7, 8, 63, 64]
+
+    def test_empty_roundtrip(self):
+        bitmap = Bitmap(0)
+        assert Bitmap.from_bytes(bitmap.to_bytes(), 0).count() == 0
+
+    def test_iter_set_bits_order(self):
+        indices = [512, 3, 77, 4]
+        assert Bitmap.from_indices(indices).to_indices() == sorted(indices)
+
+    def test_size_bytes_growth_is_amortized(self):
+        bitmap = Bitmap()
+        for i in range(1000):
+            bitmap.set(i)
+        # Doubling growth keeps the backing store within 2x of what's needed.
+        assert bitmap.size_bytes <= 2 * ((1000 + 7) // 8) + 8

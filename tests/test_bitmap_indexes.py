@@ -1,0 +1,154 @@
+"""Tests for the branch- and tuple-oriented bitmap indexes."""
+
+import pytest
+
+from repro.bitmap import BitmapOrientation, make_bitmap_index
+from repro.bitmap.bitmap import Bitmap
+from repro.bitmap.branch_bitmap import BranchOrientedBitmapIndex
+from repro.bitmap.tuple_bitmap import TupleOrientedBitmapIndex
+from repro.errors import BranchExistsError, BranchNotFoundError
+
+
+@pytest.fixture(params=["branch", "tuple"])
+def index(request):
+    return make_bitmap_index(request.param)
+
+
+class TestBitmapIndexCommon:
+    """Behaviour both orientations must share."""
+
+    def test_add_and_query_branch(self, index):
+        index.add_branch("master")
+        index.set(0, "master")
+        index.set(5, "master")
+        assert index.is_set(0, "master")
+        assert not index.is_set(1, "master")
+        assert index.live_count("master") == 2
+
+    def test_unknown_branch_rejected(self, index):
+        with pytest.raises(BranchNotFoundError):
+            index.set(0, "missing")
+        with pytest.raises(BranchNotFoundError):
+            index.branch_bitmap("missing")
+
+    def test_duplicate_branch_rejected(self, index):
+        index.add_branch("master")
+        with pytest.raises(BranchExistsError):
+            index.add_branch("master")
+
+    def test_clone_on_branch(self, index):
+        index.add_branch("master")
+        for i in (1, 3, 5):
+            index.set(i, "master")
+        index.add_branch("dev", clone_from="master")
+        assert index.branch_bitmap("dev").to_indices() == [1, 3, 5]
+        # Changes after the clone do not leak between branches.
+        index.set(7, "dev")
+        index.clear(1, "dev")
+        assert index.branch_bitmap("master").to_indices() == [1, 3, 5]
+        assert index.branch_bitmap("dev").to_indices() == [3, 5, 7]
+
+    def test_clear(self, index):
+        index.add_branch("master")
+        index.set(2, "master")
+        index.clear(2, "master")
+        assert not index.is_set(2, "master")
+
+    def test_restore_branch(self, index):
+        index.add_branch("master")
+        index.set(0, "master")
+        index.restore_branch("master", Bitmap.from_indices([4, 9]))
+        assert index.branch_bitmap("master").to_indices() == [4, 9]
+
+    def test_union_intersection_difference(self, index):
+        index.add_branch("a")
+        index.add_branch("b")
+        for i in (1, 2, 3):
+            index.set(i, "a")
+        for i in (3, 4):
+            index.set(i, "b")
+        assert index.union(["a", "b"]).to_indices() == [1, 2, 3, 4]
+        assert index.intersection(["a", "b"]).to_indices() == [3]
+        assert index.difference("a", "b").to_indices() == [1, 2]
+        assert index.symmetric_difference("a", "b").to_indices() == [1, 2, 4]
+
+    def test_intersection_of_nothing(self, index):
+        assert index.intersection([]).count() == 0
+
+    def test_iter_live_tuples(self, index):
+        index.add_branch("a")
+        index.set(10, "a")
+        index.set(2, "a")
+        assert list(index.iter_live_tuples("a")) == [2, 10]
+
+    def test_branches_listing(self, index):
+        index.add_branch("a")
+        index.add_branch("b")
+        assert index.branches() == ["a", "b"]
+        assert index.has_branch("a") and not index.has_branch("c")
+
+    def test_num_tuples_tracks_highest_bit(self, index):
+        index.add_branch("a")
+        index.set(99, "a")
+        assert index.num_tuples() >= 100
+
+    def test_size_bytes_positive(self, index):
+        index.add_branch("a")
+        index.set(1000, "a")
+        assert index.size_bytes() > 0
+
+
+class TestTupleOrientedSpecifics:
+    def test_row_expansion_after_many_branches(self):
+        index = TupleOrientedBitmapIndex()
+        index.add_branch("b0")
+        index.set(0, "b0")
+        index.set(1, "b0")
+        for i in range(1, 20):
+            index.add_branch(f"b{i}", clone_from="b0")
+        # 20 branches exceed the initial 8-bit row, forcing block expansion.
+        assert index.expansions >= 1
+        assert index.branch_bitmap("b19").to_indices() == [0, 1]
+
+    def test_iter_rows_single_pass(self):
+        index = TupleOrientedBitmapIndex()
+        index.add_branch("a")
+        index.add_branch("b")
+        index.set(0, "a")
+        index.set(1, "a")
+        index.set(1, "b")
+        rows = {tuple_index: set(members) for tuple_index, members in index.iter_rows()}
+        assert rows[0] == {"a"}
+        assert rows[1] == {"a", "b"}
+
+    def test_orientation_marker(self):
+        assert TupleOrientedBitmapIndex().orientation is BitmapOrientation.TUPLE
+        assert BranchOrientedBitmapIndex().orientation is BitmapOrientation.BRANCH
+
+
+class TestBranchOrientedSpecifics:
+    def test_drop_branch(self):
+        index = BranchOrientedBitmapIndex()
+        index.add_branch("a")
+        index.set(1, "a")
+        index.drop_branch("a")
+        assert not index.has_branch("a")
+
+    def test_independent_bitmap_growth(self):
+        index = BranchOrientedBitmapIndex()
+        index.add_branch("small")
+        index.add_branch("large")
+        index.set(1, "small")
+        index.set(100_000, "large")
+        # Growing one branch's bitmap does not grow the other's.
+        assert index.branch_bitmap("small").size_bytes < index.branch_bitmap("large").size_bytes
+
+
+class TestFactory:
+    def test_factory_by_enum(self):
+        assert isinstance(
+            make_bitmap_index(BitmapOrientation.TUPLE), TupleOrientedBitmapIndex
+        )
+
+    def test_factory_by_string(self):
+        assert isinstance(make_bitmap_index("branch"), BranchOrientedBitmapIndex)

@@ -1,0 +1,128 @@
+"""Tests for the buffer pool (LRU, pinning, dirty write-back)."""
+
+import pytest
+
+from repro.core.buffer_pool import BufferPool
+from repro.core.page import Page, PageId
+from repro.core.record import Record, RecordCodec
+from repro.errors import StorageError
+
+
+@pytest.fixture
+def codec(schema):
+    return RecordCodec(schema)
+
+
+def make_page(codec, number, file_name="f.heap"):
+    page = Page(PageId(file_name, number), codec, page_size=512)
+    page.append(Record((number, 0, 0, 0)))
+    return page
+
+
+class TestBufferPool:
+    def test_get_page_calls_loader_on_miss(self, codec):
+        pool = BufferPool(capacity_pages=4)
+        calls = []
+
+        def loader():
+            calls.append(1)
+            return make_page(codec, 0)
+
+        page_id = PageId("f.heap", 0)
+        pool.get_page(page_id, loader)
+        pool.get_page(page_id, loader)
+        assert len(calls) == 1
+        assert pool.stats.hits == 1
+        assert pool.stats.misses == 1
+
+    def test_hit_rate(self, codec):
+        pool = BufferPool(capacity_pages=4)
+        page_id = PageId("f.heap", 0)
+        pool.get_page(page_id, lambda: make_page(codec, 0))
+        pool.get_page(page_id, lambda: make_page(codec, 0))
+        assert pool.stats.hit_rate == pytest.approx(0.5)
+
+    def test_lru_eviction(self, codec):
+        pool = BufferPool(capacity_pages=2)
+        for number in range(3):
+            pool.put_page(make_page(codec, number))
+        assert len(pool) == 2
+        assert pool.stats.evictions == 1
+
+    def test_eviction_prefers_least_recent(self, codec):
+        pool = BufferPool(capacity_pages=2)
+        pool.put_page(make_page(codec, 0))
+        pool.put_page(make_page(codec, 1))
+        # Touch page 0 so page 1 becomes the LRU victim.
+        pool.get_page(PageId("f.heap", 0), lambda: make_page(codec, 0))
+        pool.put_page(make_page(codec, 2))
+        pool.get_page(PageId("f.heap", 0), lambda: make_page(codec, 0))
+        assert pool.stats.misses == 0
+
+    def test_pinned_pages_not_evicted(self, codec):
+        pool = BufferPool(capacity_pages=2)
+        pool.put_page(make_page(codec, 0))
+        pool.put_page(make_page(codec, 1))
+        pool.pin(PageId("f.heap", 0))
+        pool.pin(PageId("f.heap", 1))
+        pool.put_page(make_page(codec, 2))
+        # Both pinned pages remain; the pool grows instead of failing.
+        assert len(pool) == 3
+
+    def test_unpin_requires_pin(self, codec):
+        pool = BufferPool(capacity_pages=2)
+        pool.put_page(make_page(codec, 0))
+        with pytest.raises(StorageError):
+            pool.unpin(PageId("f.heap", 0))
+
+    def test_pin_nonresident_rejected(self):
+        pool = BufferPool(capacity_pages=2)
+        with pytest.raises(StorageError):
+            pool.pin(PageId("f.heap", 0))
+
+    def test_dirty_page_flushed_on_eviction(self, codec):
+        flushed = []
+        pool = BufferPool(capacity_pages=1)
+        pool.put_page(make_page(codec, 0), dirty=True, flusher=flushed.append)
+        pool.put_page(make_page(codec, 1))
+        assert len(flushed) == 1
+        assert pool.stats.flushes == 1
+
+    def test_flush_all(self, codec):
+        flushed = []
+        pool = BufferPool(capacity_pages=4)
+        pool.put_page(make_page(codec, 0), dirty=True, flusher=flushed.append)
+        pool.put_page(make_page(codec, 1), dirty=False, flusher=flushed.append)
+        pool.flush_all()
+        assert len(flushed) == 1
+
+    def test_mark_dirty_then_clear_flushes(self, codec):
+        flushed = []
+        pool = BufferPool(capacity_pages=4)
+        pool.put_page(make_page(codec, 0), flusher=flushed.append)
+        pool.mark_dirty(PageId("f.heap", 0))
+        pool.clear()
+        assert len(flushed) == 1
+        assert len(pool) == 0
+
+    def test_mark_dirty_nonresident_rejected(self):
+        pool = BufferPool(capacity_pages=4)
+        with pytest.raises(StorageError):
+            pool.mark_dirty(PageId("f.heap", 0))
+
+    def test_invalidate_file_drops_only_that_file(self, codec):
+        pool = BufferPool(capacity_pages=8)
+        pool.put_page(make_page(codec, 0, "a.heap"))
+        pool.put_page(make_page(codec, 0, "b.heap"))
+        pool.invalidate_file("a.heap")
+        assert len(pool) == 1
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(StorageError):
+            BufferPool(capacity_pages=0)
+
+    def test_stats_reset(self, codec):
+        pool = BufferPool(capacity_pages=2)
+        pool.get_page(PageId("f.heap", 0), lambda: make_page(codec, 0))
+        pool.stats.reset()
+        assert pool.stats.misses == 0

@@ -1,0 +1,71 @@
+"""Tests for the dataset catalog."""
+
+import pytest
+
+from repro.core.catalog import Catalog, RelationInfo
+from repro.core.schema import Column, ColumnType, Schema
+from repro.errors import SchemaError, StorageError
+
+
+@pytest.fixture
+def catalog(tmp_path):
+    return Catalog(str(tmp_path / "db"))
+
+
+class TestCatalog:
+    def test_create_and_lookup(self, catalog, schema):
+        catalog.create_relation("events", schema, "hybrid")
+        info = catalog.relation("events")
+        assert info.name == "events"
+        assert info.engine_kind == "hybrid"
+        assert info.schema.column_names == schema.column_names
+
+    def test_duplicate_rejected(self, catalog, schema):
+        catalog.create_relation("events", schema, "hybrid")
+        with pytest.raises(StorageError):
+            catalog.create_relation("events", schema, "hybrid")
+
+    def test_invalid_name_rejected(self, catalog, schema):
+        with pytest.raises(SchemaError):
+            catalog.create_relation("bad name", schema, "hybrid")
+
+    def test_unknown_relation(self, catalog):
+        with pytest.raises(StorageError):
+            catalog.relation("missing")
+
+    def test_drop_relation(self, catalog, schema):
+        catalog.create_relation("events", schema, "hybrid")
+        catalog.drop_relation("events")
+        assert "events" not in catalog
+        with pytest.raises(StorageError):
+            catalog.drop_relation("events")
+
+    def test_persistence_across_reopen(self, tmp_path, schema):
+        directory = str(tmp_path / "db")
+        catalog = Catalog(directory)
+        catalog.create_relation("events", schema, "tuple-first")
+        reopened = Catalog(directory)
+        assert len(reopened) == 1
+        assert reopened.relation("events").engine_kind == "tuple-first"
+
+    def test_persistence_of_mixed_schema(self, tmp_path):
+        schema = Schema(
+            (
+                Column("id", ColumnType.INT),
+                Column("name", ColumnType.STRING, width=20),
+            )
+        )
+        directory = str(tmp_path / "db")
+        Catalog(directory).create_relation("people", schema, "hybrid")
+        restored = Catalog(directory).relation("people").schema
+        assert restored.column("name").width == 20
+        assert restored.column("name").type is ColumnType.STRING
+
+    def test_relations_sorted(self, catalog, schema):
+        catalog.create_relation("zeta", schema, "hybrid")
+        catalog.create_relation("alpha", schema, "hybrid")
+        assert [info.name for info in catalog.relations()] == ["alpha", "zeta"]
+
+    def test_relation_info_roundtrip(self, schema):
+        info = RelationInfo("r", schema, "hybrid")
+        assert RelationInfo.from_dict(info.to_dict()).schema == schema

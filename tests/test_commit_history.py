@@ -1,0 +1,119 @@
+"""Tests for delta-compressed commit histories."""
+
+import pytest
+
+from repro.bitmap.bitmap import Bitmap
+from repro.bitmap.delta import CommitHistory
+from repro.errors import CommitNotFoundError, StorageError
+
+
+def snapshots(count: int, stride: int = 5) -> list[Bitmap]:
+    """A growing series of bitmaps, each extending the previous one."""
+    result = []
+    bitmap = Bitmap()
+    for i in range(count):
+        bitmap = bitmap.copy()
+        for bit in range(i * stride, (i + 1) * stride):
+            bitmap.set(bit)
+        result.append(bitmap)
+    return result
+
+
+class TestCommitHistory:
+    def test_checkout_reconstructs_every_snapshot(self):
+        history = CommitHistory()
+        series = snapshots(20)
+        for i, snapshot in enumerate(series):
+            history.record_commit(f"c{i}", snapshot)
+        for i, snapshot in enumerate(series):
+            assert history.checkout(f"c{i}") == snapshot
+
+    def test_checkout_with_bit_clears(self):
+        history = CommitHistory()
+        first = Bitmap.from_indices([1, 2, 3, 4])
+        second = first.copy()
+        second.clear(2)
+        second.set(10)
+        history.record_commit("a", first)
+        history.record_commit("b", second)
+        assert history.checkout("a") == first
+        assert history.checkout("b") == second
+
+    def test_latest_snapshot(self):
+        history = CommitHistory()
+        series = snapshots(3)
+        for i, snapshot in enumerate(series):
+            history.record_commit(f"c{i}", snapshot)
+        assert history.latest_snapshot() == series[-1]
+
+    def test_duplicate_commit_rejected(self):
+        history = CommitHistory()
+        history.record_commit("a", Bitmap.from_indices([1]))
+        with pytest.raises(StorageError):
+            history.record_commit("a", Bitmap.from_indices([2]))
+
+    def test_unknown_commit_rejected(self):
+        history = CommitHistory()
+        with pytest.raises(CommitNotFoundError):
+            history.checkout("missing")
+
+    def test_contains_and_len(self):
+        history = CommitHistory()
+        history.record_commit("a", Bitmap())
+        assert "a" in history and "b" not in history
+        assert len(history) == 1
+        assert history.commit_ids == ["a"]
+
+    def test_composite_layer_present(self):
+        history = CommitHistory(layer_interval=4)
+        for i, snapshot in enumerate(snapshots(12)):
+            history.record_commit(f"c{i}", snapshot)
+        # 12 base deltas and 3 composites.
+        assert history.size_bytes() > history.base_delta_bytes()
+
+    def test_flat_chain_when_layering_disabled(self):
+        history = CommitHistory(layer_interval=0)
+        series = snapshots(10)
+        for i, snapshot in enumerate(series):
+            history.record_commit(f"c{i}", snapshot)
+        assert history.size_bytes() >= history.base_delta_bytes()
+        for i, snapshot in enumerate(series):
+            assert history.checkout(f"c{i}") == snapshot
+
+    def test_layered_and_flat_agree(self):
+        layered = CommitHistory(layer_interval=3)
+        flat = CommitHistory(layer_interval=0)
+        series = snapshots(17, stride=3)
+        for i, snapshot in enumerate(series):
+            layered.record_commit(f"c{i}", snapshot)
+            flat.record_commit(f"c{i}", snapshot)
+        for i in range(len(series)):
+            assert layered.checkout(f"c{i}") == flat.checkout(f"c{i}")
+
+    def test_persistence_roundtrip(self, tmp_path):
+        path = str(tmp_path / "history.hist")
+        history = CommitHistory(path=path, layer_interval=4)
+        series = snapshots(9)
+        for i, snapshot in enumerate(series):
+            history.record_commit(f"c{i}", snapshot)
+        reloaded = CommitHistory(path=path, layer_interval=4)
+        reloaded.rebind_commit_ids([f"c{i}" for i in range(len(series))])
+        assert reloaded.latest_snapshot() == series[-1]
+        for i, snapshot in enumerate(series):
+            assert reloaded.checkout(f"c{i}") == snapshot
+
+    def test_rebind_length_mismatch_rejected(self, tmp_path):
+        path = str(tmp_path / "history.hist")
+        history = CommitHistory(path=path)
+        history.record_commit("a", Bitmap.from_indices([1]))
+        reloaded = CommitHistory(path=path)
+        with pytest.raises(StorageError):
+            reloaded.rebind_commit_ids(["a", "b"])
+
+    def test_size_is_small_relative_to_raw_snapshots(self):
+        history = CommitHistory()
+        series = snapshots(30, stride=50)
+        for i, snapshot in enumerate(series):
+            history.record_commit(f"c{i}", snapshot)
+        raw = sum(len(s.to_bytes()) for s in series)
+        assert history.size_bytes() < raw

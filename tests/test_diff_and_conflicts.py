@@ -1,0 +1,151 @@
+"""Tests for diff results and field-level conflict detection/resolution."""
+
+import pytest
+
+from repro.core.record import Record
+from repro.versioning.conflicts import (
+    ConflictResolution,
+    PrecedencePolicy,
+    ThreeWayPolicy,
+    detect_record_conflict,
+)
+from repro.versioning.diff import DiffResult
+
+
+class TestDiffResult:
+    def test_from_record_maps(self, schema):
+        map_a = {1: Record((1, 1, 1, 1)), 2: Record((2, 2, 2, 2)), 3: Record((3, 0, 0, 0))}
+        map_b = {2: Record((2, 2, 2, 2)), 3: Record((3, 9, 9, 9)), 4: Record((4, 4, 4, 4))}
+        diff = DiffResult.from_record_maps("a", "b", map_a, map_b)
+        assert {r.values[0] for r in diff.positive} == {1, 3}
+        assert {r.values[0] for r in diff.negative} == {3, 4}
+        assert diff.modified_keys(schema) == {3}
+        assert not diff.is_empty
+        assert diff.total_records == 4
+
+    def test_identical_maps_are_empty(self, schema):
+        record = Record((1, 1, 1, 1))
+        diff = DiffResult.from_record_maps("a", "b", {1: record}, {1: record})
+        assert diff.is_empty
+
+    def test_size_bytes_uses_record_width(self, schema):
+        diff = DiffResult.from_record_maps(
+            "a", "b", {1: Record((1, 1, 1, 1))}, {}
+        )
+        assert diff.size_bytes(schema) == schema.record_width + 1
+
+    def test_key_sets(self, schema):
+        diff = DiffResult(
+            "a",
+            "b",
+            positive=[Record((1, 0, 0, 0))],
+            negative=[Record((2, 0, 0, 0))],
+        )
+        assert diff.keys_only_in_a(schema) == {1}
+        assert diff.keys_only_in_b(schema) == {2}
+
+
+class TestConflictDetection:
+    def test_no_conflict_when_identical(self, schema):
+        record = Record((1, 5, 5, 5))
+        conflict = detect_record_conflict(schema, 1, record, record, Record((1, 0, 0, 0)))
+        assert not conflict.has_conflicts
+
+    def test_no_conflict_for_disjoint_field_updates(self, schema):
+        ancestor = Record((1, 0, 0, 0))
+        side_a = Record((1, 7, 0, 0))  # changed c1
+        side_b = Record((1, 0, 0, 9))  # changed c3
+        conflict = detect_record_conflict(schema, 1, side_a, side_b, ancestor)
+        assert not conflict.has_conflicts
+
+    def test_conflict_when_same_field_diverges(self, schema):
+        ancestor = Record((1, 0, 0, 0))
+        side_a = Record((1, 7, 0, 0))
+        side_b = Record((1, 8, 0, 0))
+        conflict = detect_record_conflict(schema, 1, side_a, side_b, ancestor)
+        assert conflict.has_conflicts
+        assert [fc.column for fc in conflict.field_conflicts] == ["c1"]
+        assert conflict.field_conflicts[0].value_a == 7
+        assert conflict.field_conflicts[0].value_b == 8
+        assert conflict.field_conflicts[0].ancestor_value == 0
+
+    def test_delete_modify_conflict(self, schema):
+        ancestor = Record((1, 0, 0, 0))
+        conflict = detect_record_conflict(schema, 1, None, Record((1, 3, 0, 0)), ancestor)
+        assert conflict.is_delete_modify and conflict.has_conflicts
+
+    def test_double_delete_is_not_a_conflict(self, schema):
+        conflict = detect_record_conflict(schema, 1, None, None, Record((1, 0, 0, 0)))
+        assert not conflict.has_conflicts
+
+    def test_without_ancestor_every_divergent_field_conflicts(self, schema):
+        conflict = detect_record_conflict(
+            schema, 1, Record((1, 1, 0, 0)), Record((1, 2, 0, 0)), None
+        )
+        assert conflict.has_conflicts
+
+
+class TestPolicies:
+    def test_precedence_prefers_a(self, schema):
+        conflict = detect_record_conflict(
+            schema, 1, Record((1, 1, 0, 0)), Record((1, 2, 0, 0)), Record((1, 0, 0, 0))
+        )
+        resolved, how = PrecedencePolicy(prefer="a").resolve(schema, conflict)
+        assert resolved.values == (1, 1, 0, 0)
+        assert how is ConflictResolution.SIDE_A
+
+    def test_precedence_prefers_b(self, schema):
+        conflict = detect_record_conflict(
+            schema, 1, Record((1, 1, 0, 0)), Record((1, 2, 0, 0)), Record((1, 0, 0, 0))
+        )
+        resolved, how = PrecedencePolicy(prefer="b").resolve(schema, conflict)
+        assert resolved.values == (1, 2, 0, 0)
+        assert how is ConflictResolution.SIDE_B
+
+    def test_precedence_delete_wins_for_preferred_side(self, schema):
+        conflict = detect_record_conflict(
+            schema, 1, None, Record((1, 2, 0, 0)), Record((1, 0, 0, 0))
+        )
+        resolved, how = PrecedencePolicy(prefer="a").resolve(schema, conflict)
+        assert resolved is None
+        assert how is ConflictResolution.DELETED
+
+    def test_three_way_merges_disjoint_updates(self, schema):
+        ancestor = Record((1, 0, 0, 0))
+        side_a = Record((1, 7, 0, 0))
+        side_b = Record((1, 0, 0, 9))
+        conflict = detect_record_conflict(schema, 1, side_a, side_b, ancestor)
+        resolved, how = ThreeWayPolicy(prefer="a").resolve(schema, conflict)
+        assert resolved.values == (1, 7, 0, 9)
+        assert how is ConflictResolution.MERGED
+
+    def test_three_way_conflicting_field_uses_preference(self, schema):
+        ancestor = Record((1, 0, 0, 0))
+        side_a = Record((1, 7, 0, 0))
+        side_b = Record((1, 8, 0, 5))
+        resolved_a, _ = ThreeWayPolicy(prefer="a").resolve(
+            schema, detect_record_conflict(schema, 1, side_a, side_b, ancestor)
+        )
+        resolved_b, _ = ThreeWayPolicy(prefer="b").resolve(
+            schema, detect_record_conflict(schema, 1, side_a, side_b, ancestor)
+        )
+        # The disjoint c3 update always merges in; c1 follows the preference.
+        assert resolved_a.values == (1, 7, 0, 5)
+        assert resolved_b.values == (1, 8, 0, 5)
+
+    def test_three_way_delete_modify_follows_preference(self, schema):
+        ancestor = Record((1, 0, 0, 0))
+        conflict = detect_record_conflict(schema, 1, None, Record((1, 3, 0, 0)), ancestor)
+        resolved, how = ThreeWayPolicy(prefer="a").resolve(schema, conflict)
+        assert resolved is None and how is ConflictResolution.DELETED
+        resolved, how = ThreeWayPolicy(prefer="b").resolve(schema, conflict)
+        assert resolved.values == (1, 3, 0, 0)
+
+    def test_three_way_only_b_changed(self, schema):
+        ancestor = Record((1, 0, 0, 0))
+        side_a = Record((1, 0, 0, 0))
+        side_b = Record((1, 0, 4, 0))
+        conflict = detect_record_conflict(schema, 1, side_a, side_b, ancestor)
+        resolved, how = ThreeWayPolicy(prefer="a").resolve(schema, conflict)
+        assert resolved.values == (1, 0, 4, 0)
+        assert how is ConflictResolution.SIDE_B

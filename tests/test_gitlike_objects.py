@@ -1,0 +1,153 @@
+"""Tests for the git-like object store and delta/packfile machinery."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.gitlike.object_store import ObjectStore
+from repro.gitlike.packfile import PackFile, delta_decode, delta_encode, repack
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ObjectStore(str(tmp_path / "objects"))
+
+
+class TestObjectStore:
+    def test_put_get_roundtrip(self, store):
+        object_id = store.put(b"hello world")
+        assert store.get(object_id) == b"hello world"
+
+    def test_hash_is_content_addressed(self, store):
+        assert store.put(b"same") == store.put(b"same")
+        assert store.put(b"a") != store.put(b"b")
+
+    def test_hash_depends_on_type(self):
+        assert ObjectStore.hash_object(b"x", "blob") != ObjectStore.hash_object(
+            b"x", "tree"
+        )
+
+    def test_object_type_recorded(self, store):
+        object_id = store.put(b"{}", "tree")
+        assert store.object_type(object_id) == "tree"
+
+    def test_contains_and_len(self, store):
+        object_id = store.put(b"data")
+        assert store.contains(object_id)
+        assert len(store) == 1
+
+    def test_missing_object_rejected(self, store):
+        with pytest.raises(StorageError):
+            store.get("0" * 40)
+
+    def test_remove(self, store):
+        object_id = store.put(b"data")
+        store.remove(object_id)
+        assert not store.contains(object_id)
+        with pytest.raises(StorageError):
+            store.get(object_id)
+
+    def test_size_bytes_positive_and_compressed(self, store):
+        object_id = store.put(b"\x00" * 10_000)
+        assert 0 < store.size_bytes() < 10_000
+        assert store.all_ids() == [object_id]
+
+    def test_rescan_on_reopen(self, tmp_path):
+        directory = str(tmp_path / "objects")
+        first = ObjectStore(directory)
+        object_id = first.put(b"persisted")
+        second = ObjectStore(directory)
+        assert second.contains(object_id)
+        assert second.get(object_id) == b"persisted"
+
+
+class TestDeltaCodec:
+    def test_roundtrip_identical(self):
+        base = b"abcdefgh" * 100
+        delta = delta_encode(base, base)
+        assert delta_decode(base, delta) == base
+        assert len(delta) < len(base)
+
+    def test_roundtrip_with_appended_tail(self):
+        base = b"x" * 1000
+        target = base + b"new tail data"
+        delta = delta_encode(base, target)
+        assert delta_decode(base, delta) == target
+        assert len(delta) < len(target)
+
+    def test_roundtrip_disjoint_content(self):
+        base = b"a" * 300
+        target = bytes(range(256)) * 2
+        delta = delta_encode(base, target)
+        assert delta_decode(base, delta) == target
+
+    def test_roundtrip_empty_target(self):
+        assert delta_decode(b"base", delta_encode(b"base", b"")) == b""
+
+    def test_roundtrip_empty_base(self):
+        target = b"some content"
+        assert delta_decode(b"", delta_encode(b"", target)) == target
+
+    def test_modified_middle_block(self):
+        base = bytes(range(200)) * 10
+        target = bytearray(base)
+        target[512:520] = b"REWRITE!"
+        target = bytes(target)
+        delta = delta_encode(base, target)
+        assert delta_decode(base, delta) == target
+        assert len(delta) < len(target)
+
+
+class TestPackFile:
+    def test_full_and_delta_entries(self):
+        pack = PackFile()
+        base = b"base content " * 50
+        target = base + b"plus a little more"
+        pack.add_full("a" * 40, base)
+        pack.add_delta("b" * 40, "a" * 40, delta_encode(base, target))
+        assert pack.get("a" * 40) == base
+        assert pack.get("b" * 40) == target
+        assert len(pack) == 2
+
+    def test_missing_object_rejected(self):
+        with pytest.raises(StorageError):
+            PackFile().get("c" * 40)
+
+    def test_save_load_roundtrip(self, tmp_path):
+        pack = PackFile()
+        base = b"0123456789" * 100
+        pack.add_full("a" * 40, base)
+        pack.add_delta("b" * 40, "a" * 40, delta_encode(base, base + b"tail"))
+        path = str(tmp_path / "test.pack")
+        pack.save(path)
+        loaded = PackFile.load(path)
+        assert loaded.get("b" * 40) == base + b"tail"
+        assert loaded.size_bytes() > 0
+
+
+class TestRepack:
+    def test_repack_compresses_similar_objects(self, store):
+        base = bytes(range(256)) * 40
+        ids = []
+        for i in range(8):
+            variant = bytearray(base)
+            variant[i * 10 : i * 10 + 4] = b"diff"
+            ids.append(store.put(bytes(variant)))
+        loose = store.size_bytes()
+        pack = repack(store, ids, window=10)
+        assert pack.size_bytes() < loose * 1.1
+        for object_id in ids:
+            assert pack.get(object_id) == store.get(object_id)
+        # Most objects should have been stored as deltas against a neighbour.
+        kinds = [entry.kind for entry in pack.entries.values()]
+        assert kinds.count("delta") >= len(ids) - 2
+
+    def test_repack_keeps_dissimilar_objects_full(self, store):
+        import random
+
+        rng = random.Random(1)
+        ids = [
+            store.put(bytes(rng.randrange(256) for _ in range(500))) for _ in range(4)
+        ]
+        pack = repack(store, ids, window=10)
+        for object_id in ids:
+            assert pack.get(object_id) == store.get(object_id)

@@ -1,0 +1,212 @@
+"""Tests for the git-like repository and its Decibel-API adapter."""
+
+import pytest
+
+from repro.core.record import Record
+from repro.core.schema import Schema
+from repro.errors import StorageError, VersionError
+from repro.gitlike.engine import GitRecordFormat, GitStorageLayout, GitVersionedStore
+from repro.gitlike.repo import GitLikeRepo
+
+from tests.conftest import make_records
+
+
+@pytest.fixture
+def repo(tmp_path):
+    return GitLikeRepo(str(tmp_path / "repo"))
+
+
+class TestGitLikeRepo:
+    def test_commit_and_checkout(self, repo):
+        commit_id = repo.commit("master", {"a.txt": b"hello", "b.txt": b"world"})
+        assert repo.checkout(commit_id) == {"a.txt": b"hello", "b.txt": b"world"}
+        assert repo.head_of("master") == commit_id
+
+    def test_commit_chain_and_log(self, repo):
+        first = repo.commit("master", {"a.txt": b"v1"})
+        second = repo.commit("master", {"a.txt": b"v2"})
+        assert repo.commit_info(second)["parents"] == [first]
+        assert set(repo.log("master")) == {first, second}
+
+    def test_branching(self, repo):
+        base = repo.commit("master", {"a.txt": b"v1"})
+        repo.create_branch("dev", "master")
+        dev_commit = repo.commit("dev", {"a.txt": b"v1", "b.txt": b"dev"})
+        assert repo.head_of("master") == base
+        assert repo.head_of("dev") == dev_commit
+        assert sorted(repo.branches()) == ["dev", "master"]
+
+    def test_duplicate_branch_rejected(self, repo):
+        repo.commit("master", {"a.txt": b"v1"})
+        repo.create_branch("dev", "master")
+        with pytest.raises(VersionError):
+            repo.create_branch("dev", "master")
+
+    def test_unknown_branch_rejected(self, repo):
+        with pytest.raises(VersionError):
+            repo.head_of("nope")
+
+    def test_diff_reports_file_changes(self, repo):
+        first = repo.commit("master", {"a.txt": b"v1", "b.txt": b"x"})
+        second = repo.commit("master", {"a.txt": b"v2", "c.txt": b"new"})
+        diff = repo.diff(first, second)
+        assert diff["added"] == ["c.txt"]
+        assert diff["removed"] == ["b.txt"]
+        assert diff["modified"] == ["a.txt"]
+
+    def test_identical_commits_share_blobs(self, repo):
+        repo.commit("master", {"a.txt": b"same"})
+        objects_before = len(repo.objects)
+        repo.commit("master", {"a.txt": b"same"})
+        # Only the commit object is new; blob and tree are content-addressed.
+        assert len(repo.objects) == objects_before + 1
+
+    def test_repack_preserves_history(self, repo):
+        commits = [
+            repo.commit("master", {"data.bin": bytes([i]) * 2000}) for i in range(5)
+        ]
+        report = repo.repack()
+        assert report.objects_packed > 0
+        assert report.pack_bytes_after > 0
+        # All commits remain readable from the pack.
+        for i, commit_id in enumerate(commits):
+            assert repo.checkout(commit_id)["data.bin"] == bytes([i]) * 2000
+        # Loose objects were removed.
+        assert len(repo.objects) == 0
+        assert repo.repo_size_bytes() > 0
+
+    def test_missing_object_after_tamper(self, repo, tmp_path):
+        commit_id = repo.commit("master", {"a.txt": b"data"})
+        blob_id = repo.tree_of(commit_id)["a.txt"]
+        repo.objects.remove(blob_id)
+        with pytest.raises(StorageError):
+            repo.checkout(commit_id)
+
+    def test_refs_persist_across_reopen(self, tmp_path):
+        directory = str(tmp_path / "repo")
+        first = GitLikeRepo(directory)
+        commit_id = first.commit("master", {"a": b"1"})
+        second = GitLikeRepo(directory)
+        assert second.head_of("master") == commit_id
+
+
+@pytest.fixture(params=["single-file", "file-per-tuple"])
+def layout(request):
+    return GitStorageLayout(request.param)
+
+
+@pytest.fixture(params=["csv", "binary"])
+def record_format(request):
+    return GitRecordFormat(request.param)
+
+
+@pytest.fixture
+def git_store(tmp_path, schema, layout, record_format):
+    return GitVersionedStore(
+        str(tmp_path / "store"), schema, layout=layout, record_format=record_format
+    )
+
+
+class TestGitVersionedStore:
+    def test_init_and_scan(self, git_store):
+        git_store.init(make_records(10))
+        assert len(git_store.scan_branch("master")) == 10
+
+    def test_double_init_rejected(self, git_store):
+        git_store.init([])
+        with pytest.raises(VersionError):
+            git_store.init([])
+
+    def test_commit_checkout_roundtrip(self, git_store, schema):
+        git_store.init(make_records(5))
+        git_store.insert("master", Record((100, 1, 2, 3)))
+        commit_id = git_store.commit("master")
+        git_store.delete("master", 100)
+        git_store.commit("master")
+        restored = {r.key(schema): r for r in git_store.checkout(commit_id)}
+        assert 100 in restored
+        assert restored[100].values == (100, 1, 2, 3)
+
+    def test_update_and_delete(self, git_store, schema):
+        git_store.init(make_records(5))
+        git_store.update("master", Record((2, 9, 9, 9)))
+        git_store.delete("master", 3)
+        records = {r.key(schema): r.values for r in git_store.scan_branch("master")}
+        assert records[2] == (2, 9, 9, 9)
+        assert 3 not in records
+        with pytest.raises(StorageError):
+            git_store.delete("master", 3)
+
+    def test_branch_isolation(self, git_store, schema):
+        git_store.init(make_records(5))
+        git_store.create_branch("dev", from_branch="master")
+        git_store.insert("dev", Record((200, 0, 0, 0)))
+        assert git_store.branch_contains_key("dev", 200)
+        assert not git_store.branch_contains_key("master", 200)
+
+    def test_duplicate_branch_rejected(self, git_store):
+        git_store.init([])
+        git_store.create_branch("dev")
+        with pytest.raises(VersionError):
+            git_store.create_branch("dev")
+
+    def test_sizes_and_repack(self, git_store):
+        git_store.init(make_records(50))
+        for i in range(3):
+            git_store.update("master", Record((i, 5, 5, 5)))
+            git_store.commit("master")
+        assert git_store.data_size_bytes() > 0
+        before = git_store.repo_size_bytes()
+        report = git_store.repack()
+        assert report.objects_packed > 0
+        assert report.loose_bytes_before == pytest.approx(before, rel=0.01)
+        assert git_store.repo_size_bytes() > 0
+        # Every loose object moved into the pack.
+        assert len(git_store.repo.objects) == 0
+
+    def test_commits_listing(self, git_store):
+        git_store.init([])
+        first = git_store.commit("master")
+        second = git_store.commit("master")
+        assert git_store.commits("master")[-2:] == [first, second]
+
+
+class TestGitStoreFormats:
+    def test_csv_and_binary_agree(self, tmp_path, schema):
+        records = make_records(8)
+        contents = {}
+        for record_format in ("csv", "binary"):
+            store = GitVersionedStore(
+                str(tmp_path / record_format),
+                schema,
+                layout="single-file",
+                record_format=record_format,
+            )
+            commit_id = store.init(records)
+            contents[record_format] = {r.values for r in store.checkout(commit_id)}
+        assert contents["csv"] == contents["binary"]
+
+    def test_csv_is_larger_than_binary(self, tmp_path):
+        schema = Schema.of_ints(6)
+        records = [
+            Record(tuple(10**9 + i for i in range(6))) for _ in range(20)
+        ]
+        sizes = {}
+        for record_format in ("csv", "binary"):
+            store = GitVersionedStore(
+                str(tmp_path / f"fmt_{record_format}"),
+                schema,
+                layout="single-file",
+                record_format=record_format,
+            )
+            store.init(records)
+            sizes[record_format] = store.data_size_bytes()
+        assert sizes["csv"] > sizes["binary"]
+
+    def test_file_per_tuple_creates_many_blobs(self, tmp_path, schema):
+        store = GitVersionedStore(
+            str(tmp_path / "fpt"), schema, layout="file-per-tuple"
+        )
+        store.init(make_records(12))
+        # Twelve blobs plus a tree plus a commit.
+        assert len(store.repo.objects) >= 14

@@ -1,0 +1,106 @@
+"""Tests for append-only heap files."""
+
+import pytest
+
+from repro.core.buffer_pool import BufferPool
+from repro.core.heapfile import HeapFile, RecordId
+from repro.core.record import Record
+from repro.errors import StorageError
+
+from tests.conftest import make_records
+
+
+@pytest.fixture
+def heap(schema, buffer_pool, tmp_path):
+    return HeapFile(str(tmp_path / "data.heap"), schema, buffer_pool, page_size=512)
+
+
+class TestHeapFile:
+    def test_append_assigns_sequential_ids(self, heap):
+        ids = heap.append_many(make_records(5))
+        ordinals = [rid.ordinal(heap.records_per_page) for rid in ids]
+        assert ordinals == [0, 1, 2, 3, 4]
+
+    def test_num_records_counts_appends(self, heap):
+        heap.append_many(make_records(7))
+        assert heap.num_records == 7
+
+    def test_record_at_roundtrip(self, heap):
+        records = make_records(10)
+        ids = heap.append_many(records)
+        for rid, record in zip(ids, records):
+            assert heap.record_at(rid) == record
+
+    def test_record_by_ordinal(self, heap):
+        records = make_records(30)
+        heap.append_many(records)
+        assert heap.record_by_ordinal(17) == records[17]
+
+    def test_scan_preserves_order(self, heap):
+        records = make_records(25)
+        heap.append_many(records)
+        assert list(heap.scan_records()) == records
+
+    def test_spans_multiple_pages(self, heap):
+        count = heap.records_per_page * 3 + 2
+        heap.append_many(make_records(count))
+        assert heap.num_pages == 4
+        assert heap.num_records == count
+
+    def test_persistence_across_reopen(self, schema, buffer_pool, tmp_path):
+        path = str(tmp_path / "data.heap")
+        heap = HeapFile(path, schema, buffer_pool, page_size=512)
+        records = make_records(heap.records_per_page * 2 + 3)
+        heap.append_many(records)
+        heap.flush()
+        reopened = HeapFile(path, schema, BufferPool(), page_size=512)
+        assert list(reopened.scan_records()) == records
+        assert reopened.num_records == len(records)
+
+    def test_append_after_reopen(self, schema, tmp_path):
+        path = str(tmp_path / "data.heap")
+        heap = HeapFile(path, schema, BufferPool(), page_size=512)
+        heap.append_many(make_records(5))
+        heap.flush()
+        reopened = HeapFile(path, schema, BufferPool(), page_size=512)
+        reopened.append(Record((100, 0, 0, 0)))
+        assert reopened.num_records == 6
+        assert reopened.record_by_ordinal(5).values[0] == 100
+
+    def test_size_bytes_after_flush(self, heap):
+        heap.append_many(make_records(3))
+        heap.flush()
+        assert heap.size_bytes() == 512
+
+    def test_empty_file_size(self, heap):
+        assert heap.size_bytes() == 0
+        assert list(heap.scan()) == []
+
+    def test_out_of_range_page_rejected(self, heap):
+        heap.append_many(make_records(2))
+        with pytest.raises(StorageError):
+            heap.record_at(RecordId(5, 0))
+
+    def test_close_flushes(self, schema, tmp_path):
+        path = str(tmp_path / "data.heap")
+        heap = HeapFile(path, schema, BufferPool(), page_size=512)
+        heap.append_many(make_records(3))
+        heap.close()
+        reopened = HeapFile(path, schema, BufferPool(), page_size=512)
+        assert reopened.num_records == 3
+
+    def test_corrupt_size_detected(self, schema, tmp_path):
+        path = str(tmp_path / "data.heap")
+        with open(path, "wb") as handle:
+            handle.write(b"\x00" * 100)  # not a multiple of the page size
+        with pytest.raises(StorageError):
+            HeapFile(path, schema, BufferPool(), page_size=512)
+
+
+class TestRecordId:
+    def test_ordering(self):
+        assert RecordId(0, 5) < RecordId(1, 0)
+        assert RecordId(1, 0) < RecordId(1, 3)
+
+    def test_ordinal(self):
+        assert RecordId(2, 3).ordinal(10) == 23

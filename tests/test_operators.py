@@ -1,0 +1,125 @@
+"""Tests for the iterator-style query operators."""
+
+import pytest
+
+from repro.core.operators import (
+    Aggregate,
+    Filter,
+    HashJoin,
+    Limit,
+    Project,
+    SeqScan,
+    materialize,
+)
+from repro.core.predicates import ColumnPredicate
+from repro.core.record import Record
+from repro.core.schema import Schema
+from repro.errors import QueryError
+
+from tests.conftest import make_records
+
+
+@pytest.fixture
+def scan(schema):
+    return SeqScan(make_records(10), schema)
+
+
+class TestSeqScanAndFilter:
+    def test_seq_scan_yields_all(self, scan):
+        assert len(materialize(scan)) == 10
+
+    def test_filter_applies_predicate(self, scan):
+        filtered = Filter(scan, ColumnPredicate("id", ">=", 5))
+        assert [r.values[0] for r in filtered] == [5, 6, 7, 8, 9]
+
+    def test_filter_preserves_schema(self, scan):
+        assert Filter(scan, ColumnPredicate("id", ">", 0)).schema is scan.schema
+
+
+class TestProject:
+    def test_projects_columns(self, scan):
+        projected = Project(scan, ["c1", "id"])
+        rows = materialize(projected)
+        assert rows[3].values == (30, 3)
+        assert projected.schema.column_names == ("c1", "id")
+
+    def test_rejects_unknown_column(self, scan):
+        with pytest.raises(Exception):
+            Project(scan, ["nope"])
+
+
+class TestLimit:
+    def test_limits_output(self, scan):
+        assert len(materialize(Limit(scan, 3))) == 3
+
+    def test_zero_limit(self, scan):
+        assert materialize(Limit(scan, 0)) == []
+
+    def test_negative_limit_rejected(self, scan):
+        with pytest.raises(QueryError):
+            Limit(scan, -1)
+
+    def test_limit_larger_than_input(self, scan):
+        assert len(materialize(Limit(scan, 100))) == 10
+
+
+class TestHashJoin:
+    def test_self_join_on_key(self, schema):
+        left = SeqScan(make_records(10), schema)
+        right = SeqScan(make_records(5), schema)
+        joined = HashJoin(left, right, "id", "id")
+        rows = materialize(joined)
+        assert len(rows) == 5
+        assert all(row.values[0] == row.values[4] for row in rows)
+
+    def test_join_renames_duplicate_columns(self, schema):
+        joined = HashJoin(
+            SeqScan([], schema), SeqScan([], schema), "id", "id"
+        )
+        names = joined.schema.column_names
+        assert "id" in names and "id_r" in names
+        assert len(names) == 8
+
+    def test_join_with_no_matches(self, schema):
+        left = SeqScan(make_records(3), schema)
+        right = SeqScan(make_records(3, start=100), schema)
+        assert materialize(HashJoin(left, right, "id", "id")) == []
+
+    def test_join_duplicate_build_keys(self, schema):
+        left = SeqScan([Record((1, 0, 0, 0)), Record((1, 9, 9, 9))], schema)
+        right = SeqScan([Record((1, 5, 5, 5))], schema)
+        assert len(materialize(HashJoin(left, right, "id", "id"))) == 2
+
+
+class TestAggregate:
+    def test_count_all(self, scan):
+        rows = materialize(Aggregate(scan, "count", "id"))
+        assert rows == [Record((10,))]
+
+    def test_sum(self, schema):
+        rows = materialize(Aggregate(SeqScan(make_records(4), schema), "sum", "c1"))
+        assert rows[0].values[0] == 0 + 10 + 20 + 30
+
+    def test_min_max(self, schema):
+        source = make_records(5)
+        assert materialize(Aggregate(SeqScan(source, schema), "min", "c1"))[0].values[0] == 0
+        assert materialize(Aggregate(SeqScan(source, schema), "max", "c1"))[0].values[0] == 40
+
+    def test_avg(self, schema):
+        rows = materialize(Aggregate(SeqScan(make_records(4), schema), "avg", "c1"))
+        assert rows[0].values[0] == 15
+
+    def test_group_by(self, schema):
+        records = [Record((i, i % 2, i, 0)) for i in range(6)]
+        rows = materialize(
+            Aggregate(SeqScan(records, schema), "count", "id", group_by="c1")
+        )
+        assert [(r.values[0], r.values[1]) for r in rows] == [(0, 3), (1, 3)]
+
+    def test_count_empty_input(self, schema):
+        rows = materialize(Aggregate(SeqScan([], schema), "count", "id"))
+        assert rows[0].values[0] == 0
+
+    def test_unknown_function_rejected(self, scan):
+        with pytest.raises(QueryError):
+            Aggregate(scan, "median", "c1")

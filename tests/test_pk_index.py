@@ -1,0 +1,83 @@
+"""Tests for the per-branch primary-key index."""
+
+import pytest
+
+from repro.errors import BranchNotFoundError
+from repro.storage.pk_index import PrimaryKeyIndex
+
+
+@pytest.fixture
+def index():
+    index = PrimaryKeyIndex()
+    index.add_branch("master")
+    return index
+
+
+class TestPrimaryKeyIndex:
+    def test_put_get(self, index):
+        index.put("master", 1, 42)
+        assert index.get("master", 1) == 42
+        assert index.get("master", 2) is None
+
+    def test_contains(self, index):
+        index.put("master", 1, 0)
+        assert index.contains("master", 1)
+        assert not index.contains("master", 9)
+
+    def test_remove(self, index):
+        index.put("master", 1, 0)
+        index.remove("master", 1)
+        assert not index.contains("master", 1)
+        index.remove("master", 1)  # idempotent
+
+    def test_clone_on_add_branch(self, index):
+        index.put("master", 1, 10)
+        index.put("master", 2, 20)
+        index.add_branch("dev", clone_from="master")
+        assert index.get("dev", 1) == 10
+        index.put("dev", 3, 30)
+        index.remove("dev", 1)
+        # The parent is unaffected by child modifications.
+        assert index.contains("master", 1)
+        assert not index.contains("master", 3)
+
+    def test_unknown_branch_rejected(self, index):
+        with pytest.raises(BranchNotFoundError):
+            index.get("missing", 1)
+        with pytest.raises(BranchNotFoundError):
+            index.put("missing", 1, 1)
+
+    def test_add_branch_without_clone_is_empty(self, index):
+        index.add_branch("empty")
+        assert index.live_count("empty") == 0
+
+    def test_replace_branch(self, index):
+        index.put("master", 1, 10)
+        index.replace_branch("master", {5: 50, 6: 60})
+        assert not index.contains("master", 1)
+        assert index.get("master", 6) == 60
+
+    def test_entries_returns_copy(self, index):
+        index.put("master", 1, 10)
+        entries = index.entries("master")
+        entries[2] = 20
+        assert not index.contains("master", 2)
+
+    def test_keys_and_live_count(self, index):
+        for key in (3, 1, 2):
+            index.put("master", key, key)
+        assert sorted(index.keys("master")) == [1, 2, 3]
+        assert index.live_count("master") == 3
+
+    def test_drop_branch(self, index):
+        index.add_branch("dev")
+        index.drop_branch("dev")
+        assert not index.has_branch("dev")
+        with pytest.raises(BranchNotFoundError):
+            index.drop_branch("dev")
+
+    def test_generic_location_type(self):
+        index: PrimaryKeyIndex[tuple[str, int]] = PrimaryKeyIndex()
+        index.add_branch("b")
+        index.put("b", 7, ("seg00001", 3))
+        assert index.get("b", 7) == ("seg00001", 3)

@@ -1,0 +1,91 @@
+"""Tests for record predicates."""
+
+import pytest
+
+from repro.core.predicates import (
+    And,
+    ColumnPredicate,
+    ModuloPredicate,
+    Not,
+    Or,
+    TruePredicate,
+    non_selective_predicate,
+)
+from repro.core.record import Record
+from repro.errors import QueryError
+
+
+@pytest.fixture
+def record():
+    return Record((5, 10, 20, 30))
+
+
+class TestColumnPredicate:
+    @pytest.mark.parametrize(
+        "op,value,expected",
+        [
+            ("=", 10, True),
+            ("==", 10, True),
+            ("=", 11, False),
+            ("!=", 10, False),
+            ("<>", 11, True),
+            ("<", 11, True),
+            ("<=", 10, True),
+            (">", 9, True),
+            (">=", 10, True),
+            (">", 10, False),
+        ],
+    )
+    def test_operators(self, schema, record, op, value, expected):
+        assert ColumnPredicate("c1", op, value).evaluate(record, schema) is expected
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(QueryError):
+            ColumnPredicate("c1", "~", 1)
+
+    def test_evaluates_named_column(self, schema, record):
+        assert ColumnPredicate("id", "=", 5).evaluate(record, schema)
+        assert ColumnPredicate("c3", "=", 30).evaluate(record, schema)
+
+
+class TestCombinators:
+    def test_true_predicate(self, schema, record):
+        assert TruePredicate().evaluate(record, schema)
+
+    def test_and(self, schema, record):
+        predicate = And(ColumnPredicate("c1", ">", 5), ColumnPredicate("c2", "<", 25))
+        assert predicate.evaluate(record, schema)
+        assert not And(
+            ColumnPredicate("c1", ">", 50), ColumnPredicate("c2", "<", 25)
+        ).evaluate(record, schema)
+
+    def test_or(self, schema, record):
+        predicate = Or(ColumnPredicate("c1", ">", 50), ColumnPredicate("c2", "=", 20))
+        assert predicate.evaluate(record, schema)
+
+    def test_not(self, schema, record):
+        assert Not(ColumnPredicate("c1", "=", 11)).evaluate(record, schema)
+
+    def test_operator_overloads(self, schema, record):
+        predicate = ColumnPredicate("c1", ">", 5) & ColumnPredicate("c2", "=", 20)
+        assert predicate.evaluate(record, schema)
+        predicate = ColumnPredicate("c1", ">", 99) | ColumnPredicate("c2", "=", 20)
+        assert predicate.evaluate(record, schema)
+        predicate = ~ColumnPredicate("c1", ">", 99)
+        assert predicate.evaluate(record, schema)
+
+
+class TestModuloPredicate:
+    def test_matches_non_multiples(self, schema):
+        predicate = ModuloPredicate("c1", 10)
+        assert predicate.evaluate(Record((1, 7, 0, 0)), schema)
+        assert not predicate.evaluate(Record((1, 20, 0, 0)), schema)
+
+    def test_non_selective_helper_selectivity(self, schema):
+        predicate = non_selective_predicate("c1", modulus=10)
+        matches = sum(
+            1
+            for value in range(1000)
+            if predicate.evaluate(Record((0, value, 0, 0)), schema)
+        )
+        assert matches == 900

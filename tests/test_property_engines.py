@@ -1,0 +1,112 @@
+"""Property-based tests: every engine behaves like a model versioned map.
+
+A simple in-memory model (one ``{key -> values}`` dict per branch, snapshots
+per commit) defines the expected semantics; hypothesis generates operation
+sequences (inserts, updates, deletes, branches, commits) and the tests check
+each engine against the model after replaying the sequence.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.record import Record
+from repro.core.schema import Schema
+
+from tests.conftest import ENGINE_CLASSES
+
+
+class _Model:
+    """Reference semantics for a versioned relation."""
+
+    def __init__(self):
+        self.branches = {"master": {}}
+        self.commits = {}
+
+    def insert(self, branch, key, payload):
+        self.branches[branch][key] = payload
+
+    def update(self, branch, key, payload):
+        self.branches[branch][key] = payload
+
+    def delete(self, branch, key):
+        self.branches[branch].pop(key, None)
+
+    def create_branch(self, name, parent):
+        self.branches[name] = dict(self.branches[parent])
+
+    def commit(self, branch, commit_id):
+        self.commits[commit_id] = dict(self.branches[branch])
+
+
+operation_steps = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "update", "delete", "branch", "commit"]),
+        st.integers(min_value=0, max_value=30),
+        st.integers(min_value=0, max_value=999),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def replay(engine, model, steps, schema):
+    branches = ["master"]
+    for step_index, (action, key, payload_seed) in enumerate(steps):
+        branch = branches[key % len(branches)]
+        payload = (payload_seed, payload_seed * 2, payload_seed * 3)
+        if action == "insert":
+            if key in model.branches[branch]:
+                continue
+            model.insert(branch, key, payload)
+            engine.insert(branch, Record((key,) + payload))
+        elif action == "update":
+            if key not in model.branches[branch]:
+                continue
+            model.update(branch, key, payload)
+            engine.update(branch, Record((key,) + payload))
+        elif action == "delete":
+            if key not in model.branches[branch]:
+                continue
+            model.delete(branch, key)
+            engine.delete(branch, key)
+        elif action == "branch":
+            if len(branches) >= 5:
+                continue
+            name = f"b{step_index}"
+            model.create_branch(name, branch)
+            engine.create_branch(name, from_branch=branch)
+            branches.append(name)
+        else:  # commit
+            commit_id = engine.commit(branch)
+            model.commit(branch, commit_id)
+    return branches
+
+
+def assert_engine_matches_model(engine, model, branches, schema):
+    for branch in branches:
+        engine_view = {
+            record.values[0]: record.values[1:]
+            for record in engine.scan_branch(branch)
+        }
+        assert engine_view == model.branches[branch], f"branch {branch} diverged"
+    for commit_id, expected in model.commits.items():
+        engine_view = {
+            record.values[0]: record.values[1:]
+            for record in engine.scan_commit(commit_id)
+        }
+        assert engine_view == expected, f"commit {commit_id} diverged"
+
+
+@pytest.mark.parametrize("kind", sorted(ENGINE_CLASSES))
+class TestEnginesAgainstModel:
+    @given(steps=operation_steps)
+    @settings(max_examples=20, deadline=None)
+    def test_branches_and_commits_match_model(self, kind, steps, tmp_path_factory):
+        schema = Schema.of_ints(4)
+        directory = tmp_path_factory.mktemp(f"prop_{kind}")
+        engine = ENGINE_CLASSES[kind](str(directory / "engine"), schema, page_size=4096)
+        engine.init([])
+        model = _Model()
+        branches = replay(engine, model, steps, schema)
+        assert_engine_matches_model(engine, model, branches, schema)

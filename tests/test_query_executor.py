@@ -1,0 +1,146 @@
+"""End-to-end tests of the versioned SQL executor over the Decibel facade."""
+
+import pytest
+
+from repro.core.record import Record
+from repro.db.database import Decibel
+from repro.errors import QueryError
+
+from tests.conftest import make_records
+
+
+@pytest.fixture(params=["version-first", "tuple-first", "hybrid"])
+def db(request, tmp_path, schema):
+    """A Decibel database with one populated, branched relation R."""
+    database = Decibel(str(tmp_path / "db"), engine=request.param, page_size=4096)
+    relation = database.create_relation("R", schema)
+    relation.init(make_records(20))
+    relation.branch("dev", from_branch="master")
+    relation.insert("dev", Record((100, 1, 2, 3)))
+    relation.update("dev", Record((5, 50, 500, 5000)))
+    relation.delete("dev", 6)
+    relation.commit("dev", "dev work")
+    relation.insert("master", Record((200, 7, 7, 7)))
+    relation.commit("master", "master work")
+    return database
+
+
+class TestQuery1SingleVersionScan:
+    def test_scan_branch_by_name(self, db):
+        result = db.query("SELECT * FROM R WHERE R.Version = 'dev'")
+        keys = {row[0] for row in result.rows}
+        assert 100 in keys and 6 not in keys
+        assert len(result) == 20
+
+    def test_scan_commit_by_id(self, db):
+        commit_id = db.relation("R").graph.head("dev")
+        result = db.query(f"SELECT * FROM R WHERE R.Version = '{commit_id}'")
+        assert len(result) == 20
+
+    def test_scan_with_predicate(self, db):
+        result = db.query("SELECT * FROM R WHERE R.Version = 'master' AND R.id < 5")
+        assert sorted(row[0] for row in result.rows) == [0, 1, 2, 3, 4]
+
+    def test_projection(self, db):
+        result = db.query("SELECT id, c1 FROM R WHERE R.Version = 'master' AND id = 3")
+        assert result.columns == ["id", "c1"]
+        assert result.rows == [(3, 30)]
+
+    def test_to_dicts(self, db):
+        result = db.query("SELECT id FROM R WHERE R.Version = 'master' AND id = 1")
+        assert result.to_dicts() == [{"id": 1}]
+
+    def test_unknown_version_rejected(self, db):
+        with pytest.raises(QueryError):
+            db.query("SELECT * FROM R WHERE R.Version = 'nope'")
+
+    def test_unbound_table_rejected(self, db):
+        with pytest.raises(QueryError):
+            db.query("SELECT * FROM R")
+
+
+class TestQuery2PositiveDiff:
+    def test_positive_diff(self, db):
+        result = db.query(
+            "SELECT * FROM R WHERE R.Version = 'dev' AND R.id NOT IN "
+            "(SELECT id FROM R WHERE R.Version = 'master')"
+        )
+        assert {row[0] for row in result.rows} == {100}
+
+    def test_positive_diff_other_direction(self, db):
+        result = db.query(
+            "SELECT * FROM R WHERE R.Version = 'master' AND R.id NOT IN "
+            "(SELECT id FROM R WHERE R.Version = 'dev')"
+        )
+        assert {row[0] for row in result.rows} == {6, 200}
+
+    def test_diff_against_commit(self, db):
+        head = db.relation("R").graph.head("master")
+        result = db.query(
+            "SELECT * FROM R WHERE R.Version = 'dev' AND R.id NOT IN "
+            f"(SELECT id FROM R WHERE R.Version = '{head}')"
+        )
+        assert {row[0] for row in result.rows} == {100}
+
+
+class TestQuery3MultiVersionJoin:
+    def test_join_on_primary_key(self, db):
+        result = db.query(
+            "SELECT * FROM R as R1, R as R2 WHERE R1.Version = 'dev' "
+            "AND R1.id = R2.id AND R2.Version = 'master'"
+        )
+        # 19 keys survive in both branches (key 6 deleted in dev, 100/200 unique).
+        assert len(result) == 19
+
+    def test_join_with_predicate(self, db):
+        result = db.query(
+            "SELECT * FROM R as R1, R as R2 WHERE R1.Version = 'dev' "
+            "AND R1.c1 = 50 AND R1.id = R2.id AND R2.Version = 'master'"
+        )
+        assert len(result) == 1
+        row = result.rows[0]
+        assert row[0] == 5 and row[1] == 50   # dev side updated
+        assert row[5] == 50                    # master side original c1
+
+    def test_join_requires_versions(self, db):
+        with pytest.raises(QueryError):
+            db.query("SELECT * FROM R as R1, R as R2 WHERE R1.id = R2.id")
+
+
+class TestQuery4HeadScan:
+    def test_head_scan_annotates_branches(self, db):
+        result = db.query("SELECT * FROM R WHERE HEAD(R.Version) = true")
+        assert len(result.branch_annotations) == len(result.rows)
+        by_key = {}
+        for row, branches in zip(result.rows, result.branch_annotations):
+            by_key.setdefault(row[0], set()).update(branches)
+        assert by_key[100] == {"dev"}
+        assert by_key[200] == {"master"}
+        assert by_key[0] == {"master", "dev"}
+
+    def test_head_scan_with_predicate(self, db):
+        result = db.query(
+            "SELECT * FROM R WHERE HEAD(R.Version) = true AND c1 = 50"
+        )
+        assert {row[0] for row in result.rows} == {5}
+
+    def test_head_false_rejected(self, db):
+        with pytest.raises(QueryError):
+            db.query("SELECT * FROM R WHERE HEAD(R.Version) = false")
+
+
+class TestExecutorErrors:
+    def test_unknown_relation(self, db):
+        with pytest.raises(Exception):
+            db.query("SELECT * FROM missing WHERE missing.Version = 'master'")
+
+    def test_unknown_column_predicate(self, db):
+        with pytest.raises(QueryError):
+            db.query("SELECT * FROM R WHERE R.Version = 'master' AND nope = 1")
+
+    def test_three_tables_rejected(self, db):
+        with pytest.raises(QueryError):
+            db.query(
+                "SELECT * FROM R a, R b, R c WHERE a.Version='master' "
+                "AND b.Version='master' AND c.Version='master' AND a.id = b.id"
+            )

@@ -1,0 +1,137 @@
+"""Tests for the versioned SQL tokenizer and parser."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query.parser import parse_query
+from repro.query.tokenizer import TokenType, tokenize
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        tokens = tokenize("SELECT * FROM R WHERE R.Version = 'v01'")
+        kinds = [t.type for t in tokens]
+        assert kinds[0] is TokenType.KEYWORD
+        assert TokenType.STRING in kinds
+        assert kinds[-1] is TokenType.END
+
+    def test_numbers_and_negative(self):
+        tokens = tokenize("x = -42")
+        values = [t.value for t in tokens if t.type is TokenType.NUMBER]
+        assert values == ["-42"]
+
+    def test_multicharacter_operators(self):
+        tokens = tokenize("a >= 1 AND b <> 2 AND c <= 3")
+        symbols = [t.value for t in tokens if t.type is TokenType.SYMBOL]
+        assert ">=" in symbols and "<>" in symbols and "<=" in symbols
+
+    def test_unterminated_string_rejected(self):
+        with pytest.raises(QueryError):
+            tokenize("SELECT * FROM R WHERE R.Version = 'v01")
+
+    def test_unexpected_character_rejected(self):
+        with pytest.raises(QueryError):
+            tokenize("SELECT * FROM R WHERE a = #")
+
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select * from r")
+        assert tokens[0].matches(TokenType.KEYWORD, "SELECT")
+
+
+class TestParserQuery1Shape:
+    def test_single_version_scan(self):
+        query = parse_query("SELECT * FROM R WHERE R.Version = 'v01'")
+        assert query.is_star
+        assert query.tables[0].relation == "R"
+        assert query.version_for("R") == "v01"
+
+    def test_version_without_alias_prefix(self):
+        query = parse_query("SELECT * FROM R WHERE Version = 'master'")
+        assert query.version_for("R") == "master"
+
+    def test_column_predicates_collected(self):
+        query = parse_query(
+            "SELECT * FROM R WHERE R.Version = 'v01' AND R.c1 > 5 AND c2 = 3"
+        )
+        assert len(query.column_comparisons) == 2
+        assert query.column_comparisons[0].column == "c1"
+        assert query.column_comparisons[1].alias is None
+
+    def test_projection_list(self):
+        query = parse_query("SELECT id, c1 FROM R WHERE R.Version = 'v01'")
+        assert query.columns == ["id", "c1"]
+        assert not query.is_star
+
+
+class TestParserQuery2Shape:
+    def test_not_in_subquery(self):
+        query = parse_query(
+            "SELECT * FROM R WHERE R.Version = 'v01' AND R.id NOT IN "
+            "(SELECT id FROM R WHERE R.Version = 'v02')"
+        )
+        assert len(query.not_in_subqueries) == 1
+        sub = query.not_in_subqueries[0]
+        assert sub.column == "id"
+        assert sub.subquery.version_for("R") == "v02"
+
+
+class TestParserQuery3Shape:
+    def test_self_join(self):
+        query = parse_query(
+            "SELECT * FROM R as R1, R as R2 WHERE R1.Version = 'v01' "
+            "AND R1.c1 = 7 AND R1.id = R2.id AND R2.Version = 'v02'"
+        )
+        assert [t.alias for t in query.tables] == ["R1", "R2"]
+        assert query.version_for("R1") == "v01"
+        assert query.version_for("R2") == "v02"
+        assert len(query.join_conditions) == 1
+        join = query.join_conditions[0]
+        assert (join.left_alias, join.right_alias) == ("R1", "R2")
+
+    def test_alias_without_as_keyword(self):
+        query = parse_query(
+            "SELECT * FROM R R1, R R2 WHERE R1.id = R2.id "
+            "AND R1.Version = 'a' AND R2.Version = 'b'"
+        )
+        assert [t.alias for t in query.tables] == ["R1", "R2"]
+
+
+class TestParserQuery4Shape:
+    def test_head_condition(self):
+        query = parse_query("SELECT * FROM R WHERE HEAD(R.Version) = true")
+        assert len(query.head_conditions) == 1
+        assert query.head_conditions[0].value is True
+
+    def test_head_false(self):
+        query = parse_query("SELECT * FROM R WHERE HEAD(R.Version) = false")
+        assert query.head_conditions[0].value is False
+
+    def test_head_requires_version_column(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT * FROM R WHERE HEAD(R.id) = true")
+
+    def test_head_requires_boolean(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT * FROM R WHERE HEAD(R.Version) = 1")
+
+
+class TestParserErrors:
+    def test_or_not_supported(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT * FROM R WHERE a = 1 OR b = 2")
+
+    def test_missing_from(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT *")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT * FROM R extra nonsense ,")
+
+    def test_bad_operator(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT * FROM R WHERE a ( 3")
+
+    def test_missing_literal(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT * FROM R WHERE a =")

@@ -1,0 +1,111 @@
+"""Tests for records and the fixed-width record codec."""
+
+import pytest
+
+from repro.core.record import Record, RecordCodec
+from repro.core.schema import Column, ColumnType, Schema
+from repro.errors import RecordError, SchemaError
+
+
+@pytest.fixture
+def mixed_schema():
+    return Schema(
+        (
+            Column("id", ColumnType.INT),
+            Column("count", ColumnType.INT32),
+            Column("name", ColumnType.STRING, width=8),
+        )
+    )
+
+
+class TestRecord:
+    def test_values_coerced_to_tuple(self):
+        record = Record([1, 2, 3])
+        assert record.values == (1, 2, 3)
+
+    def test_key_uses_primary_key_index(self, schema):
+        record = Record((5, 1, 2, 3))
+        assert record.key(schema) == 5
+
+    def test_value_by_column(self, schema):
+        record = Record((5, 1, 2, 3))
+        assert record.value(schema, "c2") == 2
+
+    def test_replace_creates_new_record(self, schema):
+        record = Record((5, 1, 2, 3))
+        updated = record.replace(schema, c1=99)
+        assert updated.values == (5, 99, 2, 3)
+        assert record.values == (5, 1, 2, 3)
+
+    def test_as_dict(self, schema):
+        record = Record((5, 1, 2, 3))
+        assert record.as_dict(schema) == {"id": 5, "c1": 1, "c2": 2, "c3": 3}
+
+    def test_deleted_record_is_tombstone(self, schema):
+        tombstone = Record.deleted(schema, 42)
+        assert tombstone.tombstone
+        assert tombstone.key(schema) == 42
+        assert tombstone.values[1:] == (0, 0, 0)
+
+    def test_deleted_record_mixed_schema(self, mixed_schema):
+        tombstone = Record.deleted(mixed_schema, 9)
+        assert tombstone.values == (9, 0, "")
+
+
+class TestRecordCodec:
+    def test_roundtrip_int_schema(self, schema):
+        codec = RecordCodec(schema)
+        record = Record((1, -2, 3, 2**40))
+        assert codec.decode(codec.encode(record)) == record
+
+    def test_roundtrip_mixed_schema(self, mixed_schema):
+        codec = RecordCodec(mixed_schema)
+        record = Record((7, -3, "hello"))
+        assert codec.decode(codec.encode(record)) == record
+
+    def test_roundtrip_tombstone(self, schema):
+        codec = RecordCodec(schema)
+        tombstone = Record.deleted(schema, 11)
+        decoded = codec.decode(codec.encode(tombstone))
+        assert decoded.tombstone
+        assert decoded.key(schema) == 11
+
+    def test_record_size_includes_header(self, schema):
+        codec = RecordCodec(schema)
+        assert codec.record_size == 1 + schema.record_width
+
+    def test_encode_validates_schema(self, schema):
+        codec = RecordCodec(schema)
+        with pytest.raises(SchemaError):
+            codec.encode(Record((1, 2, 3)))  # wrong arity
+
+    def test_string_padding_stripped(self, mixed_schema):
+        codec = RecordCodec(mixed_schema)
+        decoded = codec.decode(codec.encode(Record((1, 2, "ab"))))
+        assert decoded.values[2] == "ab"
+
+    def test_decode_at_offset(self, schema):
+        codec = RecordCodec(schema)
+        buffer = codec.encode(Record((1, 1, 1, 1))) + codec.encode(Record((2, 2, 2, 2)))
+        assert codec.decode(buffer, codec.record_size).values[0] == 2
+
+    def test_decode_truncated_buffer(self, schema):
+        codec = RecordCodec(schema)
+        with pytest.raises(RecordError):
+            codec.decode(b"\x00\x01")
+
+    def test_decode_many_roundtrip(self, schema):
+        codec = RecordCodec(schema)
+        records = [Record((i, i, i, i)) for i in range(5)]
+        buffer = b"".join(codec.encode(r) for r in records)
+        assert codec.decode_many(buffer) == records
+
+    def test_decode_many_rejects_partial_buffer(self, schema):
+        codec = RecordCodec(schema)
+        with pytest.raises(RecordError):
+            codec.decode_many(b"\x00" * (codec.record_size + 1))
+
+    def test_negative_values_roundtrip(self, schema):
+        codec = RecordCodec(schema)
+        record = Record((-1, -(2**40), 0, -7))
+        assert codec.decode(codec.encode(record)) == record

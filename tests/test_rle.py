@@ -1,0 +1,63 @@
+"""Tests for the run-length codec used by commit histories."""
+
+import pytest
+
+from repro.bitmap.rle import compression_ratio, rle_decode, rle_encode
+from repro.errors import StorageError
+
+
+class TestRLERoundtrip:
+    @pytest.mark.parametrize(
+        "data",
+        [
+            b"",
+            b"a",
+            b"abc",
+            b"\x00" * 100,
+            b"\xff" * 1000,
+            b"ab" * 50,
+            b"\x00" * 10 + b"xyz" + b"\x00" * 20,
+            bytes(range(256)),
+            b"aaa",  # run shorter than MIN_RUN stays literal
+            b"aaaa",  # exactly MIN_RUN
+        ],
+    )
+    def test_roundtrip(self, data):
+        assert rle_decode(rle_encode(data)) == data
+
+    def test_zero_runs_compress_well(self):
+        data = b"\x00" * 10_000
+        assert len(rle_encode(data)) < 20
+
+    def test_sparse_bitmap_compresses(self):
+        data = bytearray(4096)
+        data[17] = 0xFF
+        data[900] = 0x01
+        encoded = rle_encode(bytes(data))
+        assert len(encoded) < 64
+        assert rle_decode(encoded) == bytes(data)
+
+    def test_incompressible_overhead_is_bounded(self):
+        data = bytes((i * 37 + 11) % 251 for i in range(4096))
+        assert len(rle_encode(data)) <= len(data) * 1.05
+
+    def test_compression_ratio_helper(self):
+        assert compression_ratio(b"") == 1.0
+        assert compression_ratio(b"\x00" * 1000) < 0.05
+        assert compression_ratio(bytes(range(200))) >= 0.9
+
+
+class TestRLEErrors:
+    def test_unknown_token_rejected(self):
+        with pytest.raises(StorageError):
+            rle_decode(b"\x07\x01a")
+
+    def test_truncated_literal_rejected(self):
+        encoded = rle_encode(b"hello world this is long enough")
+        with pytest.raises(StorageError):
+            rle_decode(encoded[:-3])
+
+    def test_truncated_run_rejected(self):
+        encoded = rle_encode(b"\x00" * 100)
+        with pytest.raises(StorageError):
+            rle_decode(encoded[:-1])

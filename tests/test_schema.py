@@ -1,0 +1,162 @@
+"""Tests for schemas and columns."""
+
+import pytest
+
+from repro.core.schema import Column, ColumnType, Schema
+from repro.errors import SchemaError
+
+
+class TestColumn:
+    def test_int_column_width(self):
+        assert Column("a", ColumnType.INT).byte_width == 8
+
+    def test_int32_column_width(self):
+        assert Column("a", ColumnType.INT32).byte_width == 4
+
+    def test_string_column_requires_width(self):
+        with pytest.raises(SchemaError):
+            Column("name", ColumnType.STRING)
+
+    def test_string_column_width_respected(self):
+        assert Column("name", ColumnType.STRING, width=12).byte_width == 12
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("not a name", ColumnType.INT)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("", ColumnType.INT)
+
+    def test_validate_accepts_int(self):
+        Column("a", ColumnType.INT).validate(42)
+
+    def test_validate_rejects_bool(self):
+        with pytest.raises(SchemaError):
+            Column("a", ColumnType.INT).validate(True)
+
+    def test_validate_rejects_string_for_int(self):
+        with pytest.raises(SchemaError):
+            Column("a", ColumnType.INT).validate("42")
+
+    def test_validate_rejects_out_of_range_int32(self):
+        with pytest.raises(SchemaError):
+            Column("a", ColumnType.INT32).validate(2**40)
+
+    def test_validate_accepts_negative(self):
+        Column("a", ColumnType.INT32).validate(-5)
+
+    def test_validate_string_length(self):
+        column = Column("name", ColumnType.STRING, width=4)
+        column.validate("abcd")
+        with pytest.raises(SchemaError):
+            column.validate("abcde")
+
+    def test_validate_string_utf8_length(self):
+        column = Column("name", ColumnType.STRING, width=4)
+        with pytest.raises(SchemaError):
+            column.validate("héllo")
+
+
+class TestSchema:
+    def test_of_ints_builds_expected_columns(self):
+        schema = Schema.of_ints(5)
+        assert schema.column_names == ("id", "c1", "c2", "c3", "c4")
+        assert schema.primary_key == "id"
+
+    def test_of_ints_4_byte_columns(self):
+        schema = Schema.of_ints(3, width_bytes=4)
+        assert schema.columns[1].type is ColumnType.INT32
+        # The key column stays 8 bytes regardless.
+        assert schema.columns[0].type is ColumnType.INT
+
+    def test_of_ints_rejects_bad_width(self):
+        with pytest.raises(SchemaError):
+            Schema.of_ints(3, width_bytes=5)
+
+    def test_of_ints_rejects_zero_columns(self):
+        with pytest.raises(SchemaError):
+            Schema.of_ints(0)
+
+    def test_record_width(self):
+        schema = Schema.of_ints(4)
+        assert schema.record_width == 4 * 8
+
+    def test_record_width_mixed(self):
+        schema = Schema(
+            (
+                Column("id", ColumnType.INT),
+                Column("n", ColumnType.INT32),
+                Column("s", ColumnType.STRING, width=10),
+            )
+        )
+        assert schema.record_width == 8 + 4 + 10
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema((Column("a", ColumnType.INT), Column("a", ColumnType.INT)))
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(())
+
+    def test_primary_key_defaults_to_first_column(self):
+        schema = Schema((Column("x", ColumnType.INT), Column("y", ColumnType.INT)))
+        assert schema.primary_key == "x"
+        assert schema.primary_key_index == 0
+
+    def test_explicit_primary_key(self):
+        schema = Schema(
+            (Column("x", ColumnType.INT), Column("y", ColumnType.INT)),
+            primary_key="y",
+        )
+        assert schema.primary_key_index == 1
+
+    def test_unknown_primary_key_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema((Column("x", ColumnType.INT),), primary_key="z")
+
+    def test_string_primary_key_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(
+                (Column("name", ColumnType.STRING, width=8),), primary_key="name"
+            )
+
+    def test_index_of(self):
+        schema = Schema.of_ints(3)
+        assert schema.index_of("c2") == 2
+        with pytest.raises(SchemaError):
+            schema.index_of("missing")
+
+    def test_column_lookup(self):
+        schema = Schema.of_ints(3)
+        assert schema.column("c1").name == "c1"
+
+    def test_len(self):
+        assert len(Schema.of_ints(6)) == 6
+
+    def test_validate_values_length_mismatch(self):
+        schema = Schema.of_ints(3)
+        with pytest.raises(SchemaError):
+            schema.validate_values((1, 2))
+
+    def test_validate_values_type_mismatch(self):
+        schema = Schema.of_ints(3)
+        with pytest.raises(SchemaError):
+            schema.validate_values((1, "x", 3))
+
+    def test_project_preserves_primary_key(self):
+        schema = Schema.of_ints(4)
+        projected = schema.project(["c1", "id"])
+        assert projected.primary_key == "id"
+        assert projected.column_names == ("c1", "id")
+
+    def test_project_without_key_uses_first_column(self):
+        schema = Schema.of_ints(4)
+        projected = schema.project(["c2", "c3"])
+        assert projected.primary_key == "c2"
+
+    def test_describe_marks_primary_key(self):
+        text = Schema.of_ints(2).describe()
+        assert "id*" in text
+        assert "c1" in text

@@ -1,0 +1,99 @@
+"""Tests for user sessions (checkout state and read/write positioning)."""
+
+import pytest
+
+from repro.core.record import Record
+from repro.errors import VersionError
+from repro.versioning.session import Session
+
+
+@pytest.fixture
+def session(loaded_engine):
+    return Session(loaded_engine, branch="master")
+
+
+class TestSessionPositioning:
+    def test_starts_on_branch(self, session):
+        assert session.branch == "master"
+        assert session.is_writable
+        assert session.commit_id is None
+
+    def test_unknown_branch_rejected(self, loaded_engine):
+        with pytest.raises(Exception):
+            Session(loaded_engine, branch="missing")
+
+    def test_checkout_moves_to_commit(self, session, loaded_engine):
+        commit_id = loaded_engine.commit("master")
+        session.checkout(commit_id)
+        assert not session.is_writable
+        assert session.commit_id == commit_id
+
+    def test_use_branch_after_checkout(self, session, loaded_engine):
+        commit_id = loaded_engine.commit("master")
+        session.checkout(commit_id)
+        session.use_branch("master")
+        assert session.is_writable
+
+
+class TestSessionReads:
+    def test_scan_branch_head(self, session):
+        assert len(session.records()) == 20
+
+    def test_checkout_reverts_view_within_session(self, session, loaded_engine):
+        commit_id = loaded_engine.commit("master", "before extra insert")
+        session.insert(Record((100, 0, 0, 0)))
+        session.commit("after insert")
+        assert len(session.records()) == 21
+        session.checkout(commit_id)
+        assert len(session.records()) == 20
+
+    def test_two_sessions_are_independent(self, loaded_engine):
+        first = Session(loaded_engine, branch="master")
+        commit_id = loaded_engine.commit("master")
+        second = Session(loaded_engine, branch="master")
+        second.checkout(commit_id)
+        first.insert(Record((200, 0, 0, 0)))
+        first.commit()
+        assert len(first.records()) == 21
+        assert len(second.records()) == 20
+
+    def test_diff_against(self, session, loaded_engine):
+        loaded_engine.create_branch("dev", from_branch="master")
+        loaded_engine.insert("dev", Record((300, 0, 0, 0)))
+        diff = session.diff_against("dev")
+        assert {r.values[0] for r in diff.negative} == {300}
+
+
+class TestSessionWrites:
+    def test_insert_update_delete_commit(self, session, loaded_engine, schema):
+        session.insert(Record((400, 0, 0, 0)))
+        session.update(Record((400, 1, 1, 1)))
+        session.delete(3)
+        commit_id = session.commit("session changes")
+        assert loaded_engine.graph.head("master") == commit_id
+        values = {r.values[0]: r.values for r in loaded_engine.scan_branch("master")}
+        assert values[400] == (400, 1, 1, 1)
+        assert 3 not in values
+
+    def test_writes_rejected_on_checkout(self, session, loaded_engine):
+        commit_id = loaded_engine.commit("master")
+        session.checkout(commit_id)
+        with pytest.raises(VersionError):
+            session.insert(Record((500, 0, 0, 0)))
+        with pytest.raises(VersionError):
+            session.commit()
+        with pytest.raises(VersionError):
+            session.delete(1)
+
+    def test_create_branch_from_branch_position(self, session, loaded_engine):
+        session.create_branch("from-session")
+        assert loaded_engine.graph.has_branch("from-session")
+
+    def test_create_branch_from_checkout_position(self, session, loaded_engine, schema):
+        commit_id = loaded_engine.commit("master", "snapshot")
+        loaded_engine.insert("master", Record((600, 0, 0, 0)))
+        loaded_engine.commit("master")
+        session.checkout(commit_id)
+        session.create_branch("historical")
+        keys = {r.key(schema) for r in loaded_engine.scan_branch("historical")}
+        assert 600 not in keys and len(keys) == 20

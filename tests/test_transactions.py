@@ -1,0 +1,95 @@
+"""Tests for transactions over branches."""
+
+import pytest
+
+from repro.core.locks import LockManager
+from repro.core.record import Record
+from repro.core.transactions import TransactionManager, TransactionState
+from repro.errors import TransactionError
+
+from tests.conftest import make_records
+
+
+@pytest.fixture
+def manager(loaded_engine):
+    # A short lock timeout keeps the lock-contention test fast.
+    return TransactionManager(loaded_engine, lock_manager=LockManager(timeout=0.2))
+
+
+class TestTransaction:
+    def test_commit_applies_buffered_writes(self, manager, loaded_engine, schema):
+        txn = manager.begin()
+        txn.insert("master", Record((100, 1, 2, 3)))
+        txn.update("master", Record((5, 9, 9, 9)))
+        txn.delete("master", 3)
+        assert txn.pending_writes == 3
+        # Nothing is visible until commit.
+        keys_before = {r.key(schema) for r in loaded_engine.scan_branch("master")}
+        assert 100 not in keys_before and 3 in keys_before
+        commits = txn.commit("batch of changes")
+        assert "master" in commits
+        keys_after = {r.key(schema) for r in loaded_engine.scan_branch("master")}
+        assert 100 in keys_after and 3 not in keys_after
+        assert txn.state is TransactionState.COMMITTED
+
+    def test_abort_discards_writes(self, manager, loaded_engine, schema):
+        txn = manager.begin()
+        txn.insert("master", Record((200, 0, 0, 0)))
+        txn.abort()
+        keys = {r.key(schema) for r in loaded_engine.scan_branch("master")}
+        assert 200 not in keys
+        assert txn.state is TransactionState.ABORTED
+
+    def test_operations_after_commit_rejected(self, manager):
+        txn = manager.begin()
+        txn.insert("master", Record((300, 0, 0, 0)))
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.insert("master", Record((301, 0, 0, 0)))
+        with pytest.raises(TransactionError):
+            txn.commit()
+
+    def test_commit_becomes_atomically_visible_as_one_version(
+        self, manager, loaded_engine
+    ):
+        before_commits = len(loaded_engine.graph.commits())
+        txn = manager.begin()
+        for record in make_records(5, start=500):
+            txn.insert("master", record)
+        txn.commit("five inserts")
+        # Exactly one new commit despite five writes.
+        assert len(loaded_engine.graph.commits()) == before_commits + 1
+
+    def test_concurrent_commits_to_same_branch_blocked(self, manager):
+        first = manager.begin()
+        second = manager.begin()
+        first.insert("master", Record((700, 0, 0, 0)))
+        with pytest.raises(TransactionError):
+            second.insert("master", Record((701, 0, 0, 0)))
+        first.commit()
+        # After the first commit releases its locks the second can proceed.
+        second.insert("master", Record((701, 0, 0, 0)))
+        second.commit()
+
+    def test_transaction_across_branches(self, manager, loaded_engine, schema):
+        loaded_engine.create_branch("dev", from_branch="master")
+        txn = manager.begin()
+        txn.insert("master", Record((800, 0, 0, 0)))
+        txn.insert("dev", Record((801, 0, 0, 0)))
+        commits = txn.commit()
+        assert set(commits) == {"master", "dev"}
+        assert 800 in {r.key(schema) for r in loaded_engine.scan_branch("master")}
+        assert 801 in {r.key(schema) for r in loaded_engine.scan_branch("dev")}
+
+    def test_wal_records_lifecycle(self, manager):
+        txn = manager.begin()
+        txn.insert("master", Record((900, 0, 0, 0)))
+        txn.commit()
+        types = [record.type.value for record in manager.wal.records()]
+        assert types == ["begin", "write", "commit"]
+
+    def test_abort_logged(self, manager):
+        txn = manager.begin()
+        txn.insert("master", Record((901, 0, 0, 0)))
+        txn.abort()
+        assert manager.wal.records()[-1].type.value == "abort"

@@ -1,0 +1,211 @@
+"""Tests for the version graph (commits, branches, ancestry, LCA)."""
+
+import pytest
+
+from repro.errors import (
+    BranchExistsError,
+    BranchNotFoundError,
+    CommitNotFoundError,
+    VersionError,
+)
+from repro.versioning.version_graph import MASTER_BRANCH, VersionGraph
+
+
+@pytest.fixture
+def graph():
+    graph = VersionGraph()
+    graph.init()
+    return graph
+
+
+class TestInit:
+    def test_init_creates_master(self, graph):
+        assert graph.initialized
+        assert graph.has_branch(MASTER_BRANCH)
+        assert len(graph) == 1
+
+    def test_double_init_rejected(self, graph):
+        with pytest.raises(VersionError):
+            graph.init()
+
+    def test_uninitialized_graph(self):
+        graph = VersionGraph()
+        assert not graph.initialized
+        with pytest.raises(BranchNotFoundError):
+            graph.head(MASTER_BRANCH)
+
+
+class TestCommitsAndBranches:
+    def test_commit_advances_head(self, graph):
+        first_head = graph.head(MASTER_BRANCH)
+        commit = graph.commit(MASTER_BRANCH, "work")
+        assert graph.head(MASTER_BRANCH) == commit.commit_id
+        assert commit.parents == (first_head,)
+        assert not commit.is_merge
+
+    def test_commit_ids_are_sequential_and_unique(self, graph):
+        ids = [graph.commit(MASTER_BRANCH).commit_id for _ in range(5)]
+        assert len(set(ids)) == 5
+        sequences = [graph.get_commit(c).sequence for c in ids]
+        assert sequences == sorted(sequences)
+
+    def test_create_branch_from_head(self, graph):
+        branch = graph.create_branch("dev")
+        assert branch.head == graph.get_commit(branch.head).commit_id
+        assert branch.created_from == graph.head(MASTER_BRANCH)
+
+    def test_create_branch_from_commit(self, graph):
+        old = graph.head(MASTER_BRANCH)
+        graph.commit(MASTER_BRANCH)
+        branch = graph.create_branch("old-work", from_commit=old)
+        assert branch.head == old
+
+    def test_create_branch_from_named_branch(self, graph):
+        graph.create_branch("dev")
+        graph.commit("dev")
+        child = graph.create_branch("feature", from_branch="dev")
+        assert child.head == graph.head("dev")
+
+    def test_duplicate_branch_rejected(self, graph):
+        graph.create_branch("dev")
+        with pytest.raises(BranchExistsError):
+            graph.create_branch("dev")
+
+    def test_branch_from_unknown_commit_rejected(self, graph):
+        with pytest.raises(CommitNotFoundError):
+            graph.create_branch("dev", from_commit="v999999")
+
+    def test_unknown_lookups(self, graph):
+        with pytest.raises(BranchNotFoundError):
+            graph.branch("missing")
+        with pytest.raises(CommitNotFoundError):
+            graph.get_commit("v999999")
+
+    def test_commits_on_branch(self, graph):
+        graph.create_branch("dev")
+        graph.commit("dev")
+        graph.commit(MASTER_BRANCH)
+        assert [c.branch for c in graph.commits_on_branch("dev")] == ["dev"]
+
+    def test_heads_mapping(self, graph):
+        graph.create_branch("dev")
+        heads = graph.heads()
+        assert set(heads) == {MASTER_BRANCH, "dev"}
+
+    def test_retire_branch(self, graph):
+        graph.create_branch("dev")
+        graph.retire_branch("dev")
+        assert not graph.branch("dev").active
+        assert "dev" not in graph.branch_names(active_only=True)
+
+
+class TestMerge:
+    def test_merge_creates_two_parent_commit(self, graph):
+        graph.commit(MASTER_BRANCH)
+        graph.create_branch("dev")
+        dev_head = graph.commit("dev").commit_id
+        master_head = graph.head(MASTER_BRANCH)
+        merge = graph.merge(MASTER_BRANCH, "dev")
+        assert merge.is_merge
+        assert set(merge.parents) == {master_head, dev_head}
+        assert graph.head(MASTER_BRANCH) == merge.commit_id
+
+    def test_merge_records_precedence(self, graph):
+        graph.create_branch("dev")
+        graph.commit("dev")
+        graph.merge(MASTER_BRANCH, "dev")
+        assert graph.branch(MASTER_BRANCH).merge_precedence == (MASTER_BRANCH, "dev")
+
+    def test_merge_precedence_override(self, graph):
+        graph.create_branch("dev")
+        graph.commit("dev")
+        graph.merge(MASTER_BRANCH, "dev", precedence="dev")
+        assert graph.branch(MASTER_BRANCH).merge_precedence[0] == "dev"
+
+
+class TestAncestry:
+    def test_ancestors_include_self_by_default(self, graph):
+        commit = graph.commit(MASTER_BRANCH)
+        ancestors = graph.ancestors(commit.commit_id)
+        assert commit.commit_id in ancestors
+        assert len(ancestors) == 2
+
+    def test_ancestors_exclude_self(self, graph):
+        commit = graph.commit(MASTER_BRANCH)
+        assert commit.commit_id not in graph.ancestors(
+            commit.commit_id, include_self=False
+        )
+
+    def test_is_ancestor(self, graph):
+        root = graph.head(MASTER_BRANCH)
+        commit = graph.commit(MASTER_BRANCH)
+        assert graph.is_ancestor(root, commit.commit_id)
+        assert not graph.is_ancestor(commit.commit_id, root)
+
+    def test_lca_simple_fork(self, graph):
+        fork_point = graph.commit(MASTER_BRANCH).commit_id
+        graph.create_branch("dev", from_commit=fork_point)
+        dev_head = graph.commit("dev").commit_id
+        master_head = graph.commit(MASTER_BRANCH).commit_id
+        assert graph.lowest_common_ancestor(dev_head, master_head) == fork_point
+
+    def test_lca_of_commit_with_itself(self, graph):
+        commit = graph.commit(MASTER_BRANCH).commit_id
+        assert graph.lowest_common_ancestor(commit, commit) == commit
+
+    def test_lca_after_merge(self, graph):
+        graph.create_branch("dev")
+        graph.commit("dev")
+        graph.commit(MASTER_BRANCH)
+        merge = graph.merge(MASTER_BRANCH, "dev")
+        dev_head = graph.head("dev")
+        # After the merge, the dev head itself is an ancestor of master's head.
+        assert graph.lowest_common_ancestor(merge.commit_id, dev_head) == dev_head
+
+    def test_lineage_follows_first_parent(self, graph):
+        graph.commit(MASTER_BRANCH)
+        graph.commit(MASTER_BRANCH)
+        lineage = graph.lineage(graph.head(MASTER_BRANCH))
+        assert len(lineage) == 3
+        assert lineage[-1].parents == ()
+
+    def test_branch_lineage_linear(self, graph):
+        graph.create_branch("a")
+        graph.create_branch("b", from_branch="a")
+        assert graph.branch_lineage("b") == ["b", "a", MASTER_BRANCH]
+
+    def test_branch_lineage_with_merge(self, graph):
+        graph.create_branch("dev")
+        graph.commit("dev")
+        graph.merge(MASTER_BRANCH, "dev")
+        lineage = graph.branch_lineage(MASTER_BRANCH)
+        assert lineage[0] == MASTER_BRANCH
+        assert "dev" in lineage
+
+
+class TestPersistence:
+    def test_round_trip(self, graph, tmp_path):
+        graph.commit(MASTER_BRANCH, "first")
+        graph.create_branch("dev")
+        graph.commit("dev", "dev work")
+        graph.merge(MASTER_BRANCH, "dev", message="merge")
+        graph.retire_branch("dev")
+        path = str(tmp_path / "graph.json")
+        graph.save(path)
+        restored = VersionGraph.load(path)
+        assert restored.heads() == graph.heads()
+        assert len(restored) == len(graph)
+        assert restored.branch("dev").active is False
+        assert restored.branch(MASTER_BRANCH).merge_precedence == (
+            MASTER_BRANCH,
+            "dev",
+        )
+        # Sequence counter continues without collisions after a reload.
+        new_commit = restored.commit(MASTER_BRANCH)
+        assert not graph.has_commit(new_commit.commit_id) or new_commit.commit_id not in [
+            c.commit_id for c in graph.commits()
+        ][:-1]
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(VersionError):
+            VersionGraph.load(str(tmp_path / "missing.json"))

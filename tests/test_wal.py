@@ -1,0 +1,56 @@
+"""Tests for the write-ahead log."""
+
+from repro.core.wal import LogRecord, LogRecordType, WriteAheadLog
+
+
+class TestLogRecord:
+    def test_json_roundtrip(self):
+        record = LogRecord(LogRecordType.WRITE, 7, branch="dev", payload="insert")
+        assert LogRecord.from_json(record.to_json()) == record
+
+    def test_json_roundtrip_minimal(self):
+        record = LogRecord(LogRecordType.BEGIN, 1)
+        restored = LogRecord.from_json(record.to_json())
+        assert restored.branch is None and restored.payload is None
+
+
+class TestWriteAheadLog:
+    def test_in_memory_append(self):
+        wal = WriteAheadLog.in_memory()
+        wal.append(LogRecord(LogRecordType.BEGIN, 1))
+        assert len(wal) == 1
+
+    def test_file_backed_persistence(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path)
+        wal.append(LogRecord(LogRecordType.BEGIN, 1))
+        wal.append(LogRecord(LogRecordType.COMMIT, 1))
+        reopened = WriteAheadLog(path)
+        assert len(reopened) == 2
+        assert reopened.records()[1].type is LogRecordType.COMMIT
+
+    def test_replay_classifies_transactions(self):
+        wal = WriteAheadLog.in_memory()
+        wal.append(LogRecord(LogRecordType.BEGIN, 1))
+        wal.append(LogRecord(LogRecordType.COMMIT, 1))
+        wal.append(LogRecord(LogRecordType.BEGIN, 2))
+        wal.append(LogRecord(LogRecordType.ABORT, 2))
+        wal.append(LogRecord(LogRecordType.BEGIN, 3))  # crashed mid-flight
+        report = wal.replay()
+        assert report.committed == {1}
+        assert report.aborted == {2}
+        assert report.in_flight == {3}
+        assert report.losers == {2, 3}
+
+    def test_checkpoint_truncates(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path)
+        for i in range(5):
+            wal.append(LogRecord(LogRecordType.BEGIN, i))
+        wal.checkpoint()
+        assert len(wal) == 1
+        assert WriteAheadLog(path).records()[0].type is LogRecordType.CHECKPOINT
+
+    def test_replay_empty_log(self):
+        report = WriteAheadLog.in_memory().replay()
+        assert not report.committed and not report.losers
