@@ -12,12 +12,55 @@ records came from.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Callable, Iterable, Iterator
+from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.core.predicates import Predicate
 from repro.core.record import Record
-from repro.core.schema import Schema
+from repro.core.schema import Column, ColumnType, Schema
 from repro.errors import QueryError
+
+
+def join_schema(left: Schema, right: Schema) -> Schema:
+    """The output schema of an equi-join: left columns then right columns.
+
+    Right-side column names that collide with a left-side name are suffixed
+    with ``_r``, which matches how the benchmark's Query 3 joins a relation
+    with itself across two versions.
+    """
+    left_names = set(left.column_names)
+    out_columns: list[Column] = list(left.columns)
+    for column in right.columns:
+        name = column.name if column.name not in left_names else f"{column.name}_r"
+        out_columns.append(
+            Column(name, column.type, column.width)
+            if column.type is ColumnType.STRING
+            else Column(name, column.type)
+        )
+    return Schema(tuple(out_columns), primary_key=left.primary_key)
+
+
+def _as_columns(columns: str | Sequence[str]) -> list[str]:
+    """Normalize a join-key spec (one name or a sequence) to a list."""
+    if isinstance(columns, str):
+        return [columns]
+    return list(columns)
+
+
+def aggregate_output_column(
+    name: str, function: str, argument: str, child_schema: Schema
+) -> Column:
+    """The output column of one aggregate expression.
+
+    ``count`` (and ``count(*)``) produce INT; other functions inherit the
+    argument column's type, except STRING arguments which fall back to INT.
+    This is the single source of truth for aggregate output typing, shared
+    by the logical planner and the physical operator.
+    """
+    if function == "count" or argument == "*":
+        return Column(name, ColumnType.INT)
+    source = child_schema.column(argument)
+    agg_type = ColumnType.INT if source.type is ColumnType.STRING else source.type
+    return Column(name, agg_type)
 
 
 class Operator:
@@ -56,14 +99,33 @@ class Filter(Operator):
                 yield record
 
 
+def project_schema(child_schema: Schema, columns: Sequence[str]) -> Schema:
+    """The output schema of a projection onto ``columns``.
+
+    A column may be listed more than once; repeated names are disambiguated
+    positionally (``id``, ``id_2``) since schemas require unique names, while
+    the projected values repeat as listed.
+    """
+    if len(set(columns)) == len(columns):
+        return child_schema.project(list(columns))
+    out_columns = []
+    counts: dict[str, int] = {}
+    for name in columns:
+        source = child_schema.column(name)
+        counts[name] = counts.get(name, 0) + 1
+        out_name = name if counts[name] == 1 else f"{name}_{counts[name]}"
+        out_columns.append(Column(out_name, source.type, source.width))
+    return Schema.derived(tuple(out_columns))
+
+
 class Project(Operator):
-    """Project child records onto a subset of columns."""
+    """Project child records onto a subset of columns (duplicates allowed)."""
 
     def __init__(self, child: Operator, columns: list[str]):
         self.child = child
         self.columns = list(columns)
-        self.schema = child.schema.project(self.columns)
         self._indexes = [child.schema.index_of(name) for name in self.columns]
+        self.schema = project_schema(child.schema, self.columns)
 
     def __iter__(self) -> Iterator[Record]:
         for record in self.child:
@@ -92,50 +154,115 @@ class Limit(Operator):
 
 
 class HashJoin(Operator):
-    """Equi-join of two operators on one column from each side.
+    """Equi-join of two operators on one or more columns from each side.
 
-    The build side (left) is materialized into a hash table; the probe side
-    (right) streams.  The output schema is the concatenation of both input
-    schemas with right-side duplicate column names suffixed by ``_r``, which
-    matches how the benchmark's Query 3 joins a relation with itself across
-    two versions.
+    The build side (left) is materialized into a hash table keyed by the
+    tuple of join-column values; the probe side (right) streams.  A composite
+    key applies every equi-join condition of a multi-condition join at once.
+    The output schema is the concatenation of both input schemas with
+    right-side duplicate column names suffixed by ``_r`` (see
+    :func:`join_schema`).
     """
 
     def __init__(
         self,
         left: Operator,
         right: Operator,
-        left_column: str,
-        right_column: str,
+        left_column: str | Sequence[str],
+        right_column: str | Sequence[str],
     ):
         self.left = left
         self.right = right
-        self.left_column = left_column
-        self.right_column = right_column
-        from repro.core.schema import Column, Schema as _Schema
-
-        left_names = set(left.schema.column_names)
-        out_columns: list[Column] = list(left.schema.columns)
-        for column in right.schema.columns:
-            name = column.name if column.name not in left_names else f"{column.name}_r"
-            out_columns.append(
-                Column(name, column.type, column.width)
-                if column.type.name == "STRING"
-                else Column(name, column.type)
+        self.left_columns = _as_columns(left_column)
+        self.right_columns = _as_columns(right_column)
+        if len(self.left_columns) != len(self.right_columns):
+            raise QueryError(
+                "join requires the same number of key columns on both sides"
             )
-        self.schema = _Schema(
-            tuple(out_columns), primary_key=left.schema.primary_key
-        )
+        if not self.left_columns:
+            raise QueryError("join requires at least one key column")
+        self.schema = join_schema(left.schema, right.schema)
 
     def __iter__(self) -> Iterator[Record]:
-        build_index = self.left.schema.index_of(self.left_column)
-        probe_index = self.right.schema.index_of(self.right_column)
-        table: dict[object, list[Record]] = defaultdict(list)
+        build_indexes = [self.left.schema.index_of(c) for c in self.left_columns]
+        probe_indexes = [self.right.schema.index_of(c) for c in self.right_columns]
+        table: dict[tuple, list[Record]] = defaultdict(list)
         for record in self.left:
-            table[record.values[build_index]].append(record)
+            key = tuple(record.values[i] for i in build_indexes)
+            table[key].append(record)
         for probe in self.right:
-            for match in table.get(probe.values[probe_index], ()):
+            key = tuple(probe.values[i] for i in probe_indexes)
+            for match in table.get(key, ()):
                 yield Record(match.values + probe.values)
+
+
+class HashAntiJoin(Operator):
+    """Anti semi-join: outer records whose key has no match in the inner side.
+
+    This is the generic fallback for the ``NOT IN`` query shape when the
+    optimizer cannot rewrite it to a storage-engine ``diff``: the inner side
+    is materialized into a key set, the outer side streams through it.
+    """
+
+    def __init__(
+        self,
+        outer: Operator,
+        inner: Operator,
+        outer_column: str,
+        inner_column: str,
+    ):
+        self.outer = outer
+        self.inner = inner
+        self.outer_column = outer_column
+        self.inner_column = inner_column
+        self.schema = outer.schema
+
+    def __iter__(self) -> Iterator[Record]:
+        inner_index = self.inner.schema.index_of(self.inner_column)
+        outer_index = self.outer.schema.index_of(self.outer_column)
+        inner_keys = {record.values[inner_index] for record in self.inner}
+        for record in self.outer:
+            if record.values[outer_index] not in inner_keys:
+                yield record
+
+
+class OrderBy(Operator):
+    """Materialize the child and emit it sorted by one or more keys.
+
+    ``keys`` is a sequence of ``(column, descending)`` pairs.  The sort is
+    stable, so secondary keys break ties left to right.
+    """
+
+    def __init__(self, child: Operator, keys: Sequence[tuple[str, bool]]):
+        if not keys:
+            raise QueryError("ORDER BY requires at least one key")
+        self.child = child
+        self.keys = [(column, bool(descending)) for column, descending in keys]
+        self.schema = child.schema
+        for column, _ in self.keys:
+            self.schema.index_of(column)
+
+    def __iter__(self) -> Iterator[Record]:
+        records = list(self.child)
+        for column, descending in reversed(self.keys):
+            index = self.schema.index_of(column)
+            records.sort(key=lambda r, i=index: r.values[i], reverse=descending)
+        yield from records
+
+
+class Distinct(Operator):
+    """Drop duplicate rows, keeping the first occurrence of each."""
+
+    def __init__(self, child: Operator):
+        self.child = child
+        self.schema = child.schema
+
+    def __iter__(self) -> Iterator[Record]:
+        seen: set[tuple] = set()
+        for record in self.child:
+            if record.values not in seen:
+                seen.add(record.values)
+                yield record
 
 
 class Aggregate(Operator):
@@ -168,13 +295,14 @@ class Aggregate(Operator):
         self.function = function
         self.column = column
         self.group_by = group_by
-        from repro.core.schema import Column, ColumnType, Schema as _Schema
-
         out_columns = []
         if group_by is not None:
-            out_columns.append(Column("group_key", ColumnType.INT))
+            # The group key inherits the type of the grouping column, so
+            # string-keyed groups carry a correctly typed schema.
+            source = child.schema.column(group_by)
+            out_columns.append(Column("group_key", source.type, source.width))
         out_columns.append(Column("agg_value", ColumnType.INT))
-        self.schema = _Schema(tuple(out_columns))
+        self.schema = Schema(tuple(out_columns), primary_key="agg_value")
 
     def __iter__(self) -> Iterator[Record]:
         child_schema = self.child.schema
@@ -183,14 +311,90 @@ class Aggregate(Operator):
         if self.group_by is None:
             values = [record.values[value_index] for record in self.child]
             result = func(values) if (values or self.function == "count") else 0
-            yield Record((int(result),))
+            yield Record((result,))
             return
         group_index = child_schema.index_of(self.group_by)
         groups: dict[object, list] = defaultdict(list)
         for record in self.child:
             groups[record.values[group_index]].append(record.values[value_index])
         for key in sorted(groups):
-            yield Record((key, int(func(groups[key]))))
+            yield Record((key, func(groups[key])))
+
+
+class GroupAggregate(Operator):
+    """Grouped aggregation over any number of keys and aggregate expressions.
+
+    ``group_by`` names zero or more grouping columns; ``aggregates`` is a
+    sequence of ``(output_name, function, argument)`` where ``argument`` is a
+    child column name, or ``"*"`` for ``count(*)``.  The output schema is the
+    grouping columns (inheriting their child types) followed by one column
+    per aggregate.  Aggregate output columns are labeled INT even though
+    ``avg`` may produce fractional values -- derived schemas are never
+    encoded to disk, so the label is informational.
+
+    With no grouping columns the whole input forms a single group and exactly
+    one row is emitted (zero-valued for empty input, as in :class:`Aggregate`).
+    Groups are emitted in sorted key order.
+    """
+
+    _FUNCTIONS = Aggregate._FUNCTIONS
+
+    def __init__(
+        self,
+        child: Operator,
+        group_by: Sequence[str],
+        aggregates: Sequence[tuple[str, str, str]],
+    ):
+        self.child = child
+        self.group_by = list(group_by)
+        self.aggregates = [
+            (name, function.lower(), argument)
+            for name, function, argument in aggregates
+        ]
+        for name, function, argument in self.aggregates:
+            if function not in self._FUNCTIONS:
+                raise QueryError(f"unsupported aggregate function: {function!r}")
+            if argument == "*" and function != "count":
+                raise QueryError(f"{function}(*) is not supported; use a column")
+        out_columns: list[Column] = []
+        for column in self.group_by:
+            source = child.schema.column(column)
+            out_columns.append(Column(column, source.type, source.width))
+        for name, function, argument in self.aggregates:
+            out_columns.append(
+                aggregate_output_column(name, function, argument, child.schema)
+            )
+        self.schema = Schema.derived(tuple(out_columns))
+
+    def __iter__(self) -> Iterator[Record]:
+        child_schema = self.child.schema
+        group_indexes = [child_schema.index_of(c) for c in self.group_by]
+        agg_indexes = [
+            None if argument == "*" else child_schema.index_of(argument)
+            for _, _, argument in self.aggregates
+        ]
+        groups: dict[tuple, list[Record]] = defaultdict(list)
+        for record in self.child:
+            key = tuple(record.values[i] for i in group_indexes)
+            groups[key].append(record)
+        if not self.group_by and not groups:
+            groups[()] = []
+        for key in sorted(groups):
+            rows = groups[key]
+            values = list(key)
+            for (name, function, argument), index in zip(
+                self.aggregates, agg_indexes
+            ):
+                func = self._FUNCTIONS[function]
+                inputs = (
+                    [1] * len(rows)
+                    if index is None
+                    else [record.values[index] for record in rows]
+                )
+                values.append(
+                    func(inputs) if (inputs or function == "count") else 0
+                )
+            yield Record(tuple(values))
 
 
 def materialize(operator: Operator) -> list[Record]:

@@ -162,6 +162,27 @@ class Schema:
         )
         return cls(tuple(columns), primary_key="id")
 
+    @classmethod
+    def derived(cls, columns: tuple[Column, ...] | list[Column]) -> "Schema":
+        """A schema for intermediate query results.
+
+        Unlike stored-relation schemas, derived schemas (aggregate outputs,
+        projections that drop the key) are never encoded to disk, so they do
+        not require an integer primary key: the first column is nominated as
+        the key regardless of its type.
+        """
+        columns = tuple(columns)
+        if not columns:
+            raise SchemaError("a schema needs at least one column")
+        names = [column.name for column in columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in schema: {names}")
+        schema = object.__new__(cls)
+        object.__setattr__(schema, "columns", columns)
+        object.__setattr__(schema, "primary_key", names[0])
+        object.__setattr__(schema, "_index", {name: i for i, name in enumerate(names)})
+        return schema
+
     # -- accessors ------------------------------------------------------------
 
     @property
@@ -206,11 +227,13 @@ class Schema:
         """A new schema containing only ``names`` (in the given order).
 
         The primary key is preserved if it is among ``names``; otherwise the
-        first projected column becomes the key of the derived schema.
+        first projected column becomes the key of the derived schema (with no
+        integer-type requirement, since projected results are never stored).
         """
         columns = tuple(self.column(name) for name in names)
-        pk = self.primary_key if self.primary_key in names else columns[0].name
-        return Schema(columns, primary_key=pk)
+        if self.primary_key in names:
+            return Schema(columns, primary_key=self.primary_key)
+        return Schema.derived(columns)
 
     def describe(self) -> str:
         """A one-line human-readable description of the schema."""

@@ -225,6 +225,17 @@ class Decibel:
 
         return execute_query(self, sql)
 
+    def explain(self, sql: str) -> str:
+        """The optimized logical plan for ``sql``, rendered as text.
+
+        Shows the plan the executor would run: scans with their pushed-down
+        predicates, ``NOT IN`` shapes rewritten to engine diffs, joins,
+        aggregation, ordering and limits.
+        """
+        from repro.query.executor import explain_query
+
+        return explain_query(self, sql)
+
     # -- lifecycle ------------------------------------------------------------------------------
 
     def flush(self) -> None:

@@ -1,260 +1,44 @@
-"""Planner and executor for the versioned SQL dialect.
+"""Entry points of the query pipeline: parse -> lower -> optimize -> execute.
 
-The executor maps each parsed query onto storage-engine primitives:
+Every SQL query runs through three explicit stages:
 
-* a single table bound to one version -> a single-version scan (Query 1);
-* a ``NOT IN`` subquery over another version of the same relation -> a
-  positive diff (Query 2);
-* two table references joined on a column -> two version scans feeding a hash
-  join (Query 3);
-* ``HEAD(R.Version) = true`` -> a multi-branch scan over all branch heads,
-  with each output row annotated with the branches it is live in (Query 4).
+1. :mod:`repro.query.logical` lowers the parsed AST into a logical plan
+   (version scans, diffs, joins, filters, aggregation, ordering);
+2. :mod:`repro.query.optimizer` applies rule-based rewrites -- predicate
+   pushdown into engine scans and recognition of the ``NOT IN`` shape as the
+   engine's bitmap ``diff`` primitive;
+3. :mod:`repro.query.physical` maps the optimized plan onto the iterator
+   operators of :mod:`repro.core.operators` and assembles the result.
 
-Column predicates are applied as filters on the appropriate side.
+:func:`explain_query` returns the optimized plan as indented text, which is
+what :meth:`repro.db.database.Decibel.explain` surfaces to users.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterator
+from typing import TYPE_CHECKING
 
-from repro.core.operators import Filter, HashJoin, SeqScan
-from repro.core.predicates import ColumnPredicate, Predicate, TruePredicate
-from repro.core.record import Record
-from repro.core.schema import Schema
-from repro.errors import QueryError
-from repro.query.parser import SelectQuery, TableRef, parse_query
+from repro.query.logical import LogicalNode, lower_query, render_plan
+from repro.query.optimizer import optimize
+from repro.query.parser import parse_query
+from repro.query.physical import QueryResult, execute_plan
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.db.database import Decibel, VersionedRelation
+    from repro.db.database import Decibel
+
+__all__ = ["QueryResult", "execute_query", "explain_query", "plan_query"]
 
 
-@dataclass
-class QueryResult:
-    """Rows produced by a versioned query.
-
-    ``columns`` names the output columns; ``rows`` holds plain value tuples;
-    ``branch_annotations`` (parallel to ``rows``) carries the set of branches
-    each row is live in for HEAD() queries, and is empty otherwise.
-    """
-
-    columns: list[str]
-    rows: list[tuple] = field(default_factory=list)
-    branch_annotations: list[frozenset[str]] = field(default_factory=list)
-
-    def __len__(self) -> int:
-        return len(self.rows)
-
-    def __iter__(self) -> Iterator[tuple]:
-        return iter(self.rows)
-
-    def to_dicts(self) -> list[dict]:
-        """Rows as dictionaries keyed by column name."""
-        return [dict(zip(self.columns, row)) for row in self.rows]
+def plan_query(db: "Decibel", sql: str) -> LogicalNode:
+    """Parse ``sql`` and return its optimized logical plan."""
+    return optimize(lower_query(db, parse_query(sql)))
 
 
 def execute_query(db: "Decibel", sql: str) -> QueryResult:
     """Parse and execute ``sql`` against the relations registered in ``db``."""
-    query = parse_query(sql)
-    return _Planner(db, query).run()
+    return execute_plan(plan_query(db, sql))
 
 
-class _Planner:
-    def __init__(self, db: "Decibel", query: SelectQuery):
-        self.db = db
-        self.query = query
-
-    # -- entry point ------------------------------------------------------------
-
-    def run(self) -> QueryResult:
-        query = self.query
-        if query.head_conditions:
-            return self._run_head_scan()
-        if query.not_in_subqueries:
-            return self._run_positive_diff()
-        if len(query.tables) == 2:
-            return self._run_join()
-        if len(query.tables) == 1:
-            return self._run_single_scan()
-        raise QueryError("queries over more than two table references are not supported")
-
-    # -- helpers ------------------------------------------------------------------
-
-    def _relation_for(self, table: TableRef) -> "VersionedRelation":
-        return self.db.relation(table.relation)
-
-    def _resolve_version(self, relation: "VersionedRelation", version: str):
-        """A version string may name a branch or a commit id."""
-        graph = relation.graph
-        if graph.has_branch(version):
-            return ("branch", version)
-        if graph.has_commit(version):
-            return ("commit", version)
-        raise QueryError(
-            f"{version!r} is neither a branch nor a commit of {relation.name!r}"
-        )
-
-    def _scan_version(
-        self,
-        relation: "VersionedRelation",
-        version: str,
-        predicate: Predicate | None,
-    ) -> Iterator[Record]:
-        kind, name = self._resolve_version(relation, version)
-        if kind == "branch":
-            return relation.engine.scan_branch(name, predicate)
-        return relation.engine.scan_commit(name, predicate)
-
-    def _predicate_for(self, alias: str, schema: Schema) -> Predicate | None:
-        """AND together the column comparisons that apply to ``alias``."""
-        predicate: Predicate | None = None
-        for comparison in self.query.column_comparisons:
-            if comparison.alias not in (alias, None):
-                continue
-            if comparison.column not in schema.column_names:
-                raise QueryError(
-                    f"unknown column {comparison.column!r} in predicate"
-                )
-            term = ColumnPredicate(comparison.column, comparison.op, comparison.value)
-            predicate = term if predicate is None else (predicate & term)
-        return predicate
-
-    def _project(self, schema: Schema, records: Iterator[Record]) -> QueryResult:
-        if self.query.is_star:
-            columns = list(schema.column_names)
-            result = QueryResult(columns=columns)
-            result.rows = [record.values for record in records]
-            return result
-        columns = list(self.query.columns)
-        indexes = [schema.index_of(name) for name in columns]
-        result = QueryResult(columns=columns)
-        result.rows = [
-            tuple(record.values[i] for i in indexes) for record in records
-        ]
-        return result
-
-    # -- query shapes ----------------------------------------------------------------
-
-    def _run_single_scan(self) -> QueryResult:
-        table = self.query.tables[0]
-        relation = self._relation_for(table)
-        version = self.query.version_for(table.alias)
-        if version is None:
-            raise QueryError(
-                "a single-table query must bind the table to a version "
-                "(R.Version = '...') or use HEAD(R.Version)"
-            )
-        predicate = self._predicate_for(table.alias, relation.schema)
-        records = self._scan_version(relation, version, predicate)
-        return self._project(relation.schema, records)
-
-    def _run_positive_diff(self) -> QueryResult:
-        query = self.query
-        if len(query.tables) != 1 or len(query.not_in_subqueries) != 1:
-            raise QueryError("NOT IN queries must have exactly one outer table")
-        table = query.tables[0]
-        relation = self._relation_for(table)
-        outer_version = query.version_for(table.alias)
-        sub = query.not_in_subqueries[0]
-        inner_table = sub.subquery.tables[0]
-        inner_version = sub.subquery.version_for(inner_table.alias)
-        if outer_version is None or inner_version is None:
-            raise QueryError("both sides of the diff must be bound to versions")
-        key_column = sub.column
-        schema = relation.schema
-        key_index = schema.index_of(key_column)
-        outer_kind, outer_name = self._resolve_version(relation, outer_version)
-        inner_kind, inner_name = self._resolve_version(relation, inner_version)
-        predicate = self._predicate_for(table.alias, schema)
-        if (
-            outer_kind == "branch"
-            and inner_kind == "branch"
-            and key_column == schema.primary_key
-        ):
-            # Engine diffs are content-level: an updated record shows up on
-            # both sides.  The SQL NOT IN shape is key-level, so modified keys
-            # (present in both versions) are filtered back out.
-            diff = relation.engine.diff(outer_name, inner_name)
-            modified = diff.modified_keys(schema)
-            records: Iterator[Record] = (
-                record
-                for record in diff.positive
-                if record.values[key_index] not in modified
-            )
-        else:
-            inner_keys = {
-                record.values[key_index]
-                for record in self._scan_version(relation, inner_version, None)
-            }
-            records = (
-                record
-                for record in self._scan_version(relation, outer_version, None)
-                if record.values[key_index] not in inner_keys
-            )
-        if predicate is not None:
-            records = (
-                record for record in records if predicate.evaluate(record, schema)
-            )
-        return self._project(schema, records)
-
-    def _run_join(self) -> QueryResult:
-        query = self.query
-        if not query.join_conditions:
-            raise QueryError("two-table queries must have a join condition")
-        join = query.join_conditions[0]
-        left_table = self._table_by_alias(join.left_alias)
-        right_table = self._table_by_alias(join.right_alias)
-        left_relation = self._relation_for(left_table)
-        right_relation = self._relation_for(right_table)
-        left_version = query.version_for(left_table.alias)
-        right_version = query.version_for(right_table.alias)
-        if left_version is None or right_version is None:
-            raise QueryError("both sides of a join must be bound to versions")
-        left_predicate = self._predicate_for(left_table.alias, left_relation.schema)
-        right_predicate = self._predicate_for(right_table.alias, right_relation.schema)
-        left_scan = SeqScan(
-            self._scan_version(left_relation, left_version, left_predicate),
-            left_relation.schema,
-        )
-        right_scan = SeqScan(
-            self._scan_version(right_relation, right_version, right_predicate),
-            right_relation.schema,
-        )
-        joined = HashJoin(left_scan, right_scan, join.left_column, join.right_column)
-        records = iter(joined)
-        if self.query.is_star:
-            result = QueryResult(columns=list(joined.schema.column_names))
-            result.rows = [record.values for record in records]
-            return result
-        return self._project(joined.schema, records)
-
-    def _run_head_scan(self) -> QueryResult:
-        query = self.query
-        if len(query.tables) != 1:
-            raise QueryError("HEAD() queries must reference exactly one table")
-        table = query.tables[0]
-        relation = self._relation_for(table)
-        head = query.head_conditions[0]
-        if not head.value:
-            raise QueryError("HEAD(R.Version) = false is not a meaningful query")
-        predicate = self._predicate_for(table.alias, relation.schema)
-        schema = relation.schema
-        columns = (
-            list(schema.column_names) if query.is_star else list(query.columns)
-        )
-        indexes = (
-            list(range(len(schema.columns)))
-            if query.is_star
-            else [schema.index_of(name) for name in columns]
-        )
-        result = QueryResult(columns=columns)
-        for record, branches in relation.engine.scan_heads(predicate):
-            result.rows.append(tuple(record.values[i] for i in indexes))
-            result.branch_annotations.append(branches)
-        return result
-
-    def _table_by_alias(self, alias: str) -> TableRef:
-        for table in self.query.tables:
-            if table.alias == alias:
-                return table
-        raise QueryError(f"unknown table alias {alias!r} in join condition")
+def explain_query(db: "Decibel", sql: str) -> str:
+    """The optimized plan for ``sql``, rendered as an indented tree."""
+    return render_plan(plan_query(db, sql))

@@ -1,0 +1,123 @@
+"""Rule-based optimization: stage two of the query pipeline.
+
+Two families of rewrites run over the logical plan, bottom-up:
+
+* **Diff recognition** -- the ``NOT IN``-over-the-same-relation shape
+  (lowered as an :class:`~repro.query.logical.AntiJoin` of two version
+  scans) is rewritten to a :class:`~repro.query.logical.VersionDiff` when
+  both sides are branch heads of the same relation compared on the primary
+  key.  That routes the query to the engine's bitmap ``diff`` primitive
+  (paper Section 2.2.3), which the tuple-first and hybrid layouts answer
+  with bitmap intersections instead of two full scans.
+
+* **Predicate pushdown** -- column comparisons held in
+  :class:`~repro.query.logical.Filter` nodes are pushed into the scans they
+  apply to, so they are evaluated inside ``scan_branch``/``scan_commit``/
+  ``scan_heads`` during the single pass over the data.  A filter whose terms
+  are all pushed disappears (Filter-over-Scan collapse); terms that cannot
+  be pushed (e.g. residual predicates above a diff) stay behind.
+"""
+
+from __future__ import annotations
+
+from repro.core.predicates import ColumnPredicate
+from repro.query.logical import (
+    AntiJoin,
+    Filter,
+    HeadScan,
+    Join,
+    LogicalNode,
+    VersionDiff,
+    VersionScan,
+)
+from repro.query.parser import ColumnComparison
+
+
+def optimize(plan: LogicalNode) -> LogicalNode:
+    """Apply all rewrite rules to ``plan`` and return the optimized plan."""
+    plan = rewrite_diffs(plan)
+    plan = push_down_predicates(plan)
+    return plan
+
+
+# -- rule: NOT IN -> engine diff ---------------------------------------------------
+
+
+def rewrite_diffs(node: LogicalNode) -> LogicalNode:
+    """Rewrite qualifying anti-joins to the engine's ``diff`` primitive."""
+    node.children = [rewrite_diffs(child) for child in node.children]
+    if not isinstance(node, AntiJoin):
+        return node
+    outer, inner = node.outer, node.inner
+    if not (isinstance(outer, VersionScan) and isinstance(inner, VersionScan)):
+        return node
+    if (
+        outer.engine is inner.engine
+        and outer.kind == "branch"
+        and inner.kind == "branch"
+        and outer.predicate is None
+        and inner.predicate is None
+        and node.outer_column == node.inner_column
+        and node.outer_column == outer.schema.primary_key
+    ):
+        return VersionDiff(
+            outer.engine,
+            outer.relation,
+            (outer.kind, outer.version),
+            (inner.kind, inner.version),
+            node.outer_column,
+            include_modified=False,
+        )
+    return node
+
+
+# -- rule: predicate pushdown ------------------------------------------------------
+
+
+def push_down_predicates(node: LogicalNode) -> LogicalNode:
+    """Push filter terms into scans; drop filters that become empty."""
+    node.children = [push_down_predicates(child) for child in node.children]
+    if not isinstance(node, Filter):
+        return node
+    child = node.child
+    remaining = [term for term in node.terms if not _push_term(child, term)]
+    if not remaining:
+        return child
+    node.terms = remaining
+    return node
+
+
+def _push_term(node: LogicalNode, term: ColumnComparison) -> bool:
+    """Try to push one comparison into ``node``'s scans; True if consumed."""
+    if isinstance(node, (VersionScan, HeadScan)):
+        if term.alias not in (node.alias, None):
+            return False
+        if term.column not in node.engine.schema.column_names:
+            return False
+        node.attach_predicate(ColumnPredicate(term.column, term.op, term.value))
+        return True
+    if isinstance(node, Join):
+        left, right = node.left, node.right
+        if term.alias is None:
+            # An unqualified predicate applies to every side that has the
+            # column (the seed executor's semantics), so it is only consumed
+            # when both sides can evaluate it during their scans.
+            if _accepts_term(left, term) and _accepts_term(right, term):
+                _push_term(left, term)
+                _push_term(right, term)
+                return True
+            return False
+        return _push_term(left, term) or _push_term(right, term)
+    if isinstance(node, AntiJoin):
+        # Only the outer side contributes output rows; inner-side predicates
+        # come from the subquery and are already attached below.
+        return _push_term(node.outer, term)
+    return False
+
+
+def _accepts_term(node: LogicalNode, term: ColumnComparison) -> bool:
+    return (
+        isinstance(node, (VersionScan, HeadScan))
+        and term.alias in (node.alias, None)
+        and term.column in node.engine.schema.column_names
+    )

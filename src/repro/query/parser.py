@@ -1,9 +1,15 @@
 """Recursive-descent parser for the versioned SQL dialect.
 
-The grammar covers the query shapes of the paper's Table 1::
+The grammar covers the query shapes of the paper's Table 1 plus the usual
+result-shaping clauses::
 
-    query      := SELECT select_list FROM table_ref ("," table_ref)* [WHERE condition]
-    select_list:= "*" | column ("," column)*
+    query      := SELECT [DISTINCT] select_list FROM table_ref ("," table_ref)*
+                  [WHERE condition] [GROUP BY column ("," column)*]
+                  [ORDER BY order_key ("," order_key)*] [LIMIT number]
+    select_list:= "*" | select_item ("," select_item)*
+    select_item:= aggregate | column
+    aggregate  := identifier "(" ("*" | column) ")"
+    order_key  := column [ASC | DESC]
     table_ref  := identifier [AS identifier | identifier]
     condition  := term (AND term)*
     term       := version_eq | head_eq | not_in | join_eq | column_cmp
@@ -14,7 +20,8 @@ The grammar covers the query shapes of the paper's Table 1::
     column_cmp := [alias "."] column op literal
 
 Only conjunctions (AND) are supported, which is all the benchmark queries
-need; OR raises a clear error.
+need; OR raises a clear error.  The parser only builds the AST; name and
+version resolution happen in :mod:`repro.query.logical`.
 """
 
 from __future__ import annotations
@@ -81,6 +88,40 @@ class NotInSubquery:
     subquery: "SelectQuery"
 
 
+@dataclass(frozen=True)
+class SelectItem:
+    """One entry of the select list: a plain column or an aggregate call.
+
+    Exactly one of ``column`` (plain column reference) or
+    ``function``/``argument`` (aggregate call; argument may be ``"*"``) is
+    populated.
+    """
+
+    column: str | None = None
+    function: str | None = None
+    argument: str | None = None
+
+    @property
+    def is_aggregate(self) -> bool:
+        """True for items like ``count(id)`` or ``count(*)``."""
+        return self.function is not None
+
+    @property
+    def display_name(self) -> str:
+        """The output column name shown to users."""
+        if self.is_aggregate:
+            return f"{self.function}({self.argument})"
+        return self.column or ""
+
+
+@dataclass(frozen=True)
+class OrderKey:
+    """One ``ORDER BY`` key; ``item`` may be a column or an aggregate."""
+
+    item: SelectItem
+    descending: bool = False
+
+
 @dataclass
 class SelectQuery:
     """A parsed SELECT statement."""
@@ -92,11 +133,21 @@ class SelectQuery:
     column_comparisons: list[ColumnComparison] = field(default_factory=list)
     join_conditions: list[JoinCondition] = field(default_factory=list)
     not_in_subqueries: list[NotInSubquery] = field(default_factory=list)
+    select_items: list[SelectItem] = field(default_factory=list)
+    distinct: bool = False
+    group_by: list[str] = field(default_factory=list)
+    order_by: list[OrderKey] = field(default_factory=list)
+    limit: int | None = None
 
     @property
     def is_star(self) -> bool:
         """True for ``SELECT *``."""
         return self.columns == ["*"]
+
+    @property
+    def aggregates(self) -> list[SelectItem]:
+        """The aggregate entries of the select list, in order."""
+        return [item for item in self.select_items if item.is_aggregate]
 
     def version_for(self, alias: str) -> str | None:
         """The version bound to ``alias``, if any."""
@@ -144,23 +195,79 @@ class _Parser:
 
     def _select(self) -> SelectQuery:
         self._expect(TokenType.KEYWORD, "select")
-        columns = self._select_list()
+        distinct = self._accept(TokenType.KEYWORD, "distinct") is not None
+        items = self._select_list()
         self._expect(TokenType.KEYWORD, "from")
         tables = [self._table_ref()]
         while self._accept(TokenType.SYMBOL, ","):
             tables.append(self._table_ref())
-        query = SelectQuery(columns=columns, tables=tables)
+        if items is None:
+            columns = ["*"]
+            select_items: list[SelectItem] = []
+        else:
+            columns = [item.column for item in items if not item.is_aggregate]
+            select_items = items
+        query = SelectQuery(
+            columns=columns,
+            tables=tables,
+            select_items=select_items,
+            distinct=distinct,
+        )
         if self._accept(TokenType.KEYWORD, "where"):
             self._conditions(query)
+        if self._accept(TokenType.KEYWORD, "group"):
+            self._expect(TokenType.KEYWORD, "by")
+            query.group_by.append(self._column_name())
+            while self._accept(TokenType.SYMBOL, ","):
+                query.group_by.append(self._column_name())
+        if self._accept(TokenType.KEYWORD, "order"):
+            self._expect(TokenType.KEYWORD, "by")
+            query.order_by.append(self._order_key())
+            while self._accept(TokenType.SYMBOL, ","):
+                query.order_by.append(self._order_key())
+        if self._accept(TokenType.KEYWORD, "limit"):
+            token = self._expect(TokenType.NUMBER)
+            limit = int(token.value)
+            if limit < 0:
+                raise QueryError(
+                    f"LIMIT must be non-negative at position {token.position}"
+                )
+            query.limit = limit
         return query
 
-    def _select_list(self) -> list[str]:
+    def _select_list(self) -> list[SelectItem] | None:
+        """The select list; ``None`` means ``SELECT *``."""
         if self._accept(TokenType.SYMBOL, "*"):
-            return ["*"]
-        columns = [self._column_name()]
+            return None
+        items = [self._select_item()]
         while self._accept(TokenType.SYMBOL, ","):
-            columns.append(self._column_name())
-        return columns
+            if self._peek().matches(TokenType.SYMBOL, "*"):
+                raise QueryError(
+                    f"'*' cannot be mixed with other select items "
+                    f"(position {self._peek().position})"
+                )
+            items.append(self._select_item())
+        return items
+
+    def _select_item(self) -> SelectItem:
+        first = self._expect(TokenType.IDENTIFIER).value
+        if self._accept(TokenType.SYMBOL, "("):
+            if self._accept(TokenType.SYMBOL, "*"):
+                argument = "*"
+            else:
+                argument = self._column_name()
+            self._expect(TokenType.SYMBOL, ")")
+            return SelectItem(function=first.lower(), argument=argument)
+        if self._accept(TokenType.SYMBOL, "."):
+            return SelectItem(column=self._expect(TokenType.IDENTIFIER).value)
+        return SelectItem(column=first)
+
+    def _order_key(self) -> OrderKey:
+        item = self._select_item()
+        if self._accept(TokenType.KEYWORD, "desc"):
+            return OrderKey(item=item, descending=True)
+        self._accept(TokenType.KEYWORD, "asc")
+        return OrderKey(item=item)
 
     def _column_name(self) -> str:
         name = self._expect(TokenType.IDENTIFIER).value

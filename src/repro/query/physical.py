@@ -1,0 +1,222 @@
+"""Physical execution: stage three of the query pipeline.
+
+:func:`build_physical` maps an optimized logical plan onto the iterator
+operators of :mod:`repro.core.operators`; :func:`execute_plan` runs the
+operator tree and assembles a :class:`QueryResult`.  Every query -- the four
+paper benchmark queries included -- flows through this one code path.
+
+Head scans thread the set of branches each record is live in through the
+operator tree as a hidden trailing column
+(:data:`~repro.query.logical.BRANCH_COLUMN`); the result builder strips it
+back out into ``QueryResult.branch_annotations``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.operators import (
+    Distinct as DistinctOp,
+    Filter as FilterOp,
+    GroupAggregate,
+    HashAntiJoin,
+    HashJoin,
+    Limit as LimitOp,
+    Operator,
+    OrderBy,
+    Project as ProjectOp,
+    SeqScan,
+)
+from repro.core.predicates import ColumnPredicate, Predicate
+from repro.core.record import Record
+from repro.errors import QueryError
+from repro.query.logical import (
+    Aggregate,
+    AntiJoin,
+    BRANCH_COLUMN,
+    Distinct,
+    Filter,
+    HeadScan,
+    Join,
+    Limit,
+    LogicalNode,
+    Project,
+    Sort,
+    VersionDiff,
+    VersionScan,
+    result_columns,
+)
+
+
+@dataclass
+class QueryResult:
+    """Rows produced by a versioned query.
+
+    ``columns`` names the output columns; ``rows`` holds plain value tuples;
+    ``branch_annotations`` (parallel to ``rows``) carries the set of branches
+    each row is live in for HEAD() queries, and is empty otherwise.
+    """
+
+    columns: list[str]
+    rows: list[tuple] = field(default_factory=list)
+    branch_annotations: list[frozenset[str]] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def to_dicts(self) -> list[dict]:
+        """Rows as dictionaries keyed by column name."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+
+class HeadScanExec(Operator):
+    """Scan all branch heads, appending the branch set as a hidden column."""
+
+    def __init__(self, node: HeadScan):
+        self.node = node
+        self.schema = node.schema
+
+    def __iter__(self) -> Iterator[Record]:
+        for record, branches in self.node.engine.scan_heads(self.node.predicate):
+            yield Record(record.values + (branches,))
+
+
+class VersionDiffExec(Operator):
+    """Positive diff of two branch heads via the engine's ``diff`` primitive.
+
+    Engine diffs are content-level: an updated record shows up on both sides.
+    The SQL ``NOT IN`` shape is key-level, so unless ``include_modified`` is
+    set (the benchmark's content-level Query 2), modified keys -- present in
+    both versions -- are filtered back out.  ``total_records`` records the
+    size of the last diff for benchmark byte accounting.
+    """
+
+    def __init__(self, node: VersionDiff):
+        self.node = node
+        self.schema = node.schema
+        self.total_records = 0
+
+    def __iter__(self) -> Iterator[Record]:
+        node = self.node
+        diff = node.engine.diff(node.outer[1], node.inner[1])
+        self.total_records = diff.total_records
+        if node.include_modified:
+            yield from diff.positive
+            return
+        schema = node.engine.schema
+        key_index = schema.index_of(node.key_column)
+        modified = diff.modified_keys(schema)
+        for record in diff.positive:
+            if record.values[key_index] not in modified:
+                yield record
+
+
+class AnnotatedDistinct(Operator):
+    """DISTINCT over head-scan rows.
+
+    Duplicates are judged on the *visible* columns only; the hidden branch
+    sets of merged duplicates are unioned, so a record live in several
+    branches still comes out once with the combined annotation.
+    """
+
+    def __init__(self, child: Operator, hidden_index: int):
+        self.child = child
+        self.hidden_index = hidden_index
+        self.schema = child.schema
+
+    def __iter__(self) -> Iterator[Record]:
+        h = self.hidden_index
+        merged: dict[tuple, set] = {}
+        order: list[tuple] = []
+        for record in self.child:
+            values = record.values
+            visible = values[:h] + values[h + 1 :]
+            if visible not in merged:
+                merged[visible] = set()
+                order.append(visible)
+            merged[visible].update(values[h])
+        for visible in order:
+            branches = frozenset(merged[visible])
+            yield Record(visible[:h] + (branches,) + visible[h:])
+
+
+def build_physical(plan: LogicalNode) -> Operator:
+    """Map an optimized logical plan onto an iterator operator tree."""
+    if isinstance(plan, VersionScan):
+        engine = plan.engine
+        if plan.kind == "branch":
+            records = engine.scan_branch(plan.version, plan.predicate)
+        else:
+            records = engine.scan_commit(plan.version, plan.predicate)
+        return SeqScan(records, plan.schema)
+    if isinstance(plan, HeadScan):
+        return HeadScanExec(plan)
+    if isinstance(plan, VersionDiff):
+        return VersionDiffExec(plan)
+    if isinstance(plan, AntiJoin):
+        return HashAntiJoin(
+            build_physical(plan.outer),
+            build_physical(plan.inner),
+            plan.outer_column,
+            plan.inner_column,
+        )
+    if isinstance(plan, Join):
+        left_columns = [left for left, _ in plan.conditions]
+        right_columns = [right for _, right in plan.conditions]
+        return HashJoin(
+            build_physical(plan.left),
+            build_physical(plan.right),
+            left_columns,
+            right_columns,
+        )
+    if isinstance(plan, Filter):
+        predicate: Predicate | None = None
+        for term in plan.terms:
+            clause = ColumnPredicate(term.column, term.op, term.value)
+            predicate = clause if predicate is None else (predicate & clause)
+        return FilterOp(build_physical(plan.child), predicate)
+    if isinstance(plan, Aggregate):
+        grouped = GroupAggregate(
+            build_physical(plan.child),
+            plan.group_by,
+            [
+                (expr.name, expr.function, expr.argument)
+                for expr in plan.aggregates
+            ],
+        )
+        if list(grouped.schema.column_names) == plan.output_names:
+            return grouped
+        return ProjectOp(grouped, plan.output_names)
+    if isinstance(plan, Project):
+        return ProjectOp(build_physical(plan.child), plan.physical_columns)
+    if isinstance(plan, Distinct):
+        child = build_physical(plan.child)
+        names = plan.schema.column_names
+        if BRANCH_COLUMN in names:
+            return AnnotatedDistinct(child, names.index(BRANCH_COLUMN))
+        return DistinctOp(child)
+    if isinstance(plan, Sort):
+        return OrderBy(build_physical(plan.child), plan.keys)
+    if isinstance(plan, Limit):
+        return LimitOp(build_physical(plan.child), plan.n)
+    raise QueryError(f"no physical mapping for plan node {type(plan).__name__}")
+
+
+def execute_plan(plan: LogicalNode) -> QueryResult:
+    """Run an optimized plan to completion and assemble the result."""
+    operator = build_physical(plan)
+    result = QueryResult(columns=result_columns(plan))
+    schema_names = plan.schema.column_names
+    if BRANCH_COLUMN in schema_names:
+        hidden = schema_names.index(BRANCH_COLUMN)
+        for record in operator:
+            values = record.values
+            result.rows.append(values[:hidden] + values[hidden + 1 :])
+            result.branch_annotations.append(values[hidden])
+        return result
+    result.rows = [record.values for record in operator]
+    return result

@@ -19,6 +19,13 @@ _KEYWORDS = {
     "true",
     "false",
     "head",
+    "distinct",
+    "group",
+    "by",
+    "order",
+    "limit",
+    "asc",
+    "desc",
 }
 
 _SYMBOLS = ("<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", ",", ".", "*")

@@ -61,6 +61,7 @@ class EngineStats:
     commits: int = 0
     branches_created: int = 0
     merges: int = 0
+    diffs: int = 0
 
     def reset(self) -> None:
         """Zero all counters."""

@@ -330,6 +330,7 @@ class HybridEngine(VersionedStorageEngine):
 
     def diff(self, branch_a: str, branch_b: str) -> DiffResult:
         """Per-segment bitmap differences (paper Section 3.4)."""
+        self.stats.diffs += 1
         bitmaps_a = self._branch_segment_bitmaps(branch_a)
         bitmaps_b = self._branch_segment_bitmaps(branch_b)
         result = DiffResult(version_a=branch_a, version_b=branch_b)

@@ -211,6 +211,7 @@ class TupleFirstEngine(VersionedStorageEngine):
 
     def diff(self, branch_a: str, branch_b: str) -> DiffResult:
         """XOR the two branch bitmaps and route records to the two sides."""
+        self.stats.diffs += 1
         bitmap_a = self.bitmap_index.branch_bitmap(branch_a)
         bitmap_b = self.bitmap_index.branch_bitmap(branch_b)
         result = DiffResult(version_a=branch_a, version_b=branch_b)

@@ -263,6 +263,7 @@ class VersionFirstEngine(VersionedStorageEngine):
         reads) and joined by key -- the multiple passes the paper calls out in
         its Query 2 discussion.
         """
+        self.stats.diffs += 1
         segment_cache: dict[str, list[Record]] = {}
         pk_position = self.schema.primary_key_index
         map_a = {

@@ -13,6 +13,7 @@ import pytest
 
 from repro.core.record import Record
 from repro.core.schema import Schema
+from repro.db.database import Decibel
 from tests.conftest import ENGINE_CLASSES, SMALL_PAGE_SIZE
 
 
@@ -128,6 +129,87 @@ def test_head_scans_agree(tmp_path, schema, seed):
     reference = summaries["version-first"]
     for kind, summary in summaries.items():
         assert summary == reference, f"{kind} head scan disagrees"
+
+
+#: Query shapes exercising the planner end to end: aggregates, grouping,
+#: ordering/limits, distinct, multi-predicate joins, diffs and head scans.
+PLANNER_QUERIES = [
+    "SELECT count(id), sum(c1), min(c2), max(c2) FROM R WHERE R.Version = 'master'",
+    "SELECT c1, count(id) FROM R WHERE R.Version = 'dev' GROUP BY c1 ORDER BY c1",
+    "SELECT c1, avg(c2) FROM R WHERE R.Version = 'master' AND c2 > 100 "
+    "GROUP BY c1 ORDER BY avg(c2) DESC, c1",
+    "SELECT id, c1 FROM R WHERE R.Version = 'master' ORDER BY c1 DESC, id ASC LIMIT 7",
+    "SELECT DISTINCT c1 FROM R WHERE R.Version = 'dev' ORDER BY c1",
+    "SELECT * FROM R as R1, R as R2 WHERE R1.Version = 'dev' AND R1.id = R2.id "
+    "AND R1.c1 = R2.c1 AND R1.c2 > 50 AND R2.Version = 'master'",
+    "SELECT * FROM R WHERE R.Version = 'dev' AND R.id NOT IN "
+    "(SELECT id FROM R WHERE R.Version = 'master')",
+    "SELECT id FROM R WHERE HEAD(R.Version) = true AND c1 >= 200 ORDER BY id",
+]
+
+
+def build_databases(tmp_path):
+    """One Decibel per engine kind, loaded with an identical branched workload."""
+    rng = random.Random(42)
+    payloads = [
+        (key, rng.randrange(5) * 100, rng.randrange(400), rng.randrange(50))
+        for key in range(40)
+    ]
+    dev_inserts = [
+        (key, rng.randrange(5) * 100, rng.randrange(400), rng.randrange(50))
+        for key in range(100, 110)
+    ]
+    updates = [
+        (key, rng.randrange(5) * 100, rng.randrange(400), rng.randrange(50))
+        for key in rng.sample(range(40), 8)
+    ]
+    deletes = rng.sample(range(40), 4)
+    databases = {}
+    for kind in ENGINE_CLASSES:
+        db = Decibel(str(tmp_path / kind), engine=kind, page_size=SMALL_PAGE_SIZE)
+        relation = db.create_relation("R", Schema.of_ints(4))
+        relation.init(Record(values) for values in payloads)
+        relation.branch("dev", from_branch="master")
+        for values in dev_inserts:
+            relation.insert("dev", Record(values))
+        for values in updates:
+            relation.update("dev", Record(values))
+        for key in deletes:
+            relation.delete("dev", key)
+        relation.commit("dev", "dev work")
+        databases[kind] = db
+    return databases
+
+
+def test_planner_results_agree(tmp_path):
+    """All engines must agree on every planner query shape."""
+    databases = build_databases(tmp_path)
+    for sql in PLANNER_QUERIES:
+        summaries = {}
+        for kind, db in databases.items():
+            result = db.query(sql)
+            summaries[kind] = (tuple(result.columns), sorted(result.rows))
+        reference = summaries["version-first"]
+        for kind, summary in summaries.items():
+            assert summary == reference, (
+                f"{kind} disagrees with version-first on {sql!r}"
+            )
+
+
+def test_planner_head_annotations_agree(tmp_path):
+    """Branch annotations of HEAD() queries must agree across engines."""
+    databases = build_databases(tmp_path)
+    sql = "SELECT id FROM R WHERE HEAD(R.Version) = true"
+    summaries = {}
+    for kind, db in databases.items():
+        result = db.query(sql)
+        rows = {}
+        for row, branches in zip(result.rows, result.branch_annotations):
+            rows.setdefault(row, set()).update(branches)
+        summaries[kind] = rows
+    reference = summaries["version-first"]
+    for kind, summary in summaries.items():
+        assert summary == reference, f"{kind} head annotations disagree"
 
 
 def test_commit_checkouts_agree(tmp_path, schema):

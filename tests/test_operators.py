@@ -4,16 +4,20 @@ import pytest
 
 from repro.core.operators import (
     Aggregate,
+    Distinct,
     Filter,
+    GroupAggregate,
+    HashAntiJoin,
     HashJoin,
     Limit,
+    OrderBy,
     Project,
     SeqScan,
     materialize,
 )
 from repro.core.predicates import ColumnPredicate
 from repro.core.record import Record
-from repro.core.schema import Schema
+from repro.core.schema import ColumnType, Schema
 from repro.errors import QueryError
 
 from tests.conftest import make_records
@@ -90,6 +94,141 @@ class TestHashJoin:
         right = SeqScan([Record((1, 5, 5, 5))], schema)
         assert len(materialize(HashJoin(left, right, "id", "id"))) == 2
 
+    def test_composite_key_join(self, schema):
+        left = SeqScan(
+            [Record((1, 10, 0, 0)), Record((2, 20, 0, 0)), Record((3, 30, 0, 0))],
+            schema,
+        )
+        right = SeqScan(
+            [Record((1, 10, 5, 5)), Record((2, 99, 5, 5))], schema
+        )
+        rows = materialize(
+            HashJoin(left, right, ["id", "c1"], ["id", "c1"])
+        )
+        # Only key 1 matches on both columns; key 2 differs on c1.
+        assert [row.values[0] for row in rows] == [1]
+
+    def test_mismatched_key_counts_rejected(self, schema):
+        with pytest.raises(QueryError):
+            HashJoin(SeqScan([], schema), SeqScan([], schema), ["id", "c1"], ["id"])
+
+
+class TestHashAntiJoin:
+    def test_filters_matching_keys(self, schema):
+        outer = SeqScan(make_records(5), schema)
+        inner = SeqScan(make_records(3), schema)
+        rows = materialize(HashAntiJoin(outer, inner, "id", "id"))
+        assert [row.values[0] for row in rows] == [3, 4]
+
+    def test_schema_is_outer_schema(self, schema):
+        anti = HashAntiJoin(SeqScan([], schema), SeqScan([], schema), "id", "id")
+        assert anti.schema is schema
+
+
+class TestOrderBy:
+    def test_sorts_ascending(self, schema):
+        records = [Record((i, (7 - i) % 5, 0, 0)) for i in range(5)]
+        rows = materialize(OrderBy(SeqScan(records, schema), [("c1", False)]))
+        assert [r.value(schema, "c1") for r in rows] == sorted(
+            r.value(schema, "c1") for r in records
+        )
+
+    def test_sorts_descending(self, scan):
+        rows = materialize(OrderBy(scan, [("id", True)]))
+        assert [r.values[0] for r in rows] == list(range(9, -1, -1))
+
+    def test_secondary_key_breaks_ties(self, schema):
+        records = [
+            Record((1, 5, 9, 0)),
+            Record((2, 5, 3, 0)),
+            Record((3, 1, 7, 0)),
+        ]
+        rows = materialize(
+            OrderBy(SeqScan(records, schema), [("c1", False), ("c2", False)])
+        )
+        assert [r.values[0] for r in rows] == [3, 2, 1]
+
+    def test_empty_keys_rejected(self, scan):
+        with pytest.raises(QueryError):
+            OrderBy(scan, [])
+
+    def test_unknown_key_rejected(self, scan):
+        with pytest.raises(Exception):
+            OrderBy(scan, [("nope", False)])
+
+
+class TestDistinct:
+    def test_drops_duplicates_keeping_first(self, schema):
+        records = [
+            Record((1, 1, 1, 1)),
+            Record((1, 1, 1, 1)),
+            Record((2, 2, 2, 2)),
+            Record((1, 1, 1, 1)),
+        ]
+        rows = materialize(Distinct(SeqScan(records, schema)))
+        assert [r.values[0] for r in rows] == [1, 2]
+
+    def test_distinct_of_empty(self, schema):
+        assert materialize(Distinct(SeqScan([], schema))) == []
+
+
+class TestGroupAggregate:
+    def test_multiple_aggregates_one_pass(self, schema):
+        records = [Record((i, i % 2, i * 10, 0)) for i in range(6)]
+        op = GroupAggregate(
+            SeqScan(records, schema),
+            ["c1"],
+            [("count_id", "count", "id"), ("sum_c2", "sum", "c2")],
+        )
+        rows = materialize(op)
+        assert [r.values for r in rows] == [(0, 3, 60), (1, 3, 90)]
+        assert op.schema.column_names == ("c1", "count_id", "sum_c2")
+
+    def test_count_star(self, schema):
+        op = GroupAggregate(
+            SeqScan(make_records(4), schema), [], [("n", "count", "*")]
+        )
+        assert materialize(op) == [Record((4,))]
+
+    def test_ungrouped_empty_input_yields_zero_row(self, schema):
+        op = GroupAggregate(
+            SeqScan([], schema), [], [("n", "count", "id"), ("s", "sum", "c1")]
+        )
+        assert materialize(op) == [Record((0, 0))]
+
+    def test_grouped_empty_input_yields_nothing(self, schema):
+        op = GroupAggregate(
+            SeqScan([], schema), ["c1"], [("n", "count", "id")]
+        )
+        assert materialize(op) == []
+
+    def test_avg_is_not_truncated(self, schema):
+        records = [Record((0, 0, 0, 0)), Record((1, 1, 0, 0))]
+        op = GroupAggregate(
+            SeqScan(records, schema), [], [("a", "avg", "c1")]
+        )
+        assert materialize(op)[0].values[0] == 0.5
+
+    def test_string_group_key_keeps_type(self, wide_schema):
+        records = [
+            Record((1, 4, "ada")),
+            Record((2, 2, "ada")),
+            Record((3, 9, "bob")),
+        ]
+        op = GroupAggregate(
+            SeqScan(records, wide_schema), ["name"], [("n", "count", "id")]
+        )
+        assert [r.values for r in op] == [("ada", 2), ("bob", 1)]
+        assert op.schema.column("name").type is ColumnType.STRING
+
+    def test_star_only_valid_for_count(self, schema):
+        with pytest.raises(QueryError):
+            GroupAggregate(SeqScan([], schema), [], [("s", "sum", "*")])
+
+    def test_unknown_function_rejected(self, schema):
+        with pytest.raises(QueryError):
+            GroupAggregate(SeqScan([], schema), [], [("m", "median", "c1")])
+
 
 class TestAggregate:
     def test_count_all(self, scan):
@@ -108,6 +247,26 @@ class TestAggregate:
     def test_avg(self, schema):
         rows = materialize(Aggregate(SeqScan(make_records(4), schema), "avg", "c1"))
         assert rows[0].values[0] == 15
+
+    def test_avg_keeps_fractions(self, schema):
+        records = [Record((0, 0, 0, 0)), Record((1, 1, 0, 0))]
+        rows = materialize(Aggregate(SeqScan(records, schema), "avg", "c1"))
+        assert rows[0].values[0] == 0.5
+
+    def test_grouped_avg_keeps_fractions(self, schema):
+        records = [Record((0, 0, 0, 0)), Record((1, 0, 1, 0))]
+        rows = materialize(
+            Aggregate(SeqScan(records, schema), "avg", "c2", group_by="c1")
+        )
+        assert rows == [Record((0, 0.5))]
+
+    def test_group_key_schema_inherits_type(self, wide_schema):
+        records = [Record((1, 2, "ada")), Record((2, 3, "ada"))]
+        agg = Aggregate(
+            SeqScan(records, wide_schema), "count", "id", group_by="name"
+        )
+        assert agg.schema.column("group_key").type is ColumnType.STRING
+        assert materialize(agg) == [Record(("ada", 2))]
 
     def test_group_by(self, schema):
         records = [Record((i, i % 2, i, 0)) for i in range(6)]

@@ -46,6 +46,13 @@ class TestQuery1SingleVersionScan:
         assert result.columns == ["id", "c1"]
         assert result.rows == [(3, 30)]
 
+    def test_duplicate_select_columns(self, db):
+        result = db.query(
+            "SELECT id, id FROM R WHERE R.Version = 'master' AND id = 3"
+        )
+        assert result.columns == ["id", "id"]
+        assert result.rows == [(3, 3)]
+
     def test_to_dicts(self, db):
         result = db.query("SELECT id FROM R WHERE R.Version = 'master' AND id = 1")
         assert result.to_dicts() == [{"id": 1}]
@@ -127,6 +134,198 @@ class TestQuery4HeadScan:
     def test_head_false_rejected(self, db):
         with pytest.raises(QueryError):
             db.query("SELECT * FROM R WHERE HEAD(R.Version) = false")
+
+
+class TestAggregatesAndGrouping:
+    def test_ungrouped_count(self, db):
+        result = db.query("SELECT count(id) FROM R WHERE R.Version = 'master'")
+        assert result.columns == ["count(id)"]
+        assert result.rows == [(21,)]
+
+    def test_count_star(self, db):
+        result = db.query("SELECT count(*) FROM R WHERE R.Version = 'dev'")
+        assert result.rows == [(20,)]
+
+    def test_multiple_aggregates(self, db):
+        result = db.query(
+            "SELECT count(id), min(id), max(id) FROM R "
+            "WHERE R.Version = 'master'"
+        )
+        assert result.columns == ["count(id)", "min(id)", "max(id)"]
+        assert result.rows == [(21, 0, 200)]
+
+    def test_avg_keeps_fractions(self, db):
+        result = db.query(
+            "SELECT avg(id) FROM R WHERE R.Version = 'master' AND id < 2"
+        )
+        assert result.rows == [(0.5,)]
+
+    def test_group_by(self, db):
+        result = db.query(
+            "SELECT c3, count(id) FROM R WHERE R.Version = 'master' GROUP BY c3"
+        )
+        assert result.columns == ["c3", "count(id)"]
+        assert result.rows == [(7, 21)]
+
+    def test_group_by_respects_predicate(self, db):
+        result = db.query(
+            "SELECT c3, count(id) FROM R WHERE R.Version = 'dev' AND id >= 100 "
+            "GROUP BY c3"
+        )
+        assert result.rows == [(3, 1)]
+
+    def test_aggregate_with_count_in_predicate(self, db):
+        result = db.query(
+            "SELECT sum(c1) FROM R WHERE R.Version = 'master' AND id < 3"
+        )
+        assert result.rows == [(0 + 10 + 20,)]
+
+    def test_ungrouped_column_rejected(self, db):
+        with pytest.raises(QueryError):
+            db.query("SELECT c1, count(id) FROM R WHERE R.Version = 'master'")
+
+    def test_unknown_aggregate_rejected(self, db):
+        with pytest.raises(QueryError):
+            db.query("SELECT median(c1) FROM R WHERE R.Version = 'master'")
+
+
+class TestOrderLimitDistinct:
+    def test_order_by_desc_with_limit(self, db):
+        result = db.query(
+            "SELECT id FROM R WHERE R.Version = 'master' "
+            "ORDER BY id DESC LIMIT 3"
+        )
+        assert result.rows == [(200,), (19,), (18,)]
+
+    def test_order_by_secondary_key(self, db):
+        result = db.query(
+            "SELECT c3, id FROM R WHERE R.Version = 'master' "
+            "ORDER BY c3 ASC, id DESC LIMIT 2"
+        )
+        assert result.rows == [(7, 200), (7, 19)]
+
+    def test_limit_zero(self, db):
+        result = db.query("SELECT * FROM R WHERE R.Version = 'master' LIMIT 0")
+        assert result.rows == []
+
+    def test_distinct(self, db):
+        result = db.query("SELECT DISTINCT c3 FROM R WHERE R.Version = 'master'")
+        assert result.rows == [(7,)]
+
+    def test_distinct_with_order(self, db):
+        result = db.query(
+            "SELECT DISTINCT c3 FROM R WHERE R.Version = 'dev' ORDER BY c3"
+        )
+        assert result.rows == [(3,), (7,), (5000,)]
+
+    def test_group_by_with_order_on_aggregate(self, db):
+        result = db.query(
+            "SELECT c3, count(id) FROM R WHERE R.Version = 'dev' "
+            "GROUP BY c3 ORDER BY count(id) DESC LIMIT 1"
+        )
+        assert result.rows == [(7, 18)]
+
+    def test_order_by_unknown_column_rejected(self, db):
+        with pytest.raises(QueryError):
+            db.query("SELECT id FROM R WHERE R.Version = 'master' ORDER BY c1")
+
+    def test_head_distinct_merges_branch_annotations(self, db):
+        result = db.query(
+            "SELECT DISTINCT c3 FROM R WHERE HEAD(R.Version) = true ORDER BY c3"
+        )
+        # c3=7 rows exist on both branches; DISTINCT must emit the value once
+        # with the union of the branches it is live in.
+        assert result.rows == [(3,), (7,), (5000,)]
+        assert result.branch_annotations[1] == frozenset({"master", "dev"})
+
+    def test_head_scan_with_order_and_limit(self, db):
+        result = db.query(
+            "SELECT id FROM R WHERE HEAD(R.Version) = true "
+            "AND id >= 100 ORDER BY id DESC"
+        )
+        assert result.rows == [(200,), (100,)]
+        assert result.branch_annotations == [
+            frozenset({"master"}),
+            frozenset({"dev"}),
+        ]
+
+
+class TestMultiConditionJoin:
+    def test_all_join_conditions_applied(self, db):
+        result = db.query(
+            "SELECT * FROM R as R1, R as R2 WHERE R1.Version = 'dev' "
+            "AND R1.id = R2.id AND R1.c3 = R2.c3 AND R2.Version = 'master'"
+        )
+        # Key 5's c3 was updated on dev (5000 vs 7) and key 6 was deleted, so
+        # of the 19 id-matches only 18 also agree on c3.
+        assert len(result) == 18
+
+    def test_swapped_condition_orientation(self, db):
+        result = db.query(
+            "SELECT * FROM R as R1, R as R2 WHERE R1.Version = 'dev' "
+            "AND R1.id = R2.id AND R2.c3 = R1.c3 AND R2.Version = 'master'"
+        )
+        assert len(result) == 18
+
+    def test_condition_with_foreign_alias_rejected(self, db):
+        with pytest.raises(QueryError):
+            db.query(
+                "SELECT * FROM R as R1, R as R2 WHERE R1.Version = 'dev' "
+                "AND R1.id = R3.id AND R2.Version = 'master'"
+            )
+
+
+class TestExplainAndDiffCounter:
+    def test_explain_shows_pushed_predicate(self, db):
+        plan = db.explain(
+            "SELECT id, c1 FROM R WHERE R.Version = 'master' AND c1 > 5"
+        )
+        assert "Project(id, c1)" in plan
+        assert "VersionScan" in plan
+        assert "c1 > 5" in plan
+        # The predicate was pushed into the scan: no residual Filter node.
+        assert "Filter" not in plan
+
+    def test_explain_shows_diff_rewrite(self, db):
+        plan = db.explain(
+            "SELECT * FROM R WHERE R.Version = 'dev' AND R.id NOT IN "
+            "(SELECT id FROM R WHERE R.Version = 'master')"
+        )
+        assert "VersionDiff" in plan
+        assert "AntiJoin" not in plan
+
+    def test_non_key_not_in_keeps_anti_join(self, db):
+        plan = db.explain(
+            "SELECT * FROM R WHERE R.Version = 'dev' AND R.c1 NOT IN "
+            "(SELECT c1 FROM R WHERE R.Version = 'master')"
+        )
+        assert "AntiJoin" in plan
+        assert "VersionDiff" not in plan
+
+    def test_sql_diff_reaches_engine_diff_primitive(self, db):
+        engine = db.relation("R").engine
+        before = engine.stats.diffs
+        db.query(
+            "SELECT * FROM R WHERE R.Version = 'dev' AND R.id NOT IN "
+            "(SELECT id FROM R WHERE R.Version = 'master')"
+        )
+        assert engine.stats.diffs == before + 1
+
+    def test_non_key_not_in_results(self, db):
+        result = db.query(
+            "SELECT id FROM R WHERE R.Version = 'dev' AND R.c1 NOT IN "
+            "(SELECT c1 FROM R WHERE R.Version = 'master')"
+        )
+        # The generic anti-join must agree with a scan-side recomputation.
+        master_c1 = {row[0] for row in db.query(
+            "SELECT c1 FROM R WHERE R.Version = 'master'"
+        )}
+        expected = {
+            row[0]
+            for row in db.query("SELECT id, c1 FROM R WHERE R.Version = 'dev'")
+            if row[1] not in master_c1
+        }
+        assert {row[0] for row in result.rows} == expected
 
 
 class TestExecutorErrors:

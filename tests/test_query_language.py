@@ -115,6 +115,77 @@ class TestParserQuery4Shape:
             parse_query("SELECT * FROM R WHERE HEAD(R.Version) = 1")
 
 
+class TestParserResultShaping:
+    def test_distinct_flag(self):
+        query = parse_query("SELECT DISTINCT c1 FROM R WHERE R.Version = 'v01'")
+        assert query.distinct
+        assert query.columns == ["c1"]
+
+    def test_group_by_columns(self):
+        query = parse_query(
+            "SELECT c1, count(id) FROM R WHERE R.Version = 'v01' GROUP BY c1"
+        )
+        assert query.group_by == ["c1"]
+        assert query.columns == ["c1"]
+        assert len(query.aggregates) == 1
+        agg = query.aggregates[0]
+        assert (agg.function, agg.argument) == ("count", "id")
+
+    def test_multiple_group_by_columns(self):
+        query = parse_query(
+            "SELECT c1, c2, sum(c3) FROM R WHERE R.Version = 'v01' "
+            "GROUP BY c1, c2"
+        )
+        assert query.group_by == ["c1", "c2"]
+
+    def test_aggregate_star(self):
+        query = parse_query("SELECT count(*) FROM R WHERE R.Version = 'v01'")
+        assert query.aggregates[0].argument == "*"
+        assert query.aggregates[0].display_name == "count(*)"
+
+    def test_select_items_preserve_order(self):
+        query = parse_query(
+            "SELECT count(id), c1, max(c2) FROM R WHERE R.Version = 'v01' "
+            "GROUP BY c1"
+        )
+        kinds = [item.is_aggregate for item in query.select_items]
+        assert kinds == [True, False, True]
+
+    def test_order_by_with_directions(self):
+        query = parse_query(
+            "SELECT id, c1 FROM R WHERE R.Version = 'v01' "
+            "ORDER BY c1 DESC, id ASC"
+        )
+        assert [(k.item.column, k.descending) for k in query.order_by] == [
+            ("c1", True),
+            ("id", False),
+        ]
+
+    def test_order_by_aggregate(self):
+        query = parse_query(
+            "SELECT c1, count(id) FROM R WHERE R.Version = 'v01' "
+            "GROUP BY c1 ORDER BY count(id) DESC"
+        )
+        key = query.order_by[0]
+        assert key.item.is_aggregate and key.descending
+
+    def test_limit(self):
+        query = parse_query("SELECT * FROM R WHERE R.Version = 'v01' LIMIT 10")
+        assert query.limit == 10
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT * FROM R WHERE R.Version = 'v01' LIMIT -1")
+
+    def test_star_mixed_with_items_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT id, * FROM R WHERE R.Version = 'v01'")
+
+    def test_clause_order_is_fixed(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT * FROM R LIMIT 3 WHERE R.Version = 'v01'")
+
+
 class TestParserErrors:
     def test_or_not_supported(self):
         with pytest.raises(QueryError):
