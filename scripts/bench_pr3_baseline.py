@@ -1,0 +1,188 @@
+"""Measure pre-PR baseline timings and merge them into BENCH_pr3.json.
+
+``python -m repro.bench vectorized`` records the *current* code's
+tuple-at-a-time versus batched medians.  This script supplies the other half
+of the before/after record: it checks the given git ref (the commit before
+the vectorized execution path landed) out into a temporary worktree, replays
+the same warm-cache workloads against that tree's code, and merges the
+results into ``BENCH_pr3.json`` under ``"baseline"``, adding a
+``speedup_vs_baseline`` field next to every batched median.
+
+Usage (after running the vectorized experiment)::
+
+    PYTHONPATH=src python -m repro.bench vectorized --scan-rows 100000 --bench-json BENCH_pr3.json
+    python scripts/bench_pr3_baseline.py --ref HEAD~1
+
+The workload knobs are read from the JSON's ``scale`` block, so the baseline
+always replays exactly the dataset the vectorized run measured.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+#: Runs inside the baseline worktree's interpreter; only uses APIs that
+#: exist there (pre-PR: no ``batched`` keyword, no ``scan_rows`` scale).
+_BASELINE_SNIPPET = """
+import json, os, random, statistics, sys, tempfile
+
+from repro.bench.driver import BenchmarkConfig, load_dataset
+from repro.bench.queries import (
+    query1_single_scan,
+    query2_positive_diff,
+    query3_join,
+    query4_head_scan,
+)
+from repro.core.predicates import non_selective_predicate
+
+scan_rows, operations, branches, commit_interval, columns, seed = (
+    int(value) for value in sys.argv[1:7]
+)
+out_path = sys.argv[7]
+workdir = tempfile.mkdtemp(prefix="bench-pr3-baseline-")
+
+
+def median_seconds(runner, repetitions):
+    runner()  # warm the buffer pool once, as the vectorized experiment does
+    return statistics.median(runner() for _ in range(repetitions))
+
+
+micro_config = BenchmarkConfig(
+    strategy="flat",
+    engine="tuple-first",
+    num_branches=1,
+    total_operations=scan_rows,
+    update_fraction=0.0,
+    commit_interval=max(scan_rows // 4, 1),
+    num_columns=columns,
+    seed=seed,
+    page_size=64 * 1024,
+)
+micro = load_dataset(micro_config, os.path.join(workdir, "micro"))
+branch = micro.strategy.single_scan_branch(random.Random(0))
+predicate = non_selective_predicate("c1", modulus=4)
+micro_s = median_seconds(
+    lambda: query1_single_scan(micro.engine, branch, predicate, cold=False).seconds,
+    9,
+)
+
+queries = {}
+for engine_kind in ("version-first", "tuple-first", "hybrid"):
+    config = BenchmarkConfig(
+        strategy="flat",
+        engine=engine_kind,
+        num_branches=branches,
+        total_operations=operations,
+        update_fraction=0.2,
+        commit_interval=commit_interval,
+        num_columns=columns,
+        seed=seed,
+    )
+    result = load_dataset(config, os.path.join(workdir, "q_" + engine_kind))
+    engine = result.engine
+    q1_target = result.strategy.single_scan_branch(random.Random(0))
+    pair_a, pair_b = result.strategy.multi_scan_pair(random.Random(1))
+    queries[engine_kind] = {
+        "Q1": median_seconds(
+            lambda: query1_single_scan(engine, q1_target, cold=False).seconds, 5
+        ),
+        "Q2": median_seconds(
+            lambda: query2_positive_diff(engine, pair_a, pair_b, cold=False).seconds,
+            5,
+        ),
+        "Q3": median_seconds(
+            lambda: query3_join(engine, pair_a, pair_b, cold=False).seconds, 5
+        ),
+        "Q4": median_seconds(
+            lambda: query4_head_scan(engine, cold=False).seconds, 5
+        ),
+    }
+
+with open(out_path, "w") as handle:
+    json.dump({"microbench_s": micro_s, "queries_s": queries}, handle)
+"""
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--ref", required=True, help="git ref of the pre-PR code")
+    parser.add_argument("--json", default="BENCH_pr3.json")
+    args = parser.parse_args()
+
+    with open(args.json, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    # The workload knobs come from the vectorized run itself, so the
+    # baseline cannot silently replay a different dataset.
+    scale = payload["scale"]
+
+    commit = subprocess.run(
+        ["git", "rev-parse", args.ref],
+        check=True,
+        capture_output=True,
+        text=True,
+    ).stdout.strip()
+    worktree = tempfile.mkdtemp(prefix="bench-pr3-worktree-")
+    subprocess.run(
+        ["git", "worktree", "add", "--detach", "--force", worktree, commit],
+        check=True,
+    )
+    try:
+        with tempfile.TemporaryDirectory() as scratch:
+            snippet = os.path.join(scratch, "baseline_snippet.py")
+            with open(snippet, "w", encoding="utf-8") as handle:
+                handle.write(_BASELINE_SNIPPET)
+            out_path = os.path.join(scratch, "baseline.json")
+            env = dict(os.environ)
+            env["PYTHONPATH"] = os.path.join(worktree, "src")
+            subprocess.run(
+                [
+                    sys.executable,
+                    snippet,
+                    str(scale["scan_rows"]),
+                    str(scale["total_operations"]),
+                    str(scale["num_branches"]),
+                    str(scale["commit_interval"]),
+                    str(scale["num_columns"]),
+                    str(scale["seed"]),
+                    out_path,
+                ],
+                check=True,
+                env=env,
+            )
+            with open(out_path, "r", encoding="utf-8") as handle:
+                baseline = json.load(handle)
+    finally:
+        subprocess.run(
+            ["git", "worktree", "remove", "--force", worktree], check=False
+        )
+
+    payload["baseline"] = {
+        "description": "same warm-cache workloads, measured at the pre-PR commit",
+        "ref": args.ref,
+        "commit": commit,
+        **baseline,
+    }
+    micro = payload["microbench"]
+    micro["baseline_s"] = baseline["microbench_s"]
+    micro["speedup_vs_baseline"] = round(
+        baseline["microbench_s"] / micro["batched_s"], 2
+    )
+    for engine_kind, per_query in payload["queries"].items():
+        for query_name, entry in per_query.items():
+            base_s = baseline["queries_s"][engine_kind][query_name]
+            entry["baseline_s"] = base_s
+            entry["speedup_vs_baseline"] = round(base_s / entry["batched_s"], 2)
+    with open(args.json, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"baseline from {commit[:12]} merged into {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

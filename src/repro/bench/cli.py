@@ -13,6 +13,7 @@ Each experiment prints the result table corresponding to its paper artefact
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import tempfile
 
@@ -73,6 +74,12 @@ EXPERIMENTS = {
             workdir, update_fraction=0.5, scale=scale
         ),
     ),
+    "vectorized": (
+        "Batched vs tuple-at-a-time execution (writes BENCH_pr3.json)",
+        lambda workdir, scale, json_path=None: experiments.vectorized_batching(
+            workdir, scale=scale, json_path=json_path
+        ),
+    ),
     "ablation-orientation": (
         "Ablation: branch- vs tuple-oriented bitmaps (tuple-first)",
         lambda workdir, scale: experiments.ablation_bitmap_orientation(
@@ -125,6 +132,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--columns", type=int, default=10, help="columns per record (default: 10)"
     )
     parser.add_argument(
+        "--scan-rows",
+        type=int,
+        default=100_000,
+        help="rows in the vectorized-scan microbenchmark (default: 100000)",
+    )
+    parser.add_argument(
+        "--bench-json",
+        default=None,
+        help=(
+            "where the vectorized experiment writes its JSON record "
+            "(default: BENCH_pr3.json inside the workdir)"
+        ),
+    )
+    parser.add_argument(
         "--markdown",
         action="store_true",
         help="print tables as markdown instead of fixed-width text",
@@ -164,13 +185,23 @@ def main(argv: list[str] | None = None) -> int:
         num_branches=args.branches,
         commit_interval=args.commit_interval,
         num_columns=args.columns,
+        scan_rows=args.scan_rows,
     )
     workdir = args.workdir or tempfile.mkdtemp(prefix="decibel-bench-")
     print(f"datasets under {workdir}")
+    # Options forwarded to any runner whose signature declares them, so the
+    # dispatch loop stays uniform as option-taking experiments come and go.
+    options = {"json_path": args.bench_json}
     for name in names:
         description, runner = EXPERIMENTS[name]
         print(f"\n== {name}: {description}")
-        _print_tables(runner(workdir, scale), markdown=args.markdown)
+        supported = inspect.signature(runner).parameters
+        kwargs = {
+            option: value
+            for option, value in options.items()
+            if option in supported
+        }
+        _print_tables(runner(workdir, scale, **kwargs), markdown=args.markdown)
     return 0
 
 

@@ -15,6 +15,7 @@ runs are a matter of passing bigger numbers.
 
 from __future__ import annotations
 
+import json
 import os
 import random
 import statistics
@@ -37,6 +38,8 @@ from repro.bench.queries import (
 from repro.bench.report import ResultTable
 from repro.bench.strategies import make_strategy
 from repro.bitmap.base import BitmapOrientation
+from repro.core.predicates import non_selective_predicate
+from repro.errors import BenchmarkError
 from repro.gitlike.engine import GitRecordFormat, GitStorageLayout, GitVersionedStore
 from repro.storage.hybrid import HybridEngine
 from repro.storage.tuple_first import TupleFirstEngine
@@ -57,6 +60,9 @@ class ExperimentScale:
     commit_interval: int = 400
     num_columns: int = 10
     seed: int = 42
+    #: Rows in the vectorized-scan microbenchmark (the acceptance run uses
+    #: 100k; CI smoke runs pass something much smaller).
+    scan_rows: int = 100_000
 
 
 def _load(
@@ -178,8 +184,13 @@ def figure7_query1(
             )
             targets = result.strategy.query1_targets()
             for label, branch in targets.items():
-                measurement = query1_single_scan(result.engine, branch)
-                per_engine.setdefault(label, {})[engine_kind] = measurement.seconds
+                # Best-of-three, as in figure 6: at test scales a single
+                # cold run is easily washed out by scheduler noise.
+                seconds = min(
+                    query1_single_scan(result.engine, branch).seconds
+                    for _ in range(3)
+                )
+                per_engine.setdefault(label, {})[engine_kind] = seconds
         clustered_result = _load(
             workdir,
             strategy_name,
@@ -190,8 +201,11 @@ def figure7_query1(
         )
         clustered_targets = clustered_result.strategy.query1_targets()
         for label, branch in clustered_targets.items():
-            measurement = query1_single_scan(clustered_result.engine, branch)
-            per_engine.setdefault(label, {})["tf-clustered"] = measurement.seconds
+            seconds = min(
+                query1_single_scan(clustered_result.engine, branch).seconds
+                for _ in range(3)
+            )
+            per_engine.setdefault(label, {})["tf-clustered"] = seconds
         for label in per_engine:
             row = per_engine[label]
             table.add_row(
@@ -753,6 +767,180 @@ def ablation_bitmap_orientation(
     table.add_note(
         "paper Section 3.1: branch-oriented favours single-branch scans; "
         "tuple-oriented favours tuple-major multi-branch passes"
+    )
+    return table
+
+
+def _median_query_seconds(runner, repetitions: int) -> float:
+    runner()  # warm the buffer pool and compile caches once
+    return statistics.median(runner() for _ in range(repetitions))
+
+
+def vectorized_batching(
+    workdir: str,
+    scale: ExperimentScale | None = None,
+    json_path: str | None = None,
+) -> ResultTable:
+    """Batched versus tuple-at-a-time execution (the PR 3 vectorized path).
+
+    Part 1 is the acceptance microbenchmark: a single-branch
+    scan-with-predicate over ``scale.scan_rows`` tuples in the tuple-first
+    engine (built through the driver's flat strategy with one branch), run
+    through the full plan/optimize/execute pipeline with the batched path on
+    and off.  Part 2 runs the paper's Q1-Q4 per engine at benchmark scale in
+    both modes.  All runs are warm-cache (the comparison targets interpreter
+    overhead, not disk).  The microbench asserts the two modes return
+    identical record sequences and Q1-Q4 assert equal row counts
+    (record-level equivalence across modes is enforced by
+    ``tests/test_batched_scans.py``); the medians are written to
+    ``json_path``.
+    """
+    scale = scale or ExperimentScale()
+    if json_path is None:
+        # Default into the workdir so small-scale (smoke) runs cannot
+        # clobber a checked-in acceptance artifact in the CWD; the
+        # acceptance run passes an explicit path.
+        json_path = os.path.join(workdir, "BENCH_pr3.json")
+    table = ResultTable(
+        "Vectorized batch execution: tuple-at-a-time vs batched (seconds)",
+        ["workload", "engine", "tuple-at-a-time", "batched", "speedup"],
+    )
+    payload: dict = {
+        "benchmark": "vectorized batch execution (PR 3)",
+        "warm_cache": True,
+        "notes": [
+            "speedup = tuple-at-a-time vs batched mode on this code; "
+            "speedup_vs_baseline (added by scripts/bench_pr3_baseline.py) = "
+            "pre-PR code vs batched mode",
+            "Q4 'speedup' below 1.0 reflects the row-counting harness: "
+            "batch materialization buys nothing when downstream work is a "
+            "count; Q4's engine-level wins appear in speedup_vs_baseline",
+        ],
+        "scale": {
+            "scan_rows": scale.scan_rows,
+            "total_operations": scale.total_operations,
+            "num_branches": scale.num_branches,
+            "commit_interval": scale.commit_interval,
+            "num_columns": scale.num_columns,
+            "seed": scale.seed,
+        },
+    }
+
+    # -- part 1: the single-branch scan-with-predicate microbenchmark --------
+    micro_config = BenchmarkConfig(
+        strategy="flat",
+        engine="tuple-first",
+        num_branches=1,
+        total_operations=scale.scan_rows,
+        update_fraction=0.0,
+        commit_interval=max(scale.scan_rows // 4, 1),
+        num_columns=scale.num_columns,
+        seed=scale.seed,
+        # 64 KiB pages keep the 100k-row heap inside the default buffer
+        # pool, so the warm comparison times the execution paths rather
+        # than page eviction churn.
+        page_size=64 * 1024,
+    )
+    micro = load_dataset(micro_config, os.path.join(workdir, "vectorized_micro"))
+    engine = micro.engine
+    branch = micro.strategy.single_scan_branch(random.Random(0))
+    predicate = non_selective_predicate("c1", modulus=4)
+    unbatched_records = list(engine.scan_branch(branch, predicate))
+    batched_records = [
+        record
+        for batch in engine.scan_branch_batched(branch, predicate)
+        for record in batch
+    ]
+    if unbatched_records != batched_records:
+        raise BenchmarkError(
+            "batched scan does not reproduce the tuple-at-a-time scan"
+        )
+    repetitions = 9
+    slow = _median_query_seconds(
+        lambda: query1_single_scan(
+            engine, branch, predicate, cold=False, batched=False
+        ).seconds,
+        repetitions,
+    )
+    fast = _median_query_seconds(
+        lambda: query1_single_scan(
+            engine, branch, predicate, cold=False, batched=True
+        ).seconds,
+        repetitions,
+    )
+    speedup = slow / fast if fast > 0 else 0.0
+    table.add_row(
+        f"scan+predicate ({scale.scan_rows} rows)", "TF", slow, fast, speedup
+    )
+    payload["microbench"] = {
+        "workload": "single-branch scan with predicate (Query 1 pipeline)",
+        "engine": "tuple-first",
+        "rows": scale.scan_rows,
+        "rows_out": len(batched_records),
+        "predicate": "c1 % 4 != 0",
+        "repetitions": repetitions,
+        "tuple_at_a_time_s": slow,
+        "batched_s": fast,
+        "speedup": round(speedup, 2),
+        "identical_results": True,
+    }
+
+    # -- part 2: the four paper queries per engine ---------------------------
+    payload["queries"] = {}
+    for engine_kind in ENGINE_KINDS:
+        result = _load(
+            workdir,
+            "flat",
+            engine_kind,
+            scale,
+            label=f"vectorized_{engine_kind}",
+        )
+        loaded = result.engine
+        q1_target = result.strategy.single_scan_branch(random.Random(0))
+        pair_a, pair_b = result.strategy.multi_scan_pair(random.Random(1))
+        runners = {
+            "Q1": lambda batched: query1_single_scan(
+                loaded, q1_target, cold=False, batched=batched
+            ),
+            "Q2": lambda batched: query2_positive_diff(
+                loaded, pair_a, pair_b, cold=False, batched=batched
+            ),
+            "Q3": lambda batched: query3_join(
+                loaded, pair_a, pair_b, cold=False, batched=batched
+            ),
+            "Q4": lambda batched: query4_head_scan(
+                loaded, cold=False, batched=batched
+            ),
+        }
+        per_engine: dict[str, dict] = {}
+        for query_name, runner in runners.items():
+            rows_slow = runner(False).rows
+            rows_fast = runner(True).rows
+            if rows_slow != rows_fast:
+                raise BenchmarkError(
+                    f"{query_name} row counts differ between modes: "
+                    f"{rows_slow} vs {rows_fast}"
+                )
+            slow = _median_query_seconds(lambda: runner(False).seconds, 5)
+            fast = _median_query_seconds(lambda: runner(True).seconds, 5)
+            speedup = slow / fast if fast > 0 else 0.0
+            table.add_row(
+                query_name, ENGINE_LABELS[engine_kind], slow, fast, speedup
+            )
+            per_engine[query_name] = {
+                "rows": rows_fast,
+                "tuple_at_a_time_s": slow,
+                "batched_s": fast,
+                "speedup": round(speedup, 2),
+            }
+        payload["queries"][engine_kind] = per_engine
+    with open(json_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    table.add_note(
+        "the microbench asserts identical record sequences and Q1-Q4 assert "
+        "equal row counts across modes (record-level equivalence is covered "
+        f"by tests/test_batched_scans.py); medians written to {json_path}"
     )
     return table
 

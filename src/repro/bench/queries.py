@@ -45,10 +45,18 @@ def _record_bytes(engine: VersionedStorageEngine, rows: int) -> int:
     return rows * (engine.schema.record_width + 1)
 
 
-def _run(plan: LogicalNode) -> tuple[int, object]:
-    """Optimize and execute a plan; returns (row count, physical root)."""
-    operator = build_physical(optimize(plan))
-    rows = sum(1 for _ in operator)
+def _run(plan: LogicalNode, batched: bool = True) -> tuple[int, object]:
+    """Optimize and execute a plan; returns (row count, physical root).
+
+    With ``batched=True`` the plan runs through the vectorized scan/filter
+    path and is consumed batch-at-a-time; ``batched=False`` forces the
+    original tuple-at-a-time pipeline.  Row counts (and rows) are identical.
+    """
+    operator = build_physical(optimize(plan), batched=batched)
+    if batched:
+        rows = sum(len(batch) for batch in operator.batches())
+    else:
+        rows = sum(1 for _ in operator)
     return rows, operator
 
 
@@ -57,6 +65,7 @@ def query1_single_scan(
     branch: str,
     predicate: Predicate | None = None,
     cold: bool = True,
+    batched: bool = True,
 ) -> QueryMeasurement:
     """Query 1: scan and emit the active records in a single branch."""
     if cold:
@@ -65,7 +74,7 @@ def query1_single_scan(
         engine, BENCH_RELATION, BENCH_RELATION, "branch", branch, predicate
     )
     start = time.perf_counter()
-    rows, _ = _run(plan)
+    rows, _ = _run(plan, batched)
     elapsed = time.perf_counter() - start
     return QueryMeasurement(
         query="Q1", seconds=elapsed, rows=rows, bytes_touched=_record_bytes(engine, rows)
@@ -77,6 +86,7 @@ def query2_positive_diff(
     branch_a: str,
     branch_b: str,
     cold: bool = True,
+    batched: bool = True,
 ) -> QueryMeasurement:
     """Query 2: emit the records in ``branch_a`` that do not appear in ``branch_b``.
 
@@ -96,7 +106,7 @@ def query2_positive_diff(
         include_modified=True,
     )
     start = time.perf_counter()
-    rows, operator = _run(plan)
+    rows, operator = _run(plan, batched)
     elapsed = time.perf_counter() - start
     return QueryMeasurement(
         query="Q2",
@@ -112,6 +122,7 @@ def query3_join(
     branch_b: str,
     predicate: Predicate | None = None,
     cold: bool = True,
+    batched: bool = True,
 ) -> QueryMeasurement:
     """Query 3: primary-key join of two branches under a predicate.
 
@@ -134,7 +145,7 @@ def query3_join(
     )
     scanned_before = engine.stats.records_scanned
     start = time.perf_counter()
-    rows, _ = _run(plan)
+    rows, _ = _run(plan, batched)
     elapsed = time.perf_counter() - start
     scanned = engine.stats.records_scanned - scanned_before
     return QueryMeasurement(
@@ -149,6 +160,7 @@ def query4_head_scan(
     engine: VersionedStorageEngine,
     predicate: Predicate | None = None,
     cold: bool = True,
+    batched: bool = True,
 ) -> QueryMeasurement:
     """Query 4: scan all branch heads, emitting records with their branches.
 
@@ -161,7 +173,7 @@ def query4_head_scan(
         predicate = non_selective_predicate("c1", modulus=10)
     plan = HeadScan(engine, BENCH_RELATION, BENCH_RELATION, predicate)
     start = time.perf_counter()
-    rows, _ = _run(plan)
+    rows, _ = _run(plan, batched)
     elapsed = time.perf_counter() - start
     return QueryMeasurement(
         query="Q4", seconds=elapsed, rows=rows, bytes_touched=_record_bytes(engine, rows)

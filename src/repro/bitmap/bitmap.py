@@ -5,24 +5,33 @@ bit per (tuple, branch) pair records whether the tuple is live in the branch.
 The backing store is a ``bytearray`` that grows by doubling, matching the
 amortized growth strategy described for branch creation in the paper
 (Section 3.2).  Bulk logical operations convert to Python integers, which
-gives word-at-a-time AND/OR/XOR without a native extension.
+gives word-at-a-time AND/OR/XOR without a native extension; iteration over
+set bits works 64-bit-word-at-a-time, stripping the lowest set bit with
+``word & -word`` instead of probing bits one by one.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+import struct
+from typing import Iterable, Iterator, Mapping
+
+#: Bits per iteration word used by :meth:`Bitmap.iter_words`.
+WORD_BITS = 64
+_WORD_BYTES = WORD_BITS // 8
 
 
 class Bitmap:
     """A dynamically sized bitset with bulk logical operations."""
 
-    __slots__ = ("_bytes", "_num_bits")
+    __slots__ = ("_bytes", "_num_bits", "_count")
 
     def __init__(self, num_bits: int = 0):
         if num_bits < 0:
             raise ValueError("num_bits must be non-negative")
         self._num_bits = num_bits
         self._bytes = bytearray((num_bits + 7) // 8)
+        #: Cached population count; ``None`` after any mutation.
+        self._count: int | None = 0
 
     # -- constructors ---------------------------------------------------------
 
@@ -30,23 +39,31 @@ class Bitmap:
     def from_indices(cls, indices: Iterable[int], num_bits: int = 0) -> "Bitmap":
         """A bitmap with exactly the given bit positions set."""
         bitmap = cls(num_bits)
-        for index in indices:
-            bitmap.set(index)
+        bitmap.set_many(indices)
         return bitmap
 
     @classmethod
     def from_bytes(cls, data: bytes, num_bits: int) -> "Bitmap":
-        """Rebuild a bitmap from :meth:`to_bytes` output."""
+        """Rebuild a bitmap from :meth:`to_bytes` output.
+
+        ``num_bits`` must be covered by ``data``: accepting an oversized bit
+        count would silently fabricate zero bits that were never serialized.
+        """
+        needed = (num_bits + 7) // 8
+        if needed > len(data):
+            raise ValueError(
+                f"num_bits={num_bits} needs {needed} bytes, got {len(data)}"
+            )
         bitmap = cls(num_bits)
-        payload = bytearray(data[: (num_bits + 7) // 8])
-        payload.extend(b"\x00" * ((num_bits + 7) // 8 - len(payload)))
-        bitmap._bytes = payload
+        bitmap._bytes = bytearray(data[:needed])
+        bitmap._count = None
         return bitmap
 
     def copy(self) -> "Bitmap":
         """An independent copy of this bitmap."""
         clone = Bitmap(self._num_bits)
         clone._bytes = bytearray(self._bytes)
+        clone._count = self._count
         return clone
 
     # -- size -----------------------------------------------------------------
@@ -77,11 +94,13 @@ class Bitmap:
         """Set bit ``index`` to 1, growing the bitmap if needed."""
         self._ensure(index)
         self._bytes[index >> 3] |= 1 << (index & 7)
+        self._count = None
 
     def clear(self, index: int) -> None:
         """Set bit ``index`` to 0, growing the bitmap if needed."""
         self._ensure(index)
         self._bytes[index >> 3] &= ~(1 << (index & 7)) & 0xFF
+        self._count = None
 
     def get(self, index: int) -> bool:
         """True if bit ``index`` is set.  Out-of-range bits read as 0."""
@@ -93,6 +112,22 @@ class Bitmap:
 
     def __getitem__(self, index: int) -> bool:
         return self.get(index)
+
+    # -- bulk mutation --------------------------------------------------------
+
+    def set_many(self, indices: Iterable[int]) -> None:
+        """Set every bit in ``indices``, growing once and writing in one pass."""
+        if not isinstance(indices, (list, tuple)):
+            indices = list(indices)
+        if not indices:
+            return
+        if min(indices) < 0:
+            raise IndexError("bit index must be non-negative")
+        self._ensure(max(indices))
+        buf = self._bytes
+        for index in indices:
+            buf[index >> 3] |= 1 << (index & 7)
+        self._count = None
 
     # -- bulk operations ------------------------------------------------------
 
@@ -106,6 +141,7 @@ class Bitmap:
         bitmap._bytes = bytearray(value.to_bytes(max(num_bytes, 1), "little")[:num_bytes])
         if len(bitmap._bytes) < num_bytes:
             bitmap._bytes.extend(b"\x00" * (num_bytes - len(bitmap._bytes)))
+        bitmap._count = None
         return bitmap
 
     def _binary(self, other: "Bitmap", op) -> "Bitmap":
@@ -125,6 +161,45 @@ class Bitmap:
         """Bits set in ``self`` but not in ``other`` (set difference)."""
         return self._binary(other, lambda a, b: a & ~b)
 
+    # -- buffer-reusing variants ----------------------------------------------
+
+    def _store_int(self, value: int, num_bits: int) -> "Bitmap":
+        """Overwrite this bitmap's contents in place (buffer reuse)."""
+        self._num_bits = num_bits
+        needed = (num_bits + 7) // 8
+        if len(self._bytes) < needed:
+            self._bytes.extend(b"\x00" * (needed - len(self._bytes)))
+        self._bytes[:needed] = value.to_bytes(max(needed, 1), "little")[:needed]
+        if len(self._bytes) > needed:
+            # Bits beyond num_bits must stay zero (iteration invariant).
+            self._bytes[needed:] = b"\x00" * (len(self._bytes) - needed)
+        self._count = None
+        return self
+
+    def union_update(self, other: "Bitmap") -> "Bitmap":
+        """In-place ``self |= other``, reusing this bitmap's buffer."""
+        return self._store_int(
+            self._as_int() | other._as_int(), max(self._num_bits, other._num_bits)
+        )
+
+    def intersection_update(self, other: "Bitmap") -> "Bitmap":
+        """In-place ``self &= other``, reusing this bitmap's buffer."""
+        return self._store_int(
+            self._as_int() & other._as_int(), max(self._num_bits, other._num_bits)
+        )
+
+    def difference_update(self, other: "Bitmap") -> "Bitmap":
+        """In-place ``self &= ~other``, reusing this bitmap's buffer."""
+        return self._store_int(
+            self._as_int() & ~other._as_int(), max(self._num_bits, other._num_bits)
+        )
+
+    def and_not_into(self, other: "Bitmap", out: "Bitmap") -> "Bitmap":
+        """Write ``self & ~other`` into ``out`` (reusing its buffer) and return it."""
+        return out._store_int(
+            self._as_int() & ~other._as_int(), max(self._num_bits, other._num_bits)
+        )
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Bitmap):
             return NotImplemented
@@ -136,23 +211,68 @@ class Bitmap:
     # -- queries --------------------------------------------------------------
 
     def count(self) -> int:
-        """Number of set bits (population count)."""
-        return self._as_int().bit_count()
+        """Number of set bits (population count), cached between mutations."""
+        if self._count is None:
+            self._count = self._as_int().bit_count()
+        return self._count
 
     def any(self) -> bool:
         """True if at least one bit is set."""
         return any(self._bytes)
 
+    def iter_words(self) -> Iterator[tuple[int, int]]:
+        """Yield ``(word index, word)`` for every nonzero 64-bit word.
+
+        Fully zero words -- dead stretches of the heap -- are skipped without
+        per-bit work, which is what lets scans jump over dead pages.
+        """
+        data = self._bytes
+        num_full = len(data) >> 3
+        if num_full:
+            words = struct.unpack_from(f"<{num_full}Q", data)
+            for word_index, word in enumerate(words):
+                if word:
+                    yield word_index, word
+        tail = len(data) & 7
+        if tail:
+            word = int.from_bytes(data[num_full << 3 :], "little")
+            if word:
+                yield num_full, word
+
+    def _word_list(self) -> list[int]:
+        """All 64-bit words (zeros included), low word first."""
+        data = self._bytes
+        num_full = len(data) >> 3
+        words = list(struct.unpack_from(f"<{num_full}Q", data)) if num_full else []
+        if len(data) & 7:
+            words.append(int.from_bytes(data[num_full << 3 :], "little"))
+        return words
+
     def iter_set_bits(self) -> Iterator[int]:
-        """Yield the indices of set bits in ascending order."""
-        for byte_index, byte in enumerate(self._bytes):
-            if not byte:
-                continue
-            base = byte_index << 3
-            while byte:
-                low = byte & -byte
+        """Yield the indices of set bits in ascending order, word-at-a-time.
+
+        The word loop is inlined (rather than layered over
+        :meth:`iter_words`) so dense bitmaps do not pay a nested generator
+        resume per bit.
+        """
+        data = self._bytes
+        num_full = len(data) >> 3
+        if num_full:
+            words = struct.unpack_from(f"<{num_full}Q", data)
+            for word_index, word in enumerate(words):
+                if word:
+                    base = word_index << 6
+                    while word:
+                        low = word & -word
+                        yield base + low.bit_length() - 1
+                        word ^= low
+        if len(data) & 7:
+            word = int.from_bytes(data[num_full << 3 :], "little")
+            base = num_full << 6
+            while word:
+                low = word & -word
                 yield base + low.bit_length() - 1
-                byte ^= low
+                word ^= low
 
     def to_indices(self) -> list[int]:
         """The set bit positions as a list."""
@@ -166,3 +286,103 @@ class Bitmap:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"Bitmap(bits={self._num_bits}, set={self.count()})"
+
+
+def union_member_pages(
+    bitmaps: Mapping[str, Bitmap], per_page: int
+) -> dict[int, list[tuple[int, frozenset]]]:
+    """Group the union's set bits by page: ``{page: [(slot, members), ...]}``.
+
+    This is the word-level membership pass used by multi-branch scans: for
+    every 64-bit word of the union, each named bitmap's word is fetched once
+    and individual bits are tested with shifts, instead of calling
+    ``Bitmap.get`` once per (name, bit) pair.  Member sets are memoized per
+    membership pattern, so each distinct branch combination allocates a single
+    shared ``frozenset``.  Slot lists are in ascending order within each page.
+    """
+    names = list(bitmaps)
+    pages: dict[int, list[tuple[int, frozenset]]] = {}
+    if not names:
+        return pages
+    word_lists = [bitmaps[name]._word_list() for name in names]
+    num_names = len(names)
+    max_words = max(len(words) for words in word_lists)
+    members_by_mask: dict[int, frozenset] = {}
+    current_page = -1
+    slots: list[tuple[int, frozenset]] = []
+
+    def lookup(mask: int) -> frozenset:
+        members = members_by_mask.get(mask)
+        if members is None:
+            members = frozenset(
+                names[j] for j in range(num_names) if (mask >> j) & 1
+            )
+            members_by_mask[mask] = members
+        return members
+
+    for word_index in range(max_words):
+        row = [
+            words[word_index] if word_index < len(words) else 0
+            for words in word_lists
+        ]
+        union = 0
+        for word in row:
+            union |= word
+        if not union:
+            continue
+        base = word_index << 6
+        # Fast path: when every named word is either empty or equal to the
+        # union, all 64 bits of this word share one membership pattern, so
+        # the per-bit branch probing collapses to one mask per word.  This
+        # is the common case -- contiguous insert runs are live in the same
+        # branch set.
+        uniform_mask = 0
+        for j in range(num_names):
+            word = row[j]
+            if word:
+                if word == union:
+                    uniform_mask |= 1 << j
+                else:
+                    uniform_mask = -1
+                    break
+        if uniform_mask >= 0:
+            members = lookup(uniform_mask)
+            while union:
+                low = union & -union
+                ordinal = base + low.bit_length() - 1
+                union ^= low
+                page_number = ordinal // per_page
+                if page_number != current_page:
+                    slots = pages.setdefault(page_number, [])
+                    current_page = page_number
+                slots.append((ordinal % per_page, members))
+            continue
+        while union:
+            low = union & -union
+            ordinal = base + low.bit_length() - 1
+            union ^= low
+            mask = 0
+            for j in range(num_names):
+                if row[j] & low:
+                    mask |= 1 << j
+            page_number = ordinal // per_page
+            if page_number != current_page:
+                slots = pages.setdefault(page_number, [])
+                current_page = page_number
+            slots.append((ordinal % per_page, lookup(mask)))
+    return pages
+
+
+def iter_union_members(
+    bitmaps: Mapping[str, Bitmap]
+) -> Iterator[tuple[int, frozenset]]:
+    """Yield ``(bit index, names whose bitmap has that bit)`` in ascending order.
+
+    A convenience wrapper over :func:`union_member_pages` with a single
+    page covering every bit.
+    """
+    pages = union_member_pages(bitmaps, 1 << 62)
+    for page_number in sorted(pages):
+        base = page_number << 62
+        for slot, members in pages[page_number]:
+            yield base + slot, members

@@ -81,13 +81,21 @@ class TupleOrientedBitmapIndex(BitmapIndex):
     def branch_bitmap(self, branch: str) -> Bitmap:
         self._require_branch(branch)
         slot = self._branch_slots[branch]
-        bitmap = Bitmap(self._num_tuples)
         # The entire block must be scanned: the bits of one branch are spread
-        # across every tuple's row.
-        for tuple_index in range(self._num_tuples):
-            if self._get_bit(tuple_index, slot):
-                bitmap.set(tuple_index)
-        return bitmap
+        # across every tuple's row.  The scan tests the slot's byte directly
+        # and builds the result through the bitmap's bulk path.
+        rows = self._rows
+        row_bytes = self._row_bytes
+        slot_byte = slot >> 3
+        mask = 1 << (slot & 7)
+        return Bitmap.from_indices(
+            [
+                tuple_index
+                for tuple_index in range(self._num_tuples)
+                if rows[tuple_index * row_bytes + slot_byte] & mask
+            ],
+            num_bits=self._num_tuples,
+        )
 
     def restore_branch(self, branch: str, bitmap: Bitmap) -> None:
         self._require_branch(branch)

@@ -14,10 +14,34 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Callable, Iterable, Iterator, Sequence
 
-from repro.core.predicates import Predicate
+from operator import itemgetter
+
+from repro.core.predicates import Predicate, compile_predicate
 from repro.core.record import Record
 from repro.core.schema import Column, ColumnType, Schema
 from repro.errors import QueryError
+
+#: Records per batch moved between batch-aware operators.
+DEFAULT_BATCH_SIZE = 1024
+
+
+def chunk_iterable(items: Iterable, batch_size: int) -> Iterator[list]:
+    """Group an iterable into lists of at most ``batch_size`` items.
+
+    The shared fallback used wherever a tuple-at-a-time source must present
+    the batch protocol; flattening the chunks reproduces the iteration
+    exactly.
+    """
+    batch: list = []
+    append = batch.append
+    for item in items:
+        append(item)
+        if len(batch) >= batch_size:
+            yield batch
+            batch = []
+            append = batch.append
+    if batch:
+        yield batch
 
 
 def join_schema(left: Schema, right: Schema) -> Schema:
@@ -64,23 +88,62 @@ def aggregate_output_column(
 
 
 class Operator:
-    """Base class: an operator is an iterable of records with a schema."""
+    """Base class: an operator is an iterable of records with a schema.
+
+    Operators expose two equivalent consumption modes: :meth:`__iter__`
+    yields records one at a time (the original Volcano-style contract), and
+    :meth:`batches` yields the same records, in the same order, grouped into
+    lists.  Batch-aware operators (scans, filters, projections) override
+    :meth:`batches` to move whole lists through the pipeline so the
+    per-record interpreter overhead is paid only at pipeline breakers.
+    """
 
     schema: Schema
 
     def __iter__(self) -> Iterator[Record]:  # pragma: no cover - interface
         raise NotImplementedError
 
+    def batches(self, batch_size: int = DEFAULT_BATCH_SIZE) -> Iterator[list[Record]]:
+        """Yield the operator's output as lists of records.
+
+        The default implementation chunks :meth:`__iter__`; flattening the
+        batches always reproduces the per-record iteration exactly.
+        """
+        yield from chunk_iterable(self, batch_size)
+
 
 class SeqScan(Operator):
-    """Sequential scan over any iterable of records (e.g. a branch scan)."""
+    """Sequential scan over any iterable of records (e.g. a branch scan).
 
-    def __init__(self, source: Iterable[Record], schema: Schema):
+    ``batch_source`` may supply an iterable of record *lists* (such as a
+    storage engine's ``scan_branch_batched``); it feeds :meth:`batches`
+    directly and is flattened for :meth:`__iter__`.  Exactly one of
+    ``source``/``batch_source`` is consumed, and like the plain record
+    iterator it is single-shot.
+    """
+
+    def __init__(
+        self,
+        source: Iterable[Record] | None,
+        schema: Schema,
+        batch_source: Iterable[list[Record]] | None = None,
+    ):
         self.source = source
         self.schema = schema
+        self.batch_source = batch_source
 
     def __iter__(self) -> Iterator[Record]:
+        if self.batch_source is not None:
+            for batch in self.batch_source:
+                yield from batch
+            return
         yield from self.source
+
+    def batches(self, batch_size: int = DEFAULT_BATCH_SIZE) -> Iterator[list[Record]]:
+        if self.batch_source is not None:
+            yield from self.batch_source
+            return
+        yield from super().batches(batch_size)
 
 
 class Filter(Operator):
@@ -97,6 +160,13 @@ class Filter(Operator):
         for record in self.child:
             if predicate.evaluate(record, schema):
                 yield record
+
+    def batches(self, batch_size: int = DEFAULT_BATCH_SIZE) -> Iterator[list[Record]]:
+        matches = compile_predicate(self.predicate, self.schema)
+        for batch in self.child.batches(batch_size):
+            kept = [record for record in batch if matches(record.values)]
+            if kept:
+                yield kept
 
 
 def project_schema(child_schema: Schema, columns: Sequence[str]) -> Schema:
@@ -131,6 +201,17 @@ class Project(Operator):
         for record in self.child:
             yield Record(tuple(record.values[i] for i in self._indexes))
 
+    def batches(self, batch_size: int = DEFAULT_BATCH_SIZE) -> Iterator[list[Record]]:
+        indexes = self._indexes
+        if len(indexes) == 1:
+            only = indexes[0]
+            for batch in self.child.batches(batch_size):
+                yield [Record((record.values[only],)) for record in batch]
+            return
+        pick = itemgetter(*indexes)
+        for batch in self.child.batches(batch_size):
+            yield [Record(pick(record.values)) for record in batch]
+
 
 class Limit(Operator):
     """Emit at most ``n`` child records."""
@@ -150,6 +231,18 @@ class Limit(Operator):
             yield record
             remaining -= 1
             if remaining == 0:
+                return
+
+    def batches(self, batch_size: int = DEFAULT_BATCH_SIZE) -> Iterator[list[Record]]:
+        remaining = self.n
+        if remaining == 0:
+            return
+        for batch in self.child.batches(batch_size):
+            if len(batch) < remaining:
+                yield batch
+                remaining -= len(batch)
+            else:
+                yield batch[:remaining]
                 return
 
 
@@ -399,4 +492,4 @@ class GroupAggregate(Operator):
 
 def materialize(operator: Operator) -> list[Record]:
     """Run an operator tree to completion and return all output records."""
-    return list(operator)
+    return [record for batch in operator.batches() for record in batch]

@@ -69,10 +69,9 @@ class Page:
             (count,) = _PAGE_HEADER.unpack_from(data, 0)
             if count > self.capacity:
                 raise PageError(f"corrupt page {page_id}: count {count}")
-            offset = _PAGE_HEADER.size
-            for _ in range(count):
-                self._records.append(codec.decode(data, offset))
-                offset += codec.record_size
+            # One unpack sweep for the whole record array instead of one
+            # decode call per slot.
+            self._records = codec.decode_batch(data, _PAGE_HEADER.size, count)
 
     # -- capacity -------------------------------------------------------------
 
@@ -112,6 +111,14 @@ class Page:
     def records(self) -> list[Record]:
         """All records on the page, in slot order."""
         return list(self._records)
+
+    def records_view(self) -> list[Record]:
+        """The page's record array itself, without copying.
+
+        Callers must treat the list as read-only; batched scans use it to
+        index many slots of one page without a per-page copy.
+        """
+        return self._records
 
     # -- serialization --------------------------------------------------------
 

@@ -13,6 +13,8 @@ from __future__ import annotations
 import operator
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable
 
 from repro.core.record import Record
 from repro.core.schema import Schema
@@ -30,12 +32,37 @@ _OPERATORS = {
 }
 
 
+#: A compiled predicate: called with a record's raw ``values`` tuple.
+CompiledPredicate = Callable[[tuple], bool]
+
+
 class Predicate(ABC):
     """Base class for record predicates."""
 
     @abstractmethod
     def evaluate(self, record: Record, schema: Schema) -> bool:
         """True if ``record`` satisfies this predicate under ``schema``."""
+
+    def _compile(self, schema: Schema) -> CompiledPredicate:
+        """A closure over column ordinals, equivalent to :meth:`evaluate`.
+
+        Subclasses override this with a lookup-free closure; the fallback
+        keeps custom predicate classes working by routing through
+        :meth:`evaluate` on a temporary record.
+        """
+        return lambda values: self.evaluate(Record(values), schema)
+
+    def _expr(self, schema: Schema, values: str, constants: list) -> str | None:
+        """A Python expression equivalent to :meth:`evaluate`, or ``None``.
+
+        ``values`` is the source text of the values tuple; constants are
+        appended to ``constants`` and referenced as ``_c[i]`` (never
+        ``repr``-ed into the source, so arbitrary objects are safe).  The
+        batch filter compiler inlines this expression into a list
+        comprehension, removing the per-record function call entirely.
+        ``None`` means "not expressible" and falls back to the closure.
+        """
+        return None
 
     def __and__(self, other: "Predicate") -> "Predicate":
         return And(self, other)
@@ -47,12 +74,86 @@ class Predicate(ABC):
         return Not(self)
 
 
+#: Comparison-operator source text for the expression compiler.
+_OPERATOR_SOURCE = {
+    "=": "==",
+    "==": "==",
+    "!=": "!=",
+    "<>": "!=",
+    "<": "<",
+    "<=": "<=",
+    ">": ">",
+    ">=": ">=",
+}
+
+
+@lru_cache(maxsize=512)
+def _compile_cached(schema: Schema, predicate: Predicate) -> CompiledPredicate:
+    return predicate._compile(schema)
+
+
+@lru_cache(maxsize=512)
+def _compile_batch_cached(schema: Schema, predicate: Predicate):
+    constants: list = []
+    expr = predicate._expr(schema, "record.values", constants)
+    if expr is None:
+        return None
+    source = f"lambda records, _c: [record for record in records if {expr}]"
+    # The source is assembled only from validated operator symbols, integer
+    # column indexes and ``_c[i]`` references, never from value reprs.
+    filter_fn = eval(source, {"__builtins__": {}}, {})  # noqa: S307
+    bound = tuple(constants)
+    return lambda records: filter_fn(records, bound)
+
+
+def compile_batch_filter(predicate: Predicate | None, schema: Schema):
+    """Compile ``predicate`` into a whole-list filter over records.
+
+    Returns a callable ``filter(records) -> list[Record]`` whose predicate
+    expression is inlined into the comprehension, so matching costs no
+    per-record Python function call.  Returns ``None`` when ``predicate``
+    is ``None`` or not expressible (custom predicate classes) -- callers
+    then fall back to the per-record :func:`compile_predicate` closure.
+    """
+    if predicate is None:
+        return None
+    try:
+        return _compile_batch_cached(schema, predicate)
+    except TypeError:  # unhashable constant: skip the cache
+        return None
+
+
+def compile_predicate(
+    predicate: Predicate | None, schema: Schema
+) -> CompiledPredicate | None:
+    """Compile ``predicate`` into a closure over column ordinals.
+
+    The compiled form is called with a record's ``values`` tuple, so the hot
+    loop pays no per-row schema/dict lookups, attribute fetches or operator
+    table probes.  Results are memoized per (schema, predicate) -- both are
+    frozen/hashable -- so repeated scans of the same shape reuse one closure.
+    ``None`` compiles to ``None`` (unfiltered scan).
+    """
+    if predicate is None:
+        return None
+    try:
+        return _compile_cached(schema, predicate)
+    except TypeError:  # unhashable constant (e.g. a list value): skip the cache
+        return predicate._compile(schema)
+
+
 @dataclass(frozen=True)
 class TruePredicate(Predicate):
     """A predicate satisfied by every record (used for unfiltered scans)."""
 
     def evaluate(self, record: Record, schema: Schema) -> bool:
         return True
+
+    def _compile(self, schema: Schema) -> CompiledPredicate:
+        return lambda values: True
+
+    def _expr(self, schema: Schema, values: str, constants: list) -> str | None:
+        return "True"
 
 
 @dataclass(frozen=True)
@@ -81,6 +182,18 @@ class ColumnPredicate(Predicate):
     def evaluate(self, record: Record, schema: Schema) -> bool:
         return _OPERATORS[self.op](record.value(schema, self.column), self.value)
 
+    def _compile(self, schema: Schema) -> CompiledPredicate:
+        index = schema.index_of(self.column)
+        compare = _OPERATORS[self.op]
+        constant = self.value
+        return lambda values: compare(values[index], constant)
+
+    def _expr(self, schema: Schema, values: str, constants: list) -> str | None:
+        index = schema.index_of(self.column)
+        constants.append(self.value)
+        symbol = _OPERATOR_SOURCE[self.op]
+        return f"({values}[{index}] {symbol} _c[{len(constants) - 1}])"
+
 
 @dataclass(frozen=True)
 class And(Predicate):
@@ -93,6 +206,18 @@ class And(Predicate):
         return self.left.evaluate(record, schema) and self.right.evaluate(
             record, schema
         )
+
+    def _compile(self, schema: Schema) -> CompiledPredicate:
+        left = self.left._compile(schema)
+        right = self.right._compile(schema)
+        return lambda values: left(values) and right(values)
+
+    def _expr(self, schema: Schema, values: str, constants: list) -> str | None:
+        left = self.left._expr(schema, values, constants)
+        right = self.right._expr(schema, values, constants)
+        if left is None or right is None:
+            return None
+        return f"({left} and {right})"
 
 
 @dataclass(frozen=True)
@@ -107,6 +232,18 @@ class Or(Predicate):
             record, schema
         )
 
+    def _compile(self, schema: Schema) -> CompiledPredicate:
+        left = self.left._compile(schema)
+        right = self.right._compile(schema)
+        return lambda values: left(values) or right(values)
+
+    def _expr(self, schema: Schema, values: str, constants: list) -> str | None:
+        left = self.left._expr(schema, values, constants)
+        right = self.right._expr(schema, values, constants)
+        if left is None or right is None:
+            return None
+        return f"({left} or {right})"
+
 
 @dataclass(frozen=True)
 class Not(Predicate):
@@ -116,6 +253,16 @@ class Not(Predicate):
 
     def evaluate(self, record: Record, schema: Schema) -> bool:
         return not self.inner.evaluate(record, schema)
+
+    def _compile(self, schema: Schema) -> CompiledPredicate:
+        inner = self.inner._compile(schema)
+        return lambda values: not inner(values)
+
+    def _expr(self, schema: Schema, values: str, constants: list) -> str | None:
+        inner = self.inner._expr(schema, values, constants)
+        if inner is None:
+            return None
+        return f"(not {inner})"
 
 
 def non_selective_predicate(column: str, modulus: int = 10) -> Predicate:
@@ -138,3 +285,13 @@ class ModuloPredicate(Predicate):
 
     def evaluate(self, record: Record, schema: Schema) -> bool:
         return record.value(schema, self.column) % self.modulus != 0
+
+    def _compile(self, schema: Schema) -> CompiledPredicate:
+        index = schema.index_of(self.column)
+        modulus = self.modulus
+        return lambda values: values[index] % modulus != 0
+
+    def _expr(self, schema: Schema, values: str, constants: list) -> str | None:
+        index = schema.index_of(self.column)
+        constants.append(self.modulus)
+        return f"({values}[{index}] % _c[{len(constants) - 1}] != 0)"

@@ -81,7 +81,7 @@ class RecordCodec:
 
     def __init__(self, schema: Schema):
         self.schema = schema
-        fmt = ["<B"]  # header byte
+        fmt = ["B"]  # header byte
         for column in schema.columns:
             if column.type is ColumnType.INT:
                 fmt.append("q")
@@ -89,7 +89,22 @@ class RecordCodec:
                 fmt.append("i")
             else:
                 fmt.append(f"{column.width}s")
-        self._struct = struct.Struct("".join(fmt))
+        #: Format of one record, without byte-order prefix (repeatable for
+        #: batch decoding).
+        self._record_fmt = "".join(fmt)
+        self._struct = struct.Struct("<" + self._record_fmt)
+        #: Fields per record in unpacked output: header plus one per column.
+        self._fields_per_record = 1 + len(schema.columns)
+        #: Positions (within a values tuple) of STRING columns needing
+        #: NUL-strip + UTF-8 decode after a raw unpack.
+        self._string_positions = tuple(
+            i
+            for i, column in enumerate(schema.columns)
+            if column.type is ColumnType.STRING
+        )
+        #: Precompiled batch formats keyed by record count (bounded cache; a
+        #: page's full capacity dominates, so hit rates are high).
+        self._batch_structs: dict[int, struct.Struct] = {}
 
     @property
     def record_size(self) -> int:
@@ -128,6 +143,60 @@ class RecordCodec:
                 values.append(raw)
         return Record(tuple(values), tombstone=bool(header & _HEADER_TOMBSTONE))
 
+    def _batch_struct(self, count: int) -> struct.Struct:
+        batch = self._batch_structs.get(count)
+        if batch is None:
+            batch = struct.Struct("<" + self._record_fmt * count)
+            if len(self._batch_structs) < 64:
+                self._batch_structs[count] = batch
+        return batch
+
+    def decode_batch(
+        self, data: bytes, offset: int = 0, count: int | None = None
+    ) -> list[Record]:
+        """Decode ``count`` consecutive records in a single unpack sweep.
+
+        The whole run is unpacked with one precompiled ``struct`` format
+        (the record format repeated ``count`` times), so per-record Python
+        work is limited to slicing the flat value tuple -- the page-batch
+        decode path of the vectorized scan pipeline.  With ``count=None``
+        the rest of the buffer is decoded.
+        """
+        size = self.record_size
+        if count is None:
+            count = (len(data) - offset) // size
+        if count <= 0:
+            return []
+        try:
+            flat = self._batch_struct(count).unpack_from(data, offset)
+        except struct.error as exc:
+            raise RecordError(
+                f"cannot decode {count} records at offset {offset}: {exc}"
+            ) from exc
+        fields = self._fields_per_record
+        strings = self._string_positions
+        records = []
+        append = records.append
+        if not strings:
+            for base in range(0, count * fields, fields):
+                append(
+                    Record(
+                        flat[base + 1 : base + fields],
+                        tombstone=bool(flat[base] & _HEADER_TOMBSTONE),
+                    )
+                )
+            return records
+        for base in range(0, count * fields, fields):
+            values = list(flat[base + 1 : base + fields])
+            for position in strings:
+                values[position] = values[position].rstrip(b"\x00").decode("utf-8")
+            append(
+                Record(
+                    tuple(values), tombstone=bool(flat[base] & _HEADER_TOMBSTONE)
+                )
+            )
+        return records
+
     def decode_many(self, data: bytes) -> list[Record]:
         """Decode a buffer that is an exact concatenation of records."""
         size = self.record_size
@@ -135,4 +204,4 @@ class RecordCodec:
             raise RecordError(
                 f"buffer length {len(data)} is not a multiple of record size {size}"
             )
-        return [self.decode(data, offset) for offset in range(0, len(data), size)]
+        return self.decode_batch(data, 0, len(data) // size)

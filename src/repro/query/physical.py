@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Iterator
 
 from repro.core.operators import (
+    DEFAULT_BATCH_SIZE,
     Distinct as DistinctOp,
     Filter as FilterOp,
     GroupAggregate,
@@ -84,6 +85,15 @@ class HeadScanExec(Operator):
         for record, branches in self.node.engine.scan_heads(self.node.predicate):
             yield Record(record.values + (branches,))
 
+    def batches(self, batch_size: int = DEFAULT_BATCH_SIZE) -> Iterator[list[Record]]:
+        annotated = self.node.engine.scan_heads_batched(
+            self.node.predicate, batch_size=batch_size
+        )
+        for pairs in annotated:
+            yield [
+                Record(record.values + (branches,)) for record, branches in pairs
+            ]
+
 
 class VersionDiffExec(Operator):
     """Positive diff of two branch heads via the engine's ``diff`` primitive.
@@ -100,19 +110,28 @@ class VersionDiffExec(Operator):
         self.schema = node.schema
         self.total_records = 0
 
-    def __iter__(self) -> Iterator[Record]:
+    def _positive_records(self) -> list[Record]:
         node = self.node
         diff = node.engine.diff(node.outer[1], node.inner[1])
         self.total_records = diff.total_records
         if node.include_modified:
-            yield from diff.positive
-            return
+            return diff.positive
         schema = node.engine.schema
         key_index = schema.index_of(node.key_column)
         modified = diff.modified_keys(schema)
-        for record in diff.positive:
-            if record.values[key_index] not in modified:
-                yield record
+        return [
+            record
+            for record in diff.positive
+            if record.values[key_index] not in modified
+        ]
+
+    def __iter__(self) -> Iterator[Record]:
+        yield from self._positive_records()
+
+    def batches(self, batch_size: int = DEFAULT_BATCH_SIZE) -> Iterator[list[Record]]:
+        positive = self._positive_records()
+        for start in range(0, len(positive), batch_size):
+            yield positive[start : start + batch_size]
 
 
 class AnnotatedDistinct(Operator):
@@ -144,11 +163,21 @@ class AnnotatedDistinct(Operator):
             yield Record(visible[:h] + (branches,) + visible[h:])
 
 
-def build_physical(plan: LogicalNode) -> Operator:
-    """Map an optimized logical plan onto an iterator operator tree."""
+def build_physical(plan: LogicalNode, *, batched: bool = True) -> Operator:
+    """Map an optimized logical plan onto an iterator operator tree.
+
+    With ``batched=True`` (the default) branch scans are fed from the
+    engine's vectorized ``scan_branch_batched`` path, so batch-aware
+    operators move whole record lists; ``batched=False`` forces the original
+    tuple-at-a-time scan everywhere.  Both modes produce bit-for-bit
+    identical results.
+    """
     if isinstance(plan, VersionScan):
         engine = plan.engine
         if plan.kind == "branch":
+            if batched:
+                batches = engine.scan_branch_batched(plan.version, plan.predicate)
+                return SeqScan(None, plan.schema, batch_source=batches)
             records = engine.scan_branch(plan.version, plan.predicate)
         else:
             records = engine.scan_commit(plan.version, plan.predicate)
@@ -159,8 +188,8 @@ def build_physical(plan: LogicalNode) -> Operator:
         return VersionDiffExec(plan)
     if isinstance(plan, AntiJoin):
         return HashAntiJoin(
-            build_physical(plan.outer),
-            build_physical(plan.inner),
+            build_physical(plan.outer, batched=batched),
+            build_physical(plan.inner, batched=batched),
             plan.outer_column,
             plan.inner_column,
         )
@@ -168,8 +197,8 @@ def build_physical(plan: LogicalNode) -> Operator:
         left_columns = [left for left, _ in plan.conditions]
         right_columns = [right for _, right in plan.conditions]
         return HashJoin(
-            build_physical(plan.left),
-            build_physical(plan.right),
+            build_physical(plan.left, batched=batched),
+            build_physical(plan.right, batched=batched),
             left_columns,
             right_columns,
         )
@@ -178,10 +207,10 @@ def build_physical(plan: LogicalNode) -> Operator:
         for term in plan.terms:
             clause = ColumnPredicate(term.column, term.op, term.value)
             predicate = clause if predicate is None else (predicate & clause)
-        return FilterOp(build_physical(plan.child), predicate)
+        return FilterOp(build_physical(plan.child, batched=batched), predicate)
     if isinstance(plan, Aggregate):
         grouped = GroupAggregate(
-            build_physical(plan.child),
+            build_physical(plan.child, batched=batched),
             plan.group_by,
             [
                 (expr.name, expr.function, expr.argument)
@@ -192,31 +221,46 @@ def build_physical(plan: LogicalNode) -> Operator:
             return grouped
         return ProjectOp(grouped, plan.output_names)
     if isinstance(plan, Project):
-        return ProjectOp(build_physical(plan.child), plan.physical_columns)
+        return ProjectOp(
+            build_physical(plan.child, batched=batched), plan.physical_columns
+        )
     if isinstance(plan, Distinct):
-        child = build_physical(plan.child)
+        child = build_physical(plan.child, batched=batched)
         names = plan.schema.column_names
         if BRANCH_COLUMN in names:
             return AnnotatedDistinct(child, names.index(BRANCH_COLUMN))
         return DistinctOp(child)
     if isinstance(plan, Sort):
-        return OrderBy(build_physical(plan.child), plan.keys)
+        return OrderBy(build_physical(plan.child, batched=batched), plan.keys)
     if isinstance(plan, Limit):
-        return LimitOp(build_physical(plan.child), plan.n)
+        return LimitOp(build_physical(plan.child, batched=batched), plan.n)
     raise QueryError(f"no physical mapping for plan node {type(plan).__name__}")
 
 
-def execute_plan(plan: LogicalNode) -> QueryResult:
-    """Run an optimized plan to completion and assemble the result."""
-    operator = build_physical(plan)
+def execute_plan(plan: LogicalNode, *, batched: bool = True) -> QueryResult:
+    """Run an optimized plan to completion and assemble the result.
+
+    The operator tree is consumed batch-at-a-time, so per-record Python work
+    in the result loop is limited to tuple slicing and appends.
+    """
+    operator = build_physical(plan, batched=batched)
     result = QueryResult(columns=result_columns(plan))
     schema_names = plan.schema.column_names
     if BRANCH_COLUMN in schema_names:
         hidden = schema_names.index(BRANCH_COLUMN)
-        for record in operator:
-            values = record.values
-            result.rows.append(values[:hidden] + values[hidden + 1 :])
-            result.branch_annotations.append(values[hidden])
+        rows = result.rows
+        annotations = result.branch_annotations
+        source = operator.batches() if batched else ([record] for record in operator)
+        for batch in source:
+            for record in batch:
+                values = record.values
+                rows.append(values[:hidden] + values[hidden + 1 :])
+                annotations.append(values[hidden])
         return result
-    result.rows = [record.values for record in operator]
+    if not batched:
+        result.rows = [record.values for record in operator]
+        return result
+    rows = result.rows
+    for batch in operator.batches():
+        rows.extend(record.values for record in batch)
     return result

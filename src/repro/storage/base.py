@@ -25,8 +25,13 @@ from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
 from repro.core.buffer_pool import BufferPool
+from repro.core.operators import chunk_iterable
 from repro.core.page import DEFAULT_PAGE_SIZE
-from repro.core.predicates import Predicate
+from repro.core.predicates import (
+    Predicate,
+    compile_batch_filter,
+    compile_predicate,
+)
 from repro.core.record import Record
 from repro.core.schema import Schema
 from repro.errors import VersionError
@@ -90,6 +95,118 @@ class MergeResult:
 
 #: A "changed record" map: primary key -> new record, or None for a delete.
 ChangeMap = dict[int, "Record | None"]
+
+#: Records per batch yielded by the engines' batched scan paths.
+DEFAULT_SCAN_BATCH_SIZE = 1024
+
+
+def fetch_bitmap_ordinals(heap, bitmap, out: list, stats: EngineStats) -> None:
+    """Append the records at the bitmap's set ordinals, page at a time.
+
+    Ascending ordinals mostly share pages, so the page is fetched once per
+    run instead of once per record (the diff-path record fetch).
+    """
+    per_page = heap.records_per_page
+    current_page = -1
+    records: list = []
+    append = out.append
+    for ordinal in bitmap.iter_set_bits():
+        page_number = ordinal // per_page
+        if page_number != current_page:
+            records = heap.page(page_number).records_view()
+            current_page = page_number
+        append(records[ordinal % per_page])
+        stats.records_scanned += 1
+
+
+def regroup_chunks(chunks, batch_size: int):
+    """Regroup an iterator of lists (e.g. per-page hits) into batches.
+
+    Batches are at least ``batch_size`` long when enough input remains --
+    ``batch_size`` is a flush threshold, not an exact size -- and no element
+    is ever copied more than once (no slicing).  Flattening the output
+    reproduces the input order exactly.
+    """
+    batch: list = []
+    for chunk in chunks:
+        if not batch and len(chunk) >= batch_size:
+            yield chunk
+            continue
+        batch.extend(chunk)
+        if len(batch) >= batch_size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
+
+
+def scan_heap_bitmap_batched(
+    heap,
+    bitmap,
+    schema: Schema,
+    predicate: Predicate | None,
+    batch_size: int,
+    stats: EngineStats,
+):
+    """Batched scan of one heap file's live ordinals (shared hot path).
+
+    The bitmap is consumed page-mask-at-a-time: each page's liveness word is
+    sliced out of the bitmap bytes.  A zero word skips the page entirely
+    (never touching the buffer pool); a fully-live word streams the page's
+    record array straight through the compiled predicate in one list pass;
+    only partially-live pages fall back to per-bit mask stripping.  The
+    record sequence is identical to the tuple-at-a-time scan of the same
+    bitmap.
+    """
+    yield from regroup_chunks(
+        _heap_bitmap_page_hits(heap, bitmap, schema, predicate, stats), batch_size
+    )
+
+
+def _heap_bitmap_page_hits(heap, bitmap, schema, predicate, stats):
+    """Per-page lists of matching records for :func:`scan_heap_bitmap_batched`."""
+    matches = compile_predicate(predicate, schema)
+    page_filter = compile_batch_filter(predicate, schema)
+    per_page = heap.records_per_page
+    data = bitmap.to_bytes()
+    total_bits = len(data) * 8
+    page_mask = (1 << per_page) - 1
+    # Each page's liveness word is sliced from the byte range covering its
+    # bit span (bits of the neighbouring pages are shifted/masked off), so
+    # the whole extraction is O(total bits) rather than the O(pages x bits)
+    # a rolling whole-bitmap shift would cost.
+    for page_number in range((total_bits + per_page - 1) // per_page):
+        start = page_number * per_page
+        chunk = int.from_bytes(
+            data[start >> 3 : (start + per_page + 7) >> 3], "little"
+        )
+        live = (chunk >> (start & 7)) & page_mask
+        if live:
+            records = heap.page(page_number).records_view()
+            stats.records_scanned += live.bit_count()
+            if live == (1 << len(records)) - 1:
+                # Every slot on the page is live: one pass over the array,
+                # with the predicate expression inlined into the filter
+                # comprehension when possible (no per-record calls at all).
+                if matches is None:
+                    hits = list(records)
+                elif page_filter is not None:
+                    hits = page_filter(records)
+                else:
+                    hits = [
+                        record for record in records if matches(record.values)
+                    ]
+            else:
+                hits = []
+                keep = hits.append
+                while live:
+                    low = live & -live
+                    record = records[low.bit_length() - 1]
+                    live ^= low
+                    if matches is None or matches(record.values):
+                        keep(record)
+            if hits:
+                yield hits
 
 
 class VersionedStorageEngine(ABC):
@@ -302,6 +419,21 @@ class VersionedStorageEngine(ABC):
     ) -> Iterator[Record]:
         """Yield the live records of ``branch``'s head (benchmark Query 1)."""
 
+    def scan_branch_batched(
+        self,
+        branch: str,
+        predicate: Predicate | None = None,
+        batch_size: int = DEFAULT_SCAN_BATCH_SIZE,
+    ) -> Iterator[list[Record]]:
+        """Yield ``scan_branch``'s records grouped into lists.
+
+        Flattening the batches always reproduces :meth:`scan_branch` exactly
+        (same records, same order).  This default chunks the tuple-at-a-time
+        scan; the concrete engines override it with genuinely vectorized
+        page-batch paths.
+        """
+        yield from chunk_iterable(self.scan_branch(branch, predicate), batch_size)
+
     @abstractmethod
     def scan_commit(
         self, commit_id: str, predicate: Predicate | None = None
@@ -318,12 +450,40 @@ class VersionedStorageEngine(ABC):
         branch heads.
         """
 
+    def scan_branches_batched(
+        self,
+        branches: list[str],
+        predicate: Predicate | None = None,
+        batch_size: int = DEFAULT_SCAN_BATCH_SIZE,
+    ) -> Iterator[list[tuple[Record, frozenset[str]]]]:
+        """Yield ``scan_branches``'s annotated records grouped into lists.
+
+        Flattening the batches reproduces :meth:`scan_branches` exactly; the
+        bitmap engines override this with page-batch paths.
+        """
+        yield from chunk_iterable(
+            self.scan_branches(branches, predicate), batch_size
+        )
+
     def scan_heads(
         self, predicate: Predicate | None = None, active_only: bool = False
     ) -> Iterator[tuple[Record, frozenset[str]]]:
         """Scan the heads of all (or all active) branches (benchmark Query 4)."""
         return self.scan_branches(
             self.graph.branch_names(active_only=active_only), predicate
+        )
+
+    def scan_heads_batched(
+        self,
+        predicate: Predicate | None = None,
+        active_only: bool = False,
+        batch_size: int = DEFAULT_SCAN_BATCH_SIZE,
+    ) -> Iterator[list[tuple[Record, frozenset[str]]]]:
+        """Batched :meth:`scan_heads` (the vectorized Query 4 path)."""
+        return self.scan_branches_batched(
+            self.graph.branch_names(active_only=active_only),
+            predicate,
+            batch_size,
         )
 
     def branch_record_map(self, branch: str) -> dict[int, Record]:

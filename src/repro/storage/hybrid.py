@@ -23,15 +23,23 @@ import os
 from typing import Iterator
 
 from repro.bitmap import CommitHistory
-from repro.bitmap.bitmap import Bitmap
+from repro.bitmap.bitmap import Bitmap, union_member_pages
 from repro.bitmap.branch_bitmap import BranchOrientedBitmapIndex
 from repro.core.buffer_pool import BufferPool
 from repro.core.page import DEFAULT_PAGE_SIZE
-from repro.core.predicates import Predicate
+from repro.core.predicates import Predicate, compile_predicate
 from repro.core.record import Record
 from repro.core.schema import Schema
 from repro.errors import CommitNotFoundError, StorageError
-from repro.storage.base import ChangeMap, StorageEngineKind, VersionedStorageEngine
+from repro.storage.base import (
+    ChangeMap,
+    DEFAULT_SCAN_BATCH_SIZE,
+    StorageEngineKind,
+    VersionedStorageEngine,
+    fetch_bitmap_ordinals,
+    regroup_chunks,
+    scan_heap_bitmap_batched,
+)
 from repro.storage.pk_index import PrimaryKeyIndex
 from repro.storage.segments import ParentPointer, Segment, SegmentSet
 from repro.versioning.diff import DiffResult
@@ -247,6 +255,19 @@ class HybridEngine(VersionedStorageEngine):
         for segment_id, bitmap in self._branch_segment_bitmaps(branch).items():
             yield from self._scan_segment_bitmap(segment_id, bitmap, predicate)
 
+    def scan_branch_batched(
+        self,
+        branch: str,
+        predicate: Predicate | None = None,
+        batch_size: int = DEFAULT_SCAN_BATCH_SIZE,
+    ) -> Iterator[list[Record]]:
+        """Vectorized :meth:`scan_branch`: per-segment page-batch reads."""
+        for segment_id, bitmap in self._branch_segment_bitmaps(branch).items():
+            segment = self.segments.get(segment_id)
+            yield from scan_heap_bitmap_batched(
+                segment.heap, bitmap, self.schema, predicate, batch_size, self.stats
+            )
+
     def scan_commit(
         self, commit_id: str, predicate: Predicate | None = None
     ) -> Iterator[Record]:
@@ -289,42 +310,69 @@ class HybridEngine(VersionedStorageEngine):
         requested branch's records; within each segment the per-branch local
         bitmaps are consulted directly (paper Section 3.4).
         """
+        matches = compile_predicate(predicate, self.schema)
+        for segment_id, per_branch in self._relevant_segment_bitmaps(branches):
+            segment = self.segments.get(segment_id)
+            # Word-level membership over the local bitmaps: one shared
+            # frozenset per branch combination, no per-(branch, tuple) probes.
+            live_pages = union_member_pages(
+                per_branch, segment.heap.records_per_page
+            )
+            for page_number in sorted(live_pages):
+                records = segment.heap.page(page_number).records_view()
+                for slot, members in live_pages[page_number]:
+                    record = records[slot]
+                    self.stats.records_scanned += 1
+                    if matches is not None and not matches(record.values):
+                        continue
+                    yield record, members
+
+    def _relevant_segment_bitmaps(
+        self, branches: list[str]
+    ) -> Iterator[tuple[str, dict[str, Bitmap]]]:
+        """Per relevant segment, the local bitmaps of the requested branches."""
         relevant: set[str] = set()
         for branch in branches:
             relevant |= self._branch_segments.get(branch, set())
-        schema = self.schema
         for segment_id in sorted(relevant):
             local = self._local_bitmaps[segment_id]
-            per_branch = {
+            yield segment_id, {
                 branch: local.branch_bitmap(branch)
                 for branch in branches
                 if local.has_branch(branch)
             }
-            union = Bitmap()
-            for bitmap in per_branch.values():
-                union = union | bitmap
-            segment = self.segments.get(segment_id)
-            per_page = segment.heap.records_per_page
-            live_pages: dict[int, list[int]] = {}
-            for ordinal in union.iter_set_bits():
-                live_pages.setdefault(ordinal // per_page, []).append(
-                    ordinal % per_page
+
+    def scan_branches_batched(
+        self,
+        branches: list[str],
+        predicate: Predicate | None = None,
+        batch_size: int = DEFAULT_SCAN_BATCH_SIZE,
+    ) -> Iterator[list[tuple[Record, frozenset[str]]]]:
+        """Batched :meth:`scan_branches`: per-segment annotated page reads."""
+
+        def page_hits() -> Iterator[list[tuple[Record, frozenset[str]]]]:
+            matches = compile_predicate(predicate, self.schema)
+            for segment_id, per_branch in self._relevant_segment_bitmaps(branches):
+                segment = self.segments.get(segment_id)
+                live_pages = union_member_pages(
+                    per_branch, segment.heap.records_per_page
                 )
-            for page_number in sorted(live_pages):
-                page = segment.heap.page(page_number)
-                base = page_number * per_page
-                for slot in live_pages[page_number]:
-                    record = page.record_at(slot)
-                    ordinal = base + slot
-                    self.stats.records_scanned += 1
-                    if predicate is not None and not predicate.evaluate(record, schema):
-                        continue
-                    members = frozenset(
-                        branch
-                        for branch, bitmap in per_branch.items()
-                        if bitmap.get(ordinal)
-                    )
-                    yield record, members
+                for page_number in sorted(live_pages):
+                    records = segment.heap.page(page_number).records_view()
+                    slots = live_pages[page_number]
+                    self.stats.records_scanned += len(slots)
+                    if matches is None:
+                        yield [
+                            (records[slot], members) for slot, members in slots
+                        ]
+                    else:
+                        yield [
+                            (record, members)
+                            for slot, members in slots
+                            if matches((record := records[slot]).values)
+                        ]
+
+        yield from regroup_chunks(page_hits(), batch_size)
 
     # -- diff -----------------------------------------------------------------------------
 
@@ -334,16 +382,20 @@ class HybridEngine(VersionedStorageEngine):
         bitmaps_a = self._branch_segment_bitmaps(branch_a)
         bitmaps_b = self._branch_segment_bitmaps(branch_b)
         result = DiffResult(version_a=branch_a, version_b=branch_b)
+        empty = Bitmap()
+        scratch = Bitmap()  # one buffer reused across every per-segment diff
         for segment_id in sorted(set(bitmaps_a) | set(bitmaps_b)):
-            bitmap_a = bitmaps_a.get(segment_id, Bitmap())
-            bitmap_b = bitmaps_b.get(segment_id, Bitmap())
+            bitmap_a = bitmaps_a.get(segment_id, empty)
+            bitmap_b = bitmaps_b.get(segment_id, empty)
             segment = self.segments.get(segment_id)
-            for ordinal in bitmap_a.and_not(bitmap_b).iter_set_bits():
-                result.positive.append(segment.record_at(ordinal))
-                self.stats.records_scanned += 1
-            for ordinal in bitmap_b.and_not(bitmap_a).iter_set_bits():
-                result.negative.append(segment.record_at(ordinal))
-                self.stats.records_scanned += 1
+            fetch_bitmap_ordinals(
+                segment.heap, bitmap_a.and_not_into(bitmap_b, scratch),
+                result.positive, self.stats,
+            )
+            fetch_bitmap_ordinals(
+                segment.heap, bitmap_b.and_not_into(bitmap_a, scratch),
+                result.negative, self.stats,
+            )
         return result
 
     # -- merge inputs ------------------------------------------------------------------------

@@ -18,15 +18,23 @@ import os
 from typing import Iterator
 
 from repro.bitmap import BitmapOrientation, CommitHistory, make_bitmap_index
-from repro.bitmap.bitmap import Bitmap
+from repro.bitmap.bitmap import Bitmap, union_member_pages
 from repro.core.buffer_pool import BufferPool
 from repro.core.heapfile import HeapFile
 from repro.core.page import DEFAULT_PAGE_SIZE
-from repro.core.predicates import Predicate
+from repro.core.predicates import Predicate, compile_predicate
 from repro.core.record import Record
 from repro.core.schema import Schema
 from repro.errors import CommitNotFoundError, StorageError
-from repro.storage.base import ChangeMap, StorageEngineKind, VersionedStorageEngine
+from repro.storage.base import (
+    ChangeMap,
+    DEFAULT_SCAN_BATCH_SIZE,
+    StorageEngineKind,
+    VersionedStorageEngine,
+    fetch_bitmap_ordinals,
+    regroup_chunks,
+    scan_heap_bitmap_batched,
+)
 from repro.storage.pk_index import PrimaryKeyIndex
 from repro.versioning.diff import DiffResult
 from repro.versioning.version_graph import MASTER_BRANCH
@@ -143,6 +151,18 @@ class TupleFirstEngine(VersionedStorageEngine):
         bitmap = self.bitmap_index.branch_bitmap(branch)
         yield from self._scan_bitmap(bitmap, predicate)
 
+    def scan_branch_batched(
+        self,
+        branch: str,
+        predicate: Predicate | None = None,
+        batch_size: int = DEFAULT_SCAN_BATCH_SIZE,
+    ) -> Iterator[list[Record]]:
+        """Vectorized :meth:`scan_branch`: page-batch reads, word-level bitmap."""
+        bitmap = self.bitmap_index.branch_bitmap(branch)
+        yield from scan_heap_bitmap_batched(
+            self.heap, bitmap, self.schema, predicate, batch_size, self.stats
+        )
+
     def scan_commit(
         self, commit_id: str, predicate: Predicate | None = None
     ) -> Iterator[Record]:
@@ -183,29 +203,52 @@ class TupleFirstEngine(VersionedStorageEngine):
     def scan_branches(
         self, branches: list[str], predicate: Predicate | None = None
     ) -> Iterator[tuple[Record, frozenset[str]]]:
-        """One pass over the shared heap, page at a time, consulting bitmaps."""
+        """One pass over the shared heap, page at a time, consulting bitmaps.
+
+        Branch membership is computed word-at-a-time from the already
+        materialized branch bitmaps (one shared frozenset per membership
+        pattern) instead of re-probing every branch bitmap per tuple.
+        """
         bitmaps = {name: self.bitmap_index.branch_bitmap(name) for name in branches}
-        union = Bitmap()
-        for bitmap in bitmaps.values():
-            union = union | bitmap
-        schema = self.schema
-        per_page = self.heap.records_per_page
-        live_pages: dict[int, list[int]] = {}
-        for ordinal in union.iter_set_bits():
-            live_pages.setdefault(ordinal // per_page, []).append(ordinal % per_page)
+        matches = compile_predicate(predicate, self.schema)
+        live_pages = union_member_pages(bitmaps, self.heap.records_per_page)
         for page_number in sorted(live_pages):
-            page = self.heap.page(page_number)
-            base = page_number * per_page
-            for slot in live_pages[page_number]:
-                record = page.record_at(slot)
-                ordinal = base + slot
+            records = self.heap.page(page_number).records_view()
+            for slot, members in live_pages[page_number]:
+                record = records[slot]
                 self.stats.records_scanned += 1
-                if predicate is not None and not predicate.evaluate(record, schema):
+                if matches is not None and not matches(record.values):
                     continue
-                members = frozenset(
-                    name for name, bitmap in bitmaps.items() if bitmap.get(ordinal)
-                )
                 yield record, members
+
+    def scan_branches_batched(
+        self,
+        branches: list[str],
+        predicate: Predicate | None = None,
+        batch_size: int = DEFAULT_SCAN_BATCH_SIZE,
+    ) -> Iterator[list[tuple[Record, frozenset[str]]]]:
+        """Batched :meth:`scan_branches`: page-at-a-time annotated reads."""
+
+        def page_hits() -> Iterator[list[tuple[Record, frozenset[str]]]]:
+            bitmaps = {
+                name: self.bitmap_index.branch_bitmap(name) for name in branches
+            }
+            matches = compile_predicate(predicate, self.schema)
+            live_pages = union_member_pages(bitmaps, self.heap.records_per_page)
+            for page_number in sorted(live_pages):
+                records = self.heap.page(page_number).records_view()
+                slots = live_pages[page_number]
+                self.stats.records_scanned += len(slots)
+                if matches is None:
+                    yield [(records[slot], members) for slot, members in slots]
+                else:
+                    yield [
+                        (record, members)
+                        for slot, members in slots
+                        if matches((record := records[slot]).values)
+                    ]
+
+        yield from regroup_chunks(page_hits(), batch_size)
 
     # -- diff ------------------------------------------------------------------------
 
@@ -215,12 +258,15 @@ class TupleFirstEngine(VersionedStorageEngine):
         bitmap_a = self.bitmap_index.branch_bitmap(branch_a)
         bitmap_b = self.bitmap_index.branch_bitmap(branch_b)
         result = DiffResult(version_a=branch_a, version_b=branch_b)
-        for ordinal in bitmap_a.and_not(bitmap_b).iter_set_bits():
-            result.positive.append(self.heap.record_by_ordinal(ordinal))
-            self.stats.records_scanned += 1
-        for ordinal in bitmap_b.and_not(bitmap_a).iter_set_bits():
-            result.negative.append(self.heap.record_by_ordinal(ordinal))
-            self.stats.records_scanned += 1
+        scratch = Bitmap()  # one buffer reused for both one-sided differences
+        fetch_bitmap_ordinals(
+            self.heap, bitmap_a.and_not_into(bitmap_b, scratch),
+            result.positive, self.stats,
+        )
+        fetch_bitmap_ordinals(
+            self.heap, bitmap_b.and_not_into(bitmap_a, scratch),
+            result.negative, self.stats,
+        )
         return result
 
     # -- merge inputs -------------------------------------------------------------------

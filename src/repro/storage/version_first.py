@@ -22,11 +22,17 @@ from typing import Iterator
 
 from repro.core.buffer_pool import BufferPool
 from repro.core.page import DEFAULT_PAGE_SIZE
-from repro.core.predicates import Predicate
+from repro.core.predicates import Predicate, compile_predicate
 from repro.core.record import Record
 from repro.core.schema import Schema
 from repro.errors import CommitNotFoundError, StorageError
-from repro.storage.base import ChangeMap, StorageEngineKind, VersionedStorageEngine
+from repro.storage.base import (
+    ChangeMap,
+    DEFAULT_SCAN_BATCH_SIZE,
+    StorageEngineKind,
+    VersionedStorageEngine,
+    regroup_chunks,
+)
 from repro.storage.segments import ParentPointer, SegmentSet
 from repro.versioning.diff import DiffResult
 from repro.versioning.version_graph import MASTER_BRANCH
@@ -203,6 +209,43 @@ class VersionFirstEngine(VersionedStorageEngine):
         segment_id = self._head_segment[branch]
         yield from self._scan_chain(segment_id, None, predicate)
 
+    def scan_branch_batched(
+        self,
+        branch: str,
+        predicate: Predicate | None = None,
+        batch_size: int = DEFAULT_SCAN_BATCH_SIZE,
+    ) -> Iterator[list[Record]]:
+        """Batched :meth:`scan_branch`: one tight loop per segment of the chain.
+
+        The key-shadowing walk is the same as :meth:`_scan_chain`, but the
+        predicate is compiled once, records accumulate into lists, and the
+        scan counter is bumped per segment rather than per record.
+        """
+        matches = compile_predicate(predicate, self.schema)
+        pk_position = self.schema.primary_key_index
+        emitted: set[int] = set()
+        mark_emitted = emitted.add
+        batch: list[Record] = []
+        for seg_id, seg_limit in self._chain(self._head_segment[branch], None):
+            records = self._segment_records(seg_id, None)
+            upto = len(records) if seg_limit is None else min(seg_limit, len(records))
+            self.stats.records_scanned += upto
+            for ordinal in range(upto - 1, -1, -1):
+                record = records[ordinal]
+                key = record.values[pk_position]
+                if key in emitted:
+                    continue
+                mark_emitted(key)
+                if record.tombstone:
+                    continue
+                if matches is None or matches(record.values):
+                    batch.append(record)
+                    if len(batch) >= batch_size:
+                        yield batch
+                        batch = []
+        if batch:
+            yield batch
+
     def scan_commit(
         self, commit_id: str, predicate: Predicate | None = None
     ) -> Iterator[Record]:
@@ -223,15 +266,37 @@ class VersionFirstEngine(VersionedStorageEngine):
         multi-branch scans.
         """
         schema = self.schema
-        pk_position = schema.primary_key_index
-        located: dict[str, dict[int, set[str]]] = {}
-        for branch in branches:
+        located, members_of = self._locate_branch_records(branches)
+        for seg_id in sorted(located):
+            records = self._segment_records(seg_id, None)
+            by_ordinal = located[seg_id]
+            for ordinal in sorted(by_ordinal):
+                record = records[ordinal]
+                self.stats.records_scanned += 1
+                if predicate is not None and not predicate.evaluate(record, schema):
+                    continue
+                yield record, members_of[by_ordinal[ordinal]]
+
+    def _locate_branch_records(
+        self, branches: list[str]
+    ) -> tuple[dict[str, dict[int, int]], dict[int, frozenset[str]]]:
+        """Pass one of the multi-branch scan: locate each branch's live records.
+
+        Membership is tracked as a bitmask over ``branches`` (one shared
+        ``frozenset`` per distinct combination, via the returned lookup
+        table) instead of allocating a set per located record.
+        """
+        pk_position = self.schema.primary_key_index
+        located: dict[str, dict[int, int]] = {}
+        for branch_bit, branch in enumerate(branches):
+            bit = 1 << branch_bit
             emitted: set[int] = set()
             for seg_id, seg_limit in self._chain(self._head_segment[branch], None):
                 records = self._segment_records(seg_id, None)
                 upto = (
                     len(records) if seg_limit is None else min(seg_limit, len(records))
                 )
+                by_ordinal = located.setdefault(seg_id, {})
                 for ordinal in range(upto - 1, -1, -1):
                     record = records[ordinal]
                     self.stats.records_scanned += 1
@@ -241,17 +306,55 @@ class VersionFirstEngine(VersionedStorageEngine):
                     emitted.add(key)
                     if record.tombstone:
                         continue
-                    located.setdefault(seg_id, {}).setdefault(ordinal, set()).add(
-                        branch
-                    )
-        for seg_id in sorted(located):
-            records = self._segment_records(seg_id, None)
-            for ordinal in sorted(located[seg_id]):
-                record = records[ordinal]
-                self.stats.records_scanned += 1
-                if predicate is not None and not predicate.evaluate(record, schema):
-                    continue
-                yield record, frozenset(located[seg_id][ordinal])
+                    by_ordinal[ordinal] = by_ordinal.get(ordinal, 0) | bit
+        masks = {
+            mask
+            for by_ordinal in located.values()
+            for mask in by_ordinal.values()
+        }
+        members_of = {
+            mask: frozenset(
+                branch
+                for branch_bit, branch in enumerate(branches)
+                if (mask >> branch_bit) & 1
+            )
+            for mask in masks
+        }
+        # Branches that located no records leave empty per-segment maps.
+        located = {
+            seg_id: by_ordinal for seg_id, by_ordinal in located.items() if by_ordinal
+        }
+        return located, members_of
+
+    def scan_branches_batched(
+        self,
+        branches: list[str],
+        predicate: Predicate | None = None,
+        batch_size: int = DEFAULT_SCAN_BATCH_SIZE,
+    ) -> Iterator[list[tuple[Record, frozenset[str]]]]:
+        """Batched :meth:`scan_branches`: the second pass emits per-segment lists."""
+
+        def segment_hits() -> Iterator[list[tuple[Record, frozenset[str]]]]:
+            matches = compile_predicate(predicate, self.schema)
+            located, members_of = self._locate_branch_records(branches)
+            for seg_id in sorted(located):
+                records = self._segment_records(seg_id, None)
+                by_ordinal = located[seg_id]
+                ordinals = sorted(by_ordinal)
+                self.stats.records_scanned += len(ordinals)
+                if matches is None:
+                    yield [
+                        (records[ordinal], members_of[by_ordinal[ordinal]])
+                        for ordinal in ordinals
+                    ]
+                else:
+                    yield [
+                        (record, members_of[by_ordinal[ordinal]])
+                        for ordinal in ordinals
+                        if matches((record := records[ordinal]).values)
+                    ]
+
+        yield from regroup_chunks(segment_hits(), batch_size)
 
     # -- diff --------------------------------------------------------------------------------
 

@@ -1,0 +1,234 @@
+"""Equivalence suite for the vectorized batch execution path.
+
+Every test asserts the batched paths produce *identical* record sequences to
+the tuple-at-a-time paths they shadow: engine ``scan_branch_batched`` versus
+``scan_branch`` (all three engines, multi-branch datasets, post-merge
+states), operator ``batches()`` versus ``__iter__``, and the query pipeline
+with ``batched=True`` versus ``batched=False``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.operators import Filter, Limit, Project, SeqScan
+from repro.core.predicates import And, ColumnPredicate, ModuloPredicate
+from repro.core.record import Record
+from repro.query.logical import HeadScan, Join, VersionDiff, VersionScan
+from repro.query.optimizer import optimize
+from repro.query.physical import build_physical, execute_plan
+
+from tests.conftest import make_records
+
+
+def flatten(batches):
+    return [record for batch in batches for record in batch]
+
+
+PREDICATES = [
+    None,
+    ColumnPredicate("c1", ">", 60),
+    ModuloPredicate("c1", 3),
+    And(ColumnPredicate("c1", ">=", 20), ColumnPredicate("c2", "<", 1500)),
+]
+
+
+@pytest.fixture
+def branched_engine(engine):
+    """A multi-branch dataset with updates, deletes, and a merge."""
+    engine.init(make_records(30), message="seed")
+    engine.create_branch("dev", from_branch="master")
+    for key in range(30, 40):
+        engine.insert("dev", Record((key, key * 10, key * 100, 1)))
+    for key in (3, 7, 11):
+        engine.update("dev", Record((key, key * 10 + 5, key * 100 + 5, 2)))
+    engine.delete("dev", 5)
+    engine.commit("dev", "dev work")
+    engine.create_branch("feature", from_branch="dev")
+    for key in range(40, 45):
+        engine.insert("feature", Record((key, key * 10, key * 100, 3)))
+    engine.update("master", Record((2, 25, 250, 4)))
+    engine.delete("master", 9)
+    engine.commit("master", "master work")
+    engine.commit("feature", "feature work")
+    engine.merge("master", "feature", message="merge feature")
+    return engine
+
+
+class TestEngineBatchedScans:
+    @pytest.mark.parametrize("predicate", PREDICATES)
+    def test_batched_scan_matches_tuple_at_a_time(self, branched_engine, predicate):
+        for branch in ("master", "dev", "feature"):
+            expected = list(branched_engine.scan_branch(branch, predicate))
+            got = flatten(branched_engine.scan_branch_batched(branch, predicate))
+            assert got == expected
+
+    @pytest.mark.parametrize("batch_size", [1, 3, 1000])
+    def test_batch_size_only_changes_grouping(self, branched_engine, batch_size):
+        # batch_size is a flush threshold, not an exact size: small sizes
+        # produce at least as many (smaller) batches, and flattening always
+        # reproduces the tuple-at-a-time scan.
+        expected = list(branched_engine.scan_branch("master"))
+        batches = list(
+            branched_engine.scan_branch_batched("master", batch_size=batch_size)
+        )
+        assert flatten(batches) == expected
+        # A huge threshold can still produce one batch per storage unit
+        # (hybrid scans each segment independently), but never more batches
+        # than a tiny threshold does.
+        few_batches = list(
+            branched_engine.scan_branch_batched("master", batch_size=10**9)
+        )
+        assert flatten(few_batches) == expected
+        assert len(batches) >= len(few_batches) >= 1
+
+    def test_scan_stats_match(self, engine_kind, schema, tmp_path):
+        from tests.conftest import engine_factory
+
+        plain = engine_factory(engine_kind, schema, str(tmp_path / "plain"))
+        batched = engine_factory(engine_kind, schema, str(tmp_path / "batched"))
+        for target in (plain, batched):
+            target.init(make_records(25), message="seed")
+            target.create_branch("dev", from_branch="master")
+            target.delete("dev", 4)
+            target.commit("dev", "work")
+        predicate = ModuloPredicate("c1", 2)
+        list(plain.scan_branch("dev", predicate))
+        flatten(batched.scan_branch_batched("dev", predicate))
+        assert (
+            batched.stats.records_scanned == plain.stats.records_scanned
+        )
+
+    def test_empty_branch_scans_clean(self, engine):
+        engine.init([], message="empty")
+        assert flatten(engine.scan_branch_batched("master")) == []
+
+    @pytest.mark.parametrize("predicate", PREDICATES)
+    def test_scan_branches_batched_matches_tuple_at_a_time(
+        self, branched_engine, predicate
+    ):
+        branches = ["master", "dev", "feature"]
+        expected = list(branched_engine.scan_branches(branches, predicate))
+        got = flatten(
+            branched_engine.scan_branches_batched(
+                branches, predicate, batch_size=7
+            )
+        )
+        assert got == expected
+
+    def test_scan_branches_annotations_match_membership(self, branched_engine):
+        branches = ["master", "dev", "feature"]
+        live = {
+            branch: {record.values for record in branched_engine.scan_branch(branch)}
+            for branch in branches
+        }
+        # A logical record may be yielded from more than one physical copy
+        # (version-first locates each branch's copy independently), so
+        # membership is checked content-level: the union of the annotations
+        # of a values-tuple must equal the branches whose head contains it.
+        annotated: dict[tuple, set[str]] = {}
+        for record, members in branched_engine.scan_branches(branches):
+            annotated.setdefault(record.values, set()).update(members)
+        assert annotated
+        for values, members in annotated.items():
+            assert members == {
+                branch for branch in branches if values in live[branch]
+            }
+
+
+class TestOperatorBatches:
+    def test_default_batches_chunk_iteration(self):
+        from repro.core.schema import Schema
+
+        schema = Schema.of_ints(4)
+        records = make_records(10)
+        scan = SeqScan(iter(records), schema)
+        assert flatten(scan.batches(batch_size=3)) == records
+
+    def test_filter_project_limit_batches(self):
+        from repro.core.schema import Schema
+
+        schema = Schema.of_ints(4)
+        records = make_records(50)
+        predicate = ColumnPredicate("c1", ">=", 100)
+
+        def pipeline():
+            return Limit(
+                Project(
+                    Filter(SeqScan(iter(records), schema), predicate),
+                    ["c2", "id", "id"],
+                ),
+                17,
+            )
+
+        assert flatten(pipeline().batches(batch_size=5)) == list(pipeline())
+
+    def test_seqscan_batch_source_flattens_for_iter(self):
+        from repro.core.schema import Schema
+
+        schema = Schema.of_ints(4)
+        records = make_records(7)
+        batches = [records[:3], records[3:]]
+        assert list(SeqScan(None, schema, batch_source=iter(batches))) == records
+        assert list(
+            SeqScan(None, schema, batch_source=iter(batches)).batches()
+        ) == batches
+
+
+class TestQueryPipelineEquivalence:
+    def _rows(self, plan, batched):
+        operator = build_physical(optimize(plan), batched=batched)
+        return [record.values for batch in operator.batches() for record in batch]
+
+    @pytest.mark.parametrize("predicate", PREDICATES)
+    def test_version_scan(self, branched_engine, predicate):
+        for branch in ("master", "dev"):
+            plans = [
+                VersionScan(branched_engine, "R", "R", "branch", branch, predicate)
+                for _ in range(2)
+            ]
+            assert self._rows(plans[0], True) == self._rows(plans[1], False)
+
+    def test_commit_scan(self, branched_engine):
+        commit = branched_engine.graph.head("dev")
+        plans = [
+            VersionScan(branched_engine, "R", "R", "commit", commit, None)
+            for _ in range(2)
+        ]
+        assert self._rows(plans[0], True) == self._rows(plans[1], False)
+
+    def test_version_diff(self, branched_engine):
+        key = branched_engine.schema.primary_key
+        results = []
+        for batched in (True, False):
+            plan = VersionDiff(
+                branched_engine,
+                "R",
+                ("branch", "dev"),
+                ("branch", "master"),
+                key,
+                include_modified=True,
+            )
+            results.append(self._rows(plan, batched))
+        assert results[0] == results[1]
+
+    def test_join(self, branched_engine):
+        key = branched_engine.schema.primary_key
+        predicate = ModuloPredicate("c1", 4)
+        results = []
+        for batched in (True, False):
+            plan = Join(
+                VersionScan(branched_engine, "R", "a", "branch", "dev", predicate),
+                VersionScan(branched_engine, "R", "b", "branch", "master", None),
+                [(key, key)],
+            )
+            results.append(self._rows(plan, batched))
+        assert results[0] == results[1]
+
+    def test_head_scan_rows_and_annotations(self, branched_engine):
+        results = []
+        for batched in (True, False):
+            plan = HeadScan(branched_engine, "R", "R", ModuloPredicate("c1", 5))
+            results.append(execute_plan(plan, batched=batched))
+        assert results[0].rows == results[1].rows
+        assert results[0].branch_annotations == results[1].branch_annotations

@@ -1,0 +1,273 @@
+"""Property tests for the word-level bitmap primitives, the batch record
+codec and the compiled-predicate path, each checked against its naive
+tuple-at-a-time counterpart."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bitmap.bitmap import Bitmap, iter_union_members
+from repro.core.predicates import (
+    And,
+    ColumnPredicate,
+    ModuloPredicate,
+    Not,
+    Or,
+    TruePredicate,
+    compile_batch_filter,
+    compile_predicate,
+)
+from repro.core.record import Record, RecordCodec
+from repro.core.schema import Column, ColumnType, Schema
+
+index_sets = st.sets(st.integers(min_value=0, max_value=2000), max_size=200)
+
+
+def naive_bits(bitmap: Bitmap) -> set[int]:
+    """Per-bit probing reference for the word-level iterators."""
+    return {i for i in range(len(bitmap)) if bitmap.get(i)}
+
+
+class TestWordPrimitives:
+    @given(index_sets)
+    def test_iter_words_reconstructs_bits(self, indices):
+        bitmap = Bitmap.from_indices(indices)
+        rebuilt = set()
+        for word_index, word in bitmap.iter_words():
+            assert word != 0
+            base = word_index * 64
+            for bit in range(64):
+                if word >> bit & 1:
+                    rebuilt.add(base + bit)
+        assert rebuilt == indices == naive_bits(bitmap)
+
+    @given(index_sets)
+    def test_set_many_matches_repeated_set(self, indices):
+        bulk = Bitmap()
+        bulk.set_many(indices)
+        naive = Bitmap()
+        for index in indices:
+            naive.set(index)
+        assert set(bulk.iter_set_bits()) == set(naive.iter_set_bits()) == indices
+
+    @given(index_sets, index_sets)
+    def test_inplace_ops_match_operators(self, left, right):
+        a, b = Bitmap.from_indices(left), Bitmap.from_indices(right)
+        assert set(a.copy().union_update(b).iter_set_bits()) == left | right
+        assert set(a.copy().intersection_update(b).iter_set_bits()) == left & right
+        assert set(a.copy().difference_update(b).iter_set_bits()) == left - right
+
+    @given(index_sets, index_sets)
+    def test_and_not_into_reuses_out_buffer(self, left, right):
+        a, b = Bitmap.from_indices(left), Bitmap.from_indices(right)
+        out = Bitmap.from_indices({5000})  # stale contents must be overwritten
+        returned = a.and_not_into(b, out)
+        assert returned is out
+        assert set(out.iter_set_bits()) == left - right
+        assert out == a.and_not(b)
+
+    @given(index_sets, st.sets(st.integers(min_value=0, max_value=2000), max_size=30))
+    def test_count_cache_survives_mutation(self, initial, flips):
+        bitmap = Bitmap.from_indices(initial)
+        assert bitmap.count() == len(initial)
+        state = set(initial)
+        for index in flips:
+            if index in state:
+                bitmap.clear(index)
+                state.discard(index)
+            else:
+                bitmap.set(index)
+                state.add(index)
+            assert bitmap.count() == len(state)
+
+    @given(st.dictionaries(st.sampled_from("abcd"), index_sets, max_size=4))
+    def test_iter_union_members_matches_naive(self, named_sets):
+        bitmaps = {
+            name: Bitmap.from_indices(indices)
+            for name, indices in named_sets.items()
+        }
+        got = list(iter_union_members(bitmaps))
+        union = sorted(set().union(*named_sets.values())) if named_sets else []
+        assert [ordinal for ordinal, _ in got] == union
+        for ordinal, members in got:
+            assert members == {
+                name for name, bitmap in bitmaps.items() if bitmap.get(ordinal)
+            }
+
+    def test_from_bytes_rejects_oversized_num_bits(self):
+        bitmap = Bitmap.from_indices([0, 9])
+        data = bitmap.to_bytes()
+        with pytest.raises(ValueError):
+            Bitmap.from_bytes(data, num_bits=8 * len(data) + 1)
+
+    def test_from_bytes_roundtrip_still_works(self):
+        bitmap = Bitmap.from_indices([1, 8, 63, 64, 200])
+        restored = Bitmap.from_bytes(bitmap.to_bytes(), len(bitmap))
+        assert restored == bitmap
+
+
+int_schema = Schema.of_ints(4)
+mixed_schema = Schema(
+    (
+        Column("id", ColumnType.INT),
+        Column("count", ColumnType.INT32),
+        Column("name", ColumnType.STRING, width=12),
+    ),
+    primary_key="id",
+)
+
+
+class TestDecodeBatch:
+    def test_empty(self):
+        codec = RecordCodec(int_schema)
+        assert codec.decode_batch(b"", 0, 0) == []
+        assert codec.decode_batch(b"") == []
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(-(2**40), 2**40),
+                st.integers(-(2**40), 2**40),
+                st.integers(-(2**40), 2**40),
+                st.integers(-(2**40), 2**40),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_int_schema_matches_per_record_decode(self, rows):
+        codec = RecordCodec(int_schema)
+        records = [Record(values) for values in rows]
+        buffer = b"".join(codec.encode(record) for record in records)
+        batch = codec.decode_batch(buffer, 0, len(records))
+        singles = [
+            codec.decode(buffer, offset)
+            for offset in range(0, len(buffer), codec.record_size)
+        ]
+        assert batch == singles == records
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 2**30),
+                st.integers(-(2**20), 2**20),
+                st.text(
+                    alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+                    max_size=12,
+                ),
+            ),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    def test_mixed_schema_matches_per_record_decode(self, rows):
+        codec = RecordCodec(mixed_schema)
+        records = [Record(values) for values in rows]
+        buffer = b"".join(codec.encode(record) for record in records)
+        batch = codec.decode_batch(buffer, 0, len(records))
+        singles = [
+            codec.decode(buffer, offset)
+            for offset in range(0, len(buffer), codec.record_size)
+        ]
+        assert batch == singles
+
+    def test_tombstones_and_offset(self):
+        codec = RecordCodec(int_schema)
+        live = Record((1, 2, 3, 4))
+        dead = Record.deleted(int_schema, 9)
+        buffer = b"\xff" * 3 + codec.encode(live) + codec.encode(dead)
+        batch = codec.decode_batch(buffer, 3, 2)
+        assert batch[0] == live
+        assert batch[1].tombstone and batch[1].values[0] == 9
+
+
+payload_predicates = st.recursive(
+    st.one_of(
+        st.just(TruePredicate()),
+        st.builds(
+            ColumnPredicate,
+            st.sampled_from(["id", "c1", "c2", "c3"]),
+            st.sampled_from(["=", "!=", "<", "<=", ">", ">="]),
+            st.integers(-50, 50),
+        ),
+        st.builds(
+            ModuloPredicate,
+            st.sampled_from(["id", "c1", "c2", "c3"]),
+            st.integers(2, 9),
+        ),
+    ),
+    lambda inner: st.one_of(
+        st.builds(And, inner, inner),
+        st.builds(Or, inner, inner),
+        st.builds(Not, inner),
+    ),
+    max_leaves=6,
+)
+
+
+class TestCompiledPredicates:
+    @given(
+        payload_predicates,
+        st.lists(
+            st.tuples(
+                st.integers(-60, 60),
+                st.integers(-60, 60),
+                st.integers(-60, 60),
+                st.integers(-60, 60),
+            ),
+            max_size=30,
+        ),
+    )
+    def test_compiled_matches_evaluate(self, predicate, rows):
+        compiled = compile_predicate(predicate, int_schema)
+        for values in rows:
+            record = Record(values)
+            assert compiled(record.values) == predicate.evaluate(record, int_schema)
+
+    @given(
+        payload_predicates,
+        st.lists(
+            st.tuples(
+                st.integers(-60, 60),
+                st.integers(-60, 60),
+                st.integers(-60, 60),
+                st.integers(-60, 60),
+            ),
+            max_size=30,
+        ),
+    )
+    def test_batch_filter_matches_evaluate(self, predicate, rows):
+        page_filter = compile_batch_filter(predicate, int_schema)
+        assert page_filter is not None
+        records = [Record(values) for values in rows]
+        expected = [
+            record
+            for record in records
+            if predicate.evaluate(record, int_schema)
+        ]
+        assert page_filter(records) == expected
+
+    def test_batch_filter_unknown_predicate_falls_back(self):
+        from repro.core.predicates import Predicate
+
+        class Odd(Predicate):
+            def evaluate(self, record, schema):
+                return record.values[0] % 2 == 1
+
+            def __hash__(self):
+                return 1
+
+            def __eq__(self, other):
+                return isinstance(other, Odd)
+
+        assert compile_batch_filter(Odd(), int_schema) is None
+        assert compile_batch_filter(None, int_schema) is None
+
+    def test_compile_is_memoized(self):
+        predicate = ColumnPredicate("c1", ">", 3)
+        assert compile_predicate(predicate, int_schema) is compile_predicate(
+            ColumnPredicate("c1", ">", 3), int_schema
+        )
+
+    def test_none_compiles_to_none(self):
+        assert compile_predicate(None, int_schema) is None
