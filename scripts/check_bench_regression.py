@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Fail CI when batched medians regress against the committed baselines.
+
+Compares a freshly measured ``BENCH_pr4.json`` (written by the ``operators``
+bench experiment, typically at CI smoke scale) against the committed
+acceptance artifact.  Absolute times are machine-dependent, so the check is
+on the *ratio*: for every workload present in both files, the fresh batched
+median must not be more than ``--tolerance`` slower than what the fresh
+streaming median and the committed speedup predict, i.e.::
+
+    fresh_batched <= (1 + tolerance) * fresh_streaming / committed_speedup
+
+which is equivalent to ``fresh_speedup >= committed_speedup / (1 + tol)``.
+
+Workloads whose fresh streaming median is below ``--min-seconds`` are
+skipped: at smoke scales a sub-millisecond query is scheduler noise, not a
+signal.  Workloads with committed speedup <= 1 are informational only (the
+batched mode never promised a win there).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def iter_workloads(payload: dict):
+    """Yield ``(name, entry)`` for every measured workload in a bench JSON."""
+    for name, entry in payload.get("workloads", {}).items():
+        yield name, entry
+    for engine, queries in payload.get("queries", {}).items():
+        for query, entry in queries.items():
+            yield f"{engine}/{query}", entry
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fresh", required=True, help="freshly measured JSON")
+    parser.add_argument("--baseline", required=True, help="committed baseline JSON")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional regression of the batched median (default 0.25)",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=0.002,
+        help="skip workloads whose streaming median is below this (noise floor)",
+    )
+    args = parser.parse_args(argv)
+    with open(args.fresh, encoding="utf-8") as handle:
+        fresh = json.load(handle)
+    with open(args.baseline, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    committed = dict(iter_workloads(baseline))
+    failures: list[str] = []
+    checked = 0
+    for name, entry in iter_workloads(fresh):
+        base = committed.get(name)
+        if base is None:
+            continue
+        streaming = entry.get("streaming_s", 0.0)
+        batched = entry.get("batched_s", 0.0)
+        committed_speedup = base.get("speedup", 0.0)
+        if streaming < args.min_seconds:
+            print(f"skip  {name}: streaming {streaming:.6f}s below noise floor")
+            continue
+        if committed_speedup <= 1.0 or batched <= 0:
+            print(f"info  {name}: committed speedup {committed_speedup} (not gated)")
+            continue
+        checked += 1
+        fresh_speedup = streaming / batched
+        floor = committed_speedup / (1.0 + args.tolerance)
+        status = "ok  " if fresh_speedup >= floor else "FAIL"
+        print(
+            f"{status}  {name}: fresh speedup {fresh_speedup:.2f} "
+            f"(committed {committed_speedup:.2f}, floor {floor:.2f})"
+        )
+        if fresh_speedup < floor:
+            failures.append(name)
+    if failures:
+        print(
+            f"\n{len(failures)} workload(s) regressed >"
+            f"{args.tolerance:.0%} against {args.baseline}: {', '.join(failures)}"
+        )
+        return 1
+    print(f"\nchecked {checked} workload(s); no batched regression beyond "
+          f"{args.tolerance:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -80,6 +80,12 @@ EXPERIMENTS = {
             workdir, scale=scale, json_path=json_path
         ),
     ),
+    "operators": (
+        "Whole-tree batch pipeline: GROUP BY/join + Q1-Q4 (writes BENCH_pr4.json)",
+        lambda workdir, scale, json_path=None: experiments.operators_batching(
+            workdir, scale=scale, json_path=json_path
+        ),
+    ),
     "ablation-orientation": (
         "Ablation: branch- vs tuple-oriented bitmaps (tuple-first)",
         lambda workdir, scale: experiments.ablation_bitmap_orientation(
@@ -141,8 +147,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--bench-json",
         default=None,
         help=(
-            "where the vectorized experiment writes its JSON record "
-            "(default: BENCH_pr3.json inside the workdir)"
+            "where the vectorized/operators experiments write their JSON "
+            "record (default: BENCH_pr3.json / BENCH_pr4.json inside the "
+            "workdir)"
         ),
     )
     parser.add_argument(

@@ -23,6 +23,17 @@ from repro.errors import CommitNotFoundError, StorageError
 
 _ENTRY_HEADER = struct.Struct("<BII")  # kind, commit index, payload length
 
+#: Per-entry trailer: logical bit length and set-bit count of the delta.
+_ENTRY_COUNTS = struct.Struct("<II")
+
+#: File magic prefixing histories that store per-entry popcounts.  Older
+#: files start directly with an entry header whose first byte is a kind
+#: (0 or 1), so the magic is unambiguous and legacy files stay readable.
+_FORMAT_MAGIC = b"DCH2"
+
+#: Legacy (pre-popcount) per-entry trailer: logical bit length only.
+_LEGACY_ENTRY_COUNTS = struct.Struct("<I")
+
 _KIND_BASE = 0
 _KIND_COMPOSITE = 1
 
@@ -36,6 +47,9 @@ class _Entry:
     index: int  # commit ordinal for base entries; last covered ordinal for composites
     payload: bytes
     num_bits: int
+    #: Set bits in the (uncompressed) delta.  Zero means the delta is a
+    #: no-op, so checkout and reload can skip it without decompressing.
+    popcount: int = 0
 
 
 class CommitHistory:
@@ -78,7 +92,7 @@ class CommitHistory:
         num_bits = max(len(snapshot), len(self._last_snapshot))
         payload = rle_encode(delta.to_bytes())
         ordinal = len(self._commit_ids)
-        entry = _Entry(_KIND_BASE, ordinal, payload, num_bits)
+        entry = _Entry(_KIND_BASE, ordinal, payload, num_bits, delta.count())
         self._entries.append(entry)
         self._append_to_disk(entry)
         self._commit_ids.append(commit_id)
@@ -98,7 +112,9 @@ class CommitHistory:
             max_len = max(max_len, len(raw))
         raw_bytes = composite.to_bytes(max(max_len, 1), "little")
         payload = rle_encode(raw_bytes)
-        entry = _Entry(_KIND_COMPOSITE, last_ordinal, payload, max_len * 8)
+        entry = _Entry(
+            _KIND_COMPOSITE, last_ordinal, payload, max_len * 8, composite.bit_count()
+        )
         self._entries.append(entry)
         self._append_to_disk(entry)
         self._pending_for_composite = []
@@ -124,7 +140,11 @@ class CommitHistory:
         """Reconstruct the bitmap snapshot stored at ``commit_id``.
 
         Composites covering a full prefix of the target's deltas are applied
-        first; the remaining base deltas are applied one by one.
+        first; the remaining base deltas are applied one by one.  Entries
+        whose stored popcount is zero are no-op deltas (a commit with no
+        bitmap change, or a composite whose run cancelled out): they are
+        skipped -- still advancing the composite cover -- without being
+        decompressed or materialized.
         """
         try:
             target = self._commit_ordinals[commit_id]
@@ -139,7 +159,8 @@ class CommitHistory:
                 if entry.kind is not _KIND_COMPOSITE:
                     continue
                 if entry.index <= target:
-                    state ^= int.from_bytes(rle_decode(entry.payload), "little")
+                    if entry.popcount:
+                        state ^= int.from_bytes(rle_decode(entry.payload), "little")
                     applied_through = entry.index
                 else:
                     break
@@ -150,7 +171,8 @@ class CommitHistory:
                 continue
             if entry.index > target:
                 break
-            state ^= int.from_bytes(rle_decode(entry.payload), "little")
+            if entry.popcount:
+                state ^= int.from_bytes(rle_decode(entry.payload), "little")
         num_bits = self._num_bits_history[target]
         return Bitmap._from_int(state, max(num_bits, state.bit_length()))
 
@@ -159,7 +181,8 @@ class CommitHistory:
     def size_bytes(self) -> int:
         """Total bytes of compressed delta payloads (base and composite)."""
         return sum(
-            _ENTRY_HEADER.size + len(entry.payload) for entry in self._entries
+            _ENTRY_HEADER.size + _ENTRY_COUNTS.size + len(entry.payload)
+            for entry in self._entries
         )
 
     def base_delta_bytes(self) -> int:
@@ -176,36 +199,54 @@ class CommitHistory:
         if self.path is None:
             return
         with open(self.path, "ab") as handle:
+            if handle.tell() == 0:
+                handle.write(_FORMAT_MAGIC)
             handle.write(
                 _ENTRY_HEADER.pack(entry.kind, entry.index, len(entry.payload))
             )
-            handle.write(struct.pack("<I", entry.num_bits))
+            handle.write(_ENTRY_COUNTS.pack(entry.num_bits, entry.popcount))
             handle.write(entry.payload)
 
     def _load(self) -> None:
         with open(self.path, "rb") as handle:
             data = handle.read()
-        offset = 0
-        deltas: list[bytes] = []
+        # Files written before the popcount trailer carry no magic (their
+        # first byte is an entry kind); parse them with the legacy trailer
+        # and compute each entry's popcount from its payload once.
+        legacy = not data.startswith(_FORMAT_MAGIC)
+        offset = 0 if legacy else len(_FORMAT_MAGIC)
+        state = 0
+        num_base = 0
         while offset < len(data):
             kind, index, length = _ENTRY_HEADER.unpack_from(data, offset)
             offset += _ENTRY_HEADER.size
-            (num_bits,) = struct.unpack_from("<I", data, offset)
-            offset += 4
+            if legacy:
+                (num_bits,) = _LEGACY_ENTRY_COUNTS.unpack_from(data, offset)
+                offset += _LEGACY_ENTRY_COUNTS.size
+                popcount = None
+            else:
+                num_bits, popcount = _ENTRY_COUNTS.unpack_from(data, offset)
+                offset += _ENTRY_COUNTS.size
             payload = data[offset : offset + length]
             offset += length
-            self._entries.append(_Entry(kind, index, payload, num_bits))
+            delta_int = None
+            if popcount is None:
+                delta_int = int.from_bytes(rle_decode(payload), "little")
+                popcount = delta_int.bit_count()
+            self._entries.append(_Entry(kind, index, payload, num_bits, popcount))
             if kind == _KIND_BASE:
-                deltas.append(rle_decode(payload))
+                num_base += 1
                 self._num_bits_history.append(num_bits)
-        # Rebuild the running snapshot; commit ids are managed by the caller
-        # (the engine re-registers them from its own metadata on reopen).
-        state = 0
-        for raw in deltas:
-            state ^= int.from_bytes(raw, "little")
+                if popcount:  # no-op deltas need not be decompressed
+                    if delta_int is None:
+                        delta_int = int.from_bytes(rle_decode(payload), "little")
+                    state ^= delta_int
+        # The running snapshot was rebuilt inline; commit ids are managed by
+        # the caller (the engine re-registers them from its own metadata on
+        # reopen).
         num_bits = self._num_bits_history[-1] if self._num_bits_history else 0
         self._last_snapshot = Bitmap._from_int(state, max(num_bits, state.bit_length()))
-        self._commit_ids = [f"commit-{i}" for i in range(len(deltas))]
+        self._commit_ids = [f"commit-{i}" for i in range(num_base)]
         self._commit_ordinals = {cid: i for i, cid in enumerate(self._commit_ids)}
 
     def rebind_commit_ids(self, commit_ids: list[str]) -> None:

@@ -157,19 +157,31 @@ class HeapFile:
         per_page = self.records_per_page
         return self.record_at(RecordId(ordinal // per_page, ordinal % per_page))
 
-    def page(self, page_number: int) -> Page:
+    def page(self, page_number: int, transient: bool = False) -> Page:
         """Fetch a whole page (through the buffer pool).
 
         Scans that touch many records of the same page should fetch the page
         once and read slots from it rather than calling
-        :meth:`record_by_ordinal` per record.
+        :meth:`record_by_ordinal` per record.  ``transient=True`` reads a
+        non-resident page without admitting it to the pool (scan-resistant
+        one-pass reads); resident pages are served from the pool either way.
         """
-        return self._get_page(page_number)
+        return self._get_page(page_number, transient=transient)
+
+    def scan_exceeds_pool(self) -> bool:
+        """True if a full scan of this file cannot fit in the buffer pool.
+
+        One-pass sequential scans of such files bypass pool admission: the
+        frames could never all stay resident, so inserting them would only
+        evict the pool's hot set page by page.
+        """
+        return self.num_pages * self.page_size > self.buffer_pool.capacity_bytes
 
     def scan(self) -> Iterator[tuple[RecordId, Record]]:
         """Iterate over every record in append order."""
+        transient = self.scan_exceeds_pool()
         for page_number in range(self.num_pages):
-            page = self._get_page(page_number)
+            page = self._get_page(page_number, transient=transient)
             for slot, record in enumerate(page.records()):
                 yield RecordId(page_number, slot), record
 
@@ -180,7 +192,7 @@ class HeapFile:
 
     # -- page I/O -------------------------------------------------------------
 
-    def _get_page(self, page_number: int) -> Page:
+    def _get_page(self, page_number: int, transient: bool = False) -> Page:
         if self._tail_page is not None and (
             page_number == self._tail_page.page_id.page_number
         ):
@@ -191,7 +203,9 @@ class HeapFile:
             )
         page_id = PageId(self._file_name, page_number)
         return self.buffer_pool.get_page(
-            page_id, loader=lambda: self._read_page(page_number)
+            page_id,
+            loader=lambda: self._read_page(page_number),
+            transient=transient,
         )
 
     def _read_page(self, page_number: int) -> Page:

@@ -11,7 +11,7 @@ records came from.
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import Counter, defaultdict
 from typing import Callable, Iterable, Iterator, Sequence
 
 from operator import itemgetter
@@ -93,9 +93,15 @@ class Operator:
     Operators expose two equivalent consumption modes: :meth:`__iter__`
     yields records one at a time (the original Volcano-style contract), and
     :meth:`batches` yields the same records, in the same order, grouped into
-    lists.  Batch-aware operators (scans, filters, projections) override
-    :meth:`batches` to move whole lists through the pipeline so the
-    per-record interpreter overhead is paid only at pipeline breakers.
+    lists.  Every operator overrides :meth:`batches` with a native
+    batch-at-a-time implementation, so whole record lists move through the
+    pipeline and per-record interpreter overhead is paid only where the
+    semantics require it (hash probes, group folds).
+
+    :meth:`count` is the count-only consumption mode: it returns the number
+    of records the operator would produce without requiring the consumer to
+    materialize them, so ``COUNT(*)``-shaped work can ride on batch lengths
+    (and, at the scan layer, bitmap popcounts) instead of record lists.
     """
 
     schema: Schema
@@ -111,6 +117,15 @@ class Operator:
         """
         yield from chunk_iterable(self, batch_size)
 
+    def count(self) -> int:
+        """Number of records this operator produces (cardinality only).
+
+        The default sums batch lengths.  Operators that can answer without
+        running their full pipeline (projections, sorts, scans with an
+        engine-side counter) override this.
+        """
+        return sum(len(batch) for batch in self.batches())
+
 
 class SeqScan(Operator):
     """Sequential scan over any iterable of records (e.g. a branch scan).
@@ -119,7 +134,9 @@ class SeqScan(Operator):
     storage engine's ``scan_branch_batched``); it feeds :meth:`batches`
     directly and is flattened for :meth:`__iter__`.  Exactly one of
     ``source``/``batch_source`` is consumed, and like the plain record
-    iterator it is single-shot.
+    iterator it is single-shot.  ``count_source`` optionally supplies an
+    engine-side cardinality shortcut (e.g. a bitmap popcount) used by
+    :meth:`count` instead of consuming the scan.
     """
 
     def __init__(
@@ -127,10 +144,12 @@ class SeqScan(Operator):
         source: Iterable[Record] | None,
         schema: Schema,
         batch_source: Iterable[list[Record]] | None = None,
+        count_source: Callable[[], int] | None = None,
     ):
         self.source = source
         self.schema = schema
         self.batch_source = batch_source
+        self.count_source = count_source
 
     def __iter__(self) -> Iterator[Record]:
         if self.batch_source is not None:
@@ -144,6 +163,11 @@ class SeqScan(Operator):
             yield from self.batch_source
             return
         yield from super().batches(batch_size)
+
+    def count(self) -> int:
+        if self.count_source is not None:
+            return self.count_source()
+        return super().count()
 
 
 class Filter(Operator):
@@ -211,6 +235,10 @@ class Project(Operator):
         pick = itemgetter(*indexes)
         for batch in self.child.batches(batch_size):
             yield [Record(pick(record.values)) for record in batch]
+
+    def count(self) -> int:
+        # Projection never changes cardinality; skip building output records.
+        return self.child.count()
 
 
 class Limit(Operator):
@@ -288,6 +316,59 @@ class HashJoin(Operator):
             for match in table.get(key, ()):
                 yield Record(match.values + probe.values)
 
+    def _build_table(self, batch_size: int) -> dict:
+        """Build the hash table from whole left-side batches.
+
+        Single-column joins key the table on the bare value (no per-record
+        tuple allocation); composite joins key on the value tuple.
+        """
+        build_indexes = [self.left.schema.index_of(c) for c in self.left_columns]
+        table: dict = {}
+        if len(build_indexes) == 1:
+            only = build_indexes[0]
+            for batch in self.left.batches(batch_size):
+                for record in batch:
+                    key = record.values[only]
+                    bucket = table.get(key)
+                    if bucket is None:
+                        table[key] = [record]
+                    else:
+                        bucket.append(record)
+            return table
+        pick = itemgetter(*build_indexes)
+        for batch in self.left.batches(batch_size):
+            for record in batch:
+                key = pick(record.values)
+                bucket = table.get(key)
+                if bucket is None:
+                    table[key] = [record]
+                else:
+                    bucket.append(record)
+        return table
+
+    def batches(self, batch_size: int = DEFAULT_BATCH_SIZE) -> Iterator[list[Record]]:
+        """Batch build, batch probe: one pass over each probe-side batch."""
+        probe_indexes = [self.right.schema.index_of(c) for c in self.right_columns]
+        table = self._build_table(batch_size)
+        get_bucket = table.get
+        if len(probe_indexes) == 1:
+            only = probe_indexes[0]
+            key_of = lambda values: values[only]  # noqa: E731
+        else:
+            key_of = itemgetter(*probe_indexes)
+        out: list[Record] = []
+        for batch in self.right.batches(batch_size):
+            for probe in batch:
+                values = probe.values
+                bucket = get_bucket(key_of(values))
+                if bucket:
+                    out.extend(Record(match.values + values) for match in bucket)
+            if len(out) >= batch_size:
+                yield out
+                out = []
+        if out:
+            yield out
+
 
 class HashAntiJoin(Operator):
     """Anti semi-join: outer records whose key has no match in the inner side.
@@ -318,6 +399,22 @@ class HashAntiJoin(Operator):
             if record.values[outer_index] not in inner_keys:
                 yield record
 
+    def batches(self, batch_size: int = DEFAULT_BATCH_SIZE) -> Iterator[list[Record]]:
+        """Build the inner key set from whole batches; filter outer batches."""
+        inner_index = self.inner.schema.index_of(self.inner_column)
+        outer_index = self.outer.schema.index_of(self.outer_column)
+        inner_keys: set = set()
+        for batch in self.inner.batches(batch_size):
+            inner_keys.update(record.values[inner_index] for record in batch)
+        for batch in self.outer.batches(batch_size):
+            kept = [
+                record
+                for record in batch
+                if record.values[outer_index] not in inner_keys
+            ]
+            if kept:
+                yield kept
+
 
 class OrderBy(Operator):
     """Materialize the child and emit it sorted by one or more keys.
@@ -337,10 +434,26 @@ class OrderBy(Operator):
 
     def __iter__(self) -> Iterator[Record]:
         records = list(self.child)
+        yield from self._sorted(records)
+
+    def _sorted(self, records: list[Record]) -> list[Record]:
         for column, descending in reversed(self.keys):
             index = self.schema.index_of(column)
             records.sort(key=lambda r, i=index: r.values[i], reverse=descending)
-        yield from records
+        return records
+
+    def batches(self, batch_size: int = DEFAULT_BATCH_SIZE) -> Iterator[list[Record]]:
+        """Accumulate child batches, sort once, emit in slices."""
+        records: list[Record] = []
+        for batch in self.child.batches(batch_size):
+            records.extend(batch)
+        records = self._sorted(records)
+        for start in range(0, len(records), batch_size):
+            yield records[start : start + batch_size]
+
+    def count(self) -> int:
+        # Ordering never changes cardinality; skip the sort entirely.
+        return self.child.count()
 
 
 class Distinct(Operator):
@@ -356,6 +469,116 @@ class Distinct(Operator):
             if record.values not in seen:
                 seen.add(record.values)
                 yield record
+
+    def batches(self, batch_size: int = DEFAULT_BATCH_SIZE) -> Iterator[list[Record]]:
+        seen: set[tuple] = set()
+        seen_add = seen.add
+        for batch in self.child.batches(batch_size):
+            kept: list[Record] = []
+            keep = kept.append
+            for record in batch:
+                values = record.values
+                if values not in seen:
+                    seen_add(values)
+                    keep(record)
+            if kept:
+                yield kept
+
+
+# -- batch aggregation folds ---------------------------------------------------
+#
+# Grouped aggregation in batch mode slices the group-key column and each
+# aggregate's input column out of a batch once, then folds the parallel lists
+# into per-group running states with one of these precompiled accumulators.
+# Compared to the per-record path (dict-of-record-lists, then one function
+# call per group) this touches each record's values tuple at most twice and
+# never materializes per-group record lists.
+
+_MISSING = object()
+
+
+def _fold_count(state: dict, keys: list, values: list | None) -> None:
+    # ``count`` states are Counters (see :func:`_fold_state`), whose
+    # ``update`` counts a whole key list in C.
+    state.update(keys)
+
+
+def _fold_state(function: str) -> dict:
+    """A fresh per-group state for ``function`` (a Counter for ``count``)."""
+    return Counter() if function == "count" else {}
+
+
+def _fold_sum(state: dict, keys: list, values: list) -> None:
+    get = state.get
+    for key, value in zip(keys, values):
+        state[key] = get(key, 0) + value
+
+
+def _fold_min(state: dict, keys: list, values: list) -> None:
+    get = state.get
+    for key, value in zip(keys, values):
+        current = get(key, _MISSING)
+        if current is _MISSING or value < current:
+            state[key] = value
+
+
+def _fold_max(state: dict, keys: list, values: list) -> None:
+    get = state.get
+    for key, value in zip(keys, values):
+        current = get(key, _MISSING)
+        if current is _MISSING or value > current:
+            state[key] = value
+
+
+def _fold_avg(state: dict, keys: list, values: list) -> None:
+    get = state.get
+    for key, value in zip(keys, values):
+        pair = get(key)
+        if pair is None:
+            state[key] = [value, 1]
+        else:
+            pair[0] += value
+            pair[1] += 1
+
+
+#: Batch fold per aggregate function; the fold mutates a per-group state dict.
+_BATCH_FOLDS: dict[str, Callable[[dict, list, list | None], None]] = {
+    "count": _fold_count,
+    "sum": _fold_sum,
+    "min": _fold_min,
+    "max": _fold_max,
+    "avg": _fold_avg,
+}
+
+#: Converts a fold state into the aggregate's output value (identity when
+#: absent -- only ``avg`` keeps a compound state).
+_BATCH_FINALIZERS: dict[str, Callable] = {
+    "avg": lambda pair: pair[0] / pair[1],
+}
+
+
+def _scalar_aggregate(
+    batches: Iterable[list[Record]], function: str, value_index: int
+):
+    """Fold one ungrouped aggregate over record batches (empty input -> 0)."""
+    if function == "count":
+        return sum(len(batch) for batch in batches)
+    if function in ("min", "max"):
+        pick = min if function == "min" else max
+        best = _MISSING
+        for batch in batches:
+            if batch:
+                candidate = pick(record.values[value_index] for record in batch)
+                best = candidate if best is _MISSING else pick(best, candidate)
+        return 0 if best is _MISSING else best
+    total = 0
+    n = 0
+    for batch in batches:
+        total += sum(record.values[value_index] for record in batch)
+        n += len(batch)
+    if function == "avg":
+        return total / n if n else 0
+    return total if n else 0
 
 
 class Aggregate(Operator):
@@ -412,6 +635,39 @@ class Aggregate(Operator):
             groups[record.values[group_index]].append(record.values[value_index])
         for key in sorted(groups):
             yield Record((key, func(groups[key])))
+
+    def batches(self, batch_size: int = DEFAULT_BATCH_SIZE) -> Iterator[list[Record]]:
+        """Batch fold: slice the key/input columns per batch, fold, emit once."""
+        child_schema = self.child.schema
+        value_index = child_schema.index_of(self.column)
+        function = self.function
+        if self.group_by is None:
+            yield [
+                Record(
+                    (
+                        _scalar_aggregate(
+                            self.child.batches(batch_size), function, value_index
+                        ),
+                    )
+                )
+            ]
+            return
+        group_index = child_schema.index_of(self.group_by)
+        fold = _BATCH_FOLDS[function]
+        finalize = _BATCH_FINALIZERS.get(function)
+        state: dict = _fold_state(function)
+        for batch in self.child.batches(batch_size):
+            keys = [record.values[group_index] for record in batch]
+            if function == "count":
+                fold(state, keys, None)
+            else:
+                fold(state, keys, [record.values[value_index] for record in batch])
+        rows = [
+            Record((key, finalize(state[key]) if finalize else state[key]))
+            for key in sorted(state)
+        ]
+        for start in range(0, len(rows), batch_size):
+            yield rows[start : start + batch_size]
 
 
 class GroupAggregate(Operator):
@@ -488,6 +744,76 @@ class GroupAggregate(Operator):
                     func(inputs) if (inputs or function == "count") else 0
                 )
             yield Record(tuple(values))
+
+    def batches(self, batch_size: int = DEFAULT_BATCH_SIZE) -> Iterator[list[Record]]:
+        """Grouped column extraction: per batch, slice the group-key column
+        and each aggregate's input column out once, then fold the parallel
+        lists with the precompiled accumulators.  Output is identical to
+        :meth:`__iter__` (groups in sorted key order)."""
+        rows = self._folded_rows(batch_size)
+        for start in range(0, len(rows), batch_size):
+            yield rows[start : start + batch_size]
+
+    def _folded_rows(self, batch_size: int) -> list[Record]:
+        child_schema = self.child.schema
+        group_indexes = [child_schema.index_of(c) for c in self.group_by]
+        specs: list[tuple] = []
+        states: list[dict] = []
+        for _, function, argument in self.aggregates:
+            index = None if argument == "*" else child_schema.index_of(argument)
+            specs.append(
+                (_BATCH_FOLDS[function], _BATCH_FINALIZERS.get(function), index)
+            )
+            states.append(_fold_state(function))
+        single = len(group_indexes) == 1
+        if single:
+            group_index = group_indexes[0]
+        elif group_indexes:
+            pick_key = itemgetter(*group_indexes)
+        seen: set = set()  # group keys when there are no aggregates to fold
+        for batch in self.child.batches(batch_size):
+            if single:
+                keys = [record.values[group_index] for record in batch]
+            elif group_indexes:
+                keys = [pick_key(record.values) for record in batch]
+            else:
+                keys = [()] * len(batch)
+            if not states:
+                seen.update(keys)
+                continue
+            columns: dict[int, list] = {}
+            for (fold, _, index), state in zip(specs, states):
+                if index is None:
+                    fold(state, keys, None)
+                else:
+                    column = columns.get(index)
+                    if column is None:
+                        column = [record.values[index] for record in batch]
+                        columns[index] = column
+                    fold(state, keys, column)
+        # Every fold sees every record, so any one state holds all group keys.
+        group_keys = sorted(states[0]) if states else sorted(seen)
+        if not self.group_by and not group_keys:
+            # No input rows and no grouping: one zero-valued row, as in
+            # __iter__.
+            return [Record((0,) * len(specs))]
+        # Column-wise emission: one finalized list per aggregate, zipped with
+        # the sorted keys into output tuples (no per-row state probing).
+        agg_columns: list[list] = []
+        for (_, finalize, _), state in zip(specs, states):
+            if finalize is None:
+                agg_columns.append([state[key] for key in group_keys])
+            else:
+                agg_columns.append([finalize(state[key]) for key in group_keys])
+        if single:
+            return [Record(values) for values in zip(group_keys, *agg_columns)]
+        if not group_indexes:
+            # Exactly one (ungrouped) row; its key contributes no columns.
+            return [Record(tuple(column[0] for column in agg_columns))]
+        return [
+            Record(key + tuple(aggs))
+            for key, *aggs in zip(group_keys, *agg_columns)
+        ]
 
 
 def materialize(operator: Operator) -> list[Record]:

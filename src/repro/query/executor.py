@@ -19,7 +19,11 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.query.logical import LogicalNode, lower_query, render_plan
-from repro.query.optimizer import optimize
+from repro.query.optimizer import (
+    execution_mode_labels,
+    optimize,
+    select_execution_mode,
+)
 from repro.query.parser import parse_query
 from repro.query.physical import QueryResult, execute_plan
 
@@ -35,10 +39,21 @@ def plan_query(db: "Decibel", sql: str) -> LogicalNode:
 
 
 def execute_query(db: "Decibel", sql: str) -> QueryResult:
-    """Parse and execute ``sql`` against the relations registered in ``db``."""
-    return execute_plan(plan_query(db, sql))
+    """Parse and execute ``sql`` against the relations registered in ``db``.
+
+    The execution mode is selected per plan: batched whenever the whole
+    operator tree is batch-native (the normal case), tuple-at-a-time
+    otherwise -- never a silent mid-pipeline fallback.
+    """
+    plan = plan_query(db, sql)
+    return execute_plan(plan, batched=select_execution_mode(plan))
 
 
 def explain_query(db: "Decibel", sql: str) -> str:
-    """The optimized plan for ``sql``, rendered as an indented tree."""
-    return render_plan(plan_query(db, sql))
+    """The optimized plan for ``sql``, rendered as an indented tree.
+
+    Each node carries its execution-mode tag (``[batched]`` or ``[tuple]``),
+    so any fallback out of batch mode is visible per node.
+    """
+    plan = plan_query(db, sql)
+    return render_plan(plan, execution_mode_labels(plan))

@@ -429,12 +429,24 @@ def result_columns(plan: LogicalNode) -> list[str]:
     return [name for name in plan.schema.column_names if name != BRANCH_COLUMN]
 
 
-def render_plan(plan: LogicalNode) -> str:
-    """Render a plan as an indented tree, one node per line."""
+def render_plan(
+    plan: LogicalNode, annotations: dict[int, str] | None = None
+) -> str:
+    """Render a plan as an indented tree, one node per line.
+
+    ``annotations`` optionally maps ``id(node)`` to a short tag rendered as
+    ``[tag]`` after the node's label (EXPLAIN uses this to show each node's
+    execution mode).
+    """
     lines: list[str] = []
 
     def _walk(node: LogicalNode, depth: int) -> None:
-        lines.append("  " * depth + node.label())
+        label = node.label()
+        if annotations is not None:
+            tag = annotations.get(id(node))
+            if tag:
+                label += f" [{tag}]"
+        lines.append("  " * depth + label)
         for child in node.children:
             _walk(child, depth + 1)
 

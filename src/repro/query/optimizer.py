@@ -40,6 +40,49 @@ def optimize(plan: LogicalNode) -> LogicalNode:
     return plan
 
 
+# -- execution-mode selection -------------------------------------------------
+
+
+def select_execution_mode(plan: LogicalNode) -> bool:
+    """Choose the execution mode for an optimized plan: True means batched.
+
+    Batched execution is the default for the *whole* operator tree, not a
+    scan-only special case: it is selected whenever every node of the plan
+    maps onto a physical operator with a native batch path (scans, filters,
+    projections, joins, anti-joins, aggregation, ordering, DISTINCT, limits
+    -- i.e. every node the planner currently produces).  A plan containing a
+    node without native batch support falls back to tuple-at-a-time
+    execution *explicitly*, and the fallback is visible per node in
+    ``EXPLAIN`` output (:func:`execution_mode_labels`) rather than silently
+    degrading mid-pipeline.
+    """
+    from repro.query.physical import batch_native
+
+    def covered(node: LogicalNode) -> bool:
+        return batch_native(node) and all(covered(child) for child in node.children)
+
+    return covered(plan)
+
+
+def execution_mode_labels(plan: LogicalNode) -> dict[int, str]:
+    """Per-node execution-mode annotations for EXPLAIN, keyed by ``id(node)``.
+
+    Every node is labeled ``batched`` or ``tuple`` so a plan that cannot run
+    fully batched shows exactly where the pipeline drops out of batch mode.
+    """
+    from repro.query.physical import batch_native
+
+    labels: dict[int, str] = {}
+
+    def walk(node: LogicalNode) -> None:
+        labels[id(node)] = "batched" if batch_native(node) else "tuple"
+        for child in node.children:
+            walk(child)
+
+    walk(plan)
+    return labels
+
+
 # -- rule: NOT IN -> engine diff ---------------------------------------------------
 
 

@@ -94,6 +94,12 @@ class HeadScanExec(Operator):
                 Record(record.values + (branches,)) for record, branches in pairs
             ]
 
+    def count(self) -> int:
+        # Count-only consumers need neither the annotation-carrying records
+        # nor the hidden-column concatenation: batch lengths suffice.
+        annotated = self.node.engine.scan_heads_batched(self.node.predicate)
+        return sum(len(pairs) for pairs in annotated)
+
 
 class VersionDiffExec(Operator):
     """Positive diff of two branch heads via the engine's ``diff`` primitive.
@@ -133,6 +139,9 @@ class VersionDiffExec(Operator):
         for start in range(0, len(positive), batch_size):
             yield positive[start : start + batch_size]
 
+    def count(self) -> int:
+        return len(self._positive_records())
+
 
 class AnnotatedDistinct(Operator):
     """DISTINCT over head-scan rows.
@@ -148,19 +157,31 @@ class AnnotatedDistinct(Operator):
         self.schema = child.schema
 
     def __iter__(self) -> Iterator[Record]:
+        for batch in self.batches():
+            yield from batch
+
+    def batches(self, batch_size: int = DEFAULT_BATCH_SIZE) -> Iterator[list[Record]]:
         h = self.hidden_index
         merged: dict[tuple, set] = {}
         order: list[tuple] = []
-        for record in self.child:
-            values = record.values
-            visible = values[:h] + values[h + 1 :]
-            if visible not in merged:
-                merged[visible] = set()
-                order.append(visible)
-            merged[visible].update(values[h])
+        for batch in self.child.batches(batch_size):
+            for record in batch:
+                values = record.values
+                visible = values[:h] + values[h + 1 :]
+                branches = merged.get(visible)
+                if branches is None:
+                    merged[visible] = branches = set()
+                    order.append(visible)
+                branches.update(values[h])
+        out: list[Record] = []
         for visible in order:
             branches = frozenset(merged[visible])
-            yield Record(visible[:h] + (branches,) + visible[h:])
+            out.append(Record(visible[:h] + (branches,) + visible[h:]))
+            if len(out) >= batch_size:
+                yield out
+                out = []
+        if out:
+            yield out
 
 
 def build_physical(plan: LogicalNode, *, batched: bool = True) -> Operator:
@@ -177,7 +198,14 @@ def build_physical(plan: LogicalNode, *, batched: bool = True) -> Operator:
         if plan.kind == "branch":
             if batched:
                 batches = engine.scan_branch_batched(plan.version, plan.predicate)
-                return SeqScan(None, plan.schema, batch_source=batches)
+                return SeqScan(
+                    None,
+                    plan.schema,
+                    batch_source=batches,
+                    count_source=lambda: engine.count_branch(
+                        plan.version, plan.predicate
+                    ),
+                )
             records = engine.scan_branch(plan.version, plan.predicate)
         else:
             records = engine.scan_commit(plan.version, plan.predicate)
@@ -235,6 +263,41 @@ def build_physical(plan: LogicalNode, *, batched: bool = True) -> Operator:
     if isinstance(plan, Limit):
         return LimitOp(build_physical(plan.child, batched=batched), plan.n)
     raise QueryError(f"no physical mapping for plan node {type(plan).__name__}")
+
+
+#: Logical node type -> the physical operator class that executes it.  Used
+#: by the optimizer's execution-mode selection and by EXPLAIN annotations to
+#: report, per node, whether execution moves record batches natively.
+#: ``Distinct`` maps to :class:`DistinctOp`; the head-scan variant
+#: (:class:`AnnotatedDistinct`) is batch-native too, so the entry is
+#: representative for both.
+NODE_OPERATORS: dict[type, type[Operator]] = {
+    VersionScan: SeqScan,
+    HeadScan: HeadScanExec,
+    VersionDiff: VersionDiffExec,
+    AntiJoin: HashAntiJoin,
+    Join: HashJoin,
+    Filter: FilterOp,
+    Aggregate: GroupAggregate,
+    Project: ProjectOp,
+    Distinct: DistinctOp,
+    Sort: OrderBy,
+    Limit: LimitOp,
+}
+
+
+def batch_native(plan: LogicalNode) -> bool:
+    """True if ``plan``'s physical operator has a native ``batches`` path.
+
+    "Native" means the operator class overrides :meth:`Operator.batches`
+    rather than inheriting the chunk-the-iterator fallback -- i.e. running it
+    in batched mode moves whole record lists instead of silently degrading to
+    tuple-at-a-time iteration under a batch facade.
+    """
+    operator = NODE_OPERATORS.get(type(plan))
+    if operator is None:
+        return False
+    return operator.batches is not Operator.batches
 
 
 def execute_plan(plan: LogicalNode, *, batched: bool = True) -> QueryResult:

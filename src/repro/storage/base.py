@@ -168,6 +168,9 @@ def _heap_bitmap_page_hits(heap, bitmap, schema, predicate, stats):
     matches = compile_predicate(predicate, schema)
     page_filter = compile_batch_filter(predicate, schema)
     per_page = heap.records_per_page
+    # A one-pass scan of a heap bigger than the whole pool bypasses pool
+    # admission so it cannot evict the hot set (scan-resistant reads).
+    transient = heap.scan_exceeds_pool()
     data = bitmap.to_bytes()
     total_bits = len(data) * 8
     page_mask = (1 << per_page) - 1
@@ -182,7 +185,7 @@ def _heap_bitmap_page_hits(heap, bitmap, schema, predicate, stats):
         )
         live = (chunk >> (start & 7)) & page_mask
         if live:
-            records = heap.page(page_number).records_view()
+            records = heap.page(page_number, transient=transient).records_view()
             stats.records_scanned += live.bit_count()
             if live == (1 << len(records)) - 1:
                 # Every slot on the page is live: one pass over the array,
@@ -433,6 +436,19 @@ class VersionedStorageEngine(ABC):
         page-batch paths.
         """
         yield from chunk_iterable(self.scan_branch(branch, predicate), batch_size)
+
+    def count_branch(self, branch: str, predicate: Predicate | None = None) -> int:
+        """Number of live records of ``branch`` matching ``predicate``.
+
+        The count-only companion of :meth:`scan_branch`: with no predicate
+        the concrete engines answer from their index structures (bitmap
+        popcounts, primary-key index sizes) without touching record data;
+        with a predicate this default sums batch lengths of the vectorized
+        scan, never materializing a combined record list.
+        """
+        return sum(
+            len(batch) for batch in self.scan_branch_batched(branch, predicate)
+        )
 
     @abstractmethod
     def scan_commit(

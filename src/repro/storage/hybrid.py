@@ -268,6 +268,15 @@ class HybridEngine(VersionedStorageEngine):
                 segment.heap, bitmap, self.schema, predicate, batch_size, self.stats
             )
 
+    def count_branch(self, branch: str, predicate: Predicate | None = None) -> int:
+        if predicate is None:
+            # Sum of per-segment local bitmap popcounts; no segment I/O.
+            return sum(
+                bitmap.count()
+                for bitmap in self._branch_segment_bitmaps(branch).values()
+            )
+        return super().count_branch(branch, predicate)
+
     def scan_commit(
         self, commit_id: str, predicate: Predicate | None = None
     ) -> Iterator[Record]:

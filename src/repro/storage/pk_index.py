@@ -71,6 +71,20 @@ class PrimaryKeyIndex(Generic[LocationT]):
         """A copy of the full key map of ``branch``."""
         return dict(self._branch(branch))
 
+    def items(self, branch: str) -> Iterator[tuple[int, LocationT]]:
+        """Live ``(key, location)`` pairs of ``branch`` without copying.
+
+        Callers must not mutate the index while iterating.
+        """
+        return iter(self._branch(branch).items())
+
+    def locations(self, branch: str) -> Iterator[LocationT]:
+        """Live locations of ``branch`` without copying the key map.
+
+        Callers must not mutate the index while iterating.
+        """
+        return iter(self._branch(branch).values())
+
     def live_count(self, branch: str) -> int:
         """Number of live keys in ``branch``."""
         return len(self._branch(branch))

@@ -163,6 +163,12 @@ class TupleFirstEngine(VersionedStorageEngine):
             self.heap, bitmap, self.schema, predicate, batch_size, self.stats
         )
 
+    def count_branch(self, branch: str, predicate: Predicate | None = None) -> int:
+        if predicate is None:
+            # Cardinality is the branch bitmap's popcount; no heap I/O at all.
+            return self.bitmap_index.branch_bitmap(branch).count()
+        return super().count_branch(branch, predicate)
+
     def scan_commit(
         self, commit_id: str, predicate: Predicate | None = None
     ) -> Iterator[Record]:

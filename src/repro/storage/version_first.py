@@ -33,6 +33,7 @@ from repro.storage.base import (
     VersionedStorageEngine,
     regroup_chunks,
 )
+from repro.storage.pk_index import PrimaryKeyIndex
 from repro.storage.segments import ParentPointer, SegmentSet
 from repro.versioning.diff import DiffResult
 from repro.versioning.version_graph import MASTER_BRANCH
@@ -64,17 +65,22 @@ class VersionFirstEngine(VersionedStorageEngine):
         self._head_segment: dict[str, str] = {}
         #: commit id -> (segment id, record-count offset at commit time).
         self._commit_locations: dict[str, tuple[str, int]] = {}
-        #: in-memory live-key sets per branch; an aid for update/delete and the
-        #: merge machinery, not part of the on-disk layout (the paper's
-        #: version-first design has no index structure).
-        self._live_keys: dict[str, set[int]] = {}
+        #: Per-branch primary-key index mapping each live key to the
+        #: ``(segment id, ordinal)`` of its newest copy, maintained
+        #: incrementally on every write.  An in-memory acceleration structure,
+        #: not part of the on-disk layout (the paper's version-first design
+        #: has no index): it lets multi-branch locate passes and batched
+        #: single-branch scans become bulk index probes instead of
+        #: per-record chain walks, while :meth:`scan_branch` remains the
+        #: chain-walking reference implementation.
+        self.pk_index: PrimaryKeyIndex[tuple[str, int]] = PrimaryKeyIndex()
 
     # -- engine hooks -------------------------------------------------------------
 
     def _prepare_master(self) -> None:
         segment = self.segments.create(owner_branch=MASTER_BRANCH)
         self._head_segment[MASTER_BRANCH] = segment.segment_id
-        self._live_keys[MASTER_BRANCH] = set()
+        self.pk_index.add_branch(MASTER_BRANCH)
 
     def _materialize_branch(
         self, name: str, parent_branch: str, from_commit: str, at_head: bool
@@ -82,20 +88,25 @@ class VersionFirstEngine(VersionedStorageEngine):
         if at_head:
             parent_segment_id = self._head_segment[parent_branch]
             limit = self.segments.get(parent_segment_id).record_count
-            live = set(self._live_keys[parent_branch])
+            # Every parent location is visible through the branch point, so
+            # the child's index is a straight clone.
+            self.pk_index.add_branch(name, clone_from=parent_branch)
         else:
             parent_segment_id, limit = self._commit_location(from_commit)
             pk_position = self.schema.primary_key_index
-            live = {
-                record.values[pk_position]
-                for record in self.scan_commit(from_commit)
+            entries = {
+                record.values[pk_position]: (seg_id, ordinal)
+                for seg_id, ordinal, record in self._locate_chain(
+                    parent_segment_id, limit
+                )
             }
+            self.pk_index.add_branch(name)
+            self.pk_index.replace_branch(name, entries)
         segment = self.segments.create(
             owner_branch=name,
             parents=(ParentPointer(parent_segment_id, limit),),
         )
         self._head_segment[name] = segment.segment_id
-        self._live_keys[name] = live
 
     def _record_commit_state(self, branch: str, commit_id: str) -> None:
         segment_id = self._head_segment[branch]
@@ -110,26 +121,33 @@ class VersionFirstEngine(VersionedStorageEngine):
     # -- data operations -------------------------------------------------------------
 
     def insert(self, branch: str, record: Record) -> None:
-        self._head(branch).append(record)
-        self._live_keys[branch].add(record.key(self.schema))
+        segment = self._head(branch)
+        ordinal = segment.append(record)
+        self.pk_index.put(
+            branch, record.key(self.schema), (segment.segment_id, ordinal)
+        )
         self.stats.records_inserted += 1
 
     def update(self, branch: str, record: Record) -> None:
         # Updates append a new copy with the same primary key; scans ignore
-        # the earlier copy (paper Section 3.3, *Data Modification*).
-        self._head(branch).append(record)
-        self._live_keys[branch].add(record.key(self.schema))
+        # the earlier copy (paper Section 3.3, *Data Modification*).  The
+        # index is repointed at the new copy.
+        segment = self._head(branch)
+        ordinal = segment.append(record)
+        self.pk_index.put(
+            branch, record.key(self.schema), (segment.segment_id, ordinal)
+        )
         self.stats.records_updated += 1
 
     def delete(self, branch: str, key: int) -> None:
-        if key not in self._live_keys[branch]:
+        if not self.pk_index.contains(branch, key):
             raise StorageError(f"key {key} is not live in branch {branch!r}")
         self._head(branch).append(Record.deleted(self.schema, key))
-        self._live_keys[branch].discard(key)
+        self.pk_index.remove(branch, key)
         self.stats.records_deleted += 1
 
     def branch_contains_key(self, branch: str, key: int) -> bool:
-        return key in self._live_keys[branch]
+        return self.pk_index.contains(branch, key)
 
     def _head(self, branch: str):
         try:
@@ -201,6 +219,42 @@ class VersionFirstEngine(VersionedStorageEngine):
             cache[segment_id] = records
         return records
 
+    def _locate_chain(
+        self, segment_id: str, limit: int | None
+    ) -> Iterator[tuple[str, int, Record]]:
+        """Yield ``(segment id, ordinal, record)`` of each live key's newest copy.
+
+        The locating twin of :meth:`_scan_chain`, used where physical
+        positions are needed (rebuilding the primary-key index for a branch
+        created off a historical commit).
+        """
+        pk_position = self.schema.primary_key_index
+        emitted: set[int] = set()
+        for seg_id, seg_limit in self._chain(segment_id, limit):
+            records = self._segment_records(seg_id, None)
+            upto = len(records) if seg_limit is None else min(seg_limit, len(records))
+            for ordinal in range(upto - 1, -1, -1):
+                record = records[ordinal]
+                self.stats.records_scanned += 1
+                key = record.values[pk_position]
+                if key in emitted:
+                    continue
+                emitted.add(key)
+                if record.tombstone:
+                    continue
+                yield seg_id, ordinal, record
+
+    def _branch_segment_ordinals(self, branch: str) -> dict[str, list[int]]:
+        """The branch's live locations grouped by segment (a bulk index probe)."""
+        by_segment: dict[str, list[int]] = {}
+        for seg_id, ordinal in self.pk_index.locations(branch):
+            ordinals = by_segment.get(seg_id)
+            if ordinals is None:
+                by_segment[seg_id] = [ordinal]
+            else:
+                ordinals.append(ordinal)
+        return by_segment
+
     # -- scans -----------------------------------------------------------------------------
 
     def scan_branch(
@@ -215,36 +269,45 @@ class VersionFirstEngine(VersionedStorageEngine):
         predicate: Predicate | None = None,
         batch_size: int = DEFAULT_SCAN_BATCH_SIZE,
     ) -> Iterator[list[Record]]:
-        """Batched :meth:`scan_branch`: one tight loop per segment of the chain.
+        """Batched :meth:`scan_branch`, driven by the primary-key index.
 
-        The key-shadowing walk is the same as :meth:`_scan_chain`, but the
-        predicate is compiled once, records accumulate into lists, and the
-        scan counter is bumped per segment rather than per record.
+        The index already knows each live key's newest ``(segment, ordinal)``
+        location, so the key-shadowing chain walk collapses to one bulk index
+        probe plus a tight per-segment gather: segments are visited in chain
+        order (leaf to root) and each segment's located ordinals are read
+        newest-first, which reproduces :meth:`scan_branch`'s record order
+        exactly while touching only live records (shadowed copies and
+        tombstones are never decoded against the predicate).
         """
-        matches = compile_predicate(predicate, self.schema)
-        pk_position = self.schema.primary_key_index
-        emitted: set[int] = set()
-        mark_emitted = emitted.add
-        batch: list[Record] = []
-        for seg_id, seg_limit in self._chain(self._head_segment[branch], None):
-            records = self._segment_records(seg_id, None)
-            upto = len(records) if seg_limit is None else min(seg_limit, len(records))
-            self.stats.records_scanned += upto
-            for ordinal in range(upto - 1, -1, -1):
-                record = records[ordinal]
-                key = record.values[pk_position]
-                if key in emitted:
+
+        def segment_hits() -> Iterator[list[Record]]:
+            matches = compile_predicate(predicate, self.schema)
+            by_segment = self._branch_segment_ordinals(branch)
+            for seg_id, _ in self._chain(self._head_segment[branch], None):
+                ordinals = by_segment.get(seg_id)
+                if not ordinals:
                     continue
-                mark_emitted(key)
-                if record.tombstone:
-                    continue
-                if matches is None or matches(record.values):
-                    batch.append(record)
-                    if len(batch) >= batch_size:
-                        yield batch
-                        batch = []
-        if batch:
-            yield batch
+                records = self._segment_records(seg_id, None)
+                ordinals.sort(reverse=True)
+                self.stats.records_scanned += len(ordinals)
+                if matches is None:
+                    hits = [records[ordinal] for ordinal in ordinals]
+                else:
+                    hits = [
+                        record
+                        for ordinal in ordinals
+                        if matches((record := records[ordinal]).values)
+                    ]
+                if hits:
+                    yield hits
+
+        yield from regroup_chunks(segment_hits(), batch_size)
+
+    def count_branch(self, branch: str, predicate: Predicate | None = None) -> int:
+        if predicate is None:
+            # The primary-key index holds exactly the live keys.
+            return self.pk_index.live_count(branch)
+        return super().count_branch(branch, predicate)
 
     def scan_commit(
         self, commit_id: str, predicate: Predicate | None = None
@@ -257,13 +320,14 @@ class VersionFirstEngine(VersionedStorageEngine):
     ) -> Iterator[tuple[Record, frozenset[str]]]:
         """Two-pass multi-branch scan (paper Section 3.3).
 
-        The first pass walks every requested branch's segment chain, building
-        in-memory tables of the (segment, ordinal) locations of the records
-        live in each branch.  The second pass re-reads the relevant segment
-        files and emits each located record annotated with the branches it
-        belongs to.  The repeated chain walks plus the second pass over the
-        files are the extra work the paper attributes to version-first
-        multi-branch scans.
+        The first pass builds in-memory tables of the (segment, ordinal)
+        locations of the records live in each branch -- originally a chain
+        walk per branch, now a bulk probe of the per-branch primary-key
+        index (:meth:`_locate_branch_records`).  The second pass reads the
+        relevant segment files and emits each located record annotated with
+        the branches it belongs to.  The second full pass over the files is
+        the extra work the paper attributes to version-first multi-branch
+        scans; the index removes only the locate-pass chain walks.
         """
         schema = self.schema
         located, members_of = self._locate_branch_records(branches)
@@ -282,30 +346,21 @@ class VersionFirstEngine(VersionedStorageEngine):
     ) -> tuple[dict[str, dict[int, int]], dict[int, frozenset[str]]]:
         """Pass one of the multi-branch scan: locate each branch's live records.
 
-        Membership is tracked as a bitmask over ``branches`` (one shared
-        ``frozenset`` per distinct combination, via the returned lookup
-        table) instead of allocating a set per located record.
+        The primary-key index already maps every live key of every branch to
+        its newest ``(segment, ordinal)``, so the per-record chain walks the
+        paper describes collapse into one bulk probe over each branch's
+        index entries.  Membership is tracked as a bitmask over ``branches``
+        (one shared ``frozenset`` per distinct combination, via the returned
+        lookup table) instead of allocating a set per located record.
         """
-        pk_position = self.schema.primary_key_index
         located: dict[str, dict[int, int]] = {}
         for branch_bit, branch in enumerate(branches):
             bit = 1 << branch_bit
-            emitted: set[int] = set()
-            for seg_id, seg_limit in self._chain(self._head_segment[branch], None):
-                records = self._segment_records(seg_id, None)
-                upto = (
-                    len(records) if seg_limit is None else min(seg_limit, len(records))
-                )
-                by_ordinal = located.setdefault(seg_id, {})
-                for ordinal in range(upto - 1, -1, -1):
-                    record = records[ordinal]
-                    self.stats.records_scanned += 1
-                    key = record.values[pk_position]
-                    if key in emitted:
-                        continue
-                    emitted.add(key)
-                    if record.tombstone:
-                        continue
+            for seg_id, ordinal in self.pk_index.locations(branch):
+                by_ordinal = located.get(seg_id)
+                if by_ordinal is None:
+                    located[seg_id] = {ordinal: bit}
+                else:
                     by_ordinal[ordinal] = by_ordinal.get(ordinal, 0) | bit
         masks = {
             mask
@@ -319,10 +374,6 @@ class VersionFirstEngine(VersionedStorageEngine):
                 if (mask >> branch_bit) & 1
             )
             for mask in masks
-        }
-        # Branches that located no records leave empty per-segment maps.
-        located = {
-            seg_id: by_ordinal for seg_id, by_ordinal in located.items() if by_ordinal
         }
         return located, members_of
 

@@ -11,11 +11,36 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.operators import Filter, Limit, Project, SeqScan
+from repro.core.operators import (
+    Aggregate as AggregateOp,
+    Distinct as DistinctOp,
+    Filter,
+    GroupAggregate,
+    HashAntiJoin,
+    HashJoin,
+    Limit,
+    OrderBy,
+    Project,
+    SeqScan,
+)
 from repro.core.predicates import And, ColumnPredicate, ModuloPredicate
 from repro.core.record import Record
-from repro.query.logical import HeadScan, Join, VersionDiff, VersionScan
-from repro.query.optimizer import optimize
+from repro.query.logical import (
+    Aggregate,
+    AntiJoin,
+    Distinct,
+    HeadScan,
+    Join,
+    Sort,
+    VersionDiff,
+    VersionScan,
+)
+from repro.query.optimizer import (
+    execution_mode_labels,
+    optimize,
+    select_execution_mode,
+)
+from repro.query.parser import SelectItem
 from repro.query.physical import build_physical, execute_plan
 
 from tests.conftest import make_records
@@ -95,9 +120,12 @@ class TestEngineBatchedScans:
         predicate = ModuloPredicate("c1", 2)
         list(plain.scan_branch("dev", predicate))
         flatten(batched.scan_branch_batched("dev", predicate))
-        assert (
-            batched.stats.records_scanned == plain.stats.records_scanned
-        )
+        if engine_kind == "version-first":
+            # The index-driven batched scan touches only live records;
+            # the chain walk also visits shadowed copies and tombstones.
+            assert 0 < batched.stats.records_scanned <= plain.stats.records_scanned
+        else:
+            assert batched.stats.records_scanned == plain.stats.records_scanned
 
     def test_empty_branch_scans_clean(self, engine):
         engine.init([], message="empty")
@@ -174,6 +202,127 @@ class TestOperatorBatches:
             SeqScan(None, schema, batch_source=iter(batches)).batches()
         ) == batches
 
+    def _scan(self, records):
+        from repro.core.schema import Schema
+
+        return SeqScan(iter(records), Schema.of_ints(4))
+
+    def test_hash_join_batches_match_iteration(self):
+        records = make_records(40)
+        right = [Record((r.values[0], r.values[1] + 1, 0, 0)) for r in records[5:]]
+
+        def pipeline():
+            return HashJoin(self._scan(records), self._scan(right), "id", "id")
+
+        assert flatten(pipeline().batches(batch_size=7)) == list(pipeline())
+
+    def test_hash_join_composite_key_batches(self):
+        records = make_records(30)
+
+        def pipeline():
+            return HashJoin(
+                self._scan(records),
+                self._scan(records),
+                ["id", "c1"],
+                ["id", "c1"],
+            )
+
+        assert flatten(pipeline().batches(batch_size=4)) == list(pipeline())
+
+    def test_hash_anti_join_batches_match_iteration(self):
+        outer = make_records(25)
+        inner = make_records(10, start=5)
+
+        def pipeline():
+            return HashAntiJoin(self._scan(outer), self._scan(inner), "id", "id")
+
+        assert flatten(pipeline().batches(batch_size=6)) == list(pipeline())
+
+    def test_order_by_batches_match_iteration(self):
+        records = make_records(31)[::-1]
+
+        def pipeline():
+            return OrderBy(self._scan(records), [("c2", False), ("id", True)])
+
+        assert flatten(pipeline().batches(batch_size=5)) == list(pipeline())
+
+    def test_distinct_batches_match_iteration(self):
+        records = make_records(12) + make_records(12) + make_records(3, start=6)
+
+        def pipeline():
+            return DistinctOp(self._scan(records))
+
+        assert flatten(pipeline().batches(batch_size=5)) == list(pipeline())
+
+    @pytest.mark.parametrize("function", ["count", "sum", "min", "max", "avg"])
+    @pytest.mark.parametrize("group_by", [None, "c2"])
+    def test_aggregate_batches_match_iteration(self, function, group_by):
+        records = [
+            Record((key, key * 3, key % 4, key % 2)) for key in range(37)
+        ]
+
+        def pipeline():
+            return AggregateOp(
+                self._scan(records), function, "c1", group_by=group_by
+            )
+
+        assert flatten(pipeline().batches(batch_size=8)) == list(pipeline())
+
+    @pytest.mark.parametrize(
+        "group_by, aggregates",
+        [
+            ([], [("n", "count", "*")]),
+            (["c2"], [("n", "count", "*"), ("total", "sum", "c1")]),
+            (["c2", "c3"], [("lo", "min", "c1"), ("hi", "max", "c1"),
+                            ("mean", "avg", "c1")]),
+            (["c2"], []),  # grouping with no aggregates (DISTINCT-like)
+        ],
+    )
+    def test_group_aggregate_batches_match_iteration(self, group_by, aggregates):
+        records = [
+            Record((key, key * 7, key % 5, key % 3)) for key in range(53)
+        ]
+
+        def pipeline():
+            return GroupAggregate(self._scan(records), group_by, aggregates)
+
+        assert flatten(pipeline().batches(batch_size=9)) == list(pipeline())
+
+    def test_group_aggregate_empty_input(self):
+        for group_by in ([], ["c2"]):
+            def pipeline(g=group_by):
+                return GroupAggregate(self._scan([]), g, [("n", "count", "*")])
+
+            assert flatten(pipeline().batches()) == list(pipeline())
+
+    def test_count_matches_materialized_length(self):
+        records = make_records(40)
+
+        def pipeline():
+            return OrderBy(
+                Project(
+                    Filter(self._scan(records), ColumnPredicate("c1", ">=", 100)),
+                    ["id", "c2"],
+                ),
+                [("id", True)],
+            )
+
+        assert pipeline().count() == len(list(pipeline()))
+
+    def test_seqscan_count_source_short_circuits(self):
+        from repro.core.schema import Schema
+
+        schema = Schema.of_ints(4)
+
+        def poisoned_batches():
+            raise AssertionError("batch source must not be consumed")
+            yield  # pragma: no cover
+
+        scan = SeqScan(
+            None, schema, batch_source=poisoned_batches(), count_source=lambda: 123
+        )
+        assert scan.count() == 123
+
 
 class TestQueryPipelineEquivalence:
     def _rows(self, plan, batched):
@@ -232,3 +381,140 @@ class TestQueryPipelineEquivalence:
             results.append(execute_plan(plan, batched=batched))
         assert results[0].rows == results[1].rows
         assert results[0].branch_annotations == results[1].branch_annotations
+
+    def _group_by_plan(self, engine, branch):
+        return Aggregate(
+            VersionScan(engine, "R", "R", "branch", branch, None),
+            ["c3"],
+            [
+                SelectItem(column="c3"),
+                SelectItem(function="count", argument="*"),
+                SelectItem(function="sum", argument="c1"),
+                SelectItem(function="min", argument="c2"),
+                SelectItem(function="avg", argument="c1"),
+            ],
+        )
+
+    def test_group_by(self, branched_engine):
+        for branch in ("master", "dev"):
+            plans = [
+                self._group_by_plan(branched_engine, branch) for _ in range(2)
+            ]
+            assert self._rows(plans[0], True) == self._rows(plans[1], False)
+
+    def test_order_by(self, branched_engine):
+        results = []
+        for batched in (True, False):
+            plan = Sort(
+                VersionScan(branched_engine, "R", "R", "branch", "dev", None),
+                [("c3", True), ("id", False)],
+            )
+            results.append(self._rows(plan, batched))
+        assert results[0] == results[1]
+
+    def test_distinct(self, branched_engine):
+        results = []
+        for batched in (True, False):
+            plan = Distinct(
+                VersionScan(branched_engine, "R", "R", "branch", "master", None)
+            )
+            results.append(self._rows(plan, batched))
+        assert results[0] == results[1]
+
+    def test_anti_join(self, branched_engine):
+        key = branched_engine.schema.primary_key
+        results = []
+        for batched in (True, False):
+            # The inner-side predicate keeps the optimizer from rewriting
+            # this shape to an engine diff, so HashAntiJoin itself runs.
+            plan = AntiJoin(
+                VersionScan(branched_engine, "R", "a", "branch", "dev", None),
+                VersionScan(
+                    branched_engine, "R", "b", "branch", "master",
+                    ModuloPredicate("c1", 2),
+                ),
+                key,
+                key,
+            )
+            results.append(self._rows(plan, batched))
+        assert results[0] == results[1]
+
+    @pytest.mark.parametrize("predicate", PREDICATES)
+    def test_count_only_path_matches_row_counts(self, branched_engine, predicate):
+        key = branched_engine.schema.primary_key
+        plans = [
+            lambda: VersionScan(
+                branched_engine, "R", "R", "branch", "dev", predicate
+            ),
+            lambda: HeadScan(branched_engine, "R", "R", predicate),
+            lambda: Join(
+                VersionScan(branched_engine, "R", "a", "branch", "dev", predicate),
+                VersionScan(branched_engine, "R", "b", "branch", "master", None),
+                [(key, key)],
+            ),
+            lambda: self._group_by_plan(branched_engine, "master"),
+        ]
+        for make_plan in plans:
+            operator = build_physical(optimize(make_plan()), batched=True)
+            counted = operator.count()
+            operator = build_physical(optimize(make_plan()), batched=True)
+            materialized = sum(len(batch) for batch in operator.batches())
+            assert counted == materialized
+
+    def test_engine_count_branch_matches_scan(self, branched_engine):
+        for branch in ("master", "dev", "feature"):
+            for predicate in PREDICATES:
+                expected = sum(
+                    1 for _ in branched_engine.scan_branch(branch, predicate)
+                )
+                assert (
+                    branched_engine.count_branch(branch, predicate) == expected
+                )
+
+
+class TestExecutionModeSelection:
+    def test_whole_tree_is_batched(self, branched_engine):
+        key = branched_engine.schema.primary_key
+        plan = optimize(
+            Sort(
+                Aggregate(
+                    Join(
+                        VersionScan(
+                            branched_engine, "R", "a", "branch", "dev",
+                            ModuloPredicate("c1", 3),
+                        ),
+                        VersionScan(
+                            branched_engine, "R", "b", "branch", "master", None
+                        ),
+                        [(key, key)],
+                    ),
+                    ["c3"],
+                    [
+                        SelectItem(column="c3"),
+                        SelectItem(function="count", argument="*"),
+                    ],
+                ),
+                [("c3", False)],
+            )
+        )
+        assert select_execution_mode(plan) is True
+        labels = execution_mode_labels(plan)
+        assert labels and set(labels.values()) == {"batched"}
+
+    def test_explain_marks_every_node_batched(self, tmp_path):
+        from repro.db.database import Decibel
+        from repro.core.schema import Schema
+
+        db = Decibel(str(tmp_path / "db"), engine="hybrid")
+        relation = db.create_relation("R", Schema.of_ints(4))
+        relation.init(make_records(20))
+        for sql in (
+            "SELECT c1, count(*) FROM R WHERE R.Version = 'master' "
+            "GROUP BY c1 ORDER BY count(*) DESC LIMIT 3",
+            "SELECT a.id, b.c2 FROM R a, R b WHERE a.id = b.id AND "
+            "a.Version = 'master' AND b.Version = 'master'",
+        ):
+            explained = db.explain(sql)
+            lines = explained.splitlines()
+            assert lines and all("[batched]" in line for line in lines)
+            assert "[tuple]" not in explained

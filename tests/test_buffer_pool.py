@@ -126,3 +126,84 @@ class TestBufferPool:
         pool.get_page(PageId("f.heap", 0), lambda: make_page(codec, 0))
         pool.stats.reset()
         assert pool.stats.misses == 0
+
+
+class TestByteBudget:
+    def test_evicts_by_bytes(self, codec):
+        # Pages are 512 bytes each; a 1200-byte budget holds two of them.
+        pool = BufferPool(capacity_bytes=1200)
+        for number in range(4):
+            pool.put_page(make_page(codec, number))
+        assert len(pool) == 2
+        assert pool.resident_bytes == 1024
+        assert pool.stats.evictions == 2
+
+    def test_resident_bytes_track_drops(self, codec):
+        pool = BufferPool(capacity_bytes=10_000)
+        pool.put_page(make_page(codec, 0, "a.heap"))
+        pool.put_page(make_page(codec, 0, "b.heap"))
+        assert pool.resident_bytes == 1024
+        pool.invalidate_file("a.heap")
+        assert pool.resident_bytes == 512
+        pool.clear()
+        assert pool.resident_bytes == 0
+
+    def test_zero_byte_budget_rejected(self):
+        with pytest.raises(StorageError):
+            BufferPool(capacity_bytes=0)
+
+
+class TestTransientReads:
+    def test_transient_miss_is_not_admitted(self, codec):
+        pool = BufferPool(capacity_bytes=10_000)
+        page_id = PageId("f.heap", 0)
+        page = pool.get_page(
+            page_id, lambda: make_page(codec, 0), transient=True
+        )
+        assert page.num_records == 1
+        assert len(pool) == 0
+        assert pool.stats.bypasses == 1
+
+    def test_transient_hit_served_from_pool(self, codec):
+        pool = BufferPool(capacity_bytes=10_000)
+        pool.put_page(make_page(codec, 0))
+        loads = []
+        pool.get_page(
+            PageId("f.heap", 0),
+            lambda: loads.append(1) or make_page(codec, 0),
+            transient=True,
+        )
+        assert not loads
+        assert pool.stats.hits == 1
+
+    def test_big_heap_scan_bypasses_pool(self, tmp_path, codec, schema):
+        from repro.core.heapfile import HeapFile
+        from repro.core.record import Record
+
+        pool = BufferPool(capacity_bytes=1200)
+        heap = HeapFile(str(tmp_path / "big.heap"), schema, pool, page_size=512)
+        for key in range(200):
+            heap.append(Record((key, 0, 0, 0)))
+        heap.flush()
+        pool.clear()
+        assert heap.scan_exceeds_pool()
+        records = list(heap.scan_records())
+        assert len(records) == 200
+        # The one-pass scan read through the pool without filling it.
+        assert len(pool) == 0
+        assert pool.stats.bypasses > 0
+
+    def test_small_heap_scan_is_cached(self, tmp_path, codec, schema):
+        from repro.core.heapfile import HeapFile
+        from repro.core.record import Record
+
+        pool = BufferPool(capacity_bytes=1 << 20)
+        heap = HeapFile(str(tmp_path / "small.heap"), schema, pool, page_size=512)
+        for key in range(50):
+            heap.append(Record((key, 0, 0, 0)))
+        heap.flush()
+        pool.clear()
+        assert not heap.scan_exceeds_pool()
+        list(heap.scan_records())
+        assert len(pool) > 0
+        assert pool.stats.bypasses == 0

@@ -117,3 +117,80 @@ class TestCommitHistory:
             history.record_commit(f"c{i}", snapshot)
         raw = sum(len(s.to_bytes()) for s in series)
         assert history.size_bytes() < raw
+
+    def test_noop_deltas_carry_zero_popcount_and_are_skipped(self, monkeypatch):
+        history = CommitHistory(layer_interval=3)
+        snapshot = Bitmap.from_indices([1, 5, 9])
+        # Repeated identical snapshots produce all-zero deltas (and one
+        # all-zero composite after three of them).
+        for i in range(6):
+            history.record_commit(f"c{i}", snapshot)
+        from repro.bitmap.delta import _KIND_BASE, _KIND_COMPOSITE
+
+        base = [e.popcount for e in history._entries if e.kind == _KIND_BASE]
+        composites = [
+            e.popcount for e in history._entries if e.kind == _KIND_COMPOSITE
+        ]
+        assert base[0] == 3  # the first delta sets the three bits
+        assert all(p == 0 for p in base[1:])  # every later delta is a no-op
+        # The first composite folds the first delta in; the second covers
+        # only no-ops and cancels to zero.
+        assert composites == [3, 0]
+        # Checkout must not decode any zero-popcount payload.
+        import repro.bitmap.delta as delta_module
+
+        decoded = []
+
+        def counting_decode(payload):
+            decoded.append(payload)
+            return original(payload)
+
+        original = delta_module.rle_decode
+        monkeypatch.setattr(delta_module, "rle_decode", counting_decode)
+        assert history.checkout("c5") == snapshot
+        assert len(decoded) == 1  # only the first (non-empty) delta
+
+    def test_legacy_format_without_popcounts_still_loads(self, tmp_path):
+        import struct
+
+        from repro.bitmap.delta import _ENTRY_HEADER
+        from repro.bitmap.rle import rle_encode
+
+        # Hand-write a pre-popcount history file: no magic, 4-byte
+        # num_bits-only trailer per entry.
+        series = snapshots(5)
+        path = str(tmp_path / "legacy.hist")
+        last = Bitmap()
+        with open(path, "wb") as handle:
+            for i, snapshot in enumerate(series):
+                delta = snapshot ^ last
+                payload = rle_encode(delta.to_bytes())
+                num_bits = max(len(snapshot), len(last))
+                handle.write(_ENTRY_HEADER.pack(0, i, len(payload)))
+                handle.write(struct.pack("<I", num_bits))
+                handle.write(payload)
+                last = snapshot.copy()
+        reloaded = CommitHistory(path=path, layer_interval=0)
+        reloaded.rebind_commit_ids([f"c{i}" for i in range(len(series))])
+        assert reloaded.latest_snapshot() == series[-1]
+        for i, snapshot in enumerate(series):
+            assert reloaded.checkout(f"c{i}") == snapshot
+        # Popcounts are recomputed from the payloads on load.
+        assert all(entry.popcount > 0 for entry in reloaded._entries)
+
+    def test_popcount_survives_persistence(self, tmp_path):
+        path = str(tmp_path / "history.hist")
+        history = CommitHistory(path=path, layer_interval=4)
+        series = snapshots(9)
+        for i, snapshot in enumerate(series):
+            history.record_commit(f"c{i}", snapshot)
+        history.record_commit("noop", series[-1])
+        reloaded = CommitHistory(path=path, layer_interval=4)
+        assert [e.popcount for e in reloaded._entries] == [
+            e.popcount for e in history._entries
+        ]
+        assert reloaded._entries[-1].popcount == 0
+        reloaded.rebind_commit_ids([f"c{i}" for i in range(9)] + ["noop"])
+        for i, snapshot in enumerate(series):
+            assert reloaded.checkout(f"c{i}") == snapshot
+        assert reloaded.checkout("noop") == series[-1]
