@@ -1,21 +1,24 @@
 #!/usr/bin/env python
-"""Fail CI when batched medians regress against the committed baselines.
+"""Fail CI when measured speedup ratios regress against committed baselines.
 
-Compares a freshly measured ``BENCH_pr4.json`` (written by the ``operators``
-bench experiment, typically at CI smoke scale) against the committed
-acceptance artifact.  Absolute times are machine-dependent, so the check is
-on the *ratio*: for every workload present in both files, the fresh batched
+Compares a freshly measured bench JSON (``BENCH_pr4.json`` from the
+``operators`` experiment or ``BENCH_pr5.json`` from the ``sort-topn``
+experiment, typically at CI smoke scale) against the committed acceptance
+artifact.  Absolute times are machine-dependent, so the check is on the
+*ratio*: for every workload present in both files, the fresh "fast side"
 median must not be more than ``--tolerance`` slower than what the fresh
-streaming median and the committed speedup predict, i.e.::
+"slow side" median and the committed speedup predict, i.e.::
 
-    fresh_batched <= (1 + tolerance) * fresh_streaming / committed_speedup
+    fresh_fast <= (1 + tolerance) * fresh_slow / committed_speedup
 
 which is equivalent to ``fresh_speedup >= committed_speedup / (1 + tol)``.
 
-Workloads whose fresh streaming median is below ``--min-seconds`` are
-skipped: at smoke scales a sub-millisecond query is scheduler noise, not a
-signal.  Workloads with committed speedup <= 1 are informational only (the
-batched mode never promised a win there).
+The slow/fast sides are whichever ratio pair the entry records: streaming vs
+batched execution (PR 4) or full sort vs Top-N (PR 5).  Workloads whose
+fresh slow-side median is below ``--min-seconds`` are skipped: at smoke
+scales a sub-millisecond query is scheduler noise, not a signal.  Workloads
+with committed speedup <= 1 (or no recorded speedup at all, such as the
+informational spill-path entries) are not gated.
 """
 
 from __future__ import annotations
@@ -23,6 +26,13 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+
+#: ``(slow_key, fast_key)`` pairs an entry may record its ratio under, in
+#: lookup order: streaming-vs-batched (PR 4) and full-sort-vs-Top-N (PR 5).
+RATIO_KEY_PAIRS = (
+    ("streaming_s", "batched_s"),
+    ("full_sort_s", "topn_s"),
+)
 
 
 def iter_workloads(payload: dict):
@@ -32,6 +42,14 @@ def iter_workloads(payload: dict):
     for engine, queries in payload.get("queries", {}).items():
         for query, entry in queries.items():
             yield f"{engine}/{query}", entry
+
+
+def ratio_sides(entry: dict) -> tuple[float, float] | None:
+    """The ``(slow, fast)`` medians of an entry, whichever pair it records."""
+    for slow_key, fast_key in RATIO_KEY_PAIRS:
+        if slow_key in entry and fast_key in entry:
+            return entry[slow_key], entry[fast_key]
+    return None
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -62,17 +80,20 @@ def main(argv: list[str] | None = None) -> int:
         base = committed.get(name)
         if base is None:
             continue
-        streaming = entry.get("streaming_s", 0.0)
-        batched = entry.get("batched_s", 0.0)
-        committed_speedup = base.get("speedup", 0.0)
-        if streaming < args.min_seconds:
-            print(f"skip  {name}: streaming {streaming:.6f}s below noise floor")
+        sides = ratio_sides(entry)
+        if sides is None:
+            print(f"info  {name}: no ratio pair recorded (not gated)")
             continue
-        if committed_speedup <= 1.0 or batched <= 0:
+        slow, fast = sides
+        committed_speedup = base.get("speedup", 0.0)
+        if slow < args.min_seconds:
+            print(f"skip  {name}: slow side {slow:.6f}s below noise floor")
+            continue
+        if committed_speedup <= 1.0 or fast <= 0:
             print(f"info  {name}: committed speedup {committed_speedup} (not gated)")
             continue
         checked += 1
-        fresh_speedup = streaming / batched
+        fresh_speedup = slow / fast
         floor = committed_speedup / (1.0 + args.tolerance)
         status = "ok  " if fresh_speedup >= floor else "FAIL"
         print(

@@ -86,6 +86,12 @@ EXPERIMENTS = {
             workdir, scale=scale, json_path=json_path
         ),
     ),
+    "sort-topn": (
+        "Memory-bounded sort + Top-N rewrite (writes BENCH_pr5.json)",
+        lambda workdir, scale, json_path=None: experiments.sort_topn(
+            workdir, scale=scale, json_path=json_path
+        ),
+    ),
     "ablation-orientation": (
         "Ablation: branch- vs tuple-oriented bitmaps (tuple-first)",
         lambda workdir, scale: experiments.ablation_bitmap_orientation(
@@ -147,9 +153,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--bench-json",
         default=None,
         help=(
-            "where the vectorized/operators experiments write their JSON "
-            "record (default: BENCH_pr3.json / BENCH_pr4.json inside the "
-            "workdir)"
+            "where the vectorized/operators/sort-topn experiments write "
+            "their JSON record (default: BENCH_pr3.json / BENCH_pr4.json / "
+            "BENCH_pr5.json inside the workdir)"
         ),
     )
     parser.add_argument(

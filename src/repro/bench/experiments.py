@@ -30,11 +30,13 @@ from repro.bench.driver import (
     load_dataset,
 )
 from repro.bench.queries import (
+    BENCH_RELATION,
     query1_single_scan,
     query2_positive_diff,
     query3_join,
     query4_head_scan,
     query5_group_by,
+    query6_order_by,
 )
 from repro.bench.report import ResultTable
 from repro.bench.strategies import make_strategy
@@ -1096,6 +1098,230 @@ def operators_batching(
     table.add_note(
         "row counts asserted equal across modes (record-level equivalence is "
         f"covered by tests/test_batched_scans.py); medians written to {json_path}"
+    )
+    return table
+
+
+def sort_topn(
+    workdir: str,
+    scale: ExperimentScale | None = None,
+    json_path: str | None = None,
+) -> ResultTable:
+    """Memory-bounded sort and Top-N (PR 5): full sort vs bounded heap.
+
+    Part 1 measures, on ``scale.scan_rows`` rows in the tuple-first engine:
+
+    * the full ``ORDER BY`` (run-based sort) in both execution modes;
+    * ``ORDER BY ... LIMIT k`` -- the optimizer's Top-N rewrite -- against
+      the full sort it replaces, asserting the Top-N rows equal the full
+      sort's prefix and that EXPLAIN-style plan rendering carries the
+      ``[top-n k=...]`` tag;
+    * the spill path: the same sort under a byte budget far smaller than the
+      input, asserting byte-identical rows to the in-memory sort.
+
+    Part 2 runs the full-sort-vs-Top-N comparison per storage engine at
+    benchmark scale.  All runs are warm-cache; medians are written to
+    ``json_path`` (``BENCH_pr5.json``).
+    """
+    from repro.query.logical import Limit, Sort, VersionScan, render_plan
+    from repro.query.optimizer import optimize, rewrite_labels
+    from repro.query.physical import build_physical, execute_plan
+
+    scale = scale or ExperimentScale()
+    if json_path is None:
+        # Default into the workdir so small-scale (smoke) runs cannot
+        # clobber the checked-in acceptance artifact in the CWD.
+        json_path = os.path.join(workdir, "BENCH_pr5.json")
+    table = ResultTable(
+        "Memory-bounded sort and Top-N: full sort vs bounded alternatives "
+        "(seconds)",
+        ["workload", "engine", "baseline", "measured", "speedup"],
+    )
+    top_k = 10
+    payload: dict = {
+        "benchmark": "memory-bounded sort and Top-N (PR 5)",
+        "warm_cache": True,
+        "notes": [
+            "top_n speedup = full ORDER BY vs ORDER BY ... LIMIT k through "
+            "the optimizer's bounded-heap TopN rewrite, batched mode",
+            "order_by_spill is informational: the byte budget is set far "
+            "below the input so the run-merge spill path is exercised; "
+            "rows are asserted byte-identical to the in-memory sort",
+        ],
+        "scale": {
+            "scan_rows": scale.scan_rows,
+            "total_operations": scale.total_operations,
+            "num_branches": scale.num_branches,
+            "commit_interval": scale.commit_interval,
+            "num_columns": scale.num_columns,
+            "seed": scale.seed,
+        },
+        "top_k": top_k,
+        "workloads": {},
+        "queries": {},
+    }
+
+    # -- part 1: ORDER BY / Top-N / spill on scan_rows rows (tuple-first) ----
+    micro_config = BenchmarkConfig(
+        strategy="flat",
+        engine="tuple-first",
+        num_branches=1,
+        total_operations=scale.scan_rows,
+        update_fraction=0.0,
+        commit_interval=max(scale.scan_rows // 4, 1),
+        num_columns=scale.num_columns,
+        seed=scale.seed,
+        # 64 KiB pages, as in the PR 3/4 microbenches: the comparison targets
+        # execution-path overhead, not page eviction churn.
+        page_size=64 * 1024,
+    )
+    micro = load_dataset(micro_config, os.path.join(workdir, "sort_topn_data"))
+    engine = micro.engine
+    branch = micro.strategy.single_scan_branch(random.Random(0))
+    repetitions = 5
+
+    def order_plan(limit=None, budget_bytes=None):
+        plan = Sort(
+            VersionScan(engine, BENCH_RELATION, BENCH_RELATION, "branch", branch, None),
+            [("c2", True), (engine.schema.primary_key, False)],
+            budget_bytes=budget_bytes,
+        )
+        return Limit(plan, limit) if limit is not None else plan
+
+    # The Top-N rewrite must be visible in plan output, never silent.
+    limited = optimize(order_plan(limit=top_k))
+    explained = render_plan(limited, rewrite_labels(limited))
+    if f"top-n k={top_k}" not in explained:
+        raise BenchmarkError(
+            f"Limit-over-Sort did not rewrite to TopN:\n{explained}"
+        )
+    payload["explain"] = explained
+
+    full_rows = execute_plan(optimize(order_plan())).rows
+    topn_rows = execute_plan(optimize(order_plan(limit=top_k))).rows
+    if topn_rows != full_rows[:top_k]:
+        raise BenchmarkError("TopN rows differ from the full sort's prefix")
+
+    full_streaming = _median_query_seconds(
+        lambda: query6_order_by(engine, branch, cold=False, batched=False).seconds,
+        repetitions,
+    )
+    full_batched = _median_query_seconds(
+        lambda: query6_order_by(engine, branch, cold=False, batched=True).seconds,
+        repetitions,
+    )
+    speedup = full_streaming / full_batched if full_batched > 0 else 0.0
+    table.add_row(
+        f"ORDER BY ({scale.scan_rows} rows), streaming vs batched",
+        "TF",
+        full_streaming,
+        full_batched,
+        speedup,
+    )
+    payload["workloads"]["order_by_full"] = {
+        "rows": len(full_rows),
+        "streaming_s": full_streaming,
+        "batched_s": full_batched,
+        "speedup": round(speedup, 2),
+    }
+
+    topn_seconds = _median_query_seconds(
+        lambda: query6_order_by(
+            engine, branch, limit=top_k, cold=False, batched=True
+        ).seconds,
+        repetitions,
+    )
+    speedup = full_batched / topn_seconds if topn_seconds > 0 else 0.0
+    table.add_row(
+        f"ORDER BY LIMIT {top_k} (Top-N rewrite)",
+        "TF",
+        full_batched,
+        topn_seconds,
+        speedup,
+    )
+    payload["workloads"]["top_n"] = {
+        "k": top_k,
+        "rows": len(topn_rows),
+        "full_sort_s": full_batched,
+        "topn_s": topn_seconds,
+        "speedup": round(speedup, 2),
+    }
+
+    # Spill path: budget far below the input, rows byte-identical.
+    spill_budget = 256 * 1024
+    spill_operator = build_physical(optimize(order_plan(budget_bytes=spill_budget)))
+    spilled_rows = [
+        record.values
+        for batch in spill_operator.batches()
+        for record in batch
+    ]
+    if spilled_rows != full_rows:
+        raise BenchmarkError(
+            "spilled sort does not reproduce the in-memory sort"
+        )
+    spilled_runs = spill_operator.spilled_runs
+    spill_seconds = _median_query_seconds(
+        lambda: query6_order_by(
+            engine, branch, budget_bytes=spill_budget, cold=False, batched=True
+        ).seconds,
+        repetitions,
+    )
+    table.add_row(
+        f"ORDER BY with {spill_budget // 1024} KiB budget "
+        f"({spilled_runs} spilled runs)",
+        "TF",
+        full_batched,
+        spill_seconds,
+        full_batched / spill_seconds if spill_seconds > 0 else 0.0,
+    )
+    payload["workloads"]["order_by_spill"] = {
+        "budget_bytes": spill_budget,
+        "spilled_runs": spilled_runs,
+        "in_memory_s": full_batched,
+        "spill_s": spill_seconds,
+        "identical_rows": True,
+    }
+
+    # -- part 2: full sort vs Top-N per engine at benchmark scale ------------
+    for engine_kind in ENGINE_KINDS:
+        result = _load(
+            workdir,
+            "flat",
+            engine_kind,
+            scale,
+            label=f"sort_topn_{engine_kind}",
+        )
+        loaded = result.engine
+        target = result.strategy.single_scan_branch(random.Random(0))
+        full = _median_query_seconds(
+            lambda: query6_order_by(
+                loaded, target, cold=False, batched=True
+            ).seconds,
+            repetitions,
+        )
+        topn = _median_query_seconds(
+            lambda: query6_order_by(
+                loaded, target, limit=top_k, cold=False, batched=True
+            ).seconds,
+            repetitions,
+        )
+        speedup = full / topn if topn > 0 else 0.0
+        table.add_row("Q6 full vs Top-N", ENGINE_LABELS[engine_kind], full, topn, speedup)
+        payload["queries"][engine_kind] = {
+            "topn": {
+                "k": top_k,
+                "full_sort_s": full,
+                "topn_s": topn,
+                "speedup": round(speedup, 2),
+            }
+        }
+    with open(json_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    table.add_note(
+        "Top-N rows asserted equal to the full sort's prefix and spilled "
+        "sorts asserted byte-identical to in-memory sorts; medians written "
+        f"to {json_path}"
     )
     return table
 

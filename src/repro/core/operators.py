@@ -11,6 +11,8 @@ records came from.
 
 from __future__ import annotations
 
+import heapq
+
 from collections import Counter, defaultdict
 from typing import Callable, Iterable, Iterator, Sequence
 
@@ -19,6 +21,7 @@ from operator import itemgetter
 from repro.core.predicates import Predicate, compile_predicate
 from repro.core.record import Record
 from repro.core.schema import Column, ColumnType, Schema
+from repro.core.sort import ExternalRunSorter, make_sort_key
 from repro.errors import QueryError
 
 #: Records per batch moved between batch-aware operators.
@@ -75,14 +78,20 @@ def aggregate_output_column(
 ) -> Column:
     """The output column of one aggregate expression.
 
-    ``count`` (and ``count(*)``) produce INT; other functions inherit the
-    argument column's type, except STRING arguments which fall back to INT.
-    This is the single source of truth for aggregate output typing, shared
-    by the logical planner and the physical operator.
+    ``count`` (and ``count(*)``) produce INT; ``avg`` always produces FLOAT
+    (true division emits fractions even over integer inputs); ``min``/``max``
+    inherit the argument column's type (including STRING); ``sum`` inherits
+    numeric argument types and falls back to INT otherwise.  This is the
+    single source of truth for aggregate output typing, shared by the
+    logical planner and the physical operators.
     """
     if function == "count" or argument == "*":
         return Column(name, ColumnType.INT)
     source = child_schema.column(argument)
+    if function == "avg":
+        return Column(name, ColumnType.FLOAT)
+    if function in ("min", "max"):
+        return Column(name, source.type, source.width)
     agg_type = ColumnType.INT if source.type is ColumnType.STRING else source.type
     return Column(name, agg_type)
 
@@ -273,6 +282,12 @@ class Limit(Operator):
                 yield batch[:remaining]
                 return
 
+    def count(self) -> int:
+        # The limit caps the child's cardinality; engine-side count shortcuts
+        # (scan popcounts, pass-through projections) answer without running
+        # the child pipeline at all.
+        return min(self.n, self.child.count())
+
 
 class HashJoin(Operator):
     """Equi-join of two operators on one or more columns from each side.
@@ -417,43 +432,98 @@ class HashAntiJoin(Operator):
 
 
 class OrderBy(Operator):
-    """Materialize the child and emit it sorted by one or more keys.
+    """Emit the child sorted by one or more keys, under a memory budget.
 
     ``keys`` is a sequence of ``(column, descending)`` pairs.  The sort is
     stable, so secondary keys break ties left to right.
+
+    Input is accumulated into sorted runs bounded by ``budget_bytes``
+    (default :data:`~repro.core.sort.DEFAULT_SORT_BUDGET_BYTES`): once a run
+    hits the budget it is sorted and spilled to a temporary file, and the
+    output is a k-way ``heapq.merge`` of all runs.  Inputs that fit the
+    budget take the classic one-sort fast path.  ``spilled_runs`` records how
+    many runs the last execution wrote to disk (0 for fully in-memory
+    sorts).
     """
 
-    def __init__(self, child: Operator, keys: Sequence[tuple[str, bool]]):
+    def __init__(
+        self,
+        child: Operator,
+        keys: Sequence[tuple[str, bool]],
+        budget_bytes: int | None = None,
+    ):
         if not keys:
             raise QueryError("ORDER BY requires at least one key")
         self.child = child
         self.keys = [(column, bool(descending)) for column, descending in keys]
         self.schema = child.schema
-        for column, _ in self.keys:
-            self.schema.index_of(column)
+        self.budget_bytes = budget_bytes
+        self.spilled_runs = 0
+        self._key = make_sort_key(self.schema, self.keys)
+
+    def _merged(self, batch_size: int) -> Iterator[Record]:
+        sorter = ExternalRunSorter(self._key, budget_bytes=self.budget_bytes)
+        try:
+            for batch in self.child.batches(batch_size):
+                sorter.add_batch(batch)
+            self.spilled_runs = sorter.spilled_runs
+            yield from sorter.merged()
+        finally:
+            sorter.close()
 
     def __iter__(self) -> Iterator[Record]:
-        records = list(self.child)
-        yield from self._sorted(records)
-
-    def _sorted(self, records: list[Record]) -> list[Record]:
-        for column, descending in reversed(self.keys):
-            index = self.schema.index_of(column)
-            records.sort(key=lambda r, i=index: r.values[i], reverse=descending)
-        return records
+        yield from self._merged(DEFAULT_BATCH_SIZE)
 
     def batches(self, batch_size: int = DEFAULT_BATCH_SIZE) -> Iterator[list[Record]]:
-        """Accumulate child batches, sort once, emit in slices."""
-        records: list[Record] = []
-        for batch in self.child.batches(batch_size):
-            records.extend(batch)
-        records = self._sorted(records)
-        for start in range(0, len(records), batch_size):
-            yield records[start : start + batch_size]
+        """Sorted runs under the byte budget, merged and re-batched."""
+        yield from chunk_iterable(self._merged(batch_size), batch_size)
 
     def count(self) -> int:
         # Ordering never changes cardinality; skip the sort entirely.
         return self.child.count()
+
+
+class TopN(Operator):
+    """The first ``n`` records of the child's sort order, via a bounded heap.
+
+    Substituted by the optimizer for ``Limit`` over ``OrderBy``: instead of
+    sorting the full input and discarding all but ``n`` rows, a heap of at
+    most ``n`` candidates streams over the child (``heapq.nsmallest``, which
+    is stable and equivalent to ``sorted(input)[:n]``), so memory is bounded
+    by ``n`` regardless of input size.
+    """
+
+    def __init__(self, child: Operator, keys: Sequence[tuple[str, bool]], n: int):
+        if n < 0:
+            raise QueryError("LIMIT must be non-negative")
+        if not keys:
+            raise QueryError("Top-N requires at least one sort key")
+        self.child = child
+        self.keys = [(column, bool(descending)) for column, descending in keys]
+        self.n = n
+        self.schema = child.schema
+        self._key = make_sort_key(self.schema, self.keys)
+
+    def __iter__(self) -> Iterator[Record]:
+        if self.n == 0:
+            return
+        yield from heapq.nsmallest(self.n, self.child, key=self._key)
+
+    def batches(self, batch_size: int = DEFAULT_BATCH_SIZE) -> Iterator[list[Record]]:
+        if self.n == 0:
+            return
+        records = (
+            record
+            for batch in self.child.batches(batch_size)
+            for record in batch
+        )
+        top = heapq.nsmallest(self.n, records, key=self._key)
+        for start in range(0, len(top), batch_size):
+            yield top[start : start + batch_size]
+
+    def count(self) -> int:
+        # Cardinality is the child's, capped at n; no heap work needed.
+        return min(self.n, self.child.count())
 
 
 class Distinct(Operator):
@@ -560,7 +630,11 @@ _BATCH_FINALIZERS: dict[str, Callable] = {
 def _scalar_aggregate(
     batches: Iterable[list[Record]], function: str, value_index: int
 ):
-    """Fold one ungrouped aggregate over record batches (empty input -> 0)."""
+    """Fold one ungrouped aggregate over record batches.
+
+    Empty input follows SQL semantics: ``count`` is 0, every other function
+    is NULL (``None``).
+    """
     if function == "count":
         return sum(len(batch) for batch in batches)
     if function in ("min", "max"):
@@ -570,15 +644,15 @@ def _scalar_aggregate(
             if batch:
                 candidate = pick(record.values[value_index] for record in batch)
                 best = candidate if best is _MISSING else pick(best, candidate)
-        return 0 if best is _MISSING else best
+        return None if best is _MISSING else best
     total = 0
     n = 0
     for batch in batches:
         total += sum(record.values[value_index] for record in batch)
         n += len(batch)
     if function == "avg":
-        return total / n if n else 0
-    return total if n else 0
+        return total / n if n else None
+    return total if n else None
 
 
 class Aggregate(Operator):
@@ -586,7 +660,9 @@ class Aggregate(Operator):
 
     Supports ``count``, ``sum``, ``min``, ``max`` and ``avg``.  With no
     grouping column the whole input forms a single group.  Output records are
-    ``(group, value)`` pairs (or ``(value,)`` when ungrouped).
+    ``(group, value)`` pairs (or ``(value,)`` when ungrouped).  Empty input
+    follows SQL semantics: ``count`` is 0, everything else is NULL
+    (``None``).
     """
 
     _FUNCTIONS: dict[str, Callable[[list], object]] = {
@@ -594,7 +670,7 @@ class Aggregate(Operator):
         "sum": sum,
         "min": min,
         "max": max,
-        "avg": lambda values: sum(values) / len(values) if values else 0,
+        "avg": lambda values: sum(values) / len(values) if values else None,
     }
 
     def __init__(
@@ -617,8 +693,12 @@ class Aggregate(Operator):
             # string-keyed groups carry a correctly typed schema.
             source = child.schema.column(group_by)
             out_columns.append(Column("group_key", source.type, source.width))
-        out_columns.append(Column("agg_value", ColumnType.INT))
-        self.schema = Schema(tuple(out_columns), primary_key="agg_value")
+        out_columns.append(
+            aggregate_output_column("agg_value", function, column, child.schema)
+        )
+        # Derived: aggregate outputs are never stored, and a FLOAT agg_value
+        # (avg) cannot satisfy the stored-schema integer-key requirement.
+        self.schema = Schema.derived(tuple(out_columns))
 
     def __iter__(self) -> Iterator[Record]:
         child_schema = self.child.schema
@@ -626,7 +706,12 @@ class Aggregate(Operator):
         func = self._FUNCTIONS[self.function]
         if self.group_by is None:
             values = [record.values[value_index] for record in self.child]
-            result = func(values) if (values or self.function == "count") else 0
+            # SQL empty-input semantics: count() is 0, the rest are NULL.
+            result = (
+                func(values)
+                if (values or self.function == "count")
+                else None
+            )
             yield Record((result,))
             return
         group_index = child_schema.index_of(self.group_by)
@@ -677,13 +762,12 @@ class GroupAggregate(Operator):
     sequence of ``(output_name, function, argument)`` where ``argument`` is a
     child column name, or ``"*"`` for ``count(*)``.  The output schema is the
     grouping columns (inheriting their child types) followed by one column
-    per aggregate.  Aggregate output columns are labeled INT even though
-    ``avg`` may produce fractional values -- derived schemas are never
-    encoded to disk, so the label is informational.
+    per aggregate (typed by :func:`aggregate_output_column`).
 
     With no grouping columns the whole input forms a single group and exactly
-    one row is emitted (zero-valued for empty input, as in :class:`Aggregate`).
-    Groups are emitted in sorted key order.
+    one row is emitted; for empty input that row follows SQL semantics --
+    ``count`` columns are 0, every other aggregate is NULL (``None``), as in
+    :class:`Aggregate`.  Groups are emitted in sorted key order.
     """
 
     _FUNCTIONS = Aggregate._FUNCTIONS
@@ -740,8 +824,9 @@ class GroupAggregate(Operator):
                     if index is None
                     else [record.values[index] for record in rows]
                 )
+                # SQL empty-input semantics: count() is 0, the rest are NULL.
                 values.append(
-                    func(inputs) if (inputs or function == "count") else 0
+                    func(inputs) if (inputs or function == "count") else None
                 )
             yield Record(tuple(values))
 
@@ -794,9 +879,16 @@ class GroupAggregate(Operator):
         # Every fold sees every record, so any one state holds all group keys.
         group_keys = sorted(states[0]) if states else sorted(seen)
         if not self.group_by and not group_keys:
-            # No input rows and no grouping: one zero-valued row, as in
-            # __iter__.
-            return [Record((0,) * len(specs))]
+            # No input rows and no grouping: one row of SQL empty-input
+            # results (count -> 0, others -> NULL), as in __iter__.
+            return [
+                Record(
+                    tuple(
+                        0 if function == "count" else None
+                        for _, function, _ in self.aggregates
+                    )
+                )
+            ]
         # Column-wise emission: one finalized list per aggregate, zipped with
         # the sorted keys into output tuples (no per-row state probing).
         agg_columns: list[list] = []

@@ -25,12 +25,15 @@ class ColumnType(enum.Enum):
     ``INT`` is an 8-byte signed integer.  ``INT32`` is a 4-byte signed
     integer, matching the paper's 4-byte benchmark columns.  ``STRING`` is a
     fixed-width UTF-8 field padded with NUL bytes; its width is set per
-    column.
+    column.  ``FLOAT`` is a double-precision float carried only by derived
+    schemas (``avg`` aggregates emit it); stored relations reject it as a
+    primary key and never encode it to disk.
     """
 
     INT = "int"
     INT32 = "int32"
     STRING = "string"
+    FLOAT = "float"
 
     @property
     def fixed_width(self) -> int | None:
@@ -39,6 +42,8 @@ class ColumnType(enum.Enum):
             return 8
         if self is ColumnType.INT32:
             return 4
+        if self is ColumnType.FLOAT:
+            return 8
         return None
 
 
@@ -90,6 +95,12 @@ class Column:
                 raise SchemaError(
                     f"value {value} out of range for column {self.name!r}"
                 )
+        elif self.type is ColumnType.FLOAT:
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise SchemaError(
+                    f"column {self.name!r} expects a number, got "
+                    f"{type(value).__name__}"
+                )
         else:
             if not isinstance(value, str):
                 raise SchemaError(
@@ -131,7 +142,7 @@ class Schema:
         if pk not in names:
             raise SchemaError(f"primary key {pk!r} is not a column")
         pk_column = self.columns[names.index(pk)]
-        if pk_column.type is ColumnType.STRING:
+        if pk_column.type not in (ColumnType.INT, ColumnType.INT32):
             raise SchemaError("the primary key must be an integer column")
         object.__setattr__(self, "primary_key", pk)
         object.__setattr__(

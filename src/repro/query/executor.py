@@ -22,6 +22,7 @@ from repro.query.logical import LogicalNode, lower_query, render_plan
 from repro.query.optimizer import (
     execution_mode_labels,
     optimize,
+    rewrite_labels,
     select_execution_mode,
 )
 from repro.query.parser import parse_query
@@ -53,7 +54,14 @@ def explain_query(db: "Decibel", sql: str) -> str:
     """The optimized plan for ``sql``, rendered as an indented tree.
 
     Each node carries its execution-mode tag (``[batched]`` or ``[tuple]``),
-    so any fallback out of batch mode is visible per node.
+    so any fallback out of batch mode is visible per node; optimizer
+    substitutions add their own tags (``[top-n k=n]`` for the
+    Limit-over-Sort rewrite), so no rewrite is silent.
     """
     plan = plan_query(db, sql)
-    return render_plan(plan, execution_mode_labels(plan))
+    annotations: dict[int, list[str]] = {
+        node_id: [tag] for node_id, tag in rewrite_labels(plan).items()
+    }
+    for node_id, mode in execution_mode_labels(plan).items():
+        annotations.setdefault(node_id, []).append(mode)
+    return render_plan(plan, annotations)

@@ -379,23 +379,64 @@ class Distinct(LogicalNode):
         return "Distinct"
 
 
-class Sort(LogicalNode):
-    """Order the output by one or more ``(column, descending)`` keys."""
+def _render_keys(keys: list[tuple[str, bool]]) -> str:
+    return ", ".join(
+        f"{column} {'DESC' if descending else 'ASC'}"
+        for column, descending in keys
+    )
 
-    def __init__(self, child: LogicalNode, keys: list[tuple[str, bool]]):
+
+class Sort(LogicalNode):
+    """Order the output by one or more ``(column, descending)`` keys.
+
+    ``budget_bytes`` optionally caps the in-memory footprint of the physical
+    sort (records beyond it spill to disk as sorted runs); ``None`` uses
+    :data:`repro.core.sort.DEFAULT_SORT_BUDGET_BYTES`.
+    """
+
+    def __init__(
+        self,
+        child: LogicalNode,
+        keys: list[tuple[str, bool]],
+        budget_bytes: int | None = None,
+    ):
         super().__init__([child], child.schema)
         self.keys = list(keys)
+        self.budget_bytes = budget_bytes
 
     @property
     def child(self) -> LogicalNode:
         return self.children[0]
 
     def label(self) -> str:
-        rendered = ", ".join(
-            f"{column} {'DESC' if descending else 'ASC'}"
-            for column, descending in self.keys
-        )
-        return f"Sort({rendered})"
+        return f"Sort({_render_keys(self.keys)})"
+
+
+class TopN(LogicalNode):
+    """The first ``n`` rows of a sort order, via a bounded heap.
+
+    Produced by the optimizer whenever a ``Limit`` sits directly above a
+    ``Sort`` (possibly through a projection): instead of sorting everything
+    and discarding all but ``n`` rows, the physical operator keeps a heap of
+    at most ``n`` candidates.  EXPLAIN tags these nodes ``[top-n k=n]`` so
+    the rewrite is never silent.
+    """
+
+    def __init__(
+        self, child: LogicalNode, keys: list[tuple[str, bool]], n: int
+    ):
+        if n < 0:
+            raise QueryError("LIMIT must be non-negative")
+        super().__init__([child], child.schema)
+        self.keys = list(keys)
+        self.n = n
+
+    @property
+    def child(self) -> LogicalNode:
+        return self.children[0]
+
+    def label(self) -> str:
+        return f"TopN({_render_keys(self.keys)})"
 
 
 class Limit(LogicalNode):
@@ -420,7 +461,7 @@ class Limit(LogicalNode):
 
 def result_columns(plan: LogicalNode) -> list[str]:
     """The user-facing output column names of ``plan``."""
-    if isinstance(plan, (Sort, Limit, Distinct)):
+    if isinstance(plan, (Sort, TopN, Limit, Distinct)):
         return result_columns(plan.child)
     if isinstance(plan, Filter):
         return result_columns(plan.child)
@@ -430,22 +471,25 @@ def result_columns(plan: LogicalNode) -> list[str]:
 
 
 def render_plan(
-    plan: LogicalNode, annotations: dict[int, str] | None = None
+    plan: LogicalNode,
+    annotations: dict[int, str | list[str]] | None = None,
 ) -> str:
     """Render a plan as an indented tree, one node per line.
 
-    ``annotations`` optionally maps ``id(node)`` to a short tag rendered as
-    ``[tag]`` after the node's label (EXPLAIN uses this to show each node's
-    execution mode).
+    ``annotations`` optionally maps ``id(node)`` to a short tag -- or a list
+    of tags -- each rendered as ``[tag]`` after the node's label (EXPLAIN
+    uses this to show each node's rewrites and execution mode).
     """
     lines: list[str] = []
 
     def _walk(node: LogicalNode, depth: int) -> None:
         label = node.label()
         if annotations is not None:
-            tag = annotations.get(id(node))
-            if tag:
-                label += f" [{tag}]"
+            tags = annotations.get(id(node))
+            if tags:
+                if isinstance(tags, str):
+                    tags = [tags]
+                label += "".join(f" [{tag}]" for tag in tags)
         lines.append("  " * depth + label)
         for child in node.children:
             _walk(child, depth + 1)
@@ -472,10 +516,11 @@ def lower_query(db: "Decibel", query: SelectQuery) -> LogicalNode:
     else:
         plan = _lower_single(db, query)
     plan = _apply_filter(db, plan, query)
+    source = plan  # the pre-projection plan; ORDER BY keys may resolve here
     plan = _apply_select(plan, query)
     if query.distinct:
         plan = Distinct(plan)
-    plan = _apply_order(plan, query)
+    plan = _apply_order(plan, source, query)
     if query.limit is not None:
         plan = Limit(plan, query.limit)
     return plan
@@ -660,27 +705,65 @@ def _apply_select(plan: LogicalNode, query: SelectQuery) -> LogicalNode:
     return Project(plan, query.columns)
 
 
-def _apply_order(plan: LogicalNode, query: SelectQuery) -> LogicalNode:
+def _apply_order(
+    plan: LogicalNode, source: LogicalNode, query: SelectQuery
+) -> LogicalNode:
+    """Attach the ORDER BY, threading keys through the projection if needed.
+
+    Standard SQL sorts *before* projecting, so ``SELECT id ... ORDER BY v``
+    is legal even though ``v`` is not in the select list.  When every key is
+    available in the projected output the sort stays above the projection
+    (the historical plan shape); when a key only exists in the
+    pre-projection ``source`` schema, the sort is placed *below* the
+    projection instead -- which also lets the optimizer's Top-N rewrite run
+    directly over raw scan batches.
+    """
     if not query.order_by:
         return plan
     keys: list[tuple[str, bool]] = []
+    sort_below_project = False
     aggregate = _find_aggregate(plan)
     for key in query.order_by:
-        name = _resolve_order_item(plan, aggregate, key)
+        name, needs_source = _resolve_order_item(plan, source, aggregate, key, query)
         keys.append((name, key.descending))
-    return Sort(plan, keys)
+        sort_below_project = sort_below_project or needs_source
+    if not sort_below_project:
+        return Sort(plan, keys)
+    # Only reachable for a bare projection (no aggregate, no DISTINCT); the
+    # whole key list must then resolve against the pre-projection schema.
+    for name, _ in keys:
+        if name not in source.schema.column_names:
+            raise QueryError(
+                f"ORDER BY column {name!r} mixes projected-only names with "
+                "non-projected columns"
+            )
+    if not isinstance(plan, Project):  # pragma: no cover - defensive
+        raise QueryError(
+            "ORDER BY on a non-projected column requires a plain projection"
+        )
+    return Project(Sort(source, keys), plan.user_columns)
 
 
 def _find_aggregate(plan: LogicalNode) -> Aggregate | None:
     node = plan
-    while isinstance(node, (Sort, Limit, Distinct, Filter)):
+    while isinstance(node, (Sort, TopN, Limit, Distinct, Filter)):
         node = node.children[0]
     return node if isinstance(node, Aggregate) else None
 
 
 def _resolve_order_item(
-    plan: LogicalNode, aggregate: Aggregate | None, key: OrderKey
-) -> str:
+    plan: LogicalNode,
+    source: LogicalNode,
+    aggregate: Aggregate | None,
+    key: OrderKey,
+    query: SelectQuery,
+) -> tuple[str, bool]:
+    """Resolve one ORDER BY key to a column name.
+
+    Returns ``(name, needs_source)`` where ``needs_source`` is True when the
+    key is only available in the pre-projection schema (the sort must then
+    run below the projection).
+    """
     item = key.item
     if item.is_aggregate:
         if aggregate is None:
@@ -694,9 +777,19 @@ def _resolve_order_item(
                 f"ORDER BY {item.display_name} must match an aggregate in the "
                 "select list"
             )
-        return name
-    if item.column not in plan.schema.column_names:
+        return name, False
+    if item.column in plan.schema.column_names:
+        return item.column, False
+    if aggregate is not None:
         raise QueryError(
-            f"ORDER BY column {item.column!r} is not in the query output"
+            f"ORDER BY column {item.column!r} must be a grouping column or an "
+            "aggregate of the select list"
         )
-    return item.column
+    if query.distinct:
+        raise QueryError(
+            f"ORDER BY column {item.column!r} must be in the SELECT DISTINCT "
+            "list"
+        )
+    if item.column in source.schema.column_names:
+        return item.column, True
+    raise QueryError(f"unknown column {item.column!r} in ORDER BY")

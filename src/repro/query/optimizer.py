@@ -26,7 +26,11 @@ from repro.query.logical import (
     Filter,
     HeadScan,
     Join,
+    Limit,
     LogicalNode,
+    Project,
+    Sort,
+    TopN,
     VersionDiff,
     VersionScan,
 )
@@ -37,6 +41,7 @@ def optimize(plan: LogicalNode) -> LogicalNode:
     """Apply all rewrite rules to ``plan`` and return the optimized plan."""
     plan = rewrite_diffs(plan)
     plan = push_down_predicates(plan)
+    plan = fuse_top_n(plan)
     return plan
 
 
@@ -76,6 +81,62 @@ def execution_mode_labels(plan: LogicalNode) -> dict[int, str]:
 
     def walk(node: LogicalNode) -> None:
         labels[id(node)] = "batched" if batch_native(node) else "tuple"
+        for child in node.children:
+            walk(child)
+
+    walk(plan)
+    return labels
+
+
+# -- rule: Limit over Sort -> Top-N --------------------------------------------
+
+
+def fuse_top_n(node: LogicalNode) -> LogicalNode:
+    """Fuse ``Limit`` directly above a ``Sort`` into a bounded-heap ``TopN``.
+
+    Three shapes qualify, bottom-up:
+
+    * ``Limit(Sort(x))`` becomes ``TopN(x)``;
+    * ``Limit(Sort(Project(x)))`` where every sort key exists in ``x``'s
+      schema becomes ``Project(TopN(x))`` -- the heap then sees raw scan
+      batches and only the surviving k rows are projected (projection is 1:1
+      and order-preserving, so the rewrite is exact);
+    * ``Limit(Project(Sort(x)))`` (the planner's shape for ORDER BY on a
+      non-projected column) becomes ``Project(TopN(x))`` the same way.
+
+    The resulting node is tagged ``[top-n k=n]`` in EXPLAIN output (see
+    :func:`rewrite_labels`), so the substitution is never silent.
+    """
+    node.children = [fuse_top_n(child) for child in node.children]
+    if not isinstance(node, Limit):
+        return node
+    child = node.children[0]
+    if isinstance(child, Sort):
+        inner = child.child
+        if isinstance(inner, Project) and all(
+            key in inner.child.schema.column_names for key, _ in child.keys
+        ):
+            return Project(
+                TopN(inner.child, child.keys, node.n), inner.user_columns
+            )
+        return TopN(child.child, child.keys, node.n)
+    if isinstance(child, Project) and isinstance(child.children[0], Sort):
+        sort = child.children[0]
+        return Project(TopN(sort.child, sort.keys, node.n), child.user_columns)
+    return node
+
+
+def rewrite_labels(plan: LogicalNode) -> dict[int, str]:
+    """Per-node rewrite annotations for EXPLAIN, keyed by ``id(node)``.
+
+    Every ``TopN`` produced by :func:`fuse_top_n` is tagged ``top-n k=n`` so
+    the Limit-over-Sort substitution is visible in plan output.
+    """
+    labels: dict[int, str] = {}
+
+    def walk(node: LogicalNode) -> None:
+        if isinstance(node, TopN):
+            labels[id(node)] = f"top-n k={node.n}"
         for child in node.children:
             walk(child)
 

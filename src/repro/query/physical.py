@@ -28,6 +28,7 @@ from repro.core.operators import (
     OrderBy,
     Project as ProjectOp,
     SeqScan,
+    TopN as TopNOp,
 )
 from repro.core.predicates import ColumnPredicate, Predicate
 from repro.core.record import Record
@@ -44,6 +45,7 @@ from repro.query.logical import (
     LogicalNode,
     Project,
     Sort,
+    TopN,
     VersionDiff,
     VersionScan,
     result_columns,
@@ -259,7 +261,15 @@ def build_physical(plan: LogicalNode, *, batched: bool = True) -> Operator:
             return AnnotatedDistinct(child, names.index(BRANCH_COLUMN))
         return DistinctOp(child)
     if isinstance(plan, Sort):
-        return OrderBy(build_physical(plan.child, batched=batched), plan.keys)
+        return OrderBy(
+            build_physical(plan.child, batched=batched),
+            plan.keys,
+            budget_bytes=plan.budget_bytes,
+        )
+    if isinstance(plan, TopN):
+        return TopNOp(
+            build_physical(plan.child, batched=batched), plan.keys, plan.n
+        )
     if isinstance(plan, Limit):
         return LimitOp(build_physical(plan.child, batched=batched), plan.n)
     raise QueryError(f"no physical mapping for plan node {type(plan).__name__}")
@@ -282,6 +292,7 @@ NODE_OPERATORS: dict[type, type[Operator]] = {
     Project: ProjectOp,
     Distinct: DistinctOp,
     Sort: OrderBy,
+    TopN: TopNOp,
     Limit: LimitOp,
 }
 

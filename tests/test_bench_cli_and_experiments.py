@@ -5,6 +5,8 @@ at a tiny scale to cover the plumbing (dataset construction, measurement,
 table assembly) inside the regular test suite.
 """
 
+import json
+
 import pytest
 
 from repro.bench.cli import EXPERIMENTS, build_parser, main
@@ -14,6 +16,7 @@ from repro.bench.experiments import (
     figure6_scaling,
     figure8_query2,
     git_comparison,
+    sort_topn,
     table3_merge_throughput,
 )
 from repro.bench.report import ResultTable
@@ -61,6 +64,23 @@ class TestExperimentRunnersSmoke:
     def test_ablation_layers_structure(self, tmp_path, tiny_scale):
         table = ablation_commit_layers(str(tmp_path), scale=tiny_scale)
         assert [row[0] for row in table.rows] == [0, 4, 8, 16]
+
+    def test_sort_topn_structure(self, tmp_path, tiny_scale):
+        tiny_scale.scan_rows = 2000
+        json_path = str(tmp_path / "BENCH_pr5.json")
+        table = sort_topn(str(tmp_path), scale=tiny_scale, json_path=json_path)
+        assert len(table.rows) == 6  # three micro workloads + three engines
+        with open(json_path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        # The Limit-over-Sort rewrite must be recorded, never silent.
+        assert "top-n k=10" in payload["explain"]
+        workloads = payload["workloads"]
+        assert workloads["top_n"]["rows"] == 10
+        assert workloads["order_by_spill"]["identical_rows"] is True
+        assert workloads["order_by_spill"]["spilled_runs"] > 0
+        assert set(payload["queries"]) == {
+            "version-first", "tuple-first", "hybrid"
+        }
 
 
 class TestBenchmarkCLI:

@@ -139,6 +139,13 @@ PLANNER_QUERIES = [
     "SELECT c1, avg(c2) FROM R WHERE R.Version = 'master' AND c2 > 100 "
     "GROUP BY c1 ORDER BY avg(c2) DESC, c1",
     "SELECT id, c1 FROM R WHERE R.Version = 'master' ORDER BY c1 DESC, id ASC LIMIT 7",
+    # ORDER BY on a non-projected column (sort threads through the projection).
+    "SELECT id FROM R WHERE R.Version = 'dev' ORDER BY c1 DESC, id ASC",
+    # Limit-over-sort runs through the Top-N rewrite.
+    "SELECT id FROM R WHERE R.Version = 'dev' ORDER BY c2 DESC, id ASC LIMIT 9",
+    # Empty input: count is 0, the rest are SQL NULL.
+    "SELECT min(c1), max(c2), sum(c1), avg(c2), count(id) FROM R "
+    "WHERE R.Version = 'master' AND id > 100000",
     "SELECT DISTINCT c1 FROM R WHERE R.Version = 'dev' ORDER BY c1",
     "SELECT * FROM R as R1, R as R2 WHERE R1.Version = 'dev' AND R1.id = R2.id "
     "AND R1.c1 = R2.c1 AND R1.c2 > 50 AND R2.Version = 'master'",

@@ -66,6 +66,22 @@ class TestLimit:
     def test_limit_larger_than_input(self, scan):
         assert len(materialize(Limit(scan, 100))) == 10
 
+    def test_count_caps_at_limit(self, schema):
+        assert Limit(SeqScan(make_records(10), schema), 3).count() == 3
+
+    def test_count_caps_at_child_cardinality(self, schema):
+        assert Limit(SeqScan(make_records(10), schema), 100).count() == 10
+
+    def test_count_uses_child_shortcut_without_scanning(self, schema):
+        def poisoned():
+            raise AssertionError("a limited count must not run the scan")
+            yield  # pragma: no cover
+
+        scan = SeqScan(
+            None, schema, batch_source=poisoned(), count_source=lambda: 50
+        )
+        assert Limit(scan, 7).count() == 7
+
 
 class TestHashJoin:
     def test_self_join_on_key(self, schema):
@@ -190,11 +206,20 @@ class TestGroupAggregate:
         )
         assert materialize(op) == [Record((4,))]
 
-    def test_ungrouped_empty_input_yields_zero_row(self, schema):
+    def test_ungrouped_empty_input_follows_sql_semantics(self, schema):
+        # SQL: count of nothing is 0, but sum/min/max/avg of nothing is NULL.
         op = GroupAggregate(
-            SeqScan([], schema), [], [("n", "count", "id"), ("s", "sum", "c1")]
+            SeqScan([], schema),
+            [],
+            [
+                ("n", "count", "id"),
+                ("s", "sum", "c1"),
+                ("lo", "min", "c1"),
+                ("hi", "max", "c1"),
+                ("mean", "avg", "c1"),
+            ],
         )
-        assert materialize(op) == [Record((0, 0))]
+        assert materialize(op) == [Record((0, None, None, None, None))]
 
     def test_grouped_empty_input_yields_nothing(self, schema):
         op = GroupAggregate(
@@ -278,6 +303,28 @@ class TestAggregate:
     def test_count_empty_input(self, schema):
         rows = materialize(Aggregate(SeqScan([], schema), "count", "id"))
         assert rows[0].values[0] == 0
+
+    @pytest.mark.parametrize("function", ["sum", "min", "max", "avg"])
+    def test_non_count_empty_input_is_null(self, schema, function):
+        # Both consumption modes must agree on SQL NULL for empty input.
+        assert materialize(Aggregate(SeqScan([], schema), function, "c1")) == [
+            Record((None,))
+        ]
+        assert list(Aggregate(SeqScan([], schema), function, "c1")) == [
+            Record((None,))
+        ]
+
+    def test_avg_output_column_is_float(self, schema):
+        agg = Aggregate(SeqScan([], schema), "avg", "c1")
+        assert agg.schema.column("agg_value").type is ColumnType.FLOAT
+
+    def test_min_output_column_inherits_source_type(self, wide_schema):
+        agg = Aggregate(SeqScan([], wide_schema), "min", "name")
+        assert agg.schema.column("agg_value").type is ColumnType.STRING
+
+    def test_count_output_column_is_int(self, schema):
+        agg = Aggregate(SeqScan([], schema), "count", "c1")
+        assert agg.schema.column("agg_value").type is ColumnType.INT
 
     def test_unknown_function_rejected(self, scan):
         with pytest.raises(QueryError):

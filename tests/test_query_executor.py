@@ -180,6 +180,30 @@ class TestAggregatesAndGrouping:
         )
         assert result.rows == [(0 + 10 + 20,)]
 
+    def test_empty_input_aggregates_are_null(self, db):
+        # SQL semantics: sum/min/max/avg over no rows are NULL; count is 0.
+        result = db.query(
+            "SELECT min(c1), max(c1), sum(c1), avg(c1), count(id) "
+            "FROM R WHERE R.Version = 'master' AND id > 1000"
+        )
+        assert result.rows == [(None, None, None, None, 0)]
+
+    def test_empty_input_single_aggregate_is_null(self, db):
+        result = db.query(
+            "SELECT min(c1) FROM R WHERE R.Version = 'master' AND id > 1000"
+        )
+        assert result.rows == [(None,)]
+
+    def test_order_by_null_aggregate_does_not_crash(self, db):
+        # Regression: descending numeric sort keys used to negate the value,
+        # which raised TypeError on the NULL an empty-input aggregate emits.
+        for direction in ("ASC", "DESC"):
+            result = db.query(
+                "SELECT avg(c1) FROM R WHERE R.Version = 'master' "
+                f"AND id > 1000 ORDER BY avg(c1) {direction} LIMIT 1"
+            )
+            assert result.rows == [(None,)]
+
     def test_ungrouped_column_rejected(self, db):
         with pytest.raises(QueryError):
             db.query("SELECT c1, count(id) FROM R WHERE R.Version = 'master'")
@@ -225,9 +249,59 @@ class TestOrderLimitDistinct:
         )
         assert result.rows == [(7, 18)]
 
+    def test_order_by_non_projected_column(self, db):
+        # Regression: this exact shape used to raise "ORDER BY column 'c1' is
+        # not in the query output"; standard SQL sorts before projecting.
+        result = db.query(
+            "SELECT id FROM R WHERE R.Version = 'master' ORDER BY c1"
+        )
+        reference = db.query(
+            "SELECT id, c1 FROM R WHERE R.Version = 'master' ORDER BY c1"
+        )
+        assert result.columns == ["id"]
+        assert result.rows == [(row[0],) for row in reference.rows]
+
+    def test_order_by_non_projected_column_desc_with_limit(self, db):
+        result = db.query(
+            "SELECT id FROM R WHERE R.Version = 'master' "
+            "ORDER BY c1 DESC LIMIT 4"
+        )
+        reference = db.query(
+            "SELECT id FROM R WHERE R.Version = 'master' ORDER BY c1 DESC"
+        )
+        assert result.rows == reference.rows[:4]
+
     def test_order_by_unknown_column_rejected(self, db):
         with pytest.raises(QueryError):
-            db.query("SELECT id FROM R WHERE R.Version = 'master' ORDER BY c1")
+            db.query("SELECT id FROM R WHERE R.Version = 'master' ORDER BY nope")
+
+    def test_distinct_order_by_non_projected_rejected(self, db):
+        # DISTINCT output has no c1 column to sort by -- standard SQL also
+        # rejects this shape.
+        with pytest.raises(QueryError):
+            db.query(
+                "SELECT DISTINCT c3 FROM R WHERE R.Version = 'master' "
+                "ORDER BY c1"
+            )
+
+    def test_group_by_order_by_ungrouped_column_rejected(self, db):
+        with pytest.raises(QueryError):
+            db.query(
+                "SELECT c3, count(id) FROM R WHERE R.Version = 'master' "
+                "GROUP BY c3 ORDER BY c1"
+            )
+
+    def test_limit_exceeding_cardinality(self, db):
+        result = db.query(
+            "SELECT id FROM R WHERE R.Version = 'master' ORDER BY id LIMIT 999"
+        )
+        assert len(result.rows) == 21
+
+    def test_order_by_limit_zero(self, db):
+        result = db.query(
+            "SELECT id FROM R WHERE R.Version = 'master' ORDER BY c1 LIMIT 0"
+        )
+        assert result.rows == []
 
     def test_head_distinct_merges_branch_annotations(self, db):
         result = db.query(
@@ -293,6 +367,21 @@ class TestExplainAndDiffCounter:
         )
         assert "VersionDiff" in plan
         assert "AntiJoin" not in plan
+
+    def test_explain_tags_top_n_rewrite(self, db):
+        plan = db.explain(
+            "SELECT id FROM R WHERE R.Version = 'master' ORDER BY c1 LIMIT 5"
+        )
+        assert "TopN(c1 ASC)" in plan
+        assert "[top-n k=5]" in plan
+        assert "Limit" not in plan and "Sort" not in plan
+
+    def test_plain_order_by_keeps_sort_node(self, db):
+        plan = db.explain(
+            "SELECT id FROM R WHERE R.Version = 'master' ORDER BY c1"
+        )
+        assert "Sort(c1 ASC)" in plan
+        assert "top-n" not in plan
 
     def test_non_key_not_in_keeps_anti_join(self, db):
         plan = db.explain(
