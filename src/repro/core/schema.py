@@ -240,10 +240,15 @@ class Schema:
         The primary key is preserved if it is among ``names``; otherwise the
         first projected column becomes the key of the derived schema (with no
         integer-type requirement, since projected results are never stored).
+        Derived sources (aggregate outputs) may nominate a non-integer key;
+        projecting those always derives, since the stored-schema constructor
+        only accepts integer keys.
         """
         columns = tuple(self.column(name) for name in names)
         if self.primary_key in names:
-            return Schema(columns, primary_key=self.primary_key)
+            pk_column = self.column(self.primary_key)
+            if pk_column.type in (ColumnType.INT, ColumnType.INT32):
+                return Schema(columns, primary_key=self.primary_key)
         return Schema.derived(columns)
 
     def describe(self) -> str:

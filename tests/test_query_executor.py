@@ -213,6 +213,56 @@ class TestAggregatesAndGrouping:
             db.query("SELECT median(c1) FROM R WHERE R.Version = 'master'")
 
 
+class TestStringGroupKeyReorder:
+    """Aggregates listed before a string group key (regression).
+
+    The select-list order forces a reorder projection above the aggregate,
+    whose output schema nominates the string group key as its derived
+    primary key; projecting that schema used to crash with ``SchemaError``
+    ("the primary key must be an integer column").
+    """
+
+    @pytest.fixture(params=["version-first", "tuple-first", "hybrid"])
+    def string_db(self, request, tmp_path):
+        from repro.core.schema import Column, ColumnType, Schema
+
+        database = Decibel(str(tmp_path / "sdb"), engine=request.param)
+        schema = Schema(
+            (
+                Column("id", ColumnType.INT),
+                Column("name", ColumnType.STRING, width=16),
+                Column("v", ColumnType.INT),
+            ),
+            primary_key="id",
+        )
+        relation = database.create_relation("S", schema)
+        relation.init(
+            Record((i, ["red", "green", "blue"][i % 3], i * 10))
+            for i in range(9)
+        )
+        return database
+
+    def test_aggregate_before_string_group_key(self, string_db):
+        result = string_db.query(
+            "SELECT count(id), name FROM S WHERE S.Version = 'master' "
+            "GROUP BY name"
+        )
+        assert result.columns == ["count(id)", "name"]
+        assert sorted(result.rows) == [(3, "blue"), (3, "green"), (3, "red")]
+
+    def test_mixed_order_with_sum(self, string_db):
+        result = string_db.query(
+            "SELECT sum(v), name, count(*) FROM S WHERE S.Version = 'master' "
+            "GROUP BY name ORDER BY name"
+        )
+        assert result.columns == ["sum(v)", "name", "count(*)"]
+        assert result.rows == [
+            (150, "blue", 3),
+            (120, "green", 3),
+            (90, "red", 3),
+        ]
+
+
 class TestOrderLimitDistinct:
     def test_order_by_desc_with_limit(self, db):
         result = db.query(

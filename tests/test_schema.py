@@ -156,6 +156,17 @@ class TestSchema:
         projected = schema.project(["c2", "c3"])
         assert projected.primary_key == "c2"
 
+    def test_project_derived_string_key_stays_derived(self):
+        # Derived schemas (aggregate outputs) may nominate a non-integer
+        # first column as their key; projecting it must not route through
+        # the stored-schema constructor, which rejects non-integer keys.
+        derived = Schema.derived(
+            (Column("name", ColumnType.STRING, width=8), Column("count_id"))
+        )
+        projected = derived.project(["count_id", "name"])
+        assert projected.column_names == ("count_id", "name")
+        assert projected.primary_key == "count_id"
+
     def test_describe_marks_primary_key(self):
         text = Schema.of_ints(2).describe()
         assert "id*" in text
