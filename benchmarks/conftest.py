@@ -13,7 +13,12 @@ import os
 
 import pytest
 
+from repro.analysis.plan_check import set_default_verify
 from repro.bench.experiments import ExperimentScale
+
+# Benchmarks measure operator work, not verification; but any plan the suite
+# executes through the facade should still be contract-checked.
+set_default_verify(True)
 
 
 def _env_int(name: str, default: int) -> int:

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Run the engine lint (`repro.analysis.lint`) over the source tree.
+
+Usage::
+
+    PYTHONPATH=src python scripts/lint.py            # lint src/repro
+    PYTHONPATH=src python scripts/lint.py --list     # show the rules
+    PYTHONPATH=src python scripts/lint.py --disable REPRO006
+
+Configuration is read from ``[tool.repro-lint]`` in ``pyproject.toml``
+(``disable`` — a list of rule ids to skip); command-line ``--disable``
+flags are additive on top of it.  ``tomllib`` only ships with Python 3.11+,
+so on older interpreters the config file is skipped and the defaults apply.
+
+Exits non-zero when any violation is found — there is no warning-only mode;
+a rule either holds or CI fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.lint import ALL_RULES, run_lint  # noqa: E402
+
+
+def load_config(pyproject: Path) -> dict:
+    """The ``[tool.repro-lint]`` table, or ``{}`` when unavailable."""
+    try:
+        import tomllib
+    except ImportError:  # Python < 3.11: run with defaults
+        return {}
+    if not pyproject.is_file():
+        return {}
+    with pyproject.open("rb") as handle:
+        data = tomllib.load(handle)
+    return data.get("tool", {}).get("repro-lint", {})
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        default=str(REPO_ROOT / "src"),
+        help="source directory containing the package (default: src)",
+    )
+    parser.add_argument(
+        "--disable",
+        action="append",
+        default=[],
+        metavar="RULE_ID",
+        help="skip a rule id (repeatable; adds to pyproject config)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list the rules and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for rule in ALL_RULES:
+            print(f"{rule.id}  {type(rule).__name__}")
+            print(f"    why: {rule.rationale}")
+            print(f"    fix: {rule.fix_hint}")
+        return 0
+
+    config = load_config(REPO_ROOT / "pyproject.toml")
+    disable = set(config.get("disable", [])) | set(args.disable)
+
+    violations = run_lint(args.root, disable=disable)
+    for violation in violations:
+        print(violation.render())
+    if violations:
+        print(f"lint: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    enabled = sum(1 for rule in ALL_RULES if rule.id not in disable)
+    print(f"lint: clean ({enabled} rule(s) over {args.root})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,29 @@
+"""Static analysis for the Decibel reproduction.
+
+Two layers of machine-checked invariants guard the engine:
+
+* :mod:`repro.analysis.plan_check` -- a **plan verifier** that walks every
+  logical plan before a single row flows and checks schema/type
+  propagation, execution-mode consistency, optimizer-rewrite legality and
+  operator-protocol conformance, raising a structured
+  :class:`~repro.errors.PlanInvariantError` on the first violation.
+
+* :mod:`repro.analysis.lint` -- an **engine lint**: a small AST-based rule
+  framework encoding repo-wide source invariants (operator batch protocol,
+  pickle confinement, lock ordering, bench determinism, ...), runnable via
+  ``scripts/lint.py`` and enforced in CI.
+"""
+
+from repro.analysis.plan_check import (
+    default_verify,
+    set_default_verify,
+    verify_plan,
+)
+from repro.errors import PlanInvariantError
+
+__all__ = [
+    "PlanInvariantError",
+    "default_verify",
+    "set_default_verify",
+    "verify_plan",
+]

@@ -1,0 +1,51 @@
+"""Engine lint: AST-based rules encoding repo-wide source invariants.
+
+:func:`run_lint` is the programmatic entry point; ``scripts/lint.py`` is the
+command line.  Rules live in :mod:`repro.analysis.lint.rules`, the
+framework (rule base classes, module collection) in
+:mod:`repro.analysis.lint.framework`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.lint.framework import (
+    LintRule,
+    ProjectRule,
+    SourceModule,
+    Violation,
+    collect_modules,
+    run_rules,
+)
+from repro.analysis.lint.rules import ALL_RULES
+
+__all__ = [
+    "ALL_RULES",
+    "LintRule",
+    "ProjectRule",
+    "SourceModule",
+    "Violation",
+    "collect_modules",
+    "run_lint",
+    "run_rules",
+]
+
+
+def run_lint(
+    root: Path | str,
+    *,
+    package: str = "repro",
+    disable: Iterable[str] = (),
+) -> list[Violation]:
+    """Run every enabled rule over the package rooted at ``root``.
+
+    ``root`` is the source directory containing the package (``src``), and
+    ``disable`` an iterable of rule ids to skip (mirrors the
+    ``[tool.repro-lint]`` config consumed by ``scripts/lint.py``).
+    """
+    disabled = set(disable)
+    rules = [rule for rule in ALL_RULES if rule.id not in disabled]
+    modules = collect_modules(Path(root), package=package)
+    return run_rules(modules, rules)

@@ -1,0 +1,116 @@
+"""The engine-lint rule framework.
+
+A lint rule is a small class that inspects one parsed source module (or, for
+:class:`ProjectRule`, all of them at once) and reports
+:class:`Violation` records.  Rules carry their id, a one-line *rationale*
+(why the invariant exists) and a *fix hint* (what to do when it fires), so a
+violation message is actionable without reading the rule's source.
+
+The framework is deliberately tiny: modules are parsed once with
+:mod:`ast`, each rule walks the tree it cares about, and
+:func:`run_rules` aggregates the findings sorted by file and line.
+``scripts/lint.py`` is the command-line front end.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule violation at a source location."""
+
+    rule_id: str
+    path: str
+    line: int
+    message: str
+    fix_hint: str
+
+    def render(self) -> str:
+        """The violation as a one-line compiler-style diagnostic."""
+        return (
+            f"{self.path}:{self.line}: [{self.rule_id}] {self.message}"
+            f" (fix: {self.fix_hint})"
+        )
+
+
+@dataclass
+class SourceModule:
+    """One Python source file, parsed lazily."""
+
+    path: Path
+    relpath: str
+    source: str
+    _tree: ast.Module | None = field(default=None, repr=False)
+
+    @property
+    def tree(self) -> ast.Module:
+        if self._tree is None:
+            self._tree = ast.parse(self.source, filename=self.relpath)
+        return self._tree
+
+    @classmethod
+    def load(cls, path: Path, root: Path) -> "SourceModule":
+        return cls(
+            path=path,
+            relpath=path.relative_to(root).as_posix(),
+            source=path.read_text(),
+        )
+
+
+class LintRule:
+    """Base class for per-module rules.
+
+    Subclasses set :attr:`id`, :attr:`rationale` and :attr:`fix_hint`, and
+    implement :meth:`check` returning the violations found in one module.
+    """
+
+    #: Stable rule identifier (``REPROnnn``), referenced in config and tests.
+    id: str = ""
+    #: Why the invariant exists -- one sentence.
+    rationale: str = ""
+    #: What to do when the rule fires -- one sentence.
+    fix_hint: str = ""
+
+    def check(self, module: SourceModule) -> list[Violation]:
+        raise NotImplementedError
+
+    def violation(self, module: SourceModule, line: int, message: str) -> Violation:
+        return Violation(self.id, module.relpath, line, message, self.fix_hint)
+
+
+class ProjectRule(LintRule):
+    """A rule that needs to see every module at once (cross-file parity)."""
+
+    def check(self, module: SourceModule) -> list[Violation]:
+        return []
+
+    def check_project(self, modules: Sequence[SourceModule]) -> list[Violation]:
+        raise NotImplementedError
+
+
+def collect_modules(root: Path, package: str = "repro") -> list[SourceModule]:
+    """Parse every ``.py`` file under ``root / package`` (sorted order)."""
+    base = root / package
+    return [
+        SourceModule.load(path, root)
+        for path in sorted(base.rglob("*.py"))
+    ]
+
+
+def run_rules(
+    modules: Sequence[SourceModule], rules: Iterable[LintRule]
+) -> list[Violation]:
+    """Run every rule over every module; project rules see the whole set."""
+    violations: list[Violation] = []
+    for rule in rules:
+        if isinstance(rule, ProjectRule):
+            violations.extend(rule.check_project(modules))
+        else:
+            for module in modules:
+                violations.extend(rule.check(module))
+    return sorted(violations, key=lambda v: (v.path, v.line, v.rule_id))

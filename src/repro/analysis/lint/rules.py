@@ -1,0 +1,381 @@
+"""The engine's lint rules: repo-wide source invariants, one class each.
+
+Each rule encodes a contract the engine's correctness depends on but that no
+runtime test can economically guard (the violation only bites under a rare
+interleaving, a future refactor, or a mode the test happened not to run).
+The docstring of each rule is its rationale; ``fix_hint`` is surfaced with
+every violation.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Sequence
+
+from repro.analysis.lint.framework import (
+    LintRule,
+    ProjectRule,
+    SourceModule,
+    Violation,
+)
+
+#: The one module allowed to use pickle: the sort-spill run codec, which
+#: round-trips only records the engine itself wrote within one process run.
+PICKLE_ALLOWED = ("repro/core/sort.py",)
+
+#: The three storage engines whose EngineStats counters must stay in parity.
+ENGINE_MODULES = (
+    "repro/storage/hybrid.py",
+    "repro/storage/tuple_first.py",
+    "repro/storage/version_first.py",
+)
+
+#: Wall-clock callables banned from bench measurement code.
+WALL_CLOCK_CALLS = {
+    ("time", "time"),
+    ("time", "ctime"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("date", "today"),
+}
+
+
+class OperatorProtocolRule(LintRule):
+    """Every ``Operator`` subclass must define both ``__iter__`` and
+    ``batches``.
+
+    The engine picks the execution mode per plan by checking whether every
+    operator overrides :meth:`Operator.batches`; a subclass that only
+    implements ``__iter__`` silently drags whole plans out of batch mode,
+    and one that only implements ``batches`` breaks tuple-at-a-time
+    consumers (``count()`` paths, the result builder's fallback).
+    """
+
+    id = "REPRO001"
+    rationale = (
+        "operators run in two modes; defining only one of __iter__/batches "
+        "silently degrades or breaks the other mode"
+    )
+    fix_hint = (
+        "implement both __iter__ and batches() on the operator (batches may "
+        "delegate, but must be an explicit, native batch path)"
+    )
+
+    def check(self, module: SourceModule) -> list[Violation]:
+        violations: list[Violation] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not any(
+                isinstance(base, ast.Name) and base.id == "Operator"
+                for base in node.bases
+            ):
+                continue
+            defined = {
+                item.name
+                for item in node.body
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            missing = {"__iter__", "batches"} - defined
+            if missing and defined & {"__iter__", "batches", "count"}:
+                violations.append(
+                    self.violation(
+                        module,
+                        node.lineno,
+                        f"Operator subclass {node.name} defines "
+                        f"{', '.join(sorted(defined & {'__iter__', 'batches', 'count'}))} "
+                        f"but not {', '.join(sorted(missing))}",
+                    )
+                )
+        return violations
+
+
+class PickleConfinementRule(LintRule):
+    """``pickle`` may appear only in the sort-spill codec.
+
+    Pickle deserialization executes arbitrary callables; the engine's only
+    sanctioned use is round-tripping its own spilled sort runs within a
+    single process, in :mod:`repro.core.sort`.  Any other import is either
+    an accidental persistence format (breaks cross-version compatibility)
+    or an injection surface.
+    """
+
+    id = "REPRO002"
+    rationale = (
+        "pickle is only safe for same-process spill files; anywhere else it "
+        "is an unstable storage format and a deserialization attack surface"
+    )
+    fix_hint = (
+        "use the record codec / struct packing for persistence, or move the "
+        "logic into the sort-spill codec if it genuinely spills"
+    )
+
+    def check(self, module: SourceModule) -> list[Violation]:
+        if module.relpath in PICKLE_ALLOWED:
+            return []
+        violations: list[Violation] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] == "pickle":
+                        violations.append(
+                            self.violation(
+                                module, node.lineno, "import of pickle"
+                            )
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if (node.module or "").split(".")[0] == "pickle":
+                    violations.append(
+                        self.violation(module, node.lineno, "import from pickle")
+                    )
+        return violations
+
+
+class MutableDefaultRule(LintRule):
+    """No mutable default arguments.
+
+    A ``def f(x, acc=[])`` default is created once and shared across calls;
+    in an engine where operators and plans are instantiated per query, a
+    shared accumulator is a cross-query state leak that only shows up under
+    repeated use.
+    """
+
+    id = "REPRO003"
+    rationale = (
+        "mutable defaults are shared across calls -- cross-query state "
+        "leaks in per-query operator trees"
+    )
+    fix_hint = "default to None and create the container inside the function"
+
+    _MUTABLE_NODES = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+    _MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "defaultdict", "deque"}
+
+    def check(self, module: SourceModule) -> list[Violation]:
+        violations: list[Violation] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                mutable = isinstance(default, self._MUTABLE_NODES) or (
+                    isinstance(default, ast.Call)
+                    and isinstance(default.func, ast.Name)
+                    and default.func.id in self._MUTABLE_CALLS
+                )
+                if mutable:
+                    violations.append(
+                        self.violation(
+                            module,
+                            default.lineno,
+                            f"mutable default argument in {node.name}()",
+                        )
+                    )
+        return violations
+
+
+class BareExceptRule(LintRule):
+    """No bare ``except:`` handlers.
+
+    A bare handler swallows ``KeyboardInterrupt``/``SystemExit`` and masks
+    invariant violations (the verifier's own errors included) as ordinary
+    control flow.
+    """
+
+    id = "REPRO004"
+    rationale = (
+        "bare except swallows KeyboardInterrupt/SystemExit and hides "
+        "invariant violations as control flow"
+    )
+    fix_hint = "catch the narrowest exception type the code can actually handle"
+
+    def check(self, module: SourceModule) -> list[Violation]:
+        return [
+            self.violation(module, node.lineno, "bare except clause")
+            for node in ast.walk(module.tree)
+            if isinstance(node, ast.ExceptHandler) and node.type is None
+        ]
+
+
+class LockOrderRule(LintRule):
+    """Multiple lock acquisitions must follow the canonical (sorted) order.
+
+    The ``LockManager`` detects deadlocks after the fact; the engine's
+    prevention discipline is that any loop acquiring more than one resource
+    iterates the resource names in sorted order (see
+    ``Transaction.commit``).  A loop body that calls ``acquire``/
+    ``_lock_branch`` over an unsorted iterable can deadlock against a
+    concurrent transaction taking the same locks in a different order.
+    """
+
+    id = "REPRO005"
+    rationale = (
+        "two transactions acquiring the same locks in different orders "
+        "deadlock; sorted acquisition is the prevention discipline"
+    )
+    fix_hint = "iterate sorted(resources) in any loop that acquires locks"
+
+    _ACQUIRE_NAMES = {"acquire", "_lock_branch"}
+
+    def _acquires(self, body: Sequence[ast.stmt]) -> int | None:
+        """Line of the first lock acquisition within ``body``, if any."""
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Call):
+                    func = node.func
+                    name = (
+                        func.attr
+                        if isinstance(func, ast.Attribute)
+                        else func.id if isinstance(func, ast.Name) else None
+                    )
+                    if name in self._ACQUIRE_NAMES:
+                        return node.lineno
+        return None
+
+    @staticmethod
+    def _is_sorted_iter(node: ast.expr) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "sorted"
+        )
+
+    def check(self, module: SourceModule) -> list[Violation]:
+        violations: list[Violation] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.For, ast.AsyncFor)):
+                continue
+            line = self._acquires(node.body)
+            if line is not None and not self._is_sorted_iter(node.iter):
+                violations.append(
+                    self.violation(
+                        module,
+                        line,
+                        "lock acquisition inside a loop over an unsorted "
+                        "iterable",
+                    )
+                )
+        return violations
+
+
+class BenchWallClockRule(LintRule):
+    """Benchmark code must not read the wall clock.
+
+    Measurement bodies use ``time.perf_counter`` (monotonic, high
+    resolution); ``time.time``/``datetime.now`` are subject to NTP steps
+    and DST, and any other wall-clock read in bench code is
+    nondeterminism that makes regression ratios unreproducible.
+    """
+
+    id = "REPRO006"
+    rationale = (
+        "wall-clock reads make bench numbers irreproducible; perf_counter "
+        "is the only sanctioned time source in measurement code"
+    )
+    fix_hint = "use time.perf_counter() for intervals"
+
+    def check(self, module: SourceModule) -> list[Violation]:
+        if not module.relpath.startswith("repro/bench/"):
+            return []
+        violations: list[Violation] = []
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+                continue
+            owner = node.func.value
+            owner_name = owner.id if isinstance(owner, ast.Name) else (
+                owner.attr if isinstance(owner, ast.Attribute) else None
+            )
+            if (owner_name, node.func.attr) in WALL_CLOCK_CALLS:
+                violations.append(
+                    self.violation(
+                        module,
+                        node.lineno,
+                        f"wall-clock call {owner_name}.{node.func.attr}() in "
+                        "bench code",
+                    )
+                )
+        return violations
+
+
+class EngineStatsParityRule(ProjectRule):
+    """Any ``EngineStats`` counter one engine touches, all three must touch.
+
+    The bench tables compare the three storage designs through their
+    counters; an engine that forgets to bump ``records_scanned`` (say)
+    produces numbers that look like a design win but are an accounting
+    hole.  This is the cross-file invariant no per-module check can see.
+    """
+
+    id = "REPRO007"
+    rationale = (
+        "bench comparisons read the same counters across engines; a "
+        "counter bumped by only some engines skews every table"
+    )
+    fix_hint = (
+        "bump the counter at the matching call site in the other engines "
+        "(or move the accounting into the shared base class)"
+    )
+
+    @staticmethod
+    def _counters(module: SourceModule) -> dict[str, int]:
+        """Counter names touched via ``<...>.stats.<name>``, with a line."""
+        counters: dict[str, int] = {}
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Attribute)
+                and node.value.attr == "stats"
+            ) or (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "stats"
+            ):
+                counters.setdefault(node.attr, node.lineno)
+        return counters
+
+    def check_project(self, modules: Sequence[SourceModule]) -> list[Violation]:
+        engines = {
+            module.relpath: module
+            for module in modules
+            if module.relpath in ENGINE_MODULES
+        }
+        if len(engines) < 2:
+            return []
+        per_engine = {
+            relpath: self._counters(module)
+            for relpath, module in engines.items()
+        }
+        union: set[str] = set()
+        for counters in per_engine.values():
+            union |= set(counters)
+        violations: list[Violation] = []
+        for relpath, counters in sorted(per_engine.items()):
+            missing = union - set(counters)
+            for name in sorted(missing):
+                touched_by = sorted(
+                    other for other, cs in per_engine.items() if name in cs
+                )
+                violations.append(
+                    Violation(
+                        self.id,
+                        relpath,
+                        1,
+                        f"EngineStats counter {name!r} is touched by "
+                        f"{', '.join(touched_by)} but not by this engine",
+                        self.fix_hint,
+                    )
+                )
+        return violations
+
+
+#: Every rule, in id order -- the default set run by ``scripts/lint.py``.
+ALL_RULES: tuple[LintRule, ...] = (
+    OperatorProtocolRule(),
+    PickleConfinementRule(),
+    MutableDefaultRule(),
+    BareExceptRule(),
+    LockOrderRule(),
+    BenchWallClockRule(),
+    EngineStatsParityRule(),
+)

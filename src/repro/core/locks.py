@@ -77,6 +77,9 @@ class LockManager:
                 if remaining <= 0 or not self._condition.wait(remaining):
                     if entry in lock.waiters:
                         lock.waiters.remove(entry)
+                    # A departing exclusive waiter may unblock readers that
+                    # queued behind it for fairness.
+                    self._condition.notify_all()
                     raise TransactionError(
                         f"timeout: transaction {transaction_id} could not lock "
                         f"{resource!r} in {mode.value} mode"
@@ -127,6 +130,18 @@ class LockManager:
             if holder != transaction_id
         }
         if mode is LockMode.SHARED:
+            # Writer fairness: a *new* reader queues behind a waiting
+            # exclusive request instead of joining the current shared
+            # holders -- otherwise a steady stream of readers starves the
+            # writer forever.  (Re-grants and upgrades never reach this
+            # branch: they early-return above or request EXCLUSIVE.)
+            writer_waiting = any(
+                waiting_mode is LockMode.EXCLUSIVE
+                and waiter != transaction_id
+                for waiter, waiting_mode in lock.waiters
+            )
+            if current is None and writer_waiting:
+                return False
             if all(held is LockMode.SHARED for held in others.values()):
                 lock.holders[transaction_id] = current or LockMode.SHARED
                 return True

@@ -55,6 +55,28 @@ class MergeConflictError(VersionError):
 class QueryError(DecibelError):
     """A versioned query could not be parsed, planned or executed."""
 
+    #: Character offset into the SQL text the error refers to, when known.
+    position: int | None = None
+
+
+class PlanInvariantError(QueryError):
+    """A logical plan violated an engine invariant before execution.
+
+    Raised by :mod:`repro.analysis.plan_check` when a plan fails one of the
+    static checks (schema propagation, execution-mode consistency, rewrite
+    legality, operator-protocol conformance).  ``rule`` names the violated
+    invariant class and ``node`` the offending plan node's label, so the
+    failure is actionable without re-running the query.
+    """
+
+    def __init__(self, rule: str, node: str, message: str):
+        super().__init__(
+            f"plan invariant [{rule}] violated at {node}: {message}"
+        )
+        self.rule = rule
+        self.node = node
+        self.detail = message
+
 
 class BenchmarkError(DecibelError):
     """The benchmark driver was configured inconsistently."""

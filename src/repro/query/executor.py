@@ -57,8 +57,16 @@ def explain_query(db: "Decibel", sql: str) -> str:
     so any fallback out of batch mode is visible per node; optimizer
     substitutions add their own tags (``[top-n k=n]`` for the
     Limit-over-Sort rewrite), so no rewrite is silent.
+
+    Explained plans are always run through the plan verifier
+    (:func:`repro.analysis.plan_check.verify_plan`): EXPLAIN is the
+    debugging surface, so an invariant-violating plan must fail loudly
+    here rather than render as if it were executable.
     """
+    from repro.analysis.plan_check import verify_plan
+
     plan = plan_query(db, sql)
+    verify_plan(plan, batched=select_execution_mode(plan))
     annotations: dict[int, list[str]] = {
         node_id: [tag] for node_id, tag in rewrite_labels(plan).items()
     }

@@ -27,6 +27,7 @@ version resolution happen in :mod:`repro.query.logical`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import NoReturn
 
 from repro.errors import QueryError
 from repro.query.tokenizer import Token, TokenType, tokenize
@@ -172,12 +173,18 @@ class _Parser:
         self._position += 1
         return token
 
+    def _error(self, message: str, position: int) -> NoReturn:
+        """Raise a :class:`QueryError` carrying the character ``position``."""
+        error = QueryError(f"{message} (position {position})")
+        error.position = position
+        raise error
+
     def _expect(self, token_type: TokenType, value: str | None = None) -> Token:
         token = self._peek()
         if not token.matches(token_type, value):
             wanted = value or token_type.value
-            raise QueryError(
-                f"expected {wanted!r} at position {token.position}, got {token.value!r}"
+            self._error(
+                f"expected {wanted!r}, got {token.value!r}", token.position
             )
         return self._advance()
 
@@ -229,9 +236,7 @@ class _Parser:
             token = self._expect(TokenType.NUMBER)
             limit = int(token.value)
             if limit < 0:
-                raise QueryError(
-                    f"LIMIT must be non-negative at position {token.position}"
-                )
+                self._error("LIMIT must be non-negative", token.position)
             query.limit = limit
         return query
 
@@ -242,9 +247,9 @@ class _Parser:
         items = [self._select_item()]
         while self._accept(TokenType.SYMBOL, ","):
             if self._peek().matches(TokenType.SYMBOL, "*"):
-                raise QueryError(
-                    f"'*' cannot be mixed with other select items "
-                    f"(position {self._peek().position})"
+                self._error(
+                    "'*' cannot be mixed with other select items",
+                    self._peek().position,
                 )
             items.append(self._select_item())
         return items
@@ -291,7 +296,10 @@ class _Parser:
                 self._condition_term(query)
                 continue
             if self._peek().matches(TokenType.KEYWORD, "or"):
-                raise QueryError("OR is not supported in this dialect")
+                self._error(
+                    "OR is not supported in this dialect",
+                    self._peek().position,
+                )
             return
 
     def _condition_term(self, query: SelectQuery) -> None:
@@ -312,7 +320,10 @@ class _Parser:
         op_token = self._expect(TokenType.SYMBOL)
         op = op_token.value
         if op not in ("=", "!=", "<>", "<", "<=", ">", ">="):
-            raise QueryError(f"unsupported operator {op!r} in WHERE clause")
+            self._error(
+                f"unsupported operator {op!r} in WHERE clause",
+                op_token.position,
+            )
         if column.lower() == VERSION_COLUMN:
             version = self._expect(TokenType.STRING).value
             query.version_conditions.append(
@@ -341,9 +352,12 @@ class _Parser:
     def _head_condition(self) -> HeadCondition:
         self._expect(TokenType.KEYWORD, "head")
         self._expect(TokenType.SYMBOL, "(")
+        column_token = self._peek()
         alias, column = self._qualified_column()
         if column.lower() != VERSION_COLUMN:
-            raise QueryError("HEAD() applies to a Version column")
+            self._error(
+                "HEAD() applies to a Version column", column_token.position
+            )
         self._expect(TokenType.SYMBOL, ")")
         self._expect(TokenType.SYMBOL, "=")
         if self._accept(TokenType.KEYWORD, "true"):
@@ -351,7 +365,10 @@ class _Parser:
         elif self._accept(TokenType.KEYWORD, "false"):
             value = False
         else:
-            raise QueryError("HEAD() must be compared against TRUE or FALSE")
+            self._error(
+                "HEAD() must be compared against TRUE or FALSE",
+                self._peek().position,
+            )
         return HeadCondition(alias=alias, value=value)
 
     def _qualified_column(self) -> tuple[str | None, str]:
@@ -375,8 +392,8 @@ class _Parser:
         if token.matches(TokenType.KEYWORD, "false"):
             self._advance()
             return False
-        raise QueryError(
-            f"expected a literal at position {token.position}, got {token.value!r}"
+        self._error(
+            f"expected a literal, got {token.value!r}", token.position
         )
 
 

@@ -311,12 +311,25 @@ def batch_native(plan: LogicalNode) -> bool:
     return operator.batches is not Operator.batches
 
 
-def execute_plan(plan: LogicalNode, *, batched: bool = True) -> QueryResult:
+def execute_plan(
+    plan: LogicalNode, *, batched: bool = True, verify: bool | None = None
+) -> QueryResult:
     """Run an optimized plan to completion and assemble the result.
 
     The operator tree is consumed batch-at-a-time, so per-record Python work
     in the result loop is limited to tuple slicing and appends.
+
+    ``verify`` runs the plan through the static invariant checks of
+    :mod:`repro.analysis.plan_check` before execution, raising
+    :class:`~repro.errors.PlanInvariantError` on a violated contract.
+    ``None`` defers to :func:`repro.analysis.plan_check.default_verify`
+    (on in the test suites, off otherwise).
     """
+    if verify or verify is None:
+        from repro.analysis import plan_check
+
+        if verify or plan_check.default_verify():
+            plan_check.verify_plan(plan, batched=batched)
     operator = build_physical(plan, batched=batched)
     result = QueryResult(columns=result_columns(plan))
     schema_names = plan.schema.column_names

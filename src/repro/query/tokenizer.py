@@ -57,6 +57,13 @@ class Token:
         return value is None or self.value.lower() == value.lower()
 
 
+def _lex_error(message: str, position: int) -> QueryError:
+    """A :class:`QueryError` with its ``position`` attribute populated."""
+    error = QueryError(f"{message} at position {position}")
+    error.position = position
+    return error
+
+
 def tokenize(sql: str) -> list[Token]:
     """Split ``sql`` into tokens, ending with a sentinel END token."""
     tokens: list[Token] = []
@@ -70,7 +77,7 @@ def tokenize(sql: str) -> list[Token]:
         if char == "'":
             end = sql.find("'", i + 1)
             if end < 0:
-                raise QueryError(f"unterminated string literal at position {i}")
+                raise _lex_error("unterminated string literal", i)
             tokens.append(Token(TokenType.STRING, sql[i + 1 : end], i))
             i = end + 1
             continue
@@ -98,6 +105,6 @@ def tokenize(sql: str) -> list[Token]:
                 i += len(symbol)
                 break
         else:
-            raise QueryError(f"unexpected character {char!r} at position {i}")
+            raise _lex_error(f"unexpected character {char!r}", i)
     tokens.append(Token(TokenType.END, "", n))
     return tokens

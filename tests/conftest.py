@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.analysis.plan_check import set_default_verify
 from repro.core.buffer_pool import BufferPool
 from repro.core.record import Record
 from repro.core.schema import Column, ColumnType, Schema
@@ -20,6 +21,10 @@ ENGINE_CLASSES = {
 
 #: A small page size so multi-page behaviour is exercised by small datasets.
 SMALL_PAGE_SIZE = 4096
+
+# Every plan executed by the test suite runs through the static plan
+# verifier, so an invariant regression fails the first query that hits it.
+set_default_verify(True)
 
 
 @pytest.fixture

@@ -1,0 +1,382 @@
+"""Tests for the engine lint rules (`repro.analysis.lint`).
+
+Each rule gets a seeded violation -- a minimal source snippet written the
+way the bug would actually be written -- plus a conforming snippet proving
+the rule does not fire on the idiom the repo uses.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import SourceModule, run_rules
+from repro.analysis.lint.rules import (
+    ALL_RULES,
+    BareExceptRule,
+    BenchWallClockRule,
+    EngineStatsParityRule,
+    LockOrderRule,
+    MutableDefaultRule,
+    OperatorProtocolRule,
+    PickleConfinementRule,
+)
+
+
+def module(relpath: str, source: str) -> SourceModule:
+    return SourceModule(
+        path=Path("/dev/null"), relpath=relpath, source=textwrap.dedent(source)
+    )
+
+
+def check(rule, relpath: str, source: str):
+    return rule.check(module(relpath, source))
+
+
+class TestRuleMetadata:
+    def test_every_rule_has_id_rationale_and_hint(self):
+        seen = set()
+        for rule in ALL_RULES:
+            assert rule.id.startswith("REPRO") and len(rule.id) == 8
+            assert rule.id not in seen, f"duplicate rule id {rule.id}"
+            seen.add(rule.id)
+            assert rule.rationale
+            assert rule.fix_hint
+
+    def test_violation_render_is_actionable(self):
+        violations = check(
+            BareExceptRule(),
+            "repro/x.py",
+            """
+            try:
+                pass
+            except:
+                pass
+            """,
+        )
+        rendered = violations[0].render()
+        assert rendered.startswith("repro/x.py:")
+        assert "[REPRO004]" in rendered
+        assert "fix:" in rendered
+
+
+class TestOperatorProtocolRule:
+    def test_iter_only_operator_flagged(self):
+        violations = check(
+            OperatorProtocolRule(),
+            "repro/core/operators.py",
+            """
+            class Broken(Operator):
+                def __iter__(self):
+                    return iter(())
+            """,
+        )
+        assert len(violations) == 1
+        assert "batches" in violations[0].message
+        assert "Broken" in violations[0].message
+
+    def test_batches_only_operator_flagged(self):
+        violations = check(
+            OperatorProtocolRule(),
+            "repro/core/operators.py",
+            """
+            class Broken(Operator):
+                def batches(self, batch_size=1024):
+                    yield []
+            """,
+        )
+        assert len(violations) == 1
+        assert "__iter__" in violations[0].message
+
+    def test_full_protocol_clean(self):
+        violations = check(
+            OperatorProtocolRule(),
+            "repro/core/operators.py",
+            """
+            class Fine(Operator):
+                def __iter__(self):
+                    return iter(())
+                def batches(self, batch_size=1024):
+                    yield []
+                def count(self):
+                    return 0
+            """,
+        )
+        assert violations == []
+
+    def test_non_operator_class_ignored(self):
+        violations = check(
+            OperatorProtocolRule(),
+            "repro/core/other.py",
+            """
+            class NotAnOperator:
+                def __iter__(self):
+                    return iter(())
+            """,
+        )
+        assert violations == []
+
+
+class TestPickleConfinementRule:
+    def test_import_outside_codec_flagged(self):
+        violations = check(
+            PickleConfinementRule(),
+            "repro/storage/hybrid.py",
+            "import pickle\n",
+        )
+        assert len(violations) == 1
+        assert "pickle" in violations[0].message
+
+    def test_from_import_flagged(self):
+        violations = check(
+            PickleConfinementRule(),
+            "repro/db/database.py",
+            "from pickle import dumps\n",
+        )
+        assert len(violations) == 1
+
+    def test_spill_codec_allowed(self):
+        violations = check(
+            PickleConfinementRule(), "repro/core/sort.py", "import pickle\n"
+        )
+        assert violations == []
+
+
+class TestMutableDefaultRule:
+    @pytest.mark.parametrize(
+        "default", ["[]", "{}", "set()", "dict()", "list()"]
+    )
+    def test_mutable_default_flagged(self, default):
+        violations = check(
+            MutableDefaultRule(),
+            "repro/x.py",
+            f"def f(x, acc={default}):\n    return acc\n",
+        )
+        assert len(violations) == 1
+        assert "f()" in violations[0].message
+
+    def test_keyword_only_default_flagged(self):
+        violations = check(
+            MutableDefaultRule(),
+            "repro/x.py",
+            "def f(x, *, acc=[]):\n    return acc\n",
+        )
+        assert len(violations) == 1
+
+    def test_none_default_clean(self):
+        violations = check(
+            MutableDefaultRule(),
+            "repro/x.py",
+            "def f(x, acc=None, n=3, name='a'):\n    return acc\n",
+        )
+        assert violations == []
+
+
+class TestBareExceptRule:
+    def test_bare_except_flagged(self):
+        violations = check(
+            BareExceptRule(),
+            "repro/x.py",
+            """
+            try:
+                pass
+            except:
+                pass
+            """,
+        )
+        assert len(violations) == 1
+
+    def test_typed_except_clean(self):
+        violations = check(
+            BareExceptRule(),
+            "repro/x.py",
+            """
+            try:
+                pass
+            except ValueError:
+                pass
+            except (KeyError, OSError) as exc:
+                raise exc
+            """,
+        )
+        assert violations == []
+
+
+class TestLockOrderRule:
+    def test_unsorted_loop_acquire_flagged(self):
+        violations = check(
+            LockOrderRule(),
+            "repro/core/transactions.py",
+            """
+            def commit(self):
+                for branch in self.branches:
+                    self.lock_manager.acquire(self.txid, branch, MODE)
+            """,
+        )
+        assert len(violations) == 1
+        assert "unsorted" in violations[0].message
+
+    def test_unsorted_loop_lock_branch_flagged(self):
+        violations = check(
+            LockOrderRule(),
+            "repro/core/transactions.py",
+            """
+            def commit(self):
+                for branch in {w.branch for w in self.writes}:
+                    self._lock_branch(branch)
+            """,
+        )
+        assert len(violations) == 1
+
+    def test_sorted_loop_clean(self):
+        violations = check(
+            LockOrderRule(),
+            "repro/core/transactions.py",
+            """
+            def commit(self):
+                for branch in sorted({w.branch for w in self.writes}):
+                    self._lock_branch(branch)
+            """,
+        )
+        assert violations == []
+
+    def test_single_acquire_outside_loop_clean(self):
+        violations = check(
+            LockOrderRule(),
+            "repro/core/transactions.py",
+            """
+            def delete(self, branch):
+                self._lock_branch(branch)
+            """,
+        )
+        assert violations == []
+
+
+class TestBenchWallClockRule:
+    def test_time_time_in_bench_flagged(self):
+        violations = check(
+            BenchWallClockRule(),
+            "repro/bench/driver.py",
+            """
+            import time
+            def measure():
+                start = time.time()
+                return time.time() - start
+            """,
+        )
+        assert len(violations) == 2
+        assert "time.time()" in violations[0].message
+
+    def test_datetime_now_in_bench_flagged(self):
+        violations = check(
+            BenchWallClockRule(),
+            "repro/bench/experiments.py",
+            """
+            from datetime import datetime
+            def stamp():
+                return datetime.now()
+            """,
+        )
+        assert len(violations) == 1
+
+    def test_perf_counter_clean(self):
+        violations = check(
+            BenchWallClockRule(),
+            "repro/bench/driver.py",
+            """
+            import time
+            def measure():
+                start = time.perf_counter()
+                return time.perf_counter() - start
+            """,
+        )
+        assert violations == []
+
+    def test_wall_clock_outside_bench_not_this_rules_problem(self):
+        violations = check(
+            BenchWallClockRule(),
+            "repro/versioning/commits.py",
+            "import time\nstamp = time.time()\n",
+        )
+        assert violations == []
+
+
+class TestEngineStatsParityRule:
+    ENGINES = (
+        "repro/storage/hybrid.py",
+        "repro/storage/tuple_first.py",
+        "repro/storage/version_first.py",
+    )
+
+    def _modules(self, sources: dict[str, str]):
+        return [module(relpath, text) for relpath, text in sources.items()]
+
+    def test_counter_missing_from_one_engine_flagged(self):
+        touch = "def f(self):\n    self.stats.records_scanned += 1\n"
+        silent = "def f(self):\n    pass\n"
+        rule = EngineStatsParityRule()
+        violations = rule.check_project(
+            self._modules(
+                {
+                    self.ENGINES[0]: touch,
+                    self.ENGINES[1]: touch,
+                    self.ENGINES[2]: silent,
+                }
+            )
+        )
+        assert len(violations) == 1
+        assert violations[0].path == self.ENGINES[2]
+        assert "records_scanned" in violations[0].message
+        # Names the engines that do touch it, so the fix site is known.
+        assert self.ENGINES[0] in violations[0].message
+
+    def test_parity_clean(self):
+        touch = (
+            "def f(self):\n"
+            "    self.stats.records_scanned += 1\n"
+            "    self.stats.diffs += 1\n"
+        )
+        rule = EngineStatsParityRule()
+        violations = rule.check_project(
+            self._modules({relpath: touch for relpath in self.ENGINES})
+        )
+        assert violations == []
+
+    def test_other_modules_do_not_participate(self):
+        rule = EngineStatsParityRule()
+        violations = rule.check_project(
+            self._modules(
+                {
+                    "repro/storage/base.py": (
+                        "def f(self):\n    self.stats.commits += 1\n"
+                    )
+                }
+            )
+        )
+        assert violations == []
+
+
+class TestRunRules:
+    def test_project_and_module_rules_compose(self):
+        modules = [
+            module(
+                "repro/x.py",
+                """
+                def f(acc=[]):
+                    try:
+                        return acc
+                    except:
+                        pass
+                """,
+            )
+        ]
+        violations = run_rules(modules, ALL_RULES)
+        ids = [violation.rule_id for violation in violations]
+        assert "REPRO003" in ids
+        assert "REPRO004" in ids
+        # Sorted by file/line so output is stable.
+        assert violations == sorted(
+            violations, key=lambda v: (v.path, v.line, v.rule_id)
+        )

@@ -1,0 +1,176 @@
+"""LockManager fairness and canonical lock-ordering tests.
+
+Runtime evidence backing two static rules: the plan for writer fairness
+(a writer queued behind readers is eventually granted -- new readers no
+longer overtake it), and the canonical sorted acquisition order enforced by
+lint rule REPRO005 (sorted order cannot deadlock; opposite orders do, and
+the manager detects it rather than hanging).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.locks import LockManager, LockMode
+from repro.errors import TransactionError
+
+
+def start(target) -> threading.Thread:
+    thread = threading.Thread(target=target, daemon=True)
+    thread.start()
+    return thread
+
+
+class TestWriterFairness:
+    def test_writer_behind_readers_eventually_granted(self):
+        manager = LockManager(timeout=5.0)
+        manager.acquire(1, "branch:a", LockMode.SHARED)
+        manager.acquire(2, "branch:a", LockMode.SHARED)
+
+        writer_granted = threading.Event()
+
+        def writer():
+            manager.acquire(3, "branch:a", LockMode.EXCLUSIVE)
+            writer_granted.set()
+
+        thread = start(writer)
+        # The writer is queued behind the two readers.
+        assert not writer_granted.wait(0.1)
+
+        manager.release_all(1)
+        manager.release_all(2)
+        assert writer_granted.wait(2.0), "writer starved behind readers"
+        thread.join(2.0)
+        assert manager.holds(3, "branch:a", LockMode.EXCLUSIVE)
+
+    def test_new_reader_queues_behind_waiting_writer(self):
+        manager = LockManager(timeout=5.0)
+        manager.acquire(1, "branch:a", LockMode.SHARED)
+
+        writer_granted = threading.Event()
+        late_reader_granted = threading.Event()
+        order: list[str] = []
+
+        def writer():
+            manager.acquire(2, "branch:a", LockMode.EXCLUSIVE)
+            order.append("writer")
+            writer_granted.set()
+
+        writer_thread = start(writer)
+        assert not writer_granted.wait(0.15)  # writer is now queued
+
+        def late_reader():
+            manager.acquire(3, "branch:a", LockMode.SHARED)
+            order.append("reader")
+            late_reader_granted.set()
+
+        reader_thread = start(late_reader)
+        # Without fairness the late reader would join holder 1 immediately
+        # and keep the writer starved; with it, the reader waits too.
+        assert not late_reader_granted.wait(0.15)
+
+        manager.release_all(1)
+        assert writer_granted.wait(2.0), "writer starved by late reader"
+        manager.release_all(2)
+        assert late_reader_granted.wait(2.0)
+        writer_thread.join(2.0)
+        reader_thread.join(2.0)
+        assert order == ["writer", "reader"]
+
+    def test_existing_reader_can_reacquire_past_waiting_writer(self):
+        # Re-granting a lock the reader already holds must not block behind
+        # the fairness rule (it is not a *new* reader).
+        manager = LockManager(timeout=5.0)
+        manager.acquire(1, "branch:a", LockMode.SHARED)
+
+        writer_granted = threading.Event()
+
+        def writer():
+            manager.acquire(2, "branch:a", LockMode.EXCLUSIVE)
+            writer_granted.set()
+
+        thread = start(writer)
+        threading.Event().wait(0.1)  # let the writer queue
+        manager.acquire(1, "branch:a", LockMode.SHARED)  # re-grant: immediate
+        assert manager.holds(1, "branch:a", LockMode.SHARED)
+        manager.release_all(1)
+        assert writer_granted.wait(2.0)
+        thread.join(2.0)
+
+
+class TestCanonicalOrdering:
+    """Sorted acquisition order cannot deadlock; opposite orders can."""
+
+    RESOURCES = ["branch:a", "branch:b"]
+
+    def _run_pair(self, first_order, second_order, barrier=None):
+        """Two transactions acquiring two locks; returns the errors raised.
+
+        With ``barrier``, each transaction holds its first lock until both
+        have it -- the classic hold-and-wait interleaving.
+        """
+        manager = LockManager(timeout=2.0)
+        errors: list[TransactionError] = []
+        lock = threading.Lock()
+
+        def transaction(txid: int, resources):
+            try:
+                manager.acquire(txid, resources[0], LockMode.EXCLUSIVE)
+                if barrier is not None:
+                    barrier.wait()
+                manager.acquire(txid, resources[1], LockMode.EXCLUSIVE)
+            except TransactionError as exc:
+                with lock:
+                    errors.append(exc)
+            finally:
+                manager.release_all(txid)
+
+        threads = [
+            start(lambda: transaction(1, first_order)),
+            start(lambda: transaction(2, second_order)),
+        ]
+        for thread in threads:
+            thread.join(10.0)
+        return errors
+
+    def test_sorted_order_never_deadlocks(self):
+        # Sorted acquisition makes hold-and-wait impossible: both
+        # transactions contend on the *first* resource, so the loser waits
+        # there holding nothing and the winner runs to completion.
+        errors = self._run_pair(sorted(self.RESOURCES), sorted(self.RESOURCES))
+        assert errors == []
+
+    def test_opposite_orders_deadlock_and_are_detected(self):
+        # Opposite orders + hold-and-wait (the barrier guarantees both hold
+        # their first lock) is the textbook deadlock; the manager must
+        # detect it (or time out) rather than hang.
+        barrier = threading.Barrier(2, timeout=5.0)
+        errors = self._run_pair(
+            sorted(self.RESOURCES),
+            sorted(self.RESOURCES, reverse=True),
+            barrier=barrier,
+        )
+        assert len(errors) >= 1
+        assert any(
+            "deadlock" in str(exc) or "timeout" in str(exc) for exc in errors
+        )
+
+    def test_commit_path_uses_sorted_order(self):
+        # The discipline REPRO005 lints for, verified against the real
+        # transaction code: multi-branch commits take locks in sorted order.
+        import ast
+        import inspect
+
+        from repro.core.transactions import Transaction
+
+        source = inspect.getsource(Transaction.commit)
+        tree = ast.parse("class _T:\n" + source.replace("\n", "\n "))
+        sorted_loops = [
+            node
+            for node in ast.walk(tree)
+            if isinstance(node, ast.For)
+            and isinstance(node.iter, ast.Call)
+            and isinstance(node.iter.func, ast.Name)
+            and node.iter.func.id == "sorted"
+        ]
+        assert sorted_loops, "commit() no longer iterates sorted branches"

@@ -1,0 +1,130 @@
+"""Parser/tokenizer error paths: malformed SQL must fail *well*.
+
+Every lexical or syntactic failure must surface as :class:`QueryError`
+carrying a character ``position`` -- never an ``IndexError``/``KeyError``
+escaping from the internals.  The property test throws garbled inputs
+(random strings, truncations and mutations of valid queries) at the parser
+to enforce the "never an internal error" half mechanically.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DecibelError, QueryError
+from repro.query.parser import parse_query
+from repro.query.tokenizer import tokenize
+
+VALID_QUERIES = [
+    "SELECT id, c1 FROM R WHERE R.Version = 'master'",
+    "SELECT count(*), c1 FROM R WHERE R.Version = 'x' GROUP BY c1",
+    "SELECT id FROM R WHERE HEAD(R.Version) = TRUE ORDER BY id DESC LIMIT 3",
+    "SELECT id FROM R WHERE R.Version = 'a' AND id NOT IN "
+    "(SELECT id FROM R WHERE R.Version = 'b')",
+]
+
+
+class TestTokenizerErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(QueryError) as exc:
+            tokenize("SELECT id FROM R WHERE R.Version = 'master")
+        assert exc.value.position == 35
+        assert "position 35" in str(exc.value)
+
+    def test_unexpected_character(self):
+        with pytest.raises(QueryError) as exc:
+            tokenize("SELECT id; DROP TABLE R")
+        assert exc.value.position == 9
+        assert "';'" in str(exc.value)
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize(
+        "sql, fragment",
+        [
+            ("SELECT", "expected"),
+            ("SELECT FROM R", "expected"),
+            ("SELECT id R", "'from'"),
+            ("SELECT id FROM", "expected"),
+            ("SELECT id, * FROM R", "'*' cannot be mixed"),
+            ("SELECT id FROM R WHERE", "expected"),
+            ("SELECT id FROM R WHERE id = ", "literal"),
+            ("SELECT id FROM R WHERE id = 1 OR c1 = 2", "OR is not supported"),
+            ("SELECT id FROM R WHERE HEAD(id) = TRUE", "Version column"),
+            (
+                "SELECT id FROM R WHERE HEAD(R.Version) = 1",
+                "TRUE or FALSE",
+            ),
+            ("SELECT id FROM R LIMIT -1", "non-negative"),
+            ("SELECT id FROM R WHERE id = 1 trailing", "expected"),
+        ],
+    )
+    def test_malformed_sql_raises_query_error_with_position(
+        self, sql, fragment
+    ):
+        with pytest.raises(QueryError) as exc:
+            parse_query(sql)
+        assert fragment in str(exc.value)
+        assert exc.value.position is not None
+        assert 0 <= exc.value.position <= len(sql) + 1
+        assert "position" in str(exc.value)
+
+    def test_position_points_at_offending_token(self):
+        sql = "SELECT id FROM R WHERE id = 1 OR c1 = 2"
+        with pytest.raises(QueryError) as exc:
+            parse_query(sql)
+        assert sql[exc.value.position : exc.value.position + 2] == "OR"
+
+    def test_valid_queries_still_parse(self):
+        for sql in VALID_QUERIES:
+            parse_query(sql)
+
+
+class TestGarbledInputProperty:
+    """No input, however garbled, may escape the QueryError contract."""
+
+    @given(st.text(max_size=80))
+    @settings(max_examples=300, deadline=None)
+    def test_arbitrary_text_never_raises_internal_errors(self, sql):
+        try:
+            parse_query(sql)
+        except QueryError:
+            pass  # the contract: structured failure only
+
+    @given(
+        st.sampled_from(VALID_QUERIES),
+        st.integers(min_value=0, max_value=80),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_truncations_of_valid_queries(self, sql, cut):
+        try:
+            parse_query(sql[: min(cut, len(sql))])
+        except QueryError:
+            pass
+
+    @given(
+        st.sampled_from(VALID_QUERIES),
+        st.integers(min_value=0, max_value=200),
+        st.characters(codec="ascii"),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_single_character_mutations(self, sql, index, char):
+        index = index % len(sql)
+        mutated = sql[:index] + char + sql[index + 1 :]
+        try:
+            parse_query(mutated)
+        except QueryError:
+            pass
+
+    @given(st.text(max_size=80))
+    @settings(max_examples=200, deadline=None)
+    def test_failures_carry_position_info(self, sql):
+        try:
+            parse_query(sql)
+        except QueryError as exc:
+            # Tokenizer and parser errors both thread the offset through.
+            assert exc.position is None or isinstance(exc.position, int)
+        except DecibelError:
+            pytest.fail("non-query DecibelError escaped the parser")

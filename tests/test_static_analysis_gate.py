@@ -1,0 +1,127 @@
+"""The static-analysis gate: the real source tree passes its own checks.
+
+The per-rule tests (`test_lint_rules.py`) prove each rule *can* fire; this
+module proves the tree is *currently* clean, which is what lets CI fail on
+any new violation with no warning-only mode.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+
+class TestLintGate:
+    def test_source_tree_is_lint_clean(self):
+        from repro.analysis.lint import run_lint
+
+        violations = run_lint(SRC)
+        assert violations == [], "\n".join(v.render() for v in violations)
+
+    def test_cli_exits_zero_on_clean_tree(self):
+        proc = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "scripts" / "lint.py")],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "clean" in proc.stdout
+
+    def test_cli_exits_nonzero_on_violation(self, tmp_path):
+        # A scratch tree with one seeded violation must fail the CLI.
+        package = tmp_path / "repro"
+        package.mkdir()
+        (package / "__init__.py").write_text("")
+        (package / "bad.py").write_text("def f(acc=[]):\n    return acc\n")
+        proc = subprocess.run(
+            [
+                sys.executable,
+                str(REPO_ROOT / "scripts" / "lint.py"),
+                "--root",
+                str(tmp_path),
+            ],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 1
+        assert "REPRO003" in proc.stdout
+
+    def test_cli_disable_flag(self, tmp_path):
+        package = tmp_path / "repro"
+        package.mkdir()
+        (package / "__init__.py").write_text("")
+        (package / "bad.py").write_text("def f(acc=[]):\n    return acc\n")
+        proc = subprocess.run(
+            [
+                sys.executable,
+                str(REPO_ROOT / "scripts" / "lint.py"),
+                "--root",
+                str(tmp_path),
+                "--disable",
+                "REPRO003",
+            ],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0
+
+    def test_cli_lists_rules(self):
+        proc = subprocess.run(
+            [
+                sys.executable,
+                str(REPO_ROOT / "scripts" / "lint.py"),
+                "--list",
+            ],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0
+        for rule_id in (
+            "REPRO001",
+            "REPRO002",
+            "REPRO003",
+            "REPRO004",
+            "REPRO005",
+            "REPRO006",
+            "REPRO007",
+        ):
+            assert rule_id in proc.stdout
+
+
+class TestTypedPackaging:
+    def test_py_typed_marker_ships(self):
+        assert (SRC / "repro" / "py.typed").is_file()
+
+    def test_pyproject_declares_tool_config(self):
+        text = (REPO_ROOT / "pyproject.toml").read_text()
+        assert "[tool.repro-lint]" in text
+        assert "[tool.mypy]" in text
+        assert 'repro = ["py.typed"]' in text
+
+
+class TestMypyGate:
+    """Typing gate; runs only where mypy is installed (CI installs it)."""
+
+    def test_mypy_clean_on_strict_packages(self):
+        pytest.importorskip("mypy")
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "mypy",
+                "--config-file",
+                str(REPO_ROOT / "pyproject.toml"),
+                "-p",
+                "repro",
+            ],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
