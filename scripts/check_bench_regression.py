@@ -2,9 +2,9 @@
 """Fail CI when measured speedup ratios regress against committed baselines.
 
 Compares a freshly measured bench JSON (``BENCH_pr4.json`` from the
-``operators`` experiment or ``BENCH_pr5.json`` from the ``sort-topn``
-experiment, typically at CI smoke scale) against the committed acceptance
-artifact.  Absolute times are machine-dependent, so the check is on the
+``operators`` experiment, ``BENCH_pr5.json`` from the ``sort-topn``
+experiment or ``BENCH_pr7.json`` from the ``columnar`` experiment,
+typically at CI smoke scale) against the committed acceptance artifact.  Absolute times are machine-dependent, so the check is on the
 *ratio*: for every workload present in both files, the fresh "fast side"
 median must not be more than ``--tolerance`` slower than what the fresh
 "slow side" median and the committed speedup predict, i.e.::
@@ -13,8 +13,9 @@ median must not be more than ``--tolerance`` slower than what the fresh
 
 which is equivalent to ``fresh_speedup >= committed_speedup / (1 + tol)``.
 
-The slow/fast sides are whichever ratio pair the entry records: streaming vs
-batched execution (PR 4) or full sort vs Top-N (PR 5).  Workloads whose
+The slow/fast sides are whichever ratio pair the entry records: row-batched
+vs columnar execution (PR 7), streaming vs batched execution (PR 4) or full
+sort vs Top-N (PR 5).  Workloads whose
 fresh slow-side median is below ``--min-seconds`` are skipped: at smoke
 scales a sub-millisecond query is scheduler noise, not a signal.  Workloads
 with committed speedup <= 1 (or no recorded speedup at all, such as the
@@ -28,8 +29,13 @@ import json
 import sys
 
 #: ``(slow_key, fast_key)`` pairs an entry may record its ratio under, in
-#: lookup order: streaming-vs-batched (PR 4) and full-sort-vs-Top-N (PR 5).
+#: lookup order: batched-vs-columnar (PR 7), streaming-vs-batched (PR 4)
+#: and full-sort-vs-Top-N (PR 5).  The columnar pair comes first so PR 7
+#: entries -- which carry all of streaming_s/batched_s/columnar_s -- gate
+#: the ratio their recorded ``speedup`` describes (batched / columnar);
+#: PR 4/5 entries lack ``columnar_s`` and fall through.
 RATIO_KEY_PAIRS = (
+    ("batched_s", "columnar_s"),
     ("streaming_s", "batched_s"),
     ("full_sort_s", "topn_s"),
 )

@@ -369,6 +369,59 @@ class EngineStatsParityRule(ProjectRule):
         return violations
 
 
+class ColumnarBoundaryRule(LintRule):
+    """No per-row ``Record`` construction inside ``column_batches`` bodies.
+
+    The columnar pipeline's whole speedup is that operators move typed
+    column arrays and never build per-row objects; rows exist only at the
+    declared boundaries (:meth:`ColumnBatch.from_records` /
+    :meth:`ColumnBatch.to_records` / :meth:`ColumnBatch.rows` and the
+    result builder in ``execute_plan``).  A ``Record(...)`` call inside an
+    operator's ``column_batches`` method reintroduces per-row object
+    construction under a columnar facade -- the batch protocol keeps
+    reporting columnar-native while the hot loop quietly pays the row tax.
+    """
+
+    id = "REPRO008"
+    rationale = (
+        "Record construction inside a column_batches body pays the per-row "
+        "object cost the columnar mode exists to avoid, invisibly to the "
+        "mode selector"
+    )
+    fix_hint = (
+        "move whole columns (take/slice/extend), or cross the row boundary "
+        "explicitly via ColumnBatch.rows()/to_records()/from_records() "
+        "outside the batch loop"
+    )
+
+    @staticmethod
+    def _is_record_call(node: ast.Call) -> bool:
+        func = node.func
+        if isinstance(func, ast.Name):
+            return func.id == "Record"
+        return isinstance(func, ast.Attribute) and func.attr == "Record"
+
+    def check(self, module: SourceModule) -> list[Violation]:
+        violations: list[Violation] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name != "column_batches":
+                continue
+            for inner in ast.walk(node):
+                if isinstance(inner, ast.Call) and self._is_record_call(inner):
+                    violations.append(
+                        self.violation(
+                            module,
+                            inner.lineno,
+                            "Record construction inside a column_batches "
+                            "body; rows may only materialize at the "
+                            "declared column/row boundaries",
+                        )
+                    )
+        return violations
+
+
 #: Every rule, in id order -- the default set run by ``scripts/lint.py``.
 ALL_RULES: tuple[LintRule, ...] = (
     OperatorProtocolRule(),
@@ -378,4 +431,5 @@ ALL_RULES: tuple[LintRule, ...] = (
     LockOrderRule(),
     BenchWallClockRule(),
     EngineStatsParityRule(),
+    ColumnarBoundaryRule(),
 )

@@ -22,8 +22,9 @@ plan and enforces four invariant classes:
 ``mode-consistency``
     The chosen execution mode is honoured by the whole operator tree: a
     batched plan may not contain a node whose physical operator lacks a
-    native batch path (no silent mid-pipeline fallback), and every node
-    carries an execution-mode EXPLAIN tag.
+    native batch path, a columnar plan additionally requires a native
+    column-batch path on every node (no silent mid-pipeline fallback
+    either way), and every node carries an execution-mode EXPLAIN tag.
 
 ``rewrite-legality``
     Optimizer rewrites only appear in the shapes that produce them: a
@@ -570,12 +571,19 @@ def _check_protocol(node: LogicalNode) -> None:
             f"physical operator {operator_cls.__name__} does not expose the "
             "batches() protocol",
         )
+    if not callable(getattr(operator_cls, "column_batches", None)):
+        _fail(
+            "operator-protocol",
+            node,
+            f"physical operator {operator_cls.__name__} does not expose the "
+            "column_batches() protocol",
+        )
 
 
-def _check_mode(plan: LogicalNode, batched: bool | None) -> None:
+def _check_mode(plan: LogicalNode, mode: str | None) -> None:
     """``mode-consistency``: the chosen mode is honoured by every node."""
     from repro.query.optimizer import execution_mode_labels
-    from repro.query.physical import batch_native
+    from repro.query.physical import batch_native, columnar_native
 
     labels = execution_mode_labels(plan)
 
@@ -587,13 +595,22 @@ def _check_mode(plan: LogicalNode, batched: bool | None) -> None:
                 "node carries no execution-mode EXPLAIN tag; every mode "
                 "decision must be visible in plan output",
             )
-        if batched and not batch_native(node):
+        if mode in ("batched", "columnar") and not batch_native(node):
             _fail(
                 "mode-consistency",
                 node,
-                "plan was selected for batched execution but this node's "
+                f"plan was selected for {mode} execution but this node's "
                 "physical operator has no native batch path; it would "
                 "silently degrade to tuple-at-a-time under a batch facade",
+            )
+        if mode == "columnar" and not columnar_native(node):
+            _fail(
+                "mode-consistency",
+                node,
+                "plan was selected for columnar execution but this node's "
+                "physical operator has no native column-batch path; it "
+                "would silently repackage row batches under a columnar "
+                "facade",
             )
         for child in node.children:
             walk(child)
@@ -601,15 +618,24 @@ def _check_mode(plan: LogicalNode, batched: bool | None) -> None:
     walk(plan)
 
 
-def verify_plan(plan: LogicalNode, *, batched: bool | None = None) -> None:
+def verify_plan(
+    plan: LogicalNode,
+    *,
+    batched: bool | None = None,
+    mode: str | None = None,
+) -> None:
     """Check every invariant class over ``plan``; raise on the first failure.
 
-    ``batched`` is the execution mode the caller intends to run the plan in
-    (``None`` skips the mode-specific half of the consistency check, e.g.
-    for plans that are only rendered).  Raises
+    ``mode`` is the execution mode the caller intends to run the plan in
+    (``"columnar"``, ``"batched"`` or ``"streaming"``); the legacy
+    ``batched`` flag maps ``True``/``False`` onto the latter two.  With
+    neither given the mode-specific half of the consistency check is
+    skipped (e.g. for plans that are only rendered).  Raises
     :class:`~repro.errors.PlanInvariantError`; returns ``None`` when the
     plan is sound.
     """
+    if mode is None and batched is not None:
+        mode = "batched" if batched else "streaming"
 
     def walk(node: LogicalNode, parent: LogicalNode | None) -> None:
         _check_protocol(node)
@@ -619,4 +645,4 @@ def verify_plan(plan: LogicalNode, *, batched: bool | None = None) -> None:
             walk(child, node)
 
     walk(plan, None)
-    _check_mode(plan, batched)
+    _check_mode(plan, mode)

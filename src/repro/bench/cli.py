@@ -92,6 +92,12 @@ EXPERIMENTS = {
             workdir, scale=scale, json_path=json_path
         ),
     ),
+    "columnar": (
+        "Columnar vs row-batched vs streaming execution (writes BENCH_pr7.json)",
+        lambda workdir, scale, json_path=None: experiments.columnar_execution(
+            workdir, scale=scale, json_path=json_path
+        ),
+    ),
     "ablation-orientation": (
         "Ablation: branch- vs tuple-oriented bitmaps (tuple-first)",
         lambda workdir, scale: experiments.ablation_bitmap_orientation(
@@ -153,9 +159,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--bench-json",
         default=None,
         help=(
-            "where the vectorized/operators/sort-topn experiments write "
-            "their JSON record (default: BENCH_pr3.json / BENCH_pr4.json / "
-            "BENCH_pr5.json inside the workdir)"
+            "where the vectorized/operators/sort-topn/columnar experiments "
+            "write their JSON record (default: BENCH_pr3.json / "
+            "BENCH_pr4.json / BENCH_pr5.json / BENCH_pr7.json inside the "
+            "workdir)"
         ),
     )
     parser.add_argument(

@@ -56,19 +56,34 @@ def _record_bytes(engine: VersionedStorageEngine, rows: int) -> int:
 
 
 def _run(
-    plan: LogicalNode, batched: bool = True, count_only: bool = False
+    plan: LogicalNode,
+    batched: bool = True,
+    count_only: bool = False,
+    mode: str | None = None,
 ) -> tuple[int, object]:
     """Optimize and execute a plan; returns (row count, physical root).
 
-    With ``batched=True`` the plan runs through the vectorized scan/filter
-    path and is consumed batch-at-a-time; ``batched=False`` forces the
-    original tuple-at-a-time pipeline.  Row counts (and rows) are identical.
-    ``count_only=True`` consumes the batched plan through the count-only
-    protocol (:meth:`Operator.count`), so cardinality-only measurements do
-    not pay for materializing output records.
+    ``mode`` picks the execution mode explicitly (``"streaming"``,
+    ``"batched"`` or ``"columnar"``); when it is ``None`` the legacy
+    ``batched`` flag selects between streaming and row-batched execution.
+    Row counts (and rows) are identical across modes.  ``count_only=True``
+    consumes batch-mode plans through the count-only protocol
+    (:meth:`Operator.count`), so cardinality-only measurements do not pay
+    for materializing output records.
     """
-    operator = build_physical(optimize(plan), batched=batched)
-    if batched:
+    if mode is None:
+        mode = "batched" if batched else "streaming"
+    operator = build_physical(
+        optimize(plan),
+        batched=mode != "streaming",
+        columnar=mode == "columnar",
+    )
+    if mode == "columnar":
+        if count_only:
+            rows = operator.count()
+        else:
+            rows = sum(batch.num_rows for batch in operator.column_batches())
+    elif mode == "batched":
         if count_only:
             rows = operator.count()
         else:
@@ -84,6 +99,7 @@ def query1_single_scan(
     predicate: Predicate | None = None,
     cold: bool = True,
     batched: bool = True,
+    mode: str | None = None,
 ) -> QueryMeasurement:
     """Query 1: scan and emit the active records in a single branch."""
     if cold:
@@ -92,7 +108,7 @@ def query1_single_scan(
         engine, BENCH_RELATION, BENCH_RELATION, "branch", branch, predicate
     )
     start = time.perf_counter()
-    rows, _ = _run(plan, batched)
+    rows, _ = _run(plan, batched, mode=mode)
     elapsed = time.perf_counter() - start
     return QueryMeasurement(
         query="Q1", seconds=elapsed, rows=rows, bytes_touched=_record_bytes(engine, rows)
@@ -105,6 +121,7 @@ def query2_positive_diff(
     branch_b: str,
     cold: bool = True,
     batched: bool = True,
+    mode: str | None = None,
 ) -> QueryMeasurement:
     """Query 2: emit the records in ``branch_a`` that do not appear in ``branch_b``.
 
@@ -124,7 +141,7 @@ def query2_positive_diff(
         include_modified=True,
     )
     start = time.perf_counter()
-    rows, operator = _run(plan, batched)
+    rows, operator = _run(plan, batched, mode=mode)
     elapsed = time.perf_counter() - start
     return QueryMeasurement(
         query="Q2",
@@ -141,6 +158,7 @@ def query3_join(
     predicate: Predicate | None = None,
     cold: bool = True,
     batched: bool = True,
+    mode: str | None = None,
 ) -> QueryMeasurement:
     """Query 3: primary-key join of two branches under a predicate.
 
@@ -163,7 +181,7 @@ def query3_join(
     )
     scanned_before = engine.stats.records_scanned
     start = time.perf_counter()
-    rows, _ = _run(plan, batched)
+    rows, _ = _run(plan, batched, mode=mode)
     elapsed = time.perf_counter() - start
     scanned = engine.stats.records_scanned - scanned_before
     return QueryMeasurement(
@@ -179,6 +197,7 @@ def query4_head_scan(
     predicate: Predicate | None = None,
     cold: bool = True,
     batched: bool = True,
+    mode: str | None = None,
 ) -> QueryMeasurement:
     """Query 4: scan all branch heads, emitting records with their branches.
 
@@ -196,7 +215,7 @@ def query4_head_scan(
     # annotated page scans, no branch-column records materialized.  (This is
     # the fix for the batched-Q4 harness regression recorded in
     # BENCH_pr3.json.)
-    rows, _ = _run(plan, batched, count_only=True)
+    rows, _ = _run(plan, batched, count_only=True, mode=mode)
     elapsed = time.perf_counter() - start
     return QueryMeasurement(
         query="Q4", seconds=elapsed, rows=rows, bytes_touched=_record_bytes(engine, rows)
@@ -212,6 +231,7 @@ def query6_order_by(
     budget_bytes: int | None = None,
     cold: bool = True,
     batched: bool = True,
+    mode: str | None = None,
 ) -> QueryMeasurement:
     """Query 6 (PR 5): ORDER BY over one branch head, optionally limited.
 
@@ -232,7 +252,7 @@ def query6_order_by(
     if limit is not None:
         plan = Limit(plan, limit)
     start = time.perf_counter()
-    rows, _ = _run(plan, batched)
+    rows, _ = _run(plan, batched, mode=mode)
     elapsed = time.perf_counter() - start
     return QueryMeasurement(
         query="Q6",
@@ -249,6 +269,7 @@ def query5_group_by(
     value_column: str = "c2",
     cold: bool = True,
     batched: bool = True,
+    mode: str | None = None,
 ) -> QueryMeasurement:
     """Query 5 (PR 4): grouped aggregation over one branch head.
 
@@ -270,7 +291,7 @@ def query5_group_by(
         ],
     )
     start = time.perf_counter()
-    rows, _ = _run(plan, batched)
+    rows, _ = _run(plan, batched, mode=mode)
     elapsed = time.perf_counter() - start
     return QueryMeasurement(
         query="Q5",

@@ -68,6 +68,11 @@ class _Frame:
     dirty: bool = False
     pin_count: int = 0
     flusher: Callable[[Page], None] | None = field(default=None, repr=False)
+    #: Bytes this frame is charged against the pool budget.  Taken from
+    #: ``page.memory_footprint()`` (raw image plus any cached column-array
+    #: payload) at admission and refreshed on hits, so columnar scans that
+    #: decode column views into resident pages stay inside the byte budget.
+    charged_bytes: int = 0
 
 
 class BufferPool:
@@ -77,7 +82,8 @@ class BufferPool:
     ----------
     capacity_bytes:
         Memory budget for cached page data.  Eviction keeps the sum of
-        resident page sizes at or under this budget.
+        resident page footprints (raw image plus cached column payload; see
+        :meth:`Page.memory_footprint`) at or under this budget.
     capacity_pages:
         Optional additional cap on the number of resident pages (mainly for
         tests that exercise eviction with a few small pages).
@@ -128,6 +134,7 @@ class BufferPool:
         if frame is not None:
             self.stats.hits += 1
             self._frames.move_to_end(page_id)
+            self._recharge(frame)
             return frame.page
         self.stats.misses += 1
         page = loader()
@@ -147,7 +154,9 @@ class BufferPool:
         """Insert (or overwrite) ``page`` in the pool."""
         existing = self._frames.get(page.page_id)
         if existing is not None:
-            self._resident_bytes += page.page_size - existing.page.page_size
+            incoming = page.memory_footprint()
+            self._resident_bytes += incoming - existing.charged_bytes
+            existing.charged_bytes = incoming
             existing.page = page
             existing.dirty = existing.dirty or dirty
             if flusher is not None:
@@ -198,7 +207,7 @@ class BufferPool:
         for page_id in to_drop:
             frame = self._frames.pop(page_id)
             self._flush_frame(frame)
-            self._resident_bytes -= frame.page.page_size
+            self._resident_bytes -= frame.charged_bytes
 
     def clear(self) -> None:
         """Flush and drop every cached page (cold-cache simulation)."""
@@ -222,8 +231,24 @@ class BufferPool:
             and len(self._frames) >= self.capacity_pages
         )
 
+    def _recharge(self, frame: _Frame) -> None:
+        """Refresh a resident frame's byte charge from its page.
+
+        A page's footprint can grow after admission (a columnar scan caching
+        its column view) or shrink (an append invalidating it); the charge is
+        trued up on every hit so ``resident_bytes`` tracks real payload.  A
+        growth may leave the pool transiently over budget -- the next
+        admission evicts back down, the same forgiveness the all-pinned path
+        gets.
+        """
+        footprint = frame.page.memory_footprint()
+        if footprint != frame.charged_bytes:
+            self._resident_bytes += footprint - frame.charged_bytes
+            frame.charged_bytes = footprint
+
     def _admit(self, page_id: PageId, frame: _Frame) -> None:
-        incoming = frame.page.page_size
+        incoming = frame.page.memory_footprint()
+        frame.charged_bytes = incoming
         while self._frames and self._over_budget(incoming):
             victim_id = self._pick_victim()
             if victim_id is None:
@@ -232,7 +257,7 @@ class BufferPool:
                 break
             victim = self._frames.pop(victim_id)
             self._flush_frame(victim)
-            self._resident_bytes -= victim.page.page_size
+            self._resident_bytes -= victim.charged_bytes
             self.stats.evictions += 1
         self._frames[page_id] = frame
         self._resident_bytes += incoming

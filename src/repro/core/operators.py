@@ -18,10 +18,15 @@ from typing import Callable, Iterable, Iterator, Sequence
 
 from operator import itemgetter
 
-from repro.core.predicates import Predicate, compile_predicate
+from repro.core.columns import ColumnBatch
+from repro.core.predicates import (
+    Predicate,
+    compile_column_filter,
+    compile_predicate,
+)
 from repro.core.record import Record
 from repro.core.schema import Column, ColumnType, Schema
-from repro.core.sort import ExternalRunSorter, make_sort_key
+from repro.core.sort import ExternalRunSorter, make_sort_key, make_values_sort_key
 from repro.errors import QueryError
 
 #: Records per batch moved between batch-aware operators.
@@ -126,6 +131,23 @@ class Operator:
         """
         yield from chunk_iterable(self, batch_size)
 
+    def column_batches(
+        self, batch_size: int = DEFAULT_BATCH_SIZE
+    ) -> Iterator[ColumnBatch]:
+        """Yield the operator's output as :class:`ColumnBatch`es.
+
+        The third consumption mode: the same rows, in the same order, carried
+        as typed column arrays.  The default adapts :meth:`batches` at the
+        declared row/column boundary; operators with a native columnar path
+        override it to move whole columns without building row objects, and
+        the optimizer only selects columnar execution for plans where every
+        operator has such an override (see
+        ``repro.query.optimizer.select_execution_mode``).
+        """
+        schema = self.schema
+        for batch in self.batches(batch_size):
+            yield ColumnBatch.from_records(schema, batch)
+
     def count(self) -> int:
         """Number of records this operator produces (cardinality only).
 
@@ -141,11 +163,13 @@ class SeqScan(Operator):
 
     ``batch_source`` may supply an iterable of record *lists* (such as a
     storage engine's ``scan_branch_batched``); it feeds :meth:`batches`
-    directly and is flattened for :meth:`__iter__`.  Exactly one of
-    ``source``/``batch_source`` is consumed, and like the plain record
-    iterator it is single-shot.  ``count_source`` optionally supplies an
-    engine-side cardinality shortcut (e.g. a bitmap popcount) used by
-    :meth:`count` instead of consuming the scan.
+    directly and is flattened for :meth:`__iter__`.  ``column_source`` may
+    supply an iterable of :class:`ColumnBatch`es (an engine's
+    ``scan_branch_columns``) feeding :meth:`column_batches` the same way.
+    Exactly one of the sources is consumed per execution, and like the plain
+    record iterator each is single-shot.  ``count_source`` optionally
+    supplies an engine-side cardinality shortcut (e.g. a bitmap popcount)
+    used by :meth:`count` instead of consuming the scan.
     """
 
     def __init__(
@@ -154,11 +178,13 @@ class SeqScan(Operator):
         schema: Schema,
         batch_source: Iterable[list[Record]] | None = None,
         count_source: Callable[[], int] | None = None,
+        column_source: Iterable[ColumnBatch] | None = None,
     ):
         self.source = source
         self.schema = schema
         self.batch_source = batch_source
         self.count_source = count_source
+        self.column_source = column_source
 
     def __iter__(self) -> Iterator[Record]:
         if self.batch_source is not None:
@@ -172,6 +198,16 @@ class SeqScan(Operator):
             yield from self.batch_source
             return
         yield from super().batches(batch_size)
+
+    def column_batches(
+        self, batch_size: int = DEFAULT_BATCH_SIZE
+    ) -> Iterator[ColumnBatch]:
+        """Engine column scans pass through; record sources pivot at the
+        scan, which is the columnar pipeline's declared source boundary."""
+        if self.column_source is not None:
+            yield from self.column_source
+            return
+        yield from super().column_batches(batch_size)
 
     def count(self) -> int:
         if self.count_source is not None:
@@ -200,6 +236,36 @@ class Filter(Operator):
             kept = [record for record in batch if matches(record.values)]
             if kept:
                 yield kept
+
+    def column_batches(
+        self, batch_size: int = DEFAULT_BATCH_SIZE
+    ) -> Iterator[ColumnBatch]:
+        """Vectorized selection: the compiled column filter returns matching
+        row indexes straight off the column arrays; a full-match batch passes
+        through untouched and a partial match gathers once per column."""
+        select = compile_column_filter(self.predicate, self.schema)
+        matches = (
+            compile_predicate(self.predicate, self.schema)
+            if select is None
+            else None
+        )
+        for batch in self.child.column_batches(batch_size):
+            if select is not None:
+                selection = select(batch.columns, batch.num_rows)
+            else:
+                # Custom predicate without a column-vector form: evaluate
+                # row values at the batch boundary (tuples, not records).
+                selection = [
+                    i
+                    for i, values in enumerate(batch.rows())
+                    if matches(values)
+                ]
+            if not selection:
+                continue
+            if len(selection) == batch.num_rows:
+                yield batch
+            else:
+                yield batch.take(selection)
 
 
 def project_schema(child_schema: Schema, columns: Sequence[str]) -> Schema:
@@ -245,6 +311,15 @@ class Project(Operator):
         for batch in self.child.batches(batch_size):
             yield [Record(pick(record.values)) for record in batch]
 
+    def column_batches(
+        self, batch_size: int = DEFAULT_BATCH_SIZE
+    ) -> Iterator[ColumnBatch]:
+        """Zero-copy projection: reorder/subset the column containers."""
+        indexes = self._indexes
+        schema = self.schema
+        for batch in self.child.column_batches(batch_size):
+            yield batch.select_columns(indexes, schema)
+
     def count(self) -> int:
         # Projection never changes cardinality; skip building output records.
         return self.child.count()
@@ -280,6 +355,20 @@ class Limit(Operator):
                 remaining -= len(batch)
             else:
                 yield batch[:remaining]
+                return
+
+    def column_batches(
+        self, batch_size: int = DEFAULT_BATCH_SIZE
+    ) -> Iterator[ColumnBatch]:
+        remaining = self.n
+        if remaining == 0:
+            return
+        for batch in self.child.column_batches(batch_size):
+            if batch.num_rows < remaining:
+                yield batch
+                remaining -= batch.num_rows
+            else:
+                yield batch.head(remaining)
                 return
 
     def count(self) -> int:
@@ -384,6 +473,45 @@ class HashJoin(Operator):
         if out:
             yield out
 
+    def column_batches(
+        self, batch_size: int = DEFAULT_BATCH_SIZE
+    ) -> Iterator[ColumnBatch]:
+        """Columnar build and probe: hash keys come straight off the key
+        column arrays (single-column joins index one array, composite joins
+        zip the key columns) -- rows are assembled only for matches, as value
+        tuples at the output boundary."""
+        build_indexes = [self.left.schema.index_of(c) for c in self.left_columns]
+        probe_indexes = [self.right.schema.index_of(c) for c in self.right_columns]
+        table: dict = {}
+        for batch in self.left.column_batches(batch_size):
+            if len(build_indexes) == 1:
+                keys = batch.columns[build_indexes[0]]
+            else:
+                keys = zip(*(batch.columns[i] for i in build_indexes))
+            for key, row in zip(keys, batch.rows()):
+                bucket = table.get(key)
+                if bucket is None:
+                    table[key] = [row]
+                else:
+                    bucket.append(row)
+        get_bucket = table.get
+        schema = self.schema
+        out_rows: list[tuple] = []
+        for batch in self.right.column_batches(batch_size):
+            if len(probe_indexes) == 1:
+                keys = batch.columns[probe_indexes[0]]
+            else:
+                keys = zip(*(batch.columns[i] for i in probe_indexes))
+            for key, row in zip(keys, batch.rows()):
+                bucket = get_bucket(key)
+                if bucket:
+                    out_rows.extend(match + row for match in bucket)
+            if len(out_rows) >= batch_size:
+                yield ColumnBatch.from_rows(schema, out_rows)
+                out_rows = []
+        if out_rows:
+            yield ColumnBatch.from_rows(schema, out_rows)
+
 
 class HashAntiJoin(Operator):
     """Anti semi-join: outer records whose key has no match in the inner side.
@@ -429,6 +557,28 @@ class HashAntiJoin(Operator):
             ]
             if kept:
                 yield kept
+
+    def column_batches(
+        self, batch_size: int = DEFAULT_BATCH_SIZE
+    ) -> Iterator[ColumnBatch]:
+        """The inner key set is filled with ``set.update`` over whole key
+        columns; outer batches are filtered by key-column selection."""
+        inner_index = self.inner.schema.index_of(self.inner_column)
+        outer_index = self.outer.schema.index_of(self.outer_column)
+        inner_keys: set = set()
+        for batch in self.inner.column_batches(batch_size):
+            inner_keys.update(batch.columns[inner_index])
+        for batch in self.outer.column_batches(batch_size):
+            column = batch.columns[outer_index]
+            selection = [
+                i for i, key in enumerate(column) if key not in inner_keys
+            ]
+            if not selection:
+                continue
+            if len(selection) == batch.num_rows:
+                yield batch
+            else:
+                yield batch.take(selection)
 
 
 class OrderBy(Operator):
@@ -478,6 +628,24 @@ class OrderBy(Operator):
         """Sorted runs under the byte budget, merged and re-batched."""
         yield from chunk_iterable(self._merged(batch_size), batch_size)
 
+    def column_batches(
+        self, batch_size: int = DEFAULT_BATCH_SIZE
+    ) -> Iterator[ColumnBatch]:
+        """Columnar sort pivots through rows: ordering is inherently
+        row-wise, so batches cross the declared row boundary into the
+        memory-bounded run sorter (keeping the spill machinery and its byte
+        budget) and the merged output pivots back to columns."""
+        sorter = ExternalRunSorter(self._key, budget_bytes=self.budget_bytes)
+        try:
+            for batch in self.child.column_batches(batch_size):
+                sorter.add_batch(batch.to_records())
+            self.spilled_runs = sorter.spilled_runs
+            schema = self.schema
+            for chunk in chunk_iterable(sorter.merged(), batch_size):
+                yield ColumnBatch.from_records(schema, chunk)
+        finally:
+            sorter.close()
+
     def count(self) -> int:
         # Ordering never changes cardinality; skip the sort entirely.
         return self.child.count()
@@ -521,6 +689,25 @@ class TopN(Operator):
         for start in range(0, len(top), batch_size):
             yield top[start : start + batch_size]
 
+    def column_batches(
+        self, batch_size: int = DEFAULT_BATCH_SIZE
+    ) -> Iterator[ColumnBatch]:
+        """The bounded heap orders bare value tuples (via
+        :func:`make_values_sort_key`, the same key encoding as row mode, so
+        ties break identically) -- no record objects anywhere."""
+        if self.n == 0:
+            return
+        key = make_values_sort_key(self.schema, self.keys)
+        rows = (
+            values
+            for batch in self.child.column_batches(batch_size)
+            for values in batch.rows()
+        )
+        top = heapq.nsmallest(self.n, rows, key=key)
+        schema = self.schema
+        for start in range(0, len(top), batch_size):
+            yield ColumnBatch.from_rows(schema, top[start : start + batch_size])
+
     def count(self) -> int:
         # Cardinality is the child's, capped at n; no heap work needed.
         return min(self.n, self.child.count())
@@ -553,6 +740,27 @@ class Distinct(Operator):
                     keep(record)
             if kept:
                 yield kept
+
+    def column_batches(
+        self, batch_size: int = DEFAULT_BATCH_SIZE
+    ) -> Iterator[ColumnBatch]:
+        """Dedup keys are whole-row value tuples (one ``zip`` per batch);
+        surviving row indexes gather the output columns."""
+        seen: set[tuple] = set()
+        seen_add = seen.add
+        for batch in self.child.column_batches(batch_size):
+            selection: list[int] = []
+            select = selection.append
+            for i, values in enumerate(batch.rows()):
+                if values not in seen:
+                    seen_add(values)
+                    select(i)
+            if not selection:
+                continue
+            if len(selection) == batch.num_rows:
+                yield batch
+            else:
+                yield batch.take(selection)
 
 
 # -- batch aggregation folds ---------------------------------------------------
@@ -650,6 +858,36 @@ def _scalar_aggregate(
     for batch in batches:
         total += sum(record.values[value_index] for record in batch)
         n += len(batch)
+    if function == "avg":
+        return total / n if n else None
+    return total if n else None
+
+
+def _scalar_aggregate_columns(
+    batches: Iterable[ColumnBatch], function: str, value_index: int
+):
+    """Fold one ungrouped aggregate over column batches.
+
+    The array-backed accumulator path: ``sum``/``min``/``max`` reduce the
+    typed value arrays directly with the C-implemented builtins -- no value
+    is ever lifted into a row.  Empty input follows SQL semantics (``count``
+    is 0, everything else NULL), as in :func:`_scalar_aggregate`.
+    """
+    if function == "count":
+        return sum(batch.num_rows for batch in batches)
+    if function in ("min", "max"):
+        pick = min if function == "min" else max
+        best = _MISSING
+        for batch in batches:
+            if batch.num_rows:
+                candidate = pick(batch.columns[value_index])
+                best = candidate if best is _MISSING else pick(best, candidate)
+        return None if best is _MISSING else best
+    total = 0
+    n = 0
+    for batch in batches:
+        total += sum(batch.columns[value_index])
+        n += batch.num_rows
     if function == "avg":
         return total / n if n else None
     return total if n else None
@@ -754,6 +992,44 @@ class Aggregate(Operator):
         for start in range(0, len(rows), batch_size):
             yield rows[start : start + batch_size]
 
+    def column_batches(
+        self, batch_size: int = DEFAULT_BATCH_SIZE
+    ) -> Iterator[ColumnBatch]:
+        """Columnar fold: group keys and aggregate inputs are the child's
+        column arrays themselves, and the output is built column-wise."""
+        child_schema = self.child.schema
+        value_index = child_schema.index_of(self.column)
+        function = self.function
+        schema = self.schema
+        if self.group_by is None:
+            result = _scalar_aggregate_columns(
+                self.child.column_batches(batch_size), function, value_index
+            )
+            yield ColumnBatch.from_rows(schema, [(result,)])
+            return
+        group_index = child_schema.index_of(self.group_by)
+        fold = _BATCH_FOLDS[function]
+        finalize = _BATCH_FINALIZERS.get(function)
+        state: dict = _fold_state(function)
+        for batch in self.child.column_batches(batch_size):
+            fold(
+                state,
+                batch.columns[group_index],
+                None if function == "count" else batch.columns[value_index],
+            )
+        group_keys = sorted(state)
+        out_values = [
+            finalize(state[key]) if finalize else state[key]
+            for key in group_keys
+        ]
+        out = ColumnBatch(schema, (group_keys, out_values))
+        if out.num_rows <= batch_size:
+            if out.num_rows:
+                yield out
+            return
+        for start in range(0, out.num_rows, batch_size):
+            yield out.slice(start, start + batch_size)
+
 
 class GroupAggregate(Operator):
     """Grouped aggregation over any number of keys and aggregate expressions.
@@ -839,9 +1115,10 @@ class GroupAggregate(Operator):
         for start in range(0, len(rows), batch_size):
             yield rows[start : start + batch_size]
 
-    def _folded_rows(self, batch_size: int) -> list[Record]:
+    def _agg_specs(self) -> tuple[list[tuple], list[dict]]:
+        """Per-aggregate ``(fold, finalize, input_index)`` specs and fresh
+        fold states, shared by the row-batch and columnar fold loops."""
         child_schema = self.child.schema
-        group_indexes = [child_schema.index_of(c) for c in self.group_by]
         specs: list[tuple] = []
         states: list[dict] = []
         for _, function, argument in self.aggregates:
@@ -850,6 +1127,39 @@ class GroupAggregate(Operator):
                 (_BATCH_FOLDS[function], _BATCH_FINALIZERS.get(function), index)
             )
             states.append(_fold_state(function))
+        return specs, states
+
+    def _empty_row(self) -> tuple:
+        """The one output row for empty ungrouped input: SQL empty-input
+        results (count -> 0, others -> NULL), as in __iter__."""
+        return tuple(
+            0 if function == "count" else None
+            for _, function, _ in self.aggregates
+        )
+
+    def _finalized_columns(
+        self, specs: list[tuple], states: list[dict], seen: set
+    ) -> tuple[list, list[list]]:
+        """Sorted group keys plus one finalized output column per aggregate.
+
+        Column-wise emission shared by both batch modes: one finalized list
+        per aggregate, aligned with the sorted keys (no per-row state
+        probing).  Every fold sees every record, so any one state holds all
+        group keys (``seen`` covers the no-aggregates case).
+        """
+        group_keys = sorted(states[0]) if states else sorted(seen)
+        agg_columns: list[list] = []
+        for (_, finalize, _), state in zip(specs, states):
+            if finalize is None:
+                agg_columns.append([state[key] for key in group_keys])
+            else:
+                agg_columns.append([finalize(state[key]) for key in group_keys])
+        return group_keys, agg_columns
+
+    def _folded_rows(self, batch_size: int) -> list[Record]:
+        child_schema = self.child.schema
+        group_indexes = [child_schema.index_of(c) for c in self.group_by]
+        specs, states = self._agg_specs()
         single = len(group_indexes) == 1
         if single:
             group_index = group_indexes[0]
@@ -876,27 +1186,9 @@ class GroupAggregate(Operator):
                         column = [record.values[index] for record in batch]
                         columns[index] = column
                     fold(state, keys, column)
-        # Every fold sees every record, so any one state holds all group keys.
-        group_keys = sorted(states[0]) if states else sorted(seen)
+        group_keys, agg_columns = self._finalized_columns(specs, states, seen)
         if not self.group_by and not group_keys:
-            # No input rows and no grouping: one row of SQL empty-input
-            # results (count -> 0, others -> NULL), as in __iter__.
-            return [
-                Record(
-                    tuple(
-                        0 if function == "count" else None
-                        for _, function, _ in self.aggregates
-                    )
-                )
-            ]
-        # Column-wise emission: one finalized list per aggregate, zipped with
-        # the sorted keys into output tuples (no per-row state probing).
-        agg_columns: list[list] = []
-        for (_, finalize, _), state in zip(specs, states):
-            if finalize is None:
-                agg_columns.append([state[key] for key in group_keys])
-            else:
-                agg_columns.append([finalize(state[key]) for key in group_keys])
+            return [Record(self._empty_row())]
         if single:
             return [Record(values) for values in zip(group_keys, *agg_columns)]
         if not group_indexes:
@@ -906,6 +1198,55 @@ class GroupAggregate(Operator):
             Record(key + tuple(aggs))
             for key, *aggs in zip(group_keys, *agg_columns)
         ]
+
+    def column_batches(
+        self, batch_size: int = DEFAULT_BATCH_SIZE
+    ) -> Iterator[ColumnBatch]:
+        """Columnar grouped fold: the group-key and aggregate-input columns
+        are the child's column arrays themselves (zero extraction work --
+        the array-backed accumulator path carried over from the row-batch
+        fold), and the output is assembled column-wise.  Groups emit in
+        sorted key order, identical to the other modes."""
+        child_schema = self.child.schema
+        group_indexes = [child_schema.index_of(c) for c in self.group_by]
+        specs, states = self._agg_specs()
+        single = len(group_indexes) == 1
+        seen: set = set()  # group keys when there are no aggregates to fold
+        for batch in self.child.column_batches(batch_size):
+            columns = batch.columns
+            if single:
+                keys = columns[group_indexes[0]]
+            elif group_indexes:
+                keys = list(zip(*(columns[i] for i in group_indexes)))
+            else:
+                keys = [()] * batch.num_rows
+            if not states:
+                seen.update(keys)
+                continue
+            for (fold, _, index), state in zip(specs, states):
+                fold(state, keys, None if index is None else columns[index])
+        group_keys, agg_columns = self._finalized_columns(specs, states, seen)
+        schema = self.schema
+        if not self.group_by and not group_keys:
+            yield ColumnBatch.from_rows(schema, [self._empty_row()])
+            return
+        if not group_keys:
+            return
+        if single:
+            out_columns = [list(group_keys), *agg_columns]
+        elif group_indexes:
+            out_columns = [
+                list(part) for part in zip(*group_keys)
+            ] + agg_columns
+        else:
+            # Exactly one (ungrouped) row; its key contributes no columns.
+            out_columns = agg_columns
+        out = ColumnBatch(schema, out_columns)
+        if out.num_rows <= batch_size:
+            yield out
+            return
+        for start in range(0, out.num_rows, batch_size):
+            yield out.slice(start, start + batch_size)
 
 
 def materialize(operator: Operator) -> list[Record]:

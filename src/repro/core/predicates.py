@@ -64,6 +64,21 @@ class Predicate(ABC):
         """
         return None
 
+    def _column_expr(
+        self, schema: Schema, constants: list, used: "set[int]"
+    ) -> str | None:
+        """A column-vector expression equivalent to :meth:`evaluate`.
+
+        References the row-``_i`` value of column ``j`` as ``_cols[j][_i]``
+        and records every touched column index in ``used``; constants bind
+        through ``_c[i]`` exactly as in :meth:`_expr`.  The columnar filter
+        compiler inlines this into an index-selection comprehension over
+        whole column arrays.  ``None`` means "not expressible" -- columnar
+        callers then fall back to row-at-a-time evaluation at the batch
+        boundary.
+        """
+        return None
+
     def __and__(self, other: "Predicate") -> "Predicate":
         return And(self, other)
 
@@ -104,6 +119,84 @@ def _compile_batch_cached(schema: Schema, predicate: Predicate):
     filter_fn = eval(source, {"__builtins__": {}}, {})  # noqa: S307
     bound = tuple(constants)
     return lambda records: filter_fn(records, bound)
+
+
+@lru_cache(maxsize=512)
+def _compile_column_cached(schema: Schema, predicate: Predicate):
+    constants: list = []
+    used: set[int] = set()
+    expr = predicate._column_expr(schema, constants, used)
+    if expr is None:
+        return None
+    if len(used) == 1:
+        # Single-column predicates (the common scan shape) iterate that one
+        # array directly instead of indexing into it per row.
+        (index,) = used
+        body = expr.replace(f"_cols[{index}][_i]", "_v")
+        source = (
+            "lambda _cols, _n, _c: "
+            f"[_i for _i, _v in enumerate(_cols[{index}]) if {body}]"
+        )
+    else:
+        source = f"lambda _cols, _n, _c: [_i for _i in range(_n) if {expr}]"
+    # As with the batch filter, the source is assembled only from validated
+    # operator symbols, integer column indexes and ``_c[i]`` references.
+    select_fn = eval(  # noqa: S307
+        source,
+        {"__builtins__": {"enumerate": enumerate, "range": range}},
+        {},
+    )
+    bound = tuple(constants)
+    return lambda columns, num_rows: select_fn(columns, num_rows, bound)
+
+
+@lru_cache(maxsize=512)
+def _column_uses_cached(
+    schema: Schema, predicate: Predicate
+) -> "frozenset[int] | None":
+    constants: list = []
+    used: set[int] = set()
+    if predicate._column_expr(schema, constants, used) is None:
+        return None
+    return frozenset(used)
+
+
+def column_filter_columns(
+    predicate: Predicate | None, schema: Schema
+) -> "frozenset[int] | None":
+    """The column indexes a compiled column selection reads.
+
+    ``None`` whenever :func:`compile_column_filter` would return ``None``
+    (no predicate, or no column-vector form).  Scan paths use this to
+    decode only the predicate's columns before running the selection (late
+    materialization), deferring the rest to the records it keeps.
+    """
+    if predicate is None:
+        return None
+    try:
+        return _column_uses_cached(schema, predicate)
+    except TypeError:  # unhashable constant: skip the cache
+        return None
+
+
+def compile_column_filter(predicate: Predicate | None, schema: Schema):
+    """Compile ``predicate`` into a selection over whole column arrays.
+
+    Returns a callable ``select(columns, num_rows) -> list[int]`` yielding
+    the indexes of matching rows in order.  The predicate expression is
+    inlined into the selection comprehension and single-column predicates
+    stream one array with ``enumerate`` -- no row tuple, record object or
+    per-row function call exists anywhere on the path.  Returns ``None``
+    when ``predicate`` is ``None`` or has no column-vector form; columnar
+    callers then fall back to row-at-a-time evaluation at the batch
+    boundary.
+    """
+    if predicate is None:
+        return None
+    try:
+        return _compile_column_cached(schema, predicate)
+    except TypeError:  # unhashable constant: skip the cache
+        return None
 
 
 def compile_batch_filter(predicate: Predicate | None, schema: Schema):
@@ -155,6 +248,11 @@ class TruePredicate(Predicate):
     def _expr(self, schema: Schema, values: str, constants: list) -> str | None:
         return "True"
 
+    def _column_expr(
+        self, schema: Schema, constants: list, used: "set[int]"
+    ) -> str | None:
+        return "True"
+
 
 @dataclass(frozen=True)
 class ColumnPredicate(Predicate):
@@ -194,6 +292,15 @@ class ColumnPredicate(Predicate):
         symbol = _OPERATOR_SOURCE[self.op]
         return f"({values}[{index}] {symbol} _c[{len(constants) - 1}])"
 
+    def _column_expr(
+        self, schema: Schema, constants: list, used: "set[int]"
+    ) -> str | None:
+        index = schema.index_of(self.column)
+        used.add(index)
+        constants.append(self.value)
+        symbol = _OPERATOR_SOURCE[self.op]
+        return f"(_cols[{index}][_i] {symbol} _c[{len(constants) - 1}])"
+
 
 @dataclass(frozen=True)
 class And(Predicate):
@@ -215,6 +322,15 @@ class And(Predicate):
     def _expr(self, schema: Schema, values: str, constants: list) -> str | None:
         left = self.left._expr(schema, values, constants)
         right = self.right._expr(schema, values, constants)
+        if left is None or right is None:
+            return None
+        return f"({left} and {right})"
+
+    def _column_expr(
+        self, schema: Schema, constants: list, used: "set[int]"
+    ) -> str | None:
+        left = self.left._column_expr(schema, constants, used)
+        right = self.right._column_expr(schema, constants, used)
         if left is None or right is None:
             return None
         return f"({left} and {right})"
@@ -244,6 +360,15 @@ class Or(Predicate):
             return None
         return f"({left} or {right})"
 
+    def _column_expr(
+        self, schema: Schema, constants: list, used: "set[int]"
+    ) -> str | None:
+        left = self.left._column_expr(schema, constants, used)
+        right = self.right._column_expr(schema, constants, used)
+        if left is None or right is None:
+            return None
+        return f"({left} or {right})"
+
 
 @dataclass(frozen=True)
 class Not(Predicate):
@@ -260,6 +385,14 @@ class Not(Predicate):
 
     def _expr(self, schema: Schema, values: str, constants: list) -> str | None:
         inner = self.inner._expr(schema, values, constants)
+        if inner is None:
+            return None
+        return f"(not {inner})"
+
+    def _column_expr(
+        self, schema: Schema, constants: list, used: "set[int]"
+    ) -> str | None:
+        inner = self.inner._column_expr(schema, constants, used)
         if inner is None:
             return None
         return f"(not {inner})"
@@ -295,3 +428,11 @@ class ModuloPredicate(Predicate):
         index = schema.index_of(self.column)
         constants.append(self.modulus)
         return f"({values}[{index}] % _c[{len(constants) - 1}] != 0)"
+
+    def _column_expr(
+        self, schema: Schema, constants: list, used: "set[int]"
+    ) -> str | None:
+        index = schema.index_of(self.column)
+        used.add(index)
+        constants.append(self.modulus)
+        return f"(_cols[{index}][_i] % _c[{len(constants) - 1}] != 0)"

@@ -15,6 +15,7 @@ deletes).
 from __future__ import annotations
 
 import struct
+from array import array
 from dataclasses import dataclass
 
 from repro.core.schema import ColumnType, Schema
@@ -82,13 +83,7 @@ class RecordCodec:
     def __init__(self, schema: Schema):
         self.schema = schema
         fmt = ["B"]  # header byte
-        for column in schema.columns:
-            if column.type is ColumnType.INT:
-                fmt.append("q")
-            elif column.type is ColumnType.INT32:
-                fmt.append("i")
-            else:
-                fmt.append(f"{column.width}s")
+        fmt.extend(self._column_fmt(column) for column in schema.columns)
         #: Format of one record, without byte-order prefix (repeatable for
         #: batch decoding).
         self._record_fmt = "".join(fmt)
@@ -105,6 +100,24 @@ class RecordCodec:
         #: Precompiled batch formats keyed by record count (bounded cache; a
         #: page's full capacity dominates, so hit rates are high).
         self._batch_structs: dict[int, struct.Struct] = {}
+        #: Byte offset of each column within an encoded record (header first).
+        offsets = []
+        position = 1  # header byte
+        for column in schema.columns:
+            offsets.append(position)
+            position += struct.calcsize("<" + self._column_fmt(column))
+        self._column_offsets = tuple(offsets)
+        #: Precompiled single-column batch formats keyed by
+        #: ``(column index, record count)`` (bounded, like the batch cache).
+        self._column_structs: dict[tuple[int, int], struct.Struct] = {}
+
+    @staticmethod
+    def _column_fmt(column) -> str:
+        if column.type is ColumnType.INT:
+            return "q"
+        if column.type is ColumnType.INT32:
+            return "i"
+        return f"{column.width}s"
 
     @property
     def record_size(self) -> int:
@@ -196,6 +209,94 @@ class RecordCodec:
                 )
             )
         return records
+
+    def decode_batch_columns(
+        self, data: bytes, offset: int = 0, count: int | None = None
+    ) -> tuple:
+        """Decode ``count`` consecutive records straight into typed columns.
+
+        One precompiled batch unpack produces the flat field tuple, then each
+        column is extracted with a single C-level strided slice
+        (``flat[1 + j :: fields]``) -- no per-record tuple or object is ever
+        built.  Integer columns come back as ``array('q')``/``array('i')``,
+        STRING columns as lists of decoded ``str``.  Returns one container
+        per schema column, in schema order.
+
+        Tombstone headers are not surfaced: callers that need per-record
+        tombstones (the version-first chain walk) decode rows via
+        :meth:`decode_batch`.  Columnar scan paths only ever see live
+        ordinals, selected through the bitmap / pk-index before gathering.
+        """
+        size = self.record_size
+        if count is None:
+            count = (len(data) - offset) // size
+        if count <= 0:
+            return tuple(
+                [] if column.type is ColumnType.STRING else array(
+                    column.type.typecode or "q"
+                )
+                for column in self.schema.columns
+            )
+        try:
+            flat = self._batch_struct(count).unpack_from(data, offset)
+        except struct.error as exc:
+            raise RecordError(
+                f"cannot decode {count} records at offset {offset}: {exc}"
+            ) from exc
+        fields = self._fields_per_record
+        columns = []
+        for j, column in enumerate(self.schema.columns):
+            raw = flat[1 + j :: fields]
+            typecode = column.type.typecode
+            if typecode is None:
+                columns.append(
+                    [value.rstrip(b"\x00").decode("utf-8") for value in raw]
+                )
+            else:
+                columns.append(array(typecode, raw))
+        return tuple(columns)
+
+    def _column_struct(self, index: int, count: int) -> struct.Struct:
+        key = (index, count)
+        batch = self._column_structs.get(key)
+        if batch is None:
+            fmt = self._column_fmt(self.schema.columns[index])
+            pre = self._column_offsets[index]
+            post = self.record_size - pre - struct.calcsize("<" + fmt)
+            batch = struct.Struct("<" + f"{pre}x{fmt}{post}x" * count)
+            if len(self._column_structs) < 64:
+                self._column_structs[key] = batch
+        return batch
+
+    def decode_column(
+        self, data: bytes, index: int, offset: int = 0, count: int | None = None
+    ):
+        """Decode a single column of ``count`` consecutive records.
+
+        One batch unpack whose format pads over every other field, so only
+        column ``index``'s values are materialized -- the late-material-
+        ization half of the columnar predicate scan: the predicate column
+        decodes alone, and the remaining columns are decoded only for the
+        records the selection keeps.  Returns the same container shape as
+        one element of :meth:`decode_batch_columns`.
+        """
+        size = self.record_size
+        if count is None:
+            count = (len(data) - offset) // size
+        column = self.schema.columns[index]
+        typecode = column.type.typecode
+        if count <= 0:
+            return [] if typecode is None else array(typecode)
+        try:
+            raw = self._column_struct(index, count).unpack_from(data, offset)
+        except struct.error as exc:
+            raise RecordError(
+                f"cannot decode column {index} of {count} records at "
+                f"offset {offset}: {exc}"
+            ) from exc
+        if typecode is None:
+            return [value.rstrip(b"\x00").decode("utf-8") for value in raw]
+        return array(typecode, raw)
 
     def decode_many(self, data: bytes) -> list[Record]:
         """Decode a buffer that is an exact concatenation of records."""

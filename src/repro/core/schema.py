@@ -46,6 +46,22 @@ class ColumnType(enum.Enum):
             return 8
         return None
 
+    @property
+    def typecode(self) -> str | None:
+        """``array.array`` typecode for the columnar representation.
+
+        ``None`` for STRING, which is carried as a plain list: Python has no
+        fixed-width native text array, and the decode path already produces
+        ``str`` objects.
+        """
+        if self is ColumnType.INT:
+            return "q"
+        if self is ColumnType.INT32:
+            return "i"
+        if self is ColumnType.FLOAT:
+            return "d"
+        return None
+
 
 @dataclass(frozen=True)
 class Column:

@@ -113,6 +113,34 @@ def make_sort_key(
     return key
 
 
+def make_values_sort_key(
+    schema: Schema, keys: Sequence[tuple[str, bool]]
+) -> Callable[[tuple], object]:
+    """Like :func:`make_sort_key`, but over bare value tuples.
+
+    The columnar pipeline's sort consumers (Top-N over ``ColumnBatch``
+    rows) order value tuples directly instead of :class:`Record` objects;
+    the key encoding is identical, so row-mode and columnar orderings
+    agree exactly.
+    """
+    specs: list[tuple[int, bool, bool]] = []
+    for column, descending in keys:
+        index = schema.index_of(column)
+        numeric = schema.column(column).type in _NUMERIC_TYPES
+        specs.append((index, bool(descending), numeric))
+    if len(specs) == 1:
+        index, descending, numeric = specs[0]
+        return lambda values: _key_part(values[index], descending, numeric)
+
+    def key(values: tuple, specs: tuple = tuple(specs)):
+        return tuple(
+            _key_part(values[index], descending, numeric)
+            for index, descending, numeric in specs
+        )
+
+    return key
+
+
 def estimate_record_bytes(record: Record) -> int:
     """Approximate in-memory footprint of one record, in bytes.
 

@@ -20,6 +20,25 @@ class RecordError(DecibelError):
     """A record could not be encoded, decoded or validated."""
 
 
+class ColumnBatchError(RecordError):
+    """A column batch violated the columnar representation's invariants.
+
+    Raised by :mod:`repro.core.columns` when a batch fails validation
+    (ragged columns, a typed array whose typecode contradicts the schema
+    column type, or the wrong number of columns).  ``reason`` names the
+    violated invariant (``"arity"``, ``"length"`` or ``"dtype"``) and
+    ``column`` the offending column's name (or ``None`` for batch-wide
+    failures), so the failure is actionable without inspecting the batch.
+    """
+
+    def __init__(self, reason: str, column: str | None, message: str):
+        at = f" at column {column!r}" if column is not None else ""
+        super().__init__(f"column batch invariant [{reason}]{at}: {message}")
+        self.reason = reason
+        self.column = column
+        self.detail = message
+
+
 class PageError(DecibelError):
     """A page is full, corrupt, or addressed out of bounds."""
 

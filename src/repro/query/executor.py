@@ -42,21 +42,23 @@ def plan_query(db: "Decibel", sql: str) -> LogicalNode:
 def execute_query(db: "Decibel", sql: str) -> QueryResult:
     """Parse and execute ``sql`` against the relations registered in ``db``.
 
-    The execution mode is selected per plan: batched whenever the whole
-    operator tree is batch-native (the normal case), tuple-at-a-time
-    otherwise -- never a silent mid-pipeline fallback.
+    The execution mode is selected per plan: columnar whenever the whole
+    operator tree is column-native (the normal case), batched when it is
+    only batch-native, tuple-at-a-time otherwise -- never a silent
+    mid-pipeline fallback.
     """
     plan = plan_query(db, sql)
-    return execute_plan(plan, batched=select_execution_mode(plan))
+    return execute_plan(plan, mode=select_execution_mode(plan))
 
 
 def explain_query(db: "Decibel", sql: str) -> str:
     """The optimized plan for ``sql``, rendered as an indented tree.
 
-    Each node carries its execution-mode tag (``[batched]`` or ``[tuple]``),
-    so any fallback out of batch mode is visible per node; optimizer
-    substitutions add their own tags (``[top-n k=n]`` for the
-    Limit-over-Sort rewrite), so no rewrite is silent.
+    Each node carries its execution-mode tag (``[columnar]``, ``[batched]``
+    or ``[tuple]``), so any fallback out of columnar or batch mode is
+    visible per node; optimizer substitutions add their own tags
+    (``[top-n k=n]`` for the Limit-over-Sort rewrite), so no rewrite is
+    silent.
 
     Explained plans are always run through the plan verifier
     (:func:`repro.analysis.plan_check.verify_plan`): EXPLAIN is the
@@ -66,7 +68,7 @@ def explain_query(db: "Decibel", sql: str) -> str:
     from repro.analysis.plan_check import verify_plan
 
     plan = plan_query(db, sql)
-    verify_plan(plan, batched=select_execution_mode(plan))
+    verify_plan(plan, mode=select_execution_mode(plan))
     annotations: dict[int, list[str]] = {
         node_id: [tag] for node_id, tag in rewrite_labels(plan).items()
     }

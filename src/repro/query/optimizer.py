@@ -48,39 +48,59 @@ def optimize(plan: LogicalNode) -> LogicalNode:
 # -- execution-mode selection -------------------------------------------------
 
 
-def select_execution_mode(plan: LogicalNode) -> bool:
-    """Choose the execution mode for an optimized plan: True means batched.
+def select_execution_mode(plan: LogicalNode) -> str:
+    """Choose the execution mode for an optimized plan.
 
-    Batched execution is the default for the *whole* operator tree, not a
-    scan-only special case: it is selected whenever every node of the plan
-    maps onto a physical operator with a native batch path (scans, filters,
-    projections, joins, anti-joins, aggregation, ordering, DISTINCT, limits
-    -- i.e. every node the planner currently produces).  A plan containing a
-    node without native batch support falls back to tuple-at-a-time
-    execution *explicitly*, and the fallback is visible per node in
-    ``EXPLAIN`` output (:func:`execution_mode_labels`) rather than silently
-    degrading mid-pipeline.
+    Returns ``"columnar"``, ``"batched"`` or ``"streaming"``.  The choice is
+    made for the *whole* operator tree, never per node: columnar execution
+    is selected when every node's physical operator carries both a native
+    batch path and a native column-batch path (the normal case -- every node
+    the planner currently produces qualifies); plans that are only
+    batch-native everywhere run batched; anything else falls back to
+    tuple-at-a-time streaming *explicitly*.  The fallback is visible per
+    node in ``EXPLAIN`` output (:func:`execution_mode_labels`) rather than
+    silently degrading mid-pipeline.
     """
-    from repro.query.physical import batch_native
+    from repro.query.physical import batch_native, columnar_native
 
-    def covered(node: LogicalNode) -> bool:
-        return batch_native(node) and all(covered(child) for child in node.children)
+    def batch_covered(node: LogicalNode) -> bool:
+        return batch_native(node) and all(
+            batch_covered(child) for child in node.children
+        )
 
-    return covered(plan)
+    def columnar_covered(node: LogicalNode) -> bool:
+        return (
+            batch_native(node)
+            and columnar_native(node)
+            and all(columnar_covered(child) for child in node.children)
+        )
+
+    if columnar_covered(plan):
+        return "columnar"
+    if batch_covered(plan):
+        return "batched"
+    return "streaming"
 
 
 def execution_mode_labels(plan: LogicalNode) -> dict[int, str]:
     """Per-node execution-mode annotations for EXPLAIN, keyed by ``id(node)``.
 
-    Every node is labeled ``batched`` or ``tuple`` so a plan that cannot run
-    fully batched shows exactly where the pipeline drops out of batch mode.
+    When the whole plan qualifies for columnar execution every node is
+    labeled ``columnar`` (the mode is a whole-plan decision); otherwise each
+    node is labeled ``batched`` or ``tuple`` individually, so a plan that
+    cannot run fully batched shows exactly where the pipeline drops out of
+    batch mode.
     """
     from repro.query.physical import batch_native
 
     labels: dict[int, str] = {}
+    plan_columnar = select_execution_mode(plan) == "columnar"
 
     def walk(node: LogicalNode) -> None:
-        labels[id(node)] = "batched" if batch_native(node) else "tuple"
+        if plan_columnar:
+            labels[id(node)] = "columnar"
+        else:
+            labels[id(node)] = "batched" if batch_native(node) else "tuple"
         for child in node.children:
             walk(child)
 

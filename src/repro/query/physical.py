@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from repro.core.columns import ColumnBatch
 from repro.core.operators import (
     DEFAULT_BATCH_SIZE,
     Distinct as DistinctOp,
@@ -96,6 +97,21 @@ class HeadScanExec(Operator):
                 Record(record.values + (branches,)) for record, branches in pairs
             ]
 
+    def column_batches(
+        self, batch_size: int = DEFAULT_BATCH_SIZE
+    ) -> Iterator[ColumnBatch]:
+        # The hidden branch-set column holds frozensets, which no typed
+        # array can carry, so the annotated rows pivot into list columns at
+        # this boundary.
+        annotated = self.node.engine.scan_heads_batched(
+            self.node.predicate, batch_size=batch_size
+        )
+        for pairs in annotated:
+            yield ColumnBatch.from_rows(
+                self.schema,
+                [record.values + (branches,) for record, branches in pairs],
+            )
+
     def count(self) -> int:
         # Count-only consumers need neither the annotation-carrying records
         # nor the hidden-column concatenation: batch lengths suffice.
@@ -141,6 +157,15 @@ class VersionDiffExec(Operator):
         for start in range(0, len(positive), batch_size):
             yield positive[start : start + batch_size]
 
+    def column_batches(
+        self, batch_size: int = DEFAULT_BATCH_SIZE
+    ) -> Iterator[ColumnBatch]:
+        positive = self._positive_records()
+        for start in range(0, len(positive), batch_size):
+            yield ColumnBatch.from_records(
+                self.schema, positive[start : start + batch_size]
+            )
+
     def count(self) -> int:
         return len(self._positive_records())
 
@@ -185,28 +210,66 @@ class AnnotatedDistinct(Operator):
         if out:
             yield out
 
+    def column_batches(
+        self, batch_size: int = DEFAULT_BATCH_SIZE
+    ) -> Iterator[ColumnBatch]:
+        h = self.hidden_index
+        merged: dict[tuple, set] = {}
+        order: list[tuple] = []
+        for batch in self.child.column_batches(batch_size):
+            for values in batch.rows():
+                visible = values[:h] + values[h + 1 :]
+                branches = merged.get(visible)
+                if branches is None:
+                    merged[visible] = branches = set()
+                    order.append(visible)
+                branches.update(values[h])
+        out_rows: list[tuple] = []
+        for visible in order:
+            branches = frozenset(merged[visible])
+            out_rows.append(visible[:h] + (branches,) + visible[h:])
+            if len(out_rows) >= batch_size:
+                yield ColumnBatch.from_rows(self.schema, out_rows)
+                out_rows = []
+        if out_rows:
+            yield ColumnBatch.from_rows(self.schema, out_rows)
 
-def build_physical(plan: LogicalNode, *, batched: bool = True) -> Operator:
+
+def build_physical(
+    plan: LogicalNode, *, batched: bool = True, columnar: bool = False
+) -> Operator:
     """Map an optimized logical plan onto an iterator operator tree.
 
     With ``batched=True`` (the default) branch scans are fed from the
     engine's vectorized ``scan_branch_batched`` path, so batch-aware
-    operators move whole record lists; ``batched=False`` forces the original
-    tuple-at-a-time scan everywhere.  Both modes produce bit-for-bit
-    identical results.
+    operators move whole record lists; ``columnar=True`` additionally feeds
+    them from ``scan_branch_columns``, so column-native operators move typed
+    column arrays; ``batched=False`` forces the original tuple-at-a-time
+    scan everywhere.  All modes produce bit-for-bit identical results.
     """
     if isinstance(plan, VersionScan):
         engine = plan.engine
         if plan.kind == "branch":
             if batched:
-                batches = engine.scan_branch_batched(plan.version, plan.predicate)
+                count_source = lambda: engine.count_branch(  # noqa: E731
+                    plan.version, plan.predicate
+                )
+                if columnar:
+                    return SeqScan(
+                        None,
+                        plan.schema,
+                        column_source=engine.scan_branch_columns(
+                            plan.version, plan.predicate
+                        ),
+                        count_source=count_source,
+                    )
                 return SeqScan(
                     None,
                     plan.schema,
-                    batch_source=batches,
-                    count_source=lambda: engine.count_branch(
+                    batch_source=engine.scan_branch_batched(
                         plan.version, plan.predicate
                     ),
+                    count_source=count_source,
                 )
             records = engine.scan_branch(plan.version, plan.predicate)
         else:
@@ -218,8 +281,8 @@ def build_physical(plan: LogicalNode, *, batched: bool = True) -> Operator:
         return VersionDiffExec(plan)
     if isinstance(plan, AntiJoin):
         return HashAntiJoin(
-            build_physical(plan.outer, batched=batched),
-            build_physical(plan.inner, batched=batched),
+            build_physical(plan.outer, batched=batched, columnar=columnar),
+            build_physical(plan.inner, batched=batched, columnar=columnar),
             plan.outer_column,
             plan.inner_column,
         )
@@ -227,8 +290,8 @@ def build_physical(plan: LogicalNode, *, batched: bool = True) -> Operator:
         left_columns = [left for left, _ in plan.conditions]
         right_columns = [right for _, right in plan.conditions]
         return HashJoin(
-            build_physical(plan.left, batched=batched),
-            build_physical(plan.right, batched=batched),
+            build_physical(plan.left, batched=batched, columnar=columnar),
+            build_physical(plan.right, batched=batched, columnar=columnar),
             left_columns,
             right_columns,
         )
@@ -237,10 +300,10 @@ def build_physical(plan: LogicalNode, *, batched: bool = True) -> Operator:
         for term in plan.terms:
             clause = ColumnPredicate(term.column, term.op, term.value)
             predicate = clause if predicate is None else (predicate & clause)
-        return FilterOp(build_physical(plan.child, batched=batched), predicate)
+        return FilterOp(build_physical(plan.child, batched=batched, columnar=columnar), predicate)
     if isinstance(plan, Aggregate):
         grouped = GroupAggregate(
-            build_physical(plan.child, batched=batched),
+            build_physical(plan.child, batched=batched, columnar=columnar),
             plan.group_by,
             [
                 (expr.name, expr.function, expr.argument)
@@ -252,26 +315,26 @@ def build_physical(plan: LogicalNode, *, batched: bool = True) -> Operator:
         return ProjectOp(grouped, plan.output_names)
     if isinstance(plan, Project):
         return ProjectOp(
-            build_physical(plan.child, batched=batched), plan.physical_columns
+            build_physical(plan.child, batched=batched, columnar=columnar), plan.physical_columns
         )
     if isinstance(plan, Distinct):
-        child = build_physical(plan.child, batched=batched)
+        child = build_physical(plan.child, batched=batched, columnar=columnar)
         names = plan.schema.column_names
         if BRANCH_COLUMN in names:
             return AnnotatedDistinct(child, names.index(BRANCH_COLUMN))
         return DistinctOp(child)
     if isinstance(plan, Sort):
         return OrderBy(
-            build_physical(plan.child, batched=batched),
+            build_physical(plan.child, batched=batched, columnar=columnar),
             plan.keys,
             budget_bytes=plan.budget_bytes,
         )
     if isinstance(plan, TopN):
         return TopNOp(
-            build_physical(plan.child, batched=batched), plan.keys, plan.n
+            build_physical(plan.child, batched=batched, columnar=columnar), plan.keys, plan.n
         )
     if isinstance(plan, Limit):
-        return LimitOp(build_physical(plan.child, batched=batched), plan.n)
+        return LimitOp(build_physical(plan.child, batched=batched, columnar=columnar), plan.n)
     raise QueryError(f"no physical mapping for plan node {type(plan).__name__}")
 
 
@@ -311,13 +374,40 @@ def batch_native(plan: LogicalNode) -> bool:
     return operator.batches is not Operator.batches
 
 
+def columnar_native(plan: LogicalNode) -> bool:
+    """True if ``plan``'s physical operator has a native ``column_batches``
+    path -- it overrides :meth:`Operator.column_batches` rather than
+    inheriting the pivot-each-record-batch adapter, so running it in
+    columnar mode moves typed column arrays instead of repackaging row
+    batches under a columnar facade."""
+    operator = NODE_OPERATORS.get(type(plan))
+    if operator is None:
+        return False
+    return operator.column_batches is not Operator.column_batches
+
+
+def _resolve_mode(batched: bool, mode: str | None) -> str:
+    if mode is None:
+        return "batched" if batched else "streaming"
+    if mode not in ("columnar", "batched", "streaming"):
+        raise QueryError(f"unknown execution mode {mode!r}")
+    return mode
+
+
 def execute_plan(
-    plan: LogicalNode, *, batched: bool = True, verify: bool | None = None
+    plan: LogicalNode,
+    *,
+    batched: bool = True,
+    mode: str | None = None,
+    verify: bool | None = None,
 ) -> QueryResult:
     """Run an optimized plan to completion and assemble the result.
 
-    The operator tree is consumed batch-at-a-time, so per-record Python work
-    in the result loop is limited to tuple slicing and appends.
+    ``mode`` selects the execution mode for the whole tree: ``"columnar"``
+    consumes the operators' ``column_batches`` protocol and materializes
+    rows only here, at the result boundary; ``"batched"`` moves record
+    lists; ``"streaming"`` iterates tuple-at-a-time.  With ``mode=None``
+    the legacy ``batched`` flag picks between the latter two.
 
     ``verify`` runs the plan through the static invariant checks of
     :mod:`repro.analysis.plan_check` before execution, raising
@@ -325,29 +415,52 @@ def execute_plan(
     ``None`` defers to :func:`repro.analysis.plan_check.default_verify`
     (on in the test suites, off otherwise).
     """
+    mode = _resolve_mode(batched, mode)
     if verify or verify is None:
         from repro.analysis import plan_check
 
         if verify or plan_check.default_verify():
-            plan_check.verify_plan(plan, batched=batched)
-    operator = build_physical(plan, batched=batched)
+            plan_check.verify_plan(plan, mode=mode)
+    operator = build_physical(
+        plan, batched=mode != "streaming", columnar=mode == "columnar"
+    )
     result = QueryResult(columns=result_columns(plan))
     schema_names = plan.schema.column_names
+    rows = result.rows
     if BRANCH_COLUMN in schema_names:
         hidden = schema_names.index(BRANCH_COLUMN)
-        rows = result.rows
         annotations = result.branch_annotations
-        source = operator.batches() if batched else ([record] for record in operator)
+        if mode == "columnar":
+            for column_batch in operator.column_batches():
+                annotations.extend(column_batch.columns[hidden])
+                visible = [
+                    values
+                    for i, values in enumerate(column_batch.columns)
+                    if i != hidden
+                ]
+                if visible:
+                    rows.extend(zip(*visible))
+                else:  # pragma: no cover - plans always keep a visible column
+                    rows.extend(() for _ in range(column_batch.num_rows))
+            return result
+        source = (
+            operator.batches()
+            if mode == "batched"
+            else ([record] for record in operator)
+        )
         for batch in source:
             for record in batch:
                 values = record.values
                 rows.append(values[:hidden] + values[hidden + 1 :])
                 annotations.append(values[hidden])
         return result
-    if not batched:
+    if mode == "columnar":
+        for column_batch in operator.column_batches():
+            rows.extend(column_batch.rows())
+        return result
+    if mode == "streaming":
         result.rows = [record.values for record in operator]
         return result
-    rows = result.rows
     for batch in operator.batches():
         rows.extend(record.values for record in batch)
     return result

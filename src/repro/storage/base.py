@@ -25,11 +25,14 @@ from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
 from repro.core.buffer_pool import BufferPool
+from repro.core.columns import ColumnBatch, regroup_column_batches
 from repro.core.operators import chunk_iterable
-from repro.core.page import DEFAULT_PAGE_SIZE
+from repro.core.page import DEFAULT_PAGE_SIZE, PAGE_HEADER_SIZE
 from repro.core.predicates import (
     Predicate,
+    column_filter_columns,
     compile_batch_filter,
+    compile_column_filter,
     compile_predicate,
 )
 from repro.core.record import Record
@@ -210,6 +213,130 @@ def _heap_bitmap_page_hits(heap, bitmap, schema, predicate, stats):
                         keep(record)
             if hits:
                 yield hits
+
+
+def scan_heap_bitmap_columns(
+    heap,
+    bitmap,
+    schema: Schema,
+    predicate: Predicate | None,
+    batch_size: int,
+    stats: EngineStats,
+):
+    """Columnar scan of one heap file's live ordinals (shared hot path).
+
+    The columnar sibling of :func:`scan_heap_bitmap_batched`: pages decode
+    straight into typed column arrays (:meth:`Page.columns_view`, no record
+    object is ever constructed), fully-live unfiltered pages pass their
+    column containers through zero-copy, and predicates run as compiled
+    column selections.  Flattening the batches row-wise reproduces the
+    record scan of the same bitmap exactly.
+    """
+    yield from regroup_column_batches(
+        _heap_bitmap_page_column_hits(heap, bitmap, schema, predicate, stats),
+        batch_size,
+        schema,
+    )
+
+
+def _heap_bitmap_page_column_hits(heap, bitmap, schema, predicate, stats):
+    """Per-page :class:`ColumnBatch`es for :func:`scan_heap_bitmap_columns`."""
+    select = compile_column_filter(predicate, schema)
+    matches = compile_predicate(predicate, schema) if select is None else None
+    needed = column_filter_columns(predicate, schema)
+    codec = heap.codec
+    record_size = codec.record_size
+    per_page = heap.records_per_page
+    transient = heap.scan_exceeds_pool()
+    data = bitmap.to_bytes()
+    total_bits = len(data) * 8
+    page_mask = (1 << per_page) - 1
+    for page_number in range((total_bits + per_page - 1) // per_page):
+        start = page_number * per_page
+        chunk = int.from_bytes(
+            data[start >> 3 : (start + per_page + 7) >> 3], "little"
+        )
+        live = (chunk >> (start & 7)) & page_mask
+        if not live:
+            continue
+        page = heap.page(page_number, transient=transient)
+        num_records = page.num_records
+        stats.records_scanned += live.bit_count()
+        fully_live = live == (1 << num_records) - 1
+        if predicate is None:
+            page_batch = ColumnBatch(schema, page.columns_view(), num_records)
+            if fully_live:
+                yield page_batch
+                continue
+            ordinals = []
+            keep = ordinals.append
+            while live:
+                low = live & -live
+                keep(low.bit_length() - 1)
+                live ^= low
+            yield page_batch.take(ordinals)
+            continue
+        raw = (
+            page.raw_data()
+            if select is not None and page.cached_columns is None
+            else None
+        )
+        if raw is not None:
+            # Late materialization: decode only the predicate's columns
+            # (one padded batch unpack each), run the compiled selection,
+            # then decode just the selected records' bytes -- unselected
+            # records never become Python values at all.
+            predicate_columns = {
+                index: codec.decode_column(
+                    raw, index, PAGE_HEADER_SIZE, num_records
+                )
+                for index in needed
+            }
+            selection = select(predicate_columns, num_records)
+            if not fully_live:
+                selection = [i for i in selection if live >> i & 1]
+            if not selection:
+                continue
+            if len(selection) == num_records:
+                yield ColumnBatch(schema, page.columns_view(), num_records)
+                continue
+            filtered = b"".join(
+                [
+                    raw[
+                        PAGE_HEADER_SIZE
+                        + ordinal * record_size : PAGE_HEADER_SIZE
+                        + (ordinal + 1) * record_size
+                    ]
+                    for ordinal in selection
+                ]
+            )
+            yield ColumnBatch(
+                schema,
+                codec.decode_batch_columns(filtered, 0, len(selection)),
+                len(selection),
+            )
+            continue
+        # Evaluate the predicate over the whole page, then intersect with
+        # the live mask: dead slots hold well-typed decoded values, so
+        # running the selection on them is safe, and a partially-live page
+        # costs one gather instead of two.
+        page_batch = ColumnBatch(schema, page.columns_view(), num_records)
+        if select is not None:
+            selection = select(page_batch.columns, page_batch.num_rows)
+        else:
+            selection = [
+                i
+                for i, values in enumerate(page_batch.rows())
+                if matches(values)
+            ]
+        if not fully_live:
+            selection = [i for i in selection if live >> i & 1]
+        if not selection:
+            continue
+        if len(selection) == page_batch.num_rows:
+            yield page_batch
+        else:
+            yield page_batch.take(selection)
 
 
 class VersionedStorageEngine(ABC):
@@ -436,6 +563,23 @@ class VersionedStorageEngine(ABC):
         page-batch paths.
         """
         yield from chunk_iterable(self.scan_branch(branch, predicate), batch_size)
+
+    def scan_branch_columns(
+        self,
+        branch: str,
+        predicate: Predicate | None = None,
+        batch_size: int = DEFAULT_SCAN_BATCH_SIZE,
+    ) -> Iterator[ColumnBatch]:
+        """Yield ``scan_branch``'s rows as :class:`ColumnBatch`es.
+
+        Row-flattening the batches always reproduces :meth:`scan_branch`
+        exactly (same rows, same order).  This default pivots the batched
+        record scan at the declared boundary; the concrete engines override
+        it with page-decode columnar paths that never build records.
+        """
+        schema = self.schema
+        for batch in self.scan_branch_batched(branch, predicate, batch_size):
+            yield ColumnBatch.from_records(schema, batch)
 
     def count_branch(self, branch: str, predicate: Predicate | None = None) -> int:
         """Number of live records of ``branch`` matching ``predicate``.

@@ -26,6 +26,7 @@ from repro.bitmap import CommitHistory
 from repro.bitmap.bitmap import Bitmap, union_member_pages
 from repro.bitmap.branch_bitmap import BranchOrientedBitmapIndex
 from repro.core.buffer_pool import BufferPool
+from repro.core.columns import ColumnBatch
 from repro.core.page import DEFAULT_PAGE_SIZE
 from repro.core.predicates import Predicate, compile_predicate
 from repro.core.record import Record
@@ -39,6 +40,7 @@ from repro.storage.base import (
     fetch_bitmap_ordinals,
     regroup_chunks,
     scan_heap_bitmap_batched,
+    scan_heap_bitmap_columns,
 )
 from repro.storage.pk_index import PrimaryKeyIndex
 from repro.storage.segments import ParentPointer, Segment, SegmentSet
@@ -266,6 +268,25 @@ class HybridEngine(VersionedStorageEngine):
             segment = self.segments.get(segment_id)
             yield from scan_heap_bitmap_batched(
                 segment.heap, bitmap, self.schema, predicate, batch_size, self.stats
+            )
+
+    def scan_branch_columns(
+        self,
+        branch: str,
+        predicate: Predicate | None = None,
+        batch_size: int = DEFAULT_SCAN_BATCH_SIZE,
+    ) -> Iterator[ColumnBatch]:
+        """Columnar :meth:`scan_branch`: per-segment page-decode column
+        scans, in the same segment order as the row scan."""
+        for segment_id, bitmap in self._branch_segment_bitmaps(branch).items():
+            segment = self.segments.get(segment_id)
+            yield from scan_heap_bitmap_columns(
+                segment.heap,
+                bitmap,
+                self.schema,
+                predicate,
+                batch_size,
+                self.stats,
             )
 
     def count_branch(self, branch: str, predicate: Predicate | None = None) -> int:

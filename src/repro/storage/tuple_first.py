@@ -20,6 +20,7 @@ from typing import Iterator
 from repro.bitmap import BitmapOrientation, CommitHistory, make_bitmap_index
 from repro.bitmap.bitmap import Bitmap, union_member_pages
 from repro.core.buffer_pool import BufferPool
+from repro.core.columns import ColumnBatch
 from repro.core.heapfile import HeapFile
 from repro.core.page import DEFAULT_PAGE_SIZE
 from repro.core.predicates import Predicate, compile_predicate
@@ -34,6 +35,7 @@ from repro.storage.base import (
     fetch_bitmap_ordinals,
     regroup_chunks,
     scan_heap_bitmap_batched,
+    scan_heap_bitmap_columns,
 )
 from repro.storage.pk_index import PrimaryKeyIndex
 from repro.versioning.diff import DiffResult
@@ -160,6 +162,19 @@ class TupleFirstEngine(VersionedStorageEngine):
         """Vectorized :meth:`scan_branch`: page-batch reads, word-level bitmap."""
         bitmap = self.bitmap_index.branch_bitmap(branch)
         yield from scan_heap_bitmap_batched(
+            self.heap, bitmap, self.schema, predicate, batch_size, self.stats
+        )
+
+    def scan_branch_columns(
+        self,
+        branch: str,
+        predicate: Predicate | None = None,
+        batch_size: int = DEFAULT_SCAN_BATCH_SIZE,
+    ) -> Iterator[ColumnBatch]:
+        """Columnar :meth:`scan_branch`: pages decode straight into typed
+        column arrays, never building record objects."""
+        bitmap = self.bitmap_index.branch_bitmap(branch)
+        yield from scan_heap_bitmap_columns(
             self.heap, bitmap, self.schema, predicate, batch_size, self.stats
         )
 

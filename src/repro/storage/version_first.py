@@ -21,8 +21,17 @@ import os
 from typing import Iterator
 
 from repro.core.buffer_pool import BufferPool
+from repro.core.columns import (
+    ColumnBatch,
+    column_container,
+    regroup_column_batches,
+)
 from repro.core.page import DEFAULT_PAGE_SIZE
-from repro.core.predicates import Predicate, compile_predicate
+from repro.core.predicates import (
+    Predicate,
+    compile_column_filter,
+    compile_predicate,
+)
 from repro.core.record import Record
 from repro.core.schema import Schema
 from repro.errors import CommitNotFoundError, StorageError
@@ -74,6 +83,11 @@ class VersionFirstEngine(VersionedStorageEngine):
         #: per-record chain walks, while :meth:`scan_branch` remains the
         #: chain-walking reference implementation.
         self.pk_index: PrimaryKeyIndex[tuple[str, int]] = PrimaryKeyIndex()
+        #: Columnar scan acceleration: segment id -> (record count at build
+        #: time, per-column containers concatenated over the segment's pages
+        #: in ordinal order).  Staleness-checked against the segment heap's
+        #: record count and dropped with the page caches.
+        self._segment_column_cache: dict[str, tuple[int, tuple]] = {}
 
     # -- engine hooks -------------------------------------------------------------
 
@@ -302,6 +316,101 @@ class VersionFirstEngine(VersionedStorageEngine):
                     yield hits
 
         yield from regroup_chunks(segment_hits(), batch_size)
+
+    def _segment_columns(self, segment_id: str) -> tuple:
+        """One segment's values as per-column containers, ordinal-indexed.
+
+        Pages decode straight into typed arrays (:meth:`Page.columns_view`)
+        and are concatenated in page order; since every page but the tail is
+        full, position ``i`` of each container is the segment's ordinal ``i``
+        -- the same addressing the primary-key index uses.  Cached per
+        segment until the segment grows (segments are append-only, so a
+        record-count match means the prefix is unchanged).
+        """
+        heap = self.segments.get(segment_id).heap
+        cached = self._segment_column_cache.get(segment_id)
+        if cached is not None and cached[0] == heap.num_records:
+            return cached[1]
+        combined = [
+            column_container(column.type) for column in self.schema.columns
+        ]
+        transient = heap.scan_exceeds_pool()
+        for page_number in range(heap.num_pages):
+            page_columns = heap.page(
+                page_number, transient=transient
+            ).columns_view()
+            for accumulator, values in zip(combined, page_columns):
+                accumulator.extend(values)
+        columns = tuple(combined)
+        self._segment_column_cache[segment_id] = (heap.num_records, columns)
+        return columns
+
+    def scan_branch_columns(
+        self,
+        branch: str,
+        predicate: Predicate | None = None,
+        batch_size: int = DEFAULT_SCAN_BATCH_SIZE,
+    ) -> Iterator[ColumnBatch]:
+        """Columnar :meth:`scan_branch_batched`: bulk index probe, column gather.
+
+        Visits segments in chain order and gathers each segment's live
+        ordinals (newest-first, reproducing the row scan's record order)
+        straight out of the cached per-segment column containers
+        (:meth:`_segment_columns`); no :class:`Record` is ever built.
+        Predicates run as compiled column selections where possible.
+        """
+
+        def segment_hits() -> Iterator[ColumnBatch]:
+            select = compile_column_filter(predicate, self.schema)
+            matches = (
+                compile_predicate(predicate, self.schema)
+                if select is None
+                else None
+            )
+            by_segment = self._branch_segment_ordinals(branch)
+            for seg_id, _ in self._chain(self._head_segment[branch], None):
+                ordinals = by_segment.get(seg_id)
+                if not ordinals:
+                    continue
+                columns = self._segment_columns(seg_id)
+                ordinals.sort(reverse=True)
+                self.stats.records_scanned += len(ordinals)
+                segment_batch = ColumnBatch(self.schema, columns)
+                if select is not None:
+                    # Run the compiled selection over the full cached segment
+                    # columns first and intersect with the live ordinals, so
+                    # each segment costs one column gather instead of two.
+                    selected = set(
+                        select(segment_batch.columns, segment_batch.num_rows)
+                    )
+                    hits = [o for o in ordinals if o in selected]
+                    if hits:
+                        yield segment_batch.take(hits)
+                    continue
+                batch = segment_batch.take(ordinals)
+                if predicate is None:
+                    yield batch
+                    continue
+                selection = [
+                    i
+                    for i, values in enumerate(batch.rows())
+                    if matches(values)
+                ]
+                if not selection:
+                    continue
+                if len(selection) == batch.num_rows:
+                    yield batch
+                else:
+                    yield batch.take(selection)
+
+        yield from regroup_column_batches(
+            segment_hits(), batch_size, self.schema
+        )
+
+    def drop_caches(self) -> None:
+        """Drop page caches and the per-segment column cache."""
+        super().drop_caches()
+        self._segment_column_cache.clear()
 
     def count_branch(self, branch: str, predicate: Predicate | None = None) -> int:
         if predicate is None:

@@ -6,6 +6,7 @@ import pytest
 
 from repro.analysis.plan_check import set_default_verify
 from repro.core.buffer_pool import BufferPool
+from repro.core.columns import set_debug_validation
 from repro.core.record import Record
 from repro.core.schema import Column, ColumnType, Schema
 from repro.storage.hybrid import HybridEngine
@@ -25,6 +26,10 @@ SMALL_PAGE_SIZE = 4096
 # Every plan executed by the test suite runs through the static plan
 # verifier, so an invariant regression fails the first query that hits it.
 set_default_verify(True)
+
+# Every ColumnBatch constructed by the test suite validates its arity /
+# length / dtype invariants, so a malformed batch fails at its birthplace.
+set_debug_validation(True)
 
 
 @pytest.fixture

@@ -497,9 +497,9 @@ class TestExecutionModeSelection:
                 [("c3", False)],
             )
         )
-        assert select_execution_mode(plan) is True
+        assert select_execution_mode(plan) == "columnar"
         labels = execution_mode_labels(plan)
-        assert labels and set(labels.values()) == {"batched"}
+        assert labels and set(labels.values()) == {"columnar"}
 
     def test_explain_marks_every_node_batched(self, tmp_path):
         from repro.db.database import Decibel
@@ -516,5 +516,5 @@ class TestExecutionModeSelection:
         ):
             explained = db.explain(sql)
             lines = explained.splitlines()
-            assert lines and all("[batched]" in line for line in lines)
+            assert lines and all("[columnar]" in line for line in lines)
             assert "[tuple]" not in explained

@@ -1,0 +1,198 @@
+"""End-to-end columnar execution: equivalence across modes and engines.
+
+The columnar path is only correct if it is invisible: every query must
+return bit-identical results whether it runs streaming (tuple iterators),
+row-batched or columnar, on every storage engine.  These tests drive the
+full planner query suite through all nine (engine x mode) combinations,
+check the engine-level columnar scans against the row scans directly, and
+pin the mode-selection / verifier / EXPLAIN wiring.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import PlanInvariantError, verify_plan
+from repro.core.operators import Operator
+from repro.core.predicates import And, ColumnPredicate, ModuloPredicate
+from repro.core.record import Record
+from repro.query.executor import plan_query
+from repro.query.optimizer import select_execution_mode
+from repro.query.physical import LimitOp, execute_plan
+from tests.test_engine_equivalence import PLANNER_QUERIES, build_databases
+
+MODES = ("streaming", "batched", "columnar")
+
+
+def summarize(result):
+    return (
+        tuple(result.columns),
+        sorted(result.rows),
+        sorted(
+            (row, frozenset(branches))
+            for row, branches in zip(
+                result.rows, result.branch_annotations or []
+            )
+        ),
+    )
+
+
+class TestEngineColumnScans:
+    """scan_branch_columns must mirror scan_branch exactly."""
+
+    @pytest.fixture
+    def branched_engine(self, engine, records):
+        engine.init(records, message="initial")
+        engine.create_branch("dev", from_branch="master")
+        for key in range(100, 112):
+            engine.insert("dev", Record((key, key * 10, key * 100, 7)))
+        for key in (2, 5, 11):
+            engine.update("dev", Record((key, -key, -key, -key)))
+        for key in (3, 8):
+            engine.delete("dev", key)
+        engine.commit("dev", "dev work")
+        return engine
+
+    def rows_of(self, batches):
+        return [row for batch in batches for row in batch.rows()]
+
+    @pytest.mark.parametrize("branch", ["master", "dev"])
+    def test_unfiltered_scan_matches_rows(self, branched_engine, branch):
+        expected = [
+            record.values for record in branched_engine.scan_branch(branch)
+        ]
+        got = self.rows_of(branched_engine.scan_branch_columns(branch))
+        assert sorted(got) == sorted(expected)
+        assert got == expected  # same order as the row scan, too
+
+    @pytest.mark.parametrize(
+        "predicate",
+        [
+            ColumnPredicate("c1", ">", 40),
+            And(
+                ColumnPredicate("c2", ">=", 0),
+                ModuloPredicate("id", 3),
+            ),
+            ColumnPredicate("id", "=", 100000),  # matches nothing
+        ],
+        ids=["range", "and-modulo", "empty"],
+    )
+    @pytest.mark.parametrize("branch", ["master", "dev"])
+    def test_predicate_scan_matches_rows(
+        self, branched_engine, branch, predicate
+    ):
+        expected = [
+            record.values
+            for record in branched_engine.scan_branch(branch, predicate)
+        ]
+        got = self.rows_of(
+            branched_engine.scan_branch_columns(branch, predicate)
+        )
+        assert got == expected
+
+    @pytest.mark.parametrize("batch_size", [1, 3, 1024])
+    def test_batch_size_does_not_change_contents(
+        self, branched_engine, batch_size
+    ):
+        expected = [
+            record.values for record in branched_engine.scan_branch("dev")
+        ]
+        got = self.rows_of(
+            branched_engine.scan_branch_columns("dev", batch_size=batch_size)
+        )
+        assert got == expected
+
+    def test_cold_scan_matches_warm(self, branched_engine):
+        warm = self.rows_of(branched_engine.scan_branch_columns("dev"))
+        branched_engine.drop_caches()
+        cold = self.rows_of(branched_engine.scan_branch_columns("dev"))
+        assert cold == warm
+
+
+class TestThreeModeEquivalence:
+    """All nine (engine x mode) combinations agree on every query shape."""
+
+    def test_modes_agree_on_planner_suite(self, tmp_path):
+        databases = build_databases(tmp_path)
+        for sql in PLANNER_QUERIES:
+            for kind, db in databases.items():
+                plan = plan_query(db, sql)
+                reference = None
+                for mode in MODES:
+                    summary = summarize(execute_plan(plan, mode=mode))
+                    if reference is None:
+                        reference = summary
+                    else:
+                        assert summary == reference, (
+                            f"{kind}/{mode} disagrees on {sql!r}"
+                        )
+
+    def test_planner_suite_selects_columnar(self, tmp_path):
+        databases = build_databases(tmp_path)
+        db = databases["hybrid"]
+        for sql in PLANNER_QUERIES:
+            plan = plan_query(db, sql)
+            assert select_execution_mode(plan) == "columnar", sql
+
+    def test_head_annotations_survive_columnar_boundary(self, tmp_path):
+        databases = build_databases(tmp_path)
+        sql = "SELECT id FROM R WHERE HEAD(R.Version) = true"
+        for kind, db in databases.items():
+            plan = plan_query(db, sql)
+            per_mode = {}
+            for mode in MODES:
+                result = execute_plan(plan, mode=mode)
+                assert result.branch_annotations is not None
+                per_mode[mode] = sorted(
+                    (row, frozenset(branches))
+                    for row, branches in zip(
+                        result.rows, result.branch_annotations
+                    )
+                )
+            assert per_mode["columnar"] == per_mode["streaming"]
+            assert per_mode["columnar"] == per_mode["batched"]
+
+
+class TestModeWiring:
+    def test_explain_tags_every_node_columnar(self, tmp_path):
+        databases = build_databases(tmp_path)
+        out = databases["hybrid"].explain(
+            "SELECT c1, count(id) FROM R WHERE R.Version = 'dev' "
+            "GROUP BY c1 ORDER BY c1"
+        )
+        lines = [line for line in out.splitlines() if line.strip()]
+        assert lines and all("[columnar]" in line for line in lines)
+
+    def test_lost_column_path_degrades_to_batched(self, tmp_path, monkeypatch):
+        databases = build_databases(tmp_path)
+        db = databases["hybrid"]
+        sql = "SELECT id FROM R WHERE R.Version = 'master' LIMIT 3"
+        plan = plan_query(db, sql)
+        assert select_execution_mode(plan) == "columnar"
+        # A refactor deleting one operator's column_batches override must
+        # drop the whole plan out of columnar mode (no silent mid-pipeline
+        # row fallback) and fail columnar verification loudly.
+        monkeypatch.setattr(
+            LimitOp, "column_batches", Operator.column_batches
+        )
+        assert select_execution_mode(plan) == "batched"
+        with pytest.raises(PlanInvariantError) as exc:
+            verify_plan(plan, mode="columnar")
+        assert exc.value.rule == "mode-consistency"
+        assert "column-batch" in str(exc.value)
+        # The degraded mode still verifies and still answers correctly.
+        verify_plan(plan, mode="batched")
+        result = execute_plan(plan, mode="batched")
+        reference = execute_plan(plan, mode="streaming")
+        assert sorted(result.rows) == sorted(reference.rows)
+
+    def test_unknown_mode_rejected(self, tmp_path):
+        databases = build_databases(tmp_path)
+        plan = plan_query(
+            databases["hybrid"],
+            "SELECT id FROM R WHERE R.Version = 'master'",
+        )
+        from repro.errors import QueryError
+
+        with pytest.raises(QueryError):
+            execute_plan(plan, mode="vectorized")

@@ -17,6 +17,7 @@ from repro.analysis.lint.rules import (
     ALL_RULES,
     BareExceptRule,
     BenchWallClockRule,
+    ColumnarBoundaryRule,
     EngineStatsParityRule,
     LockOrderRule,
     MutableDefaultRule,
@@ -356,6 +357,75 @@ class TestEngineStatsParityRule:
             )
         )
         assert violations == []
+
+
+class TestColumnarBoundaryRule:
+    def test_record_construction_in_column_batches_flagged(self):
+        violations = check(
+            ColumnarBoundaryRule(),
+            "repro/core/operators.py",
+            """
+            class Leaky(Operator):
+                def column_batches(self, batch_size=1024):
+                    for batch in self.child.column_batches(batch_size):
+                        records = [Record(values) for values in batch.rows()]
+                        yield ColumnBatch.from_records(self.schema, records)
+            """,
+        )
+        assert len(violations) == 1
+        assert "column_batches" in violations[0].message
+
+    def test_qualified_record_construction_flagged(self):
+        violations = check(
+            ColumnarBoundaryRule(),
+            "repro/query/physical.py",
+            """
+            def column_batches(self, batch_size=1024):
+                yield record_module.Record(())
+            """,
+        )
+        assert len(violations) == 1
+
+    def test_columnar_idiom_is_clean(self):
+        violations = check(
+            ColumnarBoundaryRule(),
+            "repro/core/operators.py",
+            """
+            class Clean(Operator):
+                def column_batches(self, batch_size=1024):
+                    for batch in self.child.column_batches(batch_size):
+                        selection = [i for i in range(batch.num_rows)]
+                        yield batch.take(selection)
+
+                def batches(self, batch_size=1024):
+                    # Row-mode paths may build records freely.
+                    yield [Record(()) for _ in range(2)]
+            """,
+        )
+        assert violations == []
+
+    def test_boundary_methods_do_not_fire(self):
+        violations = check(
+            ColumnarBoundaryRule(),
+            "repro/core/columns.py",
+            """
+            class ColumnBatch:
+                def to_records(self):
+                    return [Record(values) for values in self.rows()]
+            """,
+        )
+        assert violations == []
+
+    def test_repo_operators_are_clean(self):
+        import repro.core.operators as operators_module
+        import repro.query.physical as physical_module
+
+        for mod in (operators_module, physical_module):
+            path = Path(mod.__file__)
+            src = module(
+                f"repro/{path.name}", path.read_text(encoding="utf-8")
+            )
+            assert ColumnarBoundaryRule().check(src) == []
 
 
 class TestRunRules:

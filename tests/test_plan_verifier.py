@@ -81,7 +81,8 @@ class TestCleanPlans:
     )
     def test_planner_output_verifies(self, db, sql):
         plan = plan_query(db, sql)
-        verify_plan(plan, batched=select_execution_mode(plan))
+        assert select_execution_mode(plan) == "columnar"
+        verify_plan(plan, mode=select_execution_mode(plan))
         verify_plan(plan, batched=None)
 
 
@@ -190,7 +191,7 @@ class TestModeConsistency:
         )
         monkeypatch.setattr(LimitOp, "batches", Operator.batches)
         verify_plan(plan, batched=False)
-        assert select_execution_mode(plan) is False
+        assert select_execution_mode(plan) == "streaming"
 
 
 class TestRewriteLegality:

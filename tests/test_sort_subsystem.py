@@ -295,7 +295,7 @@ class TestTopNFusion:
 
     def test_top_n_plan_is_batch_native(self, seeded_engine):
         plan = optimize(Limit(Sort(_scan(seeded_engine), [("c1", True)]), 7))
-        assert select_execution_mode(plan) is True
+        assert select_execution_mode(plan) == "columnar"
 
 
 # -- pipeline equivalence across engines and modes ----------------------------
