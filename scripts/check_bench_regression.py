@@ -20,6 +20,13 @@ fresh slow-side median is below ``--min-seconds`` are skipped: at smoke
 scales a sub-millisecond query is scheduler noise, not a signal.  Workloads
 with committed speedup <= 1 (or no recorded speedup at all, such as the
 informational spill-path entries) are not gated.
+
+Entries recording a *cost* ratio rather than a speedup -- currently the
+``recovery`` experiment's ``recovery_open_s / clean_open_s`` pair from
+``BENCH_pr8.json`` -- are gated the other way around: the fresh ratio must
+not *exceed* the committed ratio by more than the tolerance, so crash
+recovery cannot silently become disproportionately more expensive than a
+clean open.
 """
 
 from __future__ import annotations
@@ -39,6 +46,22 @@ RATIO_KEY_PAIRS = (
     ("streaming_s", "batched_s"),
     ("full_sort_s", "topn_s"),
 )
+
+#: ``(cost_key, base_key)`` pairs gated as a *ceiling*: the fresh
+#: cost/base ratio must not exceed the committed ``ratio`` by more than
+#: the tolerance.  Used by the ``recovery`` experiment (PR 8), where a
+#: regression makes the ratio rise -- the floor gate above cannot see it.
+CEILING_KEY_PAIRS = (
+    ("recovery_open_s", "clean_open_s"),
+)
+
+
+def ceiling_sides(entry: dict) -> tuple[float, float] | None:
+    """The ``(cost, base)`` medians of a ceiling-gated entry, if any."""
+    for cost_key, base_key in CEILING_KEY_PAIRS:
+        if cost_key in entry and base_key in entry:
+            return entry[cost_key], entry[base_key]
+    return None
 
 
 def iter_workloads(payload: dict):
@@ -86,6 +109,30 @@ def main(argv: list[str] | None = None) -> int:
         base = committed.get(name)
         if base is None:
             continue
+        cost_sides = ceiling_sides(entry)
+        if cost_sides is not None:
+            cost, base_side = cost_sides
+            committed_ratio = base.get("ratio", 0.0)
+            if base_side < args.min_seconds:
+                print(f"skip  {name}: base side {base_side:.6f}s below noise floor")
+                continue
+            if committed_ratio <= 0 or base_side <= 0:
+                print(f"info  {name}: committed ratio {committed_ratio} (not gated)")
+                continue
+            checked += 1
+            fresh_ratio = cost / base_side
+            # A committed cost ratio below 1 is timing noise (recovery does
+            # strictly more work than a clean open), so the ceiling is
+            # anchored at >= 1.0 to avoid gating against a fluke baseline.
+            ceiling = max(committed_ratio, 1.0) * (1.0 + args.tolerance)
+            status = "ok  " if fresh_ratio <= ceiling else "FAIL"
+            print(
+                f"{status}  {name}: fresh cost ratio {fresh_ratio:.2f} "
+                f"(committed {committed_ratio:.2f}, ceiling {ceiling:.2f})"
+            )
+            if fresh_ratio > ceiling:
+                failures.append(name)
+            continue
         sides = ratio_sides(entry)
         if sides is None:
             print(f"info  {name}: no ratio pair recorded (not gated)")
@@ -114,7 +161,7 @@ def main(argv: list[str] | None = None) -> int:
             f"{args.tolerance:.0%} against {args.baseline}: {', '.join(failures)}"
         )
         return 1
-    print(f"\nchecked {checked} workload(s); no batched regression beyond "
+    print(f"\nchecked {checked} workload(s); no regression beyond "
           f"{args.tolerance:.0%}")
     return 0
 

@@ -422,6 +422,79 @@ class ColumnarBoundaryRule(LintRule):
         return violations
 
 
+#: Modules allowed to open files in a truncating write mode.  Everything else
+#: holds durable state and must write through the atomic-replace protocol.
+DIRECT_WRITE_ALLOWED = (
+    "repro/core/durable.py",  # the atomic_write / append_framed utility itself
+    "repro/core/heapfile.py",  # empty-file create; page writes use "r+b"
+)
+
+#: Subtrees exempt from REPRO009: benchmark result files and the git-baseline
+#: comparison code are not engine-durable state.
+DIRECT_WRITE_ALLOWED_PREFIXES = ("repro/bench/", "repro/gitlike/")
+
+
+class DurableWriteRule(LintRule):
+    """Durable files must be written via ``atomic_write``, never ``open(w)``.
+
+    A truncating ``open(path, "w")`` destroys the old contents before the new
+    ones are durable: a crash between the truncate and the final fsync leaves
+    a torn or empty file where complete metadata used to be.  Every durable
+    write path in the engine goes through
+    :func:`repro.core.durable.atomic_write` (write-temp / fsync / atomic
+    rename / dir fsync) or :func:`repro.core.durable.append_framed`
+    (checksummed fsynced appends); a direct write-mode ``open`` anywhere else
+    is a crash-consistency hole waiting for a power failure.
+    """
+
+    id = "REPRO009"
+    rationale = (
+        'open(path, "w") truncates before the replacement is durable; a '
+        "crash in that window destroys metadata that atomic_write would "
+        "have preserved"
+    )
+    fix_hint = (
+        "write through repro.core.durable.atomic_write / dump_json_atomic "
+        "(whole-file replace) or append_framed (append-only logs)"
+    )
+
+    @staticmethod
+    def _write_mode(node: ast.Call) -> str | None:
+        """The constant mode string of an ``open`` call, if determinable."""
+        mode: ast.expr | None = None
+        if len(node.args) >= 2:
+            mode = node.args[1]
+        for keyword in node.keywords:
+            if keyword.arg == "mode":
+                mode = keyword.value
+        if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+            return mode.value
+        return None
+
+    def check(self, module: SourceModule) -> list[Violation]:
+        if module.relpath in DIRECT_WRITE_ALLOWED:
+            return []
+        if module.relpath.startswith(DIRECT_WRITE_ALLOWED_PREFIXES):
+            return []
+        violations: list[Violation] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not (isinstance(node.func, ast.Name) and node.func.id == "open"):
+                continue
+            mode = self._write_mode(node)
+            if mode is not None and ("w" in mode or "x" in mode):
+                violations.append(
+                    self.violation(
+                        module,
+                        node.lineno,
+                        f"direct open(..., {mode!r}) of a durable file; "
+                        "truncating writes must go through atomic_write",
+                    )
+                )
+        return violations
+
+
 #: Every rule, in id order -- the default set run by ``scripts/lint.py``.
 ALL_RULES: tuple[LintRule, ...] = (
     OperatorProtocolRule(),
@@ -432,4 +505,5 @@ ALL_RULES: tuple[LintRule, ...] = (
     BenchWallClockRule(),
     EngineStatsParityRule(),
     ColumnarBoundaryRule(),
+    DurableWriteRule(),
 )

@@ -98,6 +98,13 @@ EXPERIMENTS = {
             workdir, scale=scale, json_path=json_path
         ),
     ),
+    "recovery": (
+        "Crash recovery: open-to-first-query, clean vs after-crash "
+        "(writes BENCH_pr8.json)",
+        lambda workdir, scale, json_path=None: experiments.recovery_open(
+            workdir, scale=scale, json_path=json_path
+        ),
+    ),
     "ablation-orientation": (
         "Ablation: branch- vs tuple-oriented bitmaps (tuple-first)",
         lambda workdir, scale: experiments.ablation_bitmap_orientation(
@@ -159,10 +166,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--bench-json",
         default=None,
         help=(
-            "where the vectorized/operators/sort-topn/columnar experiments "
-            "write their JSON record (default: BENCH_pr3.json / "
-            "BENCH_pr4.json / BENCH_pr5.json / BENCH_pr7.json inside the "
-            "workdir)"
+            "where the vectorized/operators/sort-topn/columnar/recovery "
+            "experiments write their JSON record (default: BENCH_pr3.json / "
+            "BENCH_pr4.json / BENCH_pr5.json / BENCH_pr7.json / "
+            "BENCH_pr8.json inside the workdir)"
         ),
     )
     parser.add_argument(

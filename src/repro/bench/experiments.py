@@ -1514,3 +1514,113 @@ def ablation_commit_layers(
         "delta chains at checkout"
     )
     return table
+
+
+# ---------------------------------------------------------------------------
+# Recovery (PR 8): open-to-first-query-result, clean open vs crash recovery
+# ---------------------------------------------------------------------------
+
+
+def recovery_open(
+    workdir: str,
+    scale: ExperimentScale | None = None,
+    json_path: str | None = None,
+) -> ResultTable:
+    """Time ``Decibel.open`` to first query result, clean vs after a crash.
+
+    For each engine a dataset of ``scale.scan_rows`` rows is committed and
+    the database closed cleanly.  The *clean* measurement times a fresh
+    :meth:`Decibel.open` plus one ``COUNT(*)`` query.  The *recovery*
+    measurement first kills a transaction mid-commit with the
+    fault-injection harness (after its WAL commit point but before the
+    version graph persisted, so reopen must redo it), then times the same
+    open-plus-query.  The ratio records how much a crash inflates time to
+    first result; ``scripts/check_bench_regression.py`` gates it as a
+    ceiling so the recovery path cannot silently become disproportionately
+    expensive.
+    """
+    from repro.core.record import Record
+    from repro.core.schema import Schema
+    from repro.db.database import Decibel
+    from repro.testing.faults import FaultSchedule, InjectedCrash, inject
+
+    scale = scale or ExperimentScale()
+    json_path = json_path or os.path.join(workdir, "BENCH_pr8.json")
+    rows = scale.scan_rows
+    columns = max(scale.num_columns, 2)
+    schema = Schema.of_ints(columns)
+    repetitions = 3
+    count_sql = "SELECT COUNT(*) FROM r WHERE r.Version = 'master'"
+    table = ResultTable(
+        title=(
+            f"Recovery: open to first query result on {rows} rows "
+            f"(medians of {repetitions})"
+        ),
+        columns=["engine", "clean open (s)", "recovery open (s)", "ratio"],
+    )
+    payload: dict = {"experiment": "recovery", "rows": rows, "workloads": {}}
+
+    def record_for(key: int) -> Record:
+        return Record(tuple([key] + [key % 97] * (columns - 1)))
+
+    for engine_kind in ("tuple-first", "version-first", "hybrid"):
+        directory = os.path.join(workdir, f"recovery_{engine_kind}")
+        db = Decibel(directory, engine=engine_kind)
+        relation = db.create_relation("r", schema)
+        relation.init(record_for(key) for key in range(rows))
+        db.close()
+
+        def timed_open(expected_count: int) -> float:
+            start = time.perf_counter()
+            opened = Decibel.open(directory, engine=engine_kind)
+            count = opened.query(count_sql).rows[0][0]
+            elapsed = time.perf_counter() - start
+            if count != expected_count:
+                raise BenchmarkError(
+                    f"{engine_kind}: expected {expected_count} rows after "
+                    f"open, got {count}"
+                )
+            opened.close()
+            return elapsed
+
+        clean_times = [timed_open(rows) for _ in range(repetitions)]
+
+        def crash_once(key: int) -> None:
+            opened = Decibel.open(directory, engine=engine_kind)
+            txn = opened.transactions("r").begin()
+            txn.insert("master", record_for(key))
+            try:
+                with inject(FaultSchedule("graph-persist-mid-write")):
+                    txn.commit("bench crash victim")
+            except InjectedCrash:
+                return
+            raise BenchmarkError(
+                f"{engine_kind}: graph-persist-mid-write never fired"
+            )
+
+        recovery_times = []
+        for repetition in range(repetitions):
+            crash_once(rows + repetition)
+            # The crashed transaction passed its commit point, so recovery
+            # redoes it: each repetition adds exactly one row.
+            recovery_times.append(timed_open(rows + repetition + 1))
+
+        clean_median = statistics.median(clean_times)
+        recovery_median = statistics.median(recovery_times)
+        ratio = recovery_median / clean_median if clean_median > 0 else 0.0
+        table.add_row(engine_kind, clean_median, recovery_median, ratio)
+        payload["workloads"][engine_kind] = {
+            "rows": rows,
+            "clean_open_s": clean_median,
+            "recovery_open_s": recovery_median,
+            "ratio": round(ratio, 2),
+        }
+
+    with open(json_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    table.add_note(
+        "recovery opens replay the WAL, redo one committed-but-unapplied "
+        f"transaction, and re-verify consistency; medians written to {json_path}"
+    )
+    return table

@@ -19,7 +19,9 @@ from dataclasses import dataclass
 
 from repro.bitmap.bitmap import Bitmap
 from repro.bitmap.rle import rle_decode, rle_encode
-from repro.errors import CommitNotFoundError, StorageError
+from repro.core.durable import add_recovery_note, atomic_write, fsync_dir
+from repro.errors import CommitNotFoundError, CorruptionError, StorageError
+from repro.testing.faults import check_crashed, crashpoint
 
 _ENTRY_HEADER = struct.Struct("<BII")  # kind, commit index, payload length
 
@@ -195,17 +197,27 @@ class CommitHistory:
 
     # -- persistence ----------------------------------------------------------
 
+    def _entry_bytes(self, entry: _Entry) -> bytes:
+        return (
+            _ENTRY_HEADER.pack(entry.kind, entry.index, len(entry.payload))
+            + _ENTRY_COUNTS.pack(entry.num_bits, entry.popcount)
+            + entry.payload
+        )
+
     def _append_to_disk(self, entry: _Entry) -> None:
         if self.path is None:
             return
+        check_crashed()
+        created = not os.path.exists(self.path)
         with open(self.path, "ab") as handle:
             if handle.tell() == 0:
                 handle.write(_FORMAT_MAGIC)
-            handle.write(
-                _ENTRY_HEADER.pack(entry.kind, entry.index, len(entry.payload))
-            )
-            handle.write(_ENTRY_COUNTS.pack(entry.num_bits, entry.popcount))
-            handle.write(entry.payload)
+            handle.write(self._entry_bytes(entry))
+            handle.flush()
+            crashpoint("history-append-pre-fsync", path=self.path)
+            os.fsync(handle.fileno())
+        if created:
+            fsync_dir(os.path.dirname(os.path.abspath(self.path)))
 
     def _load(self) -> None:
         with open(self.path, "rb") as handle:
@@ -215,45 +227,114 @@ class CommitHistory:
         # and compute each entry's popcount from its payload once.
         legacy = not data.startswith(_FORMAT_MAGIC)
         offset = 0 if legacy else len(_FORMAT_MAGIC)
-        state = 0
-        num_base = 0
+        counts = _LEGACY_ENTRY_COUNTS if legacy else _ENTRY_COUNTS
+        torn_at: int | None = None
         while offset < len(data):
+            start = offset
+            if start + _ENTRY_HEADER.size + counts.size > len(data):
+                torn_at = start
+                break
             kind, index, length = _ENTRY_HEADER.unpack_from(data, offset)
             offset += _ENTRY_HEADER.size
+            if kind not in (_KIND_BASE, _KIND_COMPOSITE):
+                torn_at = start
+                break
             if legacy:
-                (num_bits,) = _LEGACY_ENTRY_COUNTS.unpack_from(data, offset)
-                offset += _LEGACY_ENTRY_COUNTS.size
+                (num_bits,) = counts.unpack_from(data, offset)
                 popcount = None
             else:
-                num_bits, popcount = _ENTRY_COUNTS.unpack_from(data, offset)
-                offset += _ENTRY_COUNTS.size
+                num_bits, popcount = counts.unpack_from(data, offset)
+            offset += counts.size
+            if offset + length > len(data):
+                torn_at = start
+                break
             payload = data[offset : offset + length]
             offset += length
-            delta_int = None
             if popcount is None:
-                delta_int = int.from_bytes(rle_decode(payload), "little")
-                popcount = delta_int.bit_count()
+                popcount = int.from_bytes(rle_decode(payload), "little").bit_count()
             self._entries.append(_Entry(kind, index, payload, num_bits, popcount))
             if kind == _KIND_BASE:
-                num_base += 1
                 self._num_bits_history.append(num_bits)
-                if popcount:  # no-op deltas need not be decompressed
-                    if delta_int is None:
-                        delta_int = int.from_bytes(rle_decode(payload), "little")
-                    state ^= delta_int
-        # The running snapshot was rebuilt inline; commit ids are managed by
-        # the caller (the engine re-registers them from its own metadata on
-        # reopen).
-        num_bits = self._num_bits_history[-1] if self._num_bits_history else 0
-        self._last_snapshot = Bitmap._from_int(state, max(num_bits, state.bit_length()))
+        if torn_at is not None:
+            # A crash mid-append left a torn final entry.  The snapshot it
+            # carried was never referenced (the graph is persisted after the
+            # history append succeeds), so dropping it loses nothing durable.
+            error = CorruptionError(
+                self.path,
+                "torn commit-history entry at end of file",
+                offset=torn_at,
+                actual=len(data) - torn_at,
+            )
+            os.truncate(self.path, torn_at)
+            with open(self.path, "rb") as handle:
+                os.fsync(handle.fileno())
+            add_recovery_note(f"truncated torn commit-history tail: {error}")
+        # Commit ids are placeholders until the engine re-registers them from
+        # the version graph via rebind_commit_ids.
+        num_base = len(self._num_bits_history)
         self._commit_ids = [f"commit-{i}" for i in range(num_base)]
         self._commit_ordinals = {cid: i for i, cid in enumerate(self._commit_ids)}
+        self._recompute_derived()
+
+    def _recompute_derived(self) -> None:
+        """Rebuild the running snapshot and the pending-composite run.
+
+        Rebuilding ``_pending_for_composite`` matters for append-after-reload
+        correctness: without it, composites emitted after a reload would
+        cover a run missing its pre-reload prefix, and checkout would skip
+        deltas a composite never actually folded in.
+        """
+        state = 0
+        pending: list[bytes] = []
+        for entry in self._entries:
+            if entry.kind == _KIND_BASE:
+                raw = rle_decode(entry.payload) if entry.popcount else b""
+                if entry.popcount:
+                    state ^= int.from_bytes(raw, "little")
+                pending.append(raw)
+            else:
+                pending = []
+        num_bits = self._num_bits_history[-1] if self._num_bits_history else 0
+        self._last_snapshot = Bitmap._from_int(state, max(num_bits, state.bit_length()))
+        self._pending_for_composite = pending if self.layer_interval else []
 
     def rebind_commit_ids(self, commit_ids: list[str]) -> None:
-        """Replace placeholder commit ids after reloading from disk."""
-        if len(commit_ids) != len(self._commit_ids):
+        """Replace placeholder commit ids after reloading from disk.
+
+        ``commit_ids`` comes from the version graph, the root of recoverable
+        state.  The graph is persisted *after* history appends, so after a
+        crash it may name a strict prefix of the recorded snapshots; the
+        orphan tail (snapshots of commits the graph never saw) is discarded.
+        A graph naming *more* commits than the history holds is real
+        corruption and raises.
+        """
+        if len(commit_ids) > len(self._commit_ids):
             raise StorageError(
-                "commit id list does not match the number of recorded commits"
+                "version graph references more commits than this history "
+                f"recorded ({len(commit_ids)} > {len(self._commit_ids)})"
             )
+        if len(commit_ids) < len(self._commit_ids):
+            self._discard_orphans(len(commit_ids))
         self._commit_ids = list(commit_ids)
         self._commit_ordinals = {cid: i for i, cid in enumerate(commit_ids)}
+
+    def _discard_orphans(self, count: int) -> None:
+        """Drop recorded snapshots beyond the first ``count`` commits.
+
+        These are orphans from a crash between the history append and the
+        graph persist; no durable state references them.  Composites whose
+        run reaches into the orphan tail are dropped with it.
+        """
+        orphans = len(self._commit_ids) - count
+        self._entries = [e for e in self._entries if e.index < count]
+        self._num_bits_history = self._num_bits_history[:count]
+        self._recompute_derived()
+        if self.path is not None:
+            blob = _FORMAT_MAGIC + b"".join(
+                self._entry_bytes(e) for e in self._entries
+            )
+            atomic_write(self.path, blob, label="history-rewrite")
+        add_recovery_note(
+            f"discarded {orphans} orphan commit snapshot(s) from "
+            f"{self.path or '<memory>'}"
+        )

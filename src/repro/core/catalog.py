@@ -9,12 +9,12 @@ directory can be re-opened.
 
 from __future__ import annotations
 
-import json
 import os
 from dataclasses import dataclass
 
+from repro.core.durable import dump_json_atomic, load_checked_json
 from repro.core.schema import Column, ColumnType, Schema
-from repro.errors import SchemaError, StorageError
+from repro.errors import CorruptionError, SchemaError, StorageError
 
 
 @dataclass
@@ -73,8 +73,9 @@ class Catalog:
     def _load(self) -> None:
         if not os.path.exists(self.path):
             return
-        with open(self.path, "r", encoding="utf-8") as handle:
-            raw = json.load(handle)
+        raw = load_checked_json(self.path)
+        if not isinstance(raw, dict):
+            raise CorruptionError(self.path, "catalog payload is not an object")
         for entry in raw.get("relations", []):
             info = RelationInfo.from_dict(entry)
             self._relations[info.name] = info
@@ -83,8 +84,7 @@ class Catalog:
         payload = {
             "relations": [info.to_dict() for info in self._relations.values()]
         }
-        with open(self.path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2)
+        dump_json_atomic(self.path, payload, label="catalog")
 
     # -- relation management --------------------------------------------------
 

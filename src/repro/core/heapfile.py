@@ -15,10 +15,11 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from repro.core.buffer_pool import BufferPool
+from repro.core.durable import add_recovery_note, strict_recovery
 from repro.core.page import DEFAULT_PAGE_SIZE, Page, PageId
 from repro.core.record import Record, RecordCodec
 from repro.core.schema import Schema
-from repro.errors import StorageError
+from repro.errors import CorruptionError, PageError, StorageError
 
 
 @dataclass(frozen=True, order=True)
@@ -66,6 +67,11 @@ class HeapFile:
         self._tail_page: Page | None = None
         self._num_full_pages = 0
         self._num_records = 0
+        #: True when pages were written since the last fsync; lets
+        #: :meth:`flush` skip the fsync for files nothing touched.
+        self._os_dirty = False
+        #: True when the in-memory tail page has records not yet written out.
+        self._tail_dirty = False
         if os.path.exists(path):
             self._load_existing()
         else:
@@ -77,10 +83,24 @@ class HeapFile:
     def _load_existing(self) -> None:
         size = os.path.getsize(self.path)
         if size % self.page_size != 0:
-            raise StorageError(
-                f"heap file {self.path} has size {size}, not a multiple of "
-                f"page size {self.page_size}"
+            # A torn final page: a crash interrupted a page write.  Commit
+            # snapshots are only recorded after a full flush, so the torn
+            # bytes cannot be referenced by any durable state -- in degraded
+            # mode they are safely discarded to the last page boundary.
+            boundary = (size // self.page_size) * self.page_size
+            error = CorruptionError(
+                self.path,
+                "heap file size is not a multiple of the page size "
+                "(torn final page)",
+                offset=boundary,
+                expected=self.page_size,
+                actual=size - boundary,
             )
+            if strict_recovery():
+                raise error
+            os.truncate(self.path, boundary)
+            size = boundary
+            add_recovery_note(f"truncated torn heap tail: {error}")
         num_pages = size // self.page_size
         self._num_full_pages = num_pages
         self._num_records = 0
@@ -128,6 +148,7 @@ class HeapFile:
         slot = self._tail_page.append(record)
         record_id = RecordId(self._tail_page.page_id.page_number, slot)
         self._num_records += 1
+        self._tail_dirty = True
         if self._tail_page.is_full:
             self._write_page(self._tail_page)
             self.buffer_pool.put_page(self._tail_page)
@@ -140,10 +161,58 @@ class HeapFile:
         return [self.append(record) for record in records]
 
     def flush(self) -> None:
-        """Persist the tail page (if any) without sealing it."""
-        if self._tail_page is not None and self._tail_page.num_records:
+        """Persist the tail page (if any) and fsync everything written so far.
+
+        Engine commits flush storage *before* recording a commit snapshot, so
+        the fsync here is what guarantees a snapshot never references records
+        still sitting in the OS page cache.  Files with no writes since the
+        last flush skip the fsync.
+        """
+        if (
+            self._tail_dirty
+            and self._tail_page is not None
+            and self._tail_page.num_records
+        ):
             self._write_page(self._tail_page)
             self.buffer_pool.put_page(self._tail_page)
+            self._tail_dirty = False
+        if self._os_dirty:
+            with open(self.path, "r+b") as handle:
+                os.fsync(handle.fileno())
+            self._os_dirty = False
+
+    def truncate_records(self, count: int) -> None:
+        """Physically discard every record after the first ``count``.
+
+        Crash recovery uses this to roll a heap back to its last durable
+        commit snapshot: appends that reached the disk (wholly or torn) after
+        that snapshot are removed so record ordinals line up with the
+        recovered metadata again.
+        """
+        if count < 0:
+            raise StorageError(f"cannot truncate {self.path} to {count} records")
+        if count >= self._num_records:
+            return
+        per_page = self.records_per_page
+        full_pages, tail_count = divmod(count, per_page)
+        survivors: list[Record] = []
+        if tail_count:
+            survivors = self._get_page(full_pages).records_view()[:tail_count]
+        self.buffer_pool.invalidate_file(self._file_name)
+        os.truncate(self.path, full_pages * self.page_size)
+        self._os_dirty = True
+        self._num_full_pages = full_pages
+        self._num_records = full_pages * per_page
+        self._tail_page = None
+        if tail_count:
+            self._tail_page = Page(
+                PageId(self._file_name, full_pages), self.codec, self.page_size
+            )
+            for record in survivors:
+                self._tail_page.append(record)
+            self._num_records += tail_count
+            self._tail_dirty = True
+        self.flush()
 
     # -- reads ----------------------------------------------------------------
 
@@ -216,17 +285,28 @@ class HeapFile:
             raise StorageError(
                 f"short read of page {page_number} from {self.path}"
             )
-        return Page(
-            PageId(self._file_name, page_number),
-            self.codec,
-            self.page_size,
-            data=data,
-        )
+        page_id = PageId(self._file_name, page_number)
+        try:
+            return Page(page_id, self.codec, self.page_size, data=data)
+        except PageError as exc:
+            # The page header is corrupt (e.g. a bit flip in the record
+            # count).  Strict recovery surfaces it; degraded mode quarantines
+            # the page as empty and keeps the rest of the file scannable.
+            error = CorruptionError(
+                self.path,
+                f"corrupt page header: {exc}",
+                offset=page_number * self.page_size,
+            )
+            if strict_recovery():
+                raise error from exc
+            add_recovery_note(f"quarantined corrupt heap page: {error}")
+            return Page(page_id, self.codec, self.page_size)
 
     def _write_page(self, page: Page) -> None:
         with open(self.path, "r+b") as handle:
             handle.seek(page.page_id.page_number * self.page_size)
             handle.write(page.to_bytes())
+        self._os_dirty = True
 
     # -- lifecycle ------------------------------------------------------------
 

@@ -5,8 +5,26 @@ become atomically visible at commit time and are rolled back if the client
 disconnects first (paper Section 2.2.3).  A :class:`Transaction` buffers the
 data modifications made through it, acquires branch locks through the shared
 :class:`~repro.core.locks.LockManager`, writes intent records to the
-write-ahead log, and applies the buffered changes to the storage engine only
-when committed.
+write-ahead log, and applies the buffered changes to the storage engine.
+
+Durability protocol (redo-only logging):
+
+1. Buffered writes are applied to the engine's *in-memory* state and logged
+   as WRITE records carrying the full logical write (values or key), so they
+   can be redone from the log alone.
+2. A COMMIT record is appended and fsynced -- this is the commit point.
+   Nothing the engine has touched so far is durably visible: visibility is
+   governed by the branch bitmaps / segment offsets captured at the last
+   engine-level commit.
+3. ``engine.commit`` then makes the changes durable on each touched branch
+   (flushing storage, recording the commit snapshot, persisting the graph).
+4. An APPLIED record marks the application complete.
+
+A crash before step 2 loses only in-memory state -- the transaction is a
+loser and its effects are invisible on reopen.  A crash between 2 and 4
+leaves a committed-but-unapplied transaction in the log;
+:func:`redo_write` lets recovery re-apply its WRITE records idempotently
+before re-running the engine commit.
 """
 
 from __future__ import annotations
@@ -20,6 +38,7 @@ from repro.core.locks import LockManager, LockMode
 from repro.core.record import Record
 from repro.core.wal import LogRecord, LogRecordType, WriteAheadLog
 from repro.errors import TransactionError
+from repro.testing.faults import InjectedCrash
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.storage.base import VersionedStorageEngine
@@ -39,6 +58,43 @@ class _BufferedWrite:
     branch: str
     record: Record | None = None
     key: int | None = None
+
+    def payload(self) -> dict[str, object]:
+        """The logical write as a redo-able WAL payload."""
+        if self.kind == "delete":
+            return {"kind": "delete", "key": self.key}
+        assert self.record is not None
+        return {"kind": self.kind, "values": list(self.record.values)}
+
+
+def redo_write(
+    engine: "VersionedStorageEngine", branch: str, payload: dict[str, object]
+) -> bool:
+    """Idempotently re-apply one logged write; True if it changed anything.
+
+    Recovery replays committed-but-unapplied transactions through this: a
+    write whose effect already survives (the engine commit completed for its
+    branch before the crash) is detected and skipped, so redo never doubles
+    an insert or resurrects a deleted row.
+    """
+    kind = payload["kind"]
+    if kind == "delete":
+        key = payload["key"]
+        if engine.branch_contains_key(branch, key):  # type: ignore[arg-type]
+            engine.delete(branch, key)  # type: ignore[arg-type]
+            return True
+        return False
+    values = tuple(payload["values"])  # type: ignore[arg-type]
+    record = Record(values)
+    key = record.key(engine.schema)
+    existing = engine.record_for_key(branch, key)
+    if existing is None:
+        engine.insert(branch, record)
+        return True
+    if tuple(existing.values) == values:
+        return False
+    engine.update(branch, record)
+    return True
 
 
 @dataclass
@@ -85,9 +141,14 @@ class Transaction:
         self._check_active()
         engine = self.manager.engine
         wal = self.manager.wal
-        wal.append(LogRecord(LogRecordType.BEGIN, self.transaction_id))
+        relation = self.manager.relation
         try:
+            wal.append(
+                LogRecord(LogRecordType.BEGIN, self.transaction_id, relation=relation)
+            )
             for write in self._writes:
+                # Apply first so a validation failure (duplicate key, missing
+                # row) aborts cleanly before the write is ever logged.
                 if write.kind == "insert":
                     engine.insert(write.branch, write.record)
                 elif write.kind == "update":
@@ -99,27 +160,50 @@ class Transaction:
                         LogRecordType.WRITE,
                         self.transaction_id,
                         branch=write.branch,
-                        payload=write.kind,
+                        payload=write.payload(),
+                        relation=relation,
                     )
                 )
+            # The fsynced COMMIT record is the commit point: from here the
+            # transaction's effects must survive a crash (via redo).
+            wal.append(
+                LogRecord(LogRecordType.COMMIT, self.transaction_id, relation=relation)
+            )
+            self.state = TransactionState.COMMITTED
             commits = {}
             for branch in sorted({write.branch for write in self._writes}):
                 commits[branch] = engine.commit(branch, message=message)
-            wal.append(LogRecord(LogRecordType.COMMIT, self.transaction_id))
-            self.state = TransactionState.COMMITTED
+            wal.append(
+                LogRecord(LogRecordType.APPLIED, self.transaction_id, relation=relation)
+            )
             return commits
+        except InjectedCrash:
+            # Simulated process death: a real dead process writes nothing
+            # more, so no ABORT record -- replay classifies us by what is
+            # already on disk.
+            raise
         finally:
             self.manager.lock_manager.release_all(self.transaction_id)
-            if self.state is not TransactionState.COMMITTED:
+            if self.state is TransactionState.ACTIVE:
                 self.state = TransactionState.ABORTED
-                wal.append(LogRecord(LogRecordType.ABORT, self.transaction_id))
+                wal.append(
+                    LogRecord(
+                        LogRecordType.ABORT, self.transaction_id, relation=relation
+                    )
+                )
 
     def abort(self) -> None:
         """Discard all buffered writes and release locks."""
         self._check_active()
         self._writes.clear()
         self.state = TransactionState.ABORTED
-        self.manager.wal.append(LogRecord(LogRecordType.ABORT, self.transaction_id))
+        self.manager.wal.append(
+            LogRecord(
+                LogRecordType.ABORT,
+                self.transaction_id,
+                relation=self.manager.relation,
+            )
+        )
         self.manager.lock_manager.release_all(self.transaction_id)
 
     # -- helpers --------------------------------------------------------------
@@ -137,18 +221,26 @@ class Transaction:
 
 
 class TransactionManager:
-    """Creates transactions bound to one storage engine, WAL and lock manager."""
+    """Creates transactions bound to one storage engine, WAL and lock manager.
+
+    ``relation`` stamps every log record this manager writes, so a shared
+    database-level WAL can route records back to the right engine during
+    recovery.  Transaction ids resume after the highest id already in the
+    log, so ids stay unique across restarts.
+    """
 
     def __init__(
         self,
         engine: "VersionedStorageEngine",
         wal: WriteAheadLog | None = None,
         lock_manager: LockManager | None = None,
+        relation: str | None = None,
     ):
         self.engine = engine
         self.wal = wal if wal is not None else WriteAheadLog.in_memory()
         self.lock_manager = lock_manager if lock_manager is not None else LockManager()
-        self._ids = itertools.count(1)
+        self.relation = relation
+        self._ids = itertools.count(self.wal.max_transaction_id() + 1)
 
     def begin(self) -> Transaction:
         """Start a new transaction."""

@@ -1,13 +1,35 @@
-"""A minimal write-ahead log.
+"""A crash-safe write-ahead log.
 
 The paper notes that by living inside a relational DBMS, Decibel can inherit
 fault tolerance "by employing standard write-ahead logging techniques on
 writes" (Section 2.1) and leaves a full treatment to future work.  This module
-provides that standard mechanism in a small form: an append-only log of
-typed records that can be persisted to disk, replayed after a crash, and
-truncated at a checkpoint.  Transactions write BEGIN/WRITE/COMMIT/ABORT
-records through it; recovery reports which transactions were committed so an
-engine can discard the effects of any that were not.
+provides that standard mechanism: an append-only log of typed records that is
+persisted with checksums, replayed after a crash, and truncated at a
+checkpoint.
+
+On-disk format
+--------------
+
+Each record is length-prefixed and checksummed::
+
+    +----------------+----------------+------------------------+
+    | crc32  (4B LE) | length (4B LE) | payload (JSON, length) |
+    +----------------+----------------+------------------------+
+
+The CRC covers the payload bytes.  On open the log is scanned record by
+record; a tail that is torn (truncated header or payload) or corrupt (CRC
+mismatch) is *truncated away* rather than crashing the very recovery that is
+supposed to fix things.  Every truncation is surfaced as a structured
+:class:`~repro.errors.CorruptionError` in :attr:`WriteAheadLog.recovery_notes`
+so it is visible, and in strict mode (``REPRO_STRICT_RECOVERY=1``, the
+default) a corrupt record *followed by* readable data still raises -- only a
+clean tail tear is ever repaired silently.
+
+Transactions write BEGIN / WRITE / COMMIT / APPLIED / ABORT records through
+the log.  The COMMIT record, fsynced before the storage engine applies
+anything durable, is the commit point; the APPLIED record marks that the
+engine finished applying, so recovery (:func:`WriteAheadLog.replay`) can tell
+which committed transactions still need their WRITE records redone.
 """
 
 from __future__ import annotations
@@ -15,7 +37,21 @@ from __future__ import annotations
 import enum
 import json
 import os
+import struct
+import zlib
 from dataclasses import dataclass, field
+
+from repro.core.durable import (
+    add_recovery_note,
+    atomic_write,
+    fsync_dir,
+    strict_recovery,
+)
+from repro.errors import CorruptionError
+from repro.testing.faults import check_crashed, crashpoint
+
+#: Per-record header: CRC32 of the payload, then payload length, little-endian.
+_HEADER = struct.Struct("<II")
 
 
 class LogRecordType(enum.Enum):
@@ -24,30 +60,39 @@ class LogRecordType(enum.Enum):
     BEGIN = "begin"
     WRITE = "write"
     COMMIT = "commit"
+    APPLIED = "applied"
     ABORT = "abort"
     CHECKPOINT = "checkpoint"
 
 
 @dataclass(frozen=True)
 class LogRecord:
-    """One entry in the write-ahead log."""
+    """One entry in the write-ahead log.
+
+    ``payload`` is any JSON-serializable value; WRITE records carry the full
+    logical write (``{"kind": ..., "values": ...}`` or ``{"kind": "delete",
+    "key": ...}``) so recovery can redo it.  ``relation`` names the relation
+    the transaction ran against, letting a database-level replay route each
+    record to the right storage engine.
+    """
 
     type: LogRecordType
     transaction_id: int
     branch: str | None = None
-    payload: str | None = None
+    payload: object = None
+    relation: str | None = None
 
     def to_json(self) -> str:
-        """Serialize to a single JSON line."""
-        return json.dumps(
-            {
-                "type": self.type.value,
-                "txn": self.transaction_id,
-                "branch": self.branch,
-                "payload": self.payload,
-            },
-            separators=(",", ":"),
-        )
+        """Serialize to a single JSON document (the record payload)."""
+        doc: dict[str, object] = {
+            "type": self.type.value,
+            "txn": self.transaction_id,
+            "branch": self.branch,
+            "payload": self.payload,
+        }
+        if self.relation is not None:
+            doc["relation"] = self.relation
+        return json.dumps(doc, separators=(",", ":"))
 
     @classmethod
     def from_json(cls, line: str) -> "LogRecord":
@@ -58,7 +103,13 @@ class LogRecord:
             transaction_id=raw["txn"],
             branch=raw.get("branch"),
             payload=raw.get("payload"),
+            relation=raw.get("relation"),
         )
+
+    def encode(self) -> bytes:
+        """Binary framing: CRC + length header followed by the JSON payload."""
+        payload = self.to_json().encode("utf-8")
+        return _HEADER.pack(zlib.crc32(payload), len(payload)) + payload
 
 
 @dataclass
@@ -68,11 +119,18 @@ class RecoveryReport:
     committed: set[int] = field(default_factory=set)
     aborted: set[int] = field(default_factory=set)
     in_flight: set[int] = field(default_factory=set)
+    applied: set[int] = field(default_factory=set)
+    notes: list[str] = field(default_factory=list)
 
     @property
     def losers(self) -> set[int]:
         """Transactions whose effects must be discarded (aborted or in flight)."""
         return self.aborted | self.in_flight
+
+    @property
+    def needs_redo(self) -> set[int]:
+        """Committed transactions whose application was not confirmed durable."""
+        return self.committed - self.applied
 
 
 class WriteAheadLog:
@@ -81,12 +139,11 @@ class WriteAheadLog:
     def __init__(self, path: str | None = None):
         self.path = path
         self._records: list[LogRecord] = []
+        #: Human-readable notes about repairs made while opening the log
+        #: (torn-tail truncations); drained into the recovery report.
+        self.recovery_notes: list[str] = []
         if path is not None and os.path.exists(path):
-            with open(path, "r", encoding="utf-8") as handle:
-                for line in handle:
-                    line = line.strip()
-                    if line:
-                        self._records.append(LogRecord.from_json(line))
+            self._load(path)
 
     @classmethod
     def in_memory(cls) -> "WriteAheadLog":
@@ -96,24 +153,128 @@ class WriteAheadLog:
     def __len__(self) -> int:
         return len(self._records)
 
+    # -- loading --------------------------------------------------------------
+
+    def _load(self, path: str) -> None:
+        with open(path, "rb") as handle:
+            data = handle.read()
+        offset = 0
+        error: CorruptionError | None = None
+        while offset < len(data):
+            if offset + _HEADER.size > len(data):
+                error = CorruptionError(
+                    path,
+                    "torn record header at end of log",
+                    offset=offset,
+                    expected=_HEADER.size,
+                    actual=len(data) - offset,
+                )
+                break
+            crc, length = _HEADER.unpack_from(data, offset)
+            body_start = offset + _HEADER.size
+            if body_start + length > len(data):
+                error = CorruptionError(
+                    path,
+                    "torn record payload at end of log",
+                    offset=offset,
+                    expected=length,
+                    actual=len(data) - body_start,
+                )
+                break
+            payload = data[body_start : body_start + length]
+            actual_crc = zlib.crc32(payload)
+            if actual_crc != crc:
+                error = CorruptionError(
+                    path,
+                    "record CRC32 mismatch",
+                    offset=offset,
+                    expected=crc,
+                    actual=actual_crc,
+                )
+                break
+            self._records.append(LogRecord.from_json(payload.decode("utf-8")))
+            offset = body_start + length
+        if error is not None:
+            self._truncate_tail(path, offset, error)
+
+    def _truncate_tail(self, path: str, offset: int, error: CorruptionError) -> None:
+        """Drop everything from ``offset`` on; the tail is torn or corrupt.
+
+        A corrupt record makes the framing of everything after it unreliable,
+        so recovery keeps the longest verifiable prefix.  In strict mode a
+        mid-log corruption (bad record followed by bytes that still parse as
+        further records) raises instead of being thrown away.
+        """
+        salvageable = os.path.getsize(path) - offset
+        if strict_recovery() and self._parses_beyond(path, offset):
+            raise CorruptionError(
+                path,
+                f"corrupt record with {salvageable} readable bytes after it "
+                f"({error})",
+                offset=offset,
+                expected=error.expected,
+                actual=error.actual,
+            )
+        os.truncate(path, offset)
+        with open(path, "rb") as handle:
+            os.fsync(handle.fileno())
+        note = f"truncated torn WAL tail: {error}"
+        self.recovery_notes.append(note)
+        add_recovery_note(note)
+
+    def _parses_beyond(self, path: str, offset: int) -> bool:
+        """True if any complete, checksummed record exists after ``offset``.
+
+        Distinguishes a clean tail tear (garbage to end of file -- safe to
+        truncate) from mid-log corruption (valid records after the bad one --
+        data would be lost).  Scans every alignment since framing is broken.
+        """
+        with open(path, "rb") as handle:
+            handle.seek(offset)
+            data = handle.read()
+        for start in range(len(data) - _HEADER.size):
+            crc, length = _HEADER.unpack_from(data, start)
+            if length == 0 or start + _HEADER.size + length > len(data):
+                continue
+            payload = data[start + _HEADER.size : start + _HEADER.size + length]
+            if zlib.crc32(payload) == crc:
+                try:
+                    LogRecord.from_json(payload.decode("utf-8"))
+                except (ValueError, KeyError, UnicodeDecodeError):
+                    continue
+                return True
+        return False
+
     # -- writing --------------------------------------------------------------
 
     def append(self, record: LogRecord) -> None:
         """Append a record, persisting it immediately when file-backed."""
-        self._records.append(record)
+        check_crashed()
         if self.path is not None:
-            with open(self.path, "a", encoding="utf-8") as handle:
-                handle.write(record.to_json() + "\n")
+            created = not os.path.exists(self.path)
+            with open(self.path, "ab") as handle:
+                handle.write(record.encode())
                 handle.flush()
+                crashpoint("wal-append-pre-fsync", path=self.path)
                 os.fsync(handle.fileno())
+            if created:
+                # First append creates the file; fsync the directory so the
+                # log's directory entry survives a crash too.
+                fsync_dir(os.path.dirname(os.path.abspath(self.path)))
+        self._records.append(record)
 
     def checkpoint(self) -> None:
-        """Write a checkpoint record and drop everything before it."""
+        """Write a checkpoint record and drop everything before it.
+
+        The file is rewritten via write-new / fsync / atomic-rename, so a
+        crash mid-checkpoint leaves the complete old log rather than losing
+        history to an in-place truncating rewrite.
+        """
+        check_crashed()
         checkpoint = LogRecord(LogRecordType.CHECKPOINT, transaction_id=0)
-        self._records = [checkpoint]
         if self.path is not None:
-            with open(self.path, "w", encoding="utf-8") as handle:
-                handle.write(checkpoint.to_json() + "\n")
+            atomic_write(self.path, checkpoint.encode(), label="wal-checkpoint")
+        self._records = [checkpoint]
 
     # -- reading --------------------------------------------------------------
 
@@ -121,9 +282,13 @@ class WriteAheadLog:
         """All records currently in the log, oldest first."""
         return list(self._records)
 
+    def max_transaction_id(self) -> int:
+        """Highest transaction id seen in the log (0 when empty)."""
+        return max((r.transaction_id for r in self._records), default=0)
+
     def replay(self) -> RecoveryReport:
         """Classify every transaction seen in the log."""
-        report = RecoveryReport()
+        report = RecoveryReport(notes=list(self.recovery_notes))
         for record in self._records:
             txn = record.transaction_id
             if record.type is LogRecordType.BEGIN:
@@ -131,7 +296,17 @@ class WriteAheadLog:
             elif record.type is LogRecordType.COMMIT:
                 report.in_flight.discard(txn)
                 report.committed.add(txn)
+            elif record.type is LogRecordType.APPLIED:
+                report.applied.add(txn)
             elif record.type is LogRecordType.ABORT:
                 report.in_flight.discard(txn)
                 report.aborted.add(txn)
         return report
+
+    def writes_for(self, transaction_id: int) -> list[LogRecord]:
+        """The WRITE records of one transaction, in log order."""
+        return [
+            r
+            for r in self._records
+            if r.transaction_id == transaction_id and r.type is LogRecordType.WRITE
+        ]

@@ -19,11 +19,15 @@ from typing import Iterable, Iterator
 
 from repro.core.buffer_pool import BufferPool
 from repro.core.catalog import Catalog
+from repro.core.durable import drain_recovery_notes
+from repro.core.locks import LockManager
 from repro.core.page import DEFAULT_PAGE_SIZE
 from repro.core.predicates import Predicate
 from repro.core.record import Record
 from repro.core.schema import Schema
-from repro.errors import StorageError
+from repro.core.transactions import TransactionManager, redo_write
+from repro.core.wal import LogRecord, LogRecordType, RecoveryReport, WriteAheadLog
+from repro.errors import CorruptionError, StorageError
 from repro.storage import create_engine
 from repro.storage.base import MergeResult, StorageEngineKind, VersionedStorageEngine
 from repro.versioning.conflicts import MergePolicy
@@ -152,6 +156,125 @@ class Decibel:
         os.makedirs(directory, exist_ok=True)
         self.catalog = Catalog(directory)
         self._relations: dict[str, VersionedRelation] = {}
+        #: Database-level write-ahead log shared by all relations.
+        self.wal = WriteAheadLog(os.path.join(directory, "wal.log"))
+        self.lock_manager = LockManager()
+        self._transaction_managers: dict[str, TransactionManager] = {}
+        #: Report of the last :meth:`recover` run, if any.
+        self.last_recovery: RecoveryReport | None = None
+
+    @classmethod
+    def open(
+        cls,
+        directory: str,
+        engine: StorageEngineKind | str = StorageEngineKind.HYBRID,
+        page_size: int = DEFAULT_PAGE_SIZE,
+    ) -> "Decibel":
+        """Open an existing (or new) dataset directory and run recovery.
+
+        Reloads every cataloged relation from its persisted state, replays
+        the write-ahead log (redoing committed-but-unapplied transactions and
+        discarding losers), and verifies catalog / engine consistency.  The
+        recovery report is left in :attr:`last_recovery`.
+        """
+        db = cls(directory, engine=engine, page_size=page_size)
+        db.recover()
+        return db
+
+    # -- recovery -----------------------------------------------------------------------
+
+    def recover(self) -> RecoveryReport:
+        """Bring the dataset to a consistent state after a crash.
+
+        1. Every cataloged relation with persisted state is reloaded at its
+           branch heads -- uncommitted effects are invisible (tuple-first,
+           hybrid: bitmaps reset to the head-commit snapshots) or physically
+           discarded (version-first: head segments truncated to the committed
+           offset).
+        2. The WAL is replayed: committed transactions missing their APPLIED
+           confirmation are redone write by write (idempotently) and
+           re-committed on each branch they changed; in-flight and aborted
+           transactions are ignored -- step 1 already erased them.
+        3. Catalog/engine consistency is verified and the log is
+           checkpointed.
+        """
+        known = set(self.relations())
+        for name in sorted(known):
+            relation = self.relation(name)
+            if relation.engine.has_persistent_state():
+                relation.engine.load_persistent_state()
+        report = self.wal.replay()
+        for txn_id in sorted(report.needs_redo):
+            touched: dict[str, set[str]] = {}
+            for record in self.wal.writes_for(txn_id):
+                if record.relation is None or record.relation not in known:
+                    report.notes.append(
+                        f"skipped redo of transaction {txn_id}: write targets "
+                        f"unknown relation {record.relation!r}"
+                    )
+                    continue
+                engine = self.relation(record.relation).engine
+                assert record.branch is not None
+                if redo_write(engine, record.branch, record.payload):
+                    touched.setdefault(record.relation, set()).add(record.branch)
+            for name in sorted(touched):
+                engine = self.relation(name).engine
+                for branch in sorted(touched[name]):
+                    engine.commit(
+                        branch, message=f"recovered transaction {txn_id}"
+                    )
+            self.wal.append(LogRecord(LogRecordType.APPLIED, txn_id))
+        report.notes.extend(drain_recovery_notes())
+        self._verify_consistency()
+        if report.committed or report.losers:
+            self.wal.checkpoint()
+        self.last_recovery = report
+        return report
+
+    def _verify_consistency(self) -> None:
+        """Cross-check catalog, version graphs, and index structures."""
+        for name in self.relations():
+            engine = self.relation(name).engine
+            if not engine.graph.initialized:
+                continue
+            for branch in engine.graph.branch_names():
+                head = engine.graph.head(branch)
+                if head is not None and not engine.graph.has_commit(head):
+                    raise CorruptionError(
+                        os.path.join(engine.directory, "version_graph.json"),
+                        f"branch {branch!r} of relation {name!r} heads "
+                        f"unknown commit {head!r}",
+                    )
+                pk_index = getattr(engine, "pk_index", None)
+                if pk_index is None:
+                    continue
+                indexed = pk_index.live_count(branch)
+                live = engine.count_branch(branch)
+                if indexed != live:
+                    raise CorruptionError(
+                        engine.directory,
+                        f"primary-key index of relation {name!r} branch "
+                        f"{branch!r} disagrees with live records",
+                        expected=live,
+                        actual=indexed,
+                    )
+
+    def transactions(self, relation: str) -> TransactionManager:
+        """The transaction manager for ``relation``, sharing the database WAL.
+
+        Records written through it are stamped with the relation name so
+        :meth:`recover` can route redo back to the right engine.
+        """
+        manager = self._transaction_managers.get(relation)
+        if manager is None:
+            manager = TransactionManager(
+                self.relation(relation).engine,
+                wal=self.wal,
+                lock_manager=self.lock_manager,
+                relation=relation,
+            )
+            self._transaction_managers[relation] = manager
+        return manager
 
     # -- relation management ------------------------------------------------------------
 

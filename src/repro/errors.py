@@ -47,6 +47,38 @@ class StorageError(DecibelError):
     """A heap file, segment file or buffer pool operation failed."""
 
 
+class CorruptionError(StorageError):
+    """On-disk state failed an integrity check (CRC mismatch, torn write).
+
+    Raised by :mod:`repro.core.durable` and the recovery paths when a durable
+    file does not match what was written: a CRC-stamped metadata payload whose
+    checksum disagrees with its contents, a log record whose length prefix
+    runs past the end of the file, or a heap whose size is not a whole number
+    of pages.  ``file`` names the corrupt file, ``offset`` the byte position
+    the check failed at (when known), and ``expected``/``actual`` carry the
+    mismatched values so the failure is diagnosable without a hex dump.
+    """
+
+    def __init__(
+        self,
+        file: str,
+        message: str,
+        *,
+        offset: int | None = None,
+        expected: object = None,
+        actual: object = None,
+    ):
+        where = file if offset is None else f"{file} @ byte {offset}"
+        detail = message
+        if expected is not None or actual is not None:
+            detail += f" (expected {expected!r}, actual {actual!r})"
+        super().__init__(f"corruption in {where}: {detail}")
+        self.file = file
+        self.offset = offset
+        self.expected = expected
+        self.actual = actual
+
+
 class TransactionError(DecibelError):
     """A transaction violated the locking protocol or was aborted."""
 

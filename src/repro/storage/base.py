@@ -26,6 +26,12 @@ from typing import Iterable, Iterator
 
 from repro.core.buffer_pool import BufferPool
 from repro.core.columns import ColumnBatch, regroup_column_batches
+from repro.core.durable import (
+    add_recovery_note,
+    dump_json_atomic,
+    load_checked_json,
+    strict_recovery,
+)
 from repro.core.operators import chunk_iterable
 from repro.core.page import DEFAULT_PAGE_SIZE, PAGE_HEADER_SIZE
 from repro.core.predicates import (
@@ -37,7 +43,7 @@ from repro.core.predicates import (
 )
 from repro.core.record import Record
 from repro.core.schema import Schema
-from repro.errors import VersionError
+from repro.errors import CorruptionError, VersionError
 from repro.versioning.conflicts import (
     MergePolicy,
     PrecedencePolicy,
@@ -358,6 +364,10 @@ class VersionedStorageEngine(ABC):
         self.buffer_pool = buffer_pool if buffer_pool is not None else BufferPool()
         self.graph = VersionGraph()
         self.stats = EngineStats()
+        #: True while branch heads hold writes newer than their last commit.
+        #: Persisted indexes are only saved when this is False, so a saved
+        #: index always describes a state recovery can reproduce.
+        self._dirty_writes = False
         os.makedirs(directory, exist_ok=True)
 
     # -- lifecycle --------------------------------------------------------------
@@ -373,10 +383,29 @@ class VersionedStorageEngine(ABC):
         commit = self.graph.init(message=message)
         for record in records:
             self.insert(MASTER_BRANCH, record)
-        self._record_commit_state(MASTER_BRANCH, commit.commit_id)
-        self.stats.commits += 1
-        self._persist_graph()
+        self._commit_durably(MASTER_BRANCH, commit.commit_id)
         return commit.commit_id
+
+    def has_persistent_state(self) -> bool:
+        """True if this engine's directory holds a persisted version graph."""
+        return os.path.exists(os.path.join(self.directory, "version_graph.json"))
+
+    def load_persistent_state(self) -> None:
+        """Reload the engine from disk (graph, storage, commit snapshots).
+
+        Loading is opt-in rather than automatic in ``__init__`` so that a
+        fresh engine object over a reused directory (benchmarks re-``init``)
+        keeps its current semantics; reopen paths
+        (:meth:`repro.db.database.Decibel.open`) call this explicitly.  The
+        engine comes back positioned at every branch's *head commit*: writes
+        that were never committed are invisible or physically discarded,
+        which is exactly the loser-rollback recovery needs.
+        """
+        self.graph = VersionGraph.load(
+            os.path.join(self.directory, "version_graph.json")
+        )
+        self._load_storage()
+        self._dirty_writes = False
 
     def flush(self) -> None:
         """Persist any buffered pages and metadata."""
@@ -384,8 +413,10 @@ class VersionedStorageEngine(ABC):
         self._persist_graph()
 
     def close(self) -> None:
-        """Flush and release cached pages."""
+        """Flush, persist rebuildable indexes, and release cached pages."""
         self.flush()
+        if not self._dirty_writes:
+            self._save_indexes()
         self.buffer_pool.clear()
 
     def drop_caches(self) -> None:
@@ -421,15 +452,32 @@ class VersionedStorageEngine(ABC):
         )
         self._materialize_branch(name, parent_branch, from_commit, at_head)
         self.stats.branches_created += 1
+        self._flush_storage()
         self._persist_graph()
 
     def commit(self, branch: str, message: str = "") -> str:
         """Create a commit capturing the current state of ``branch``'s head."""
         commit = self.graph.commit(branch, message=message)
-        self._record_commit_state(branch, commit.commit_id)
-        self.stats.commits += 1
-        self._persist_graph()
+        self._commit_durably(branch, commit.commit_id)
         return commit.commit_id
+
+    def _commit_durably(self, branch: str, commit_id: str) -> None:
+        """Make a just-created commit durable, in crash-safe order.
+
+        1. flush storage -- record data reaches the disk first, so a commit
+           snapshot can never reference bytes that were lost with the page
+           cache;
+        2. record the commit snapshot (fsynced history append / commit
+           location);
+        3. atomically persist the version graph -- the graph is the root of
+           truth, so a crash between 2 and 3 leaves an orphan snapshot that
+           reload discards, never a graph naming a snapshot that is missing.
+        """
+        self._flush_storage()
+        self._record_commit_state(branch, commit_id)
+        self.stats.commits += 1
+        self._dirty_writes = False
+        self._persist_graph()
 
     def checkout(self, commit_id: str) -> list[Record]:
         """Materialize the full contents of a historical commit."""
@@ -495,11 +543,9 @@ class VersionedStorageEngine(ABC):
         merge_commit = self.graph.merge(
             target_branch, source_branch, message=message, precedence=target_branch
         )
-        self._record_commit_state(target_branch, merge_commit.commit_id)
+        self._commit_durably(target_branch, merge_commit.commit_id)
         self.stats.merges += 1
-        self.stats.commits += 1
         result.commit_id = merge_commit.commit_id
-        self._persist_graph()
         return result
 
     def _apply_merge_change(
@@ -540,6 +586,19 @@ class VersionedStorageEngine(ABC):
     @abstractmethod
     def branch_contains_key(self, branch: str, key: int) -> bool:
         """True if ``key`` is live in ``branch``'s head."""
+
+    def record_for_key(self, branch: str, key: int) -> Record | None:
+        """The live record with primary key ``key`` in ``branch``'s head.
+
+        Returns ``None`` when the key is absent.  WAL redo uses this to make
+        replayed writes idempotent.  This default scans; the concrete engines
+        override it with primary-key-index lookups.
+        """
+        pk_position = self.schema.primary_key_index
+        for record in self.scan_branch(branch):
+            if record.values[pk_position] == key:
+                return record
+        return None
 
     # -- scans ---------------------------------------------------------------------
 
@@ -696,6 +755,20 @@ class VersionedStorageEngine(ABC):
     def _flush_storage(self) -> None:
         """Flush engine-specific files."""
 
+    def _load_storage(self) -> None:
+        """Reload engine-specific storage state from disk.
+
+        Called by :meth:`load_persistent_state` after the version graph is
+        loaded; implementations restore every branch to its head-commit
+        snapshot and rebuild (or reload) their primary-key indexes.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support reopening from disk"
+        )
+
+    def _save_indexes(self) -> None:
+        """Persist rebuildable index structures on clean close (optional)."""
+
     # -- sizes ----------------------------------------------------------------------------
 
     @abstractmethod
@@ -710,6 +783,58 @@ class VersionedStorageEngine(ABC):
 
     def _persist_graph(self) -> None:
         self.graph.save(os.path.join(self.directory, "version_graph.json"))
+
+    def _pk_index_path(self) -> str:
+        return os.path.join(self.directory, "pk_index.json")
+
+    def _save_pk_index(self, pk_index, encode=None) -> None:
+        """Persist the primary-key index, stamped with the graph heads.
+
+        Only called on a clean close (no writes since the last commit), so
+        the stamp identifies exactly the state the entries describe.  A
+        reopen whose recovered heads differ -- any crash that loses or redoes
+        work -- ignores the file and rebuilds.
+        """
+        if encode is None:
+            encode = lambda location: location  # noqa: E731 - identity
+        branches = {}
+        for branch in self.graph.branch_names():
+            if pk_index.has_branch(branch):
+                branches[branch] = [
+                    [key, encode(location)]
+                    for key, location in pk_index.items(branch)
+                ]
+        payload = {"heads": self.graph.heads(), "branches": branches}
+        dump_json_atomic(self._pk_index_path(), payload, label="pk-index")
+
+    def _load_pk_index(self, pk_index, decode=None) -> bool:
+        """Load a persisted pk index; False (rebuild needed) when unusable.
+
+        Unusable means missing, corrupt (quarantined with a recovery note in
+        degraded mode, raised in strict mode), or stale -- stamped with heads
+        that do not match the recovered graph.
+        """
+        if decode is None:
+            decode = lambda location: location  # noqa: E731 - identity
+        path = self._pk_index_path()
+        if not os.path.exists(path):
+            return False
+        try:
+            payload = load_checked_json(path)
+        except CorruptionError as error:
+            if strict_recovery():
+                raise
+            add_recovery_note(f"ignored corrupt pk index: {error}")
+            return False
+        if not isinstance(payload, dict) or payload.get("heads") != self.graph.heads():
+            return False
+        for branch, entries in payload.get("branches", {}).items():
+            if not pk_index.has_branch(branch):
+                pk_index.add_branch(branch)
+            pk_index.replace_branch(
+                branch, {key: decode(location) for key, location in entries}
+            )
+        return True
 
     def _changes_between(
         self, ancestor_map: dict[int, Record], head_map: dict[int, Record]

@@ -19,6 +19,7 @@ across many small files (paper Section 5.3).
 
 from __future__ import annotations
 
+import json
 import os
 from typing import Iterator
 
@@ -29,9 +30,10 @@ from repro.core.buffer_pool import BufferPool
 from repro.core.columns import ColumnBatch
 from repro.core.page import DEFAULT_PAGE_SIZE
 from repro.core.predicates import Predicate, compile_predicate
+from repro.core.durable import add_recovery_note, append_framed, read_framed
 from repro.core.record import Record
 from repro.core.schema import Schema
-from repro.errors import CommitNotFoundError, StorageError
+from repro.errors import CommitNotFoundError, CorruptionError, StorageError
 from repro.storage.base import (
     ChangeMap,
     DEFAULT_SCAN_BATCH_SIZE,
@@ -184,6 +186,146 @@ class HybridEngine(VersionedStorageEngine):
             )
             history.record_commit(commit_id, snapshot)
         self._commit_segments[commit_id] = segment_ids
+        # Persist the commit -> segments entry before the caller persists the
+        # graph: a crash in between leaves an orphan entry that reload skips.
+        append_framed(
+            self._hybrid_meta_path(),
+            json.dumps(
+                {"commit": commit_id, "segments": segment_ids},
+                separators=(",", ":"),
+            ).encode("utf-8"),
+            label="hybrid-meta",
+        )
+
+    def _hybrid_meta_path(self) -> str:
+        return os.path.join(self.directory, "hybrid_meta.log")
+
+    def _load_hybrid_meta(self) -> None:
+        """Rebuild the commit -> segments map from its append-only log.
+
+        Commit ids are sequential, so after a crash an orphan entry's id can
+        be reused by the next commit; entries are applied in log order and
+        the latest one for an id wins, which is always the live one (the
+        entry is appended before the graph learns the commit).
+        """
+        path = self._hybrid_meta_path()
+        if not os.path.exists(path):
+            return
+        for payload in read_framed(path, description="hybrid commit metadata"):
+            try:
+                entry = json.loads(payload.decode("utf-8"))
+            except ValueError as exc:
+                raise CorruptionError(
+                    path, f"hybrid metadata entry is not valid JSON: {exc}"
+                ) from exc
+            self._commit_segments[entry["commit"]] = [
+                str(s) for s in entry["segments"]
+            ]
+
+    def _load_storage(self) -> None:
+        """Reload segments, local bitmaps, histories, and indexes from disk.
+
+        Visibility in hybrid is bitmap-governed, so head segments are *not*
+        truncated on recovery: records appended by an uncommitted transaction
+        may survive as dead bytes in the head segment, but no restored bitmap
+        references them, making them invisible to every scan.
+        """
+        self.segments.load_metadata()
+        self._load_hybrid_meta()
+        orphans = [
+            commit_id
+            for commit_id in self._commit_segments
+            if not self.graph.has_commit(commit_id)
+        ]
+        for commit_id in orphans:
+            del self._commit_segments[commit_id]
+        if orphans:
+            add_recovery_note(
+                f"discarded {len(orphans)} orphan commit snapshot entr"
+                f"{'y' if len(orphans) == 1 else 'ies'} from hybrid metadata"
+            )
+        # Every segment gets an (initially empty) local bitmap index; head
+        # segments are the non-frozen segment owned by each branch.
+        for segment in self.segments.all():
+            self._local_bitmaps[segment.segment_id] = BranchOrientedBitmapIndex()
+            if not segment.frozen and segment.owner_branch is not None:
+                self._head_segment[segment.owner_branch] = segment.segment_id
+        branches = list(self.graph.branch_names())
+        for branch in branches:
+            self._branch_segments.setdefault(branch, set())
+            if branch not in self._head_segment:
+                raise CorruptionError(
+                    os.path.join(self.segments.directory, "segments.json"),
+                    f"branch {branch!r} has no head segment",
+                )
+            head_local = self._local_bitmaps[self._head_segment[branch]]
+            if not head_local.has_branch(branch):
+                head_local.add_branch(branch)
+        # Rebind every (branch, segment) history to the graph's committed
+        # prefix: entries past the graph's knowledge (from a crash between a
+        # history append and the graph persist) are discarded.
+        segment_ids = [segment.segment_id for segment in self.segments.all()]
+        for branch in branches:
+            branch_commits = [
+                commit.commit_id for commit in self.graph.commits_on_branch(branch)
+            ]
+            for segment_id in segment_ids:
+                path = os.path.join(
+                    self.directory, f"commits_{branch}_{segment_id}.hist"
+                )
+                if not os.path.exists(path):
+                    continue
+                history = self._history(branch, segment_id)
+                history.rebind_commit_ids(
+                    [
+                        commit_id
+                        for commit_id in branch_commits
+                        if segment_id in self._commit_segments.get(commit_id, ())
+                    ]
+                )
+        # Restore each branch's local bitmaps at its head commit.  The head
+        # commit may live on an ancestor branch (for a branch with no commits
+        # of its own), so the snapshots come from the owning branch's
+        # histories.
+        for branch in branches:
+            head_commit = self.graph.head(branch)
+            if head_commit is None:
+                continue
+            owning = self.graph.get_commit(head_commit).branch
+            for segment_id in self._commit_segments.get(head_commit, ()):
+                history = self._histories.get((owning, segment_id))
+                if history is None or head_commit not in history:
+                    continue
+                snapshot = history.checkout(head_commit)
+                local = self._local_bitmaps[segment_id]
+                if not local.has_branch(branch):
+                    local.add_branch(branch)
+                local.restore_branch(branch, snapshot)
+                if snapshot.any():
+                    self._branch_segments[branch].add(segment_id)
+        for branch in branches:
+            self.pk_index.add_branch(branch)
+        if not self._load_pk_index(self.pk_index, decode=tuple):
+            pk_position = self.schema.primary_key_index
+            for branch in branches:
+                entries: dict[int, tuple[str, int]] = {}
+                for segment_id in sorted(self._branch_segments[branch]):
+                    local = self._local_bitmaps[segment_id]
+                    segment = self.segments.get(segment_id)
+                    for ordinal in local.branch_bitmap(branch).iter_set_bits():
+                        record = segment.record_at(ordinal)
+                        entries[record.values[pk_position]] = (segment_id, ordinal)
+                self.pk_index.replace_branch(branch, entries)
+
+    def _save_indexes(self) -> None:
+        self._save_pk_index(self.pk_index)
+
+    def record_for_key(self, branch: str, key: int) -> Record | None:
+        location = self.pk_index.get(branch, key)
+        if location is None:
+            return None
+        segment_id, ordinal = location
+        return self.segments.get(segment_id).record_at(ordinal)
 
     def _history(self, branch: str, segment_id: str) -> CommitHistory:
         key = (branch, segment_id)
@@ -214,6 +356,7 @@ class HybridEngine(VersionedStorageEngine):
         local.set(ordinal, branch)
         self._branch_segments[branch].add(segment_id)
         self.pk_index.put(branch, record.key(self.schema), (segment_id, ordinal))
+        self._dirty_writes = True
         self.stats.records_inserted += 1
 
     def update(self, branch: str, record: Record) -> None:
@@ -233,6 +376,7 @@ class HybridEngine(VersionedStorageEngine):
         segment_id, ordinal = previous
         self._local_bitmaps[segment_id].clear(ordinal, branch)
         self.pk_index.remove(branch, key)
+        self._dirty_writes = True
         self.stats.records_deleted += 1
 
     def branch_contains_key(self, branch: str, key: int) -> bool:

@@ -15,17 +15,17 @@ whole life.
 
 from __future__ import annotations
 
-import json
 import os
 from dataclasses import dataclass, field
 from typing import Iterator
 
 from repro.core.buffer_pool import BufferPool
+from repro.core.durable import atomic_write, dump_checked_json, load_checked_json
 from repro.core.heapfile import HeapFile
 from repro.core.page import DEFAULT_PAGE_SIZE
 from repro.core.record import Record
 from repro.core.schema import Schema
-from repro.errors import StorageError
+from repro.errors import CorruptionError, StorageError
 
 
 @dataclass(frozen=True)
@@ -100,6 +100,9 @@ class SegmentSet:
         self.page_size = page_size
         self._segments: dict[str, Segment] = {}
         self._next_id = 0
+        #: Serialized form of the last metadata payload written (or loaded),
+        #: used to skip the atomic rewrite when the topology is unchanged.
+        self._saved_metadata: bytes | None = None
         os.makedirs(directory, exist_ok=True)
 
     # -- creation and lookup -----------------------------------------------------
@@ -158,7 +161,14 @@ class SegmentSet:
     # -- persistence of metadata -------------------------------------------------------
 
     def save_metadata(self) -> None:
-        """Persist segment topology (parents, owners, frozen flags) as JSON."""
+        """Persist segment topology (parents, owners, frozen flags).
+
+        Written CRC-stamped through the atomic-replace protocol (crashpoints
+        ``segment-meta-mid-write`` / ``segment-meta-pre-rename``): a crash
+        mid-save leaves the previous complete topology file.  The write is
+        skipped entirely when the topology has not changed since the last
+        save, so per-commit flushes of an unchanged segment set cost nothing.
+        """
         payload = {
             "next_id": self._next_id,
             "segments": [
@@ -175,16 +185,28 @@ class SegmentSet:
                 for segment in self.all()
             ],
         }
-        with open(os.path.join(self.directory, "segments.json"), "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2)
+        data = dump_checked_json(payload)
+        if data == self._saved_metadata:
+            return
+        atomic_write(
+            os.path.join(self.directory, "segments.json"),
+            data,
+            label="segment-meta",
+        )
+        self._saved_metadata = data
 
     def load_metadata(self) -> None:
-        """Reload segment topology written by :meth:`save_metadata`."""
+        """Reload segment topology written by :meth:`save_metadata`.
+
+        Raises :class:`~repro.errors.CorruptionError` on a checksum mismatch
+        rather than rebuilding engine state from misread topology.
+        """
         path = os.path.join(self.directory, "segments.json")
         if not os.path.exists(path):
             return
-        with open(path, "r", encoding="utf-8") as handle:
-            payload = json.load(handle)
+        payload = load_checked_json(path)
+        if not isinstance(payload, dict):
+            raise CorruptionError(path, "segment metadata payload is not an object")
         self._next_id = payload["next_id"]
         for entry in payload["segments"]:
             heap = HeapFile(

@@ -110,6 +110,48 @@ class TupleFirstEngine(VersionedStorageEngine):
     def _flush_storage(self) -> None:
         self.heap.flush()
 
+    def _load_storage(self) -> None:
+        """Restore every branch to its head-commit bitmap snapshot.
+
+        The shared heap was reloaded when the engine object was constructed;
+        what recovery restores here is *visibility*: each branch's live
+        bitmap is checked out from its head commit, so heap tuples appended
+        by uncommitted (loser) transactions have no set bits anywhere and
+        stay invisible.  Commit histories whose tail was never referenced by
+        the persisted graph are truncated by ``rebind_commit_ids``.
+        """
+        for branch in self.graph.branch_names():
+            self.bitmap_index.add_branch(branch)
+            self.pk_index.add_branch(branch)
+            history = CommitHistory(
+                path=os.path.join(self.directory, f"commits_{branch}.hist"),
+                layer_interval=self.commit_layer_interval,
+            )
+            history.rebind_commit_ids(
+                [c.commit_id for c in self.graph.commits_on_branch(branch)]
+            )
+            self._histories[branch] = history
+        # Second pass: a branch with no commits of its own checks out through
+        # an ancestor's history, so all histories must be loaded first.
+        for branch in self.graph.branch_names():
+            self.bitmap_index.restore_branch(
+                branch, self._bitmap_at_commit(self.graph.head(branch))
+            )
+        if not self._load_pk_index(self.pk_index):
+            for branch in self.graph.branch_names():
+                self._rebuild_pk_branch(branch)
+
+    def _rebuild_pk_branch(self, branch: str) -> None:
+        pk_position = self.schema.primary_key_index
+        entries: dict[int, int] = {}
+        for ordinal in self.bitmap_index.branch_bitmap(branch).iter_set_bits():
+            record = self.heap.record_by_ordinal(ordinal)
+            entries[record.values[pk_position]] = ordinal
+        self.pk_index.replace_branch(branch, entries)
+
+    def _save_indexes(self) -> None:
+        self._save_pk_index(self.pk_index)
+
     # -- data operations --------------------------------------------------------
 
     def insert(self, branch: str, record: Record) -> None:
@@ -117,6 +159,7 @@ class TupleFirstEngine(VersionedStorageEngine):
         self.bitmap_index.set(ordinal, branch)
         self.pk_index.put(branch, record.key(self.schema), ordinal)
         self.stats.records_inserted += 1
+        self._dirty_writes = True
 
     def update(self, branch: str, record: Record) -> None:
         key = record.key(self.schema)
@@ -129,6 +172,7 @@ class TupleFirstEngine(VersionedStorageEngine):
         self.bitmap_index.set(ordinal, branch)
         self.pk_index.put(branch, key, ordinal)
         self.stats.records_updated += 1
+        self._dirty_writes = True
 
     def delete(self, branch: str, key: int) -> None:
         previous = self.pk_index.get(branch, key)
@@ -137,9 +181,16 @@ class TupleFirstEngine(VersionedStorageEngine):
         self.bitmap_index.clear(previous, branch)
         self.pk_index.remove(branch, key)
         self.stats.records_deleted += 1
+        self._dirty_writes = True
 
     def branch_contains_key(self, branch: str, key: int) -> bool:
         return self.pk_index.contains(branch, key)
+
+    def record_for_key(self, branch: str, key: int) -> Record | None:
+        ordinal = self.pk_index.get(branch, key)
+        if ordinal is None:
+            return None
+        return self.heap.record_by_ordinal(ordinal)
 
     def _append(self, record: Record) -> int:
         record_id = self.heap.append(record)

@@ -16,7 +16,6 @@ external structure (paper Section 3.3, *Commit*).
 
 from __future__ import annotations
 
-import json
 import os
 from typing import Iterator
 
@@ -32,9 +31,15 @@ from repro.core.predicates import (
     compile_column_filter,
     compile_predicate,
 )
+from repro.core.durable import (
+    add_recovery_note,
+    dump_json_atomic,
+    load_checked_json,
+    strict_recovery,
+)
 from repro.core.record import Record
 from repro.core.schema import Schema
-from repro.errors import CommitNotFoundError, StorageError
+from repro.errors import CommitNotFoundError, CorruptionError, StorageError
 from repro.storage.base import (
     ChangeMap,
     DEFAULT_SCAN_BATCH_SIZE,
@@ -132,6 +137,79 @@ class VersionFirstEngine(VersionedStorageEngine):
         self.segments.flush()
         self.segments.save_metadata()
 
+    def _load_storage(self) -> None:
+        """Rebuild segment topology, then roll each branch back to its head.
+
+        Visibility in version-first is physical -- a branch's state is its
+        segment's content -- so recovery *truncates* each branch's segment to
+        the record offset its head commit recorded.  The truncation floor is
+        raised by any persisted child branch point into the segment: a child
+        created off this branch durably references the parent's records below
+        its pointer limit, so those records must survive even if the parent
+        itself never committed past them.
+        """
+        self.segments.load_metadata()
+        self._load_commit_locations()
+        orphans = [
+            commit_id
+            for commit_id in self._commit_locations
+            if not self.graph.has_commit(commit_id)
+        ]
+        for commit_id in orphans:
+            del self._commit_locations[commit_id]
+        if orphans:
+            add_recovery_note(
+                f"discarded {len(orphans)} orphan commit location(s) the "
+                f"version graph never referenced"
+            )
+        for segment in self.segments.all():
+            if segment.owner_branch is not None and not segment.frozen:
+                self._head_segment[segment.owner_branch] = segment.segment_id
+        pinned: dict[str, int] = {}
+        for segment in self.segments.all():
+            for pointer in segment.parents:
+                pinned[pointer.segment_id] = max(
+                    pinned.get(pointer.segment_id, 0), pointer.limit
+                )
+        for branch in self.graph.branch_names():
+            segment_id = self._head_segment.get(branch)
+            if segment_id is None:
+                error = CorruptionError(
+                    os.path.join(self.segments.directory, "segments.json"),
+                    f"no head segment recorded for branch {branch!r}",
+                )
+                if strict_recovery():
+                    raise error
+                add_recovery_note(f"branch {branch!r} unrecoverable: {error}")
+                continue
+            head_commit = self.graph.head(branch)
+            location = self._commit_locations.get(head_commit)
+            committed = (
+                location[1]
+                if location is not None and location[0] == segment_id
+                else 0
+            )
+            floor = max(committed, pinned.get(segment_id, 0))
+            segment = self.segments.get(segment_id)
+            if segment.record_count > floor:
+                segment.heap.truncate_records(floor)
+            self.pk_index.add_branch(branch)
+        if not self._load_pk_index(self.pk_index, decode=tuple):
+            pk_position = self.schema.primary_key_index
+            for branch in self.graph.branch_names():
+                if branch not in self._head_segment:
+                    continue
+                entries = {
+                    record.values[pk_position]: (seg_id, ordinal)
+                    for seg_id, ordinal, record in self._locate_chain(
+                        self._head_segment[branch], None
+                    )
+                }
+                self.pk_index.replace_branch(branch, entries)
+
+    def _save_indexes(self) -> None:
+        self._save_pk_index(self.pk_index)
+
     # -- data operations -------------------------------------------------------------
 
     def insert(self, branch: str, record: Record) -> None:
@@ -141,6 +219,7 @@ class VersionFirstEngine(VersionedStorageEngine):
             branch, record.key(self.schema), (segment.segment_id, ordinal)
         )
         self.stats.records_inserted += 1
+        self._dirty_writes = True
 
     def update(self, branch: str, record: Record) -> None:
         # Updates append a new copy with the same primary key; scans ignore
@@ -152,6 +231,7 @@ class VersionFirstEngine(VersionedStorageEngine):
             branch, record.key(self.schema), (segment.segment_id, ordinal)
         )
         self.stats.records_updated += 1
+        self._dirty_writes = True
 
     def delete(self, branch: str, key: int) -> None:
         if not self.pk_index.contains(branch, key):
@@ -159,9 +239,17 @@ class VersionFirstEngine(VersionedStorageEngine):
         self._head(branch).append(Record.deleted(self.schema, key))
         self.pk_index.remove(branch, key)
         self.stats.records_deleted += 1
+        self._dirty_writes = True
 
     def branch_contains_key(self, branch: str, key: int) -> bool:
         return self.pk_index.contains(branch, key)
+
+    def record_for_key(self, branch: str, key: int) -> Record | None:
+        location = self.pk_index.get(branch, key)
+        if location is None:
+            return None
+        segment_id, ordinal = location
+        return self.segments.get(segment_id).record_at(ordinal)
 
     def _head(self, branch: str):
         try:
@@ -614,13 +702,23 @@ class VersionFirstEngine(VersionedStorageEngine):
             ) from None
 
     def _persist_commit_locations(self) -> None:
+        dump_json_atomic(
+            os.path.join(self.directory, "commit_locations.json"),
+            {
+                commit_id: {"segment": segment_id, "offset": offset}
+                for commit_id, (segment_id, offset) in self._commit_locations.items()
+            },
+            label="commit-locations",
+        )
+
+    def _load_commit_locations(self) -> None:
         path = os.path.join(self.directory, "commit_locations.json")
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(
-                {
-                    commit_id: {"segment": segment_id, "offset": offset}
-                    for commit_id, (segment_id, offset) in self._commit_locations.items()
-                },
-                handle,
-                indent=2,
-            )
+        if not os.path.exists(path):
+            return
+        raw = load_checked_json(path)
+        if not isinstance(raw, dict):
+            raise CorruptionError(path, "commit locations payload is not an object")
+        self._commit_locations = {
+            commit_id: (entry["segment"], entry["offset"])
+            for commit_id, entry in raw.items()
+        }

@@ -1,0 +1,24 @@
+"""Test-support utilities shipped with the library.
+
+The only resident today is :mod:`repro.testing.faults`, the deterministic
+fault-injection harness used by the crash-recovery test matrix.  It lives in
+the installed package (not under ``tests/``) because the durability code in
+``repro.core`` and ``repro.storage`` registers its crashpoints by calling
+into it; in production the harness is inert.
+"""
+
+from repro.testing.faults import (
+    FaultSchedule,
+    InjectedCrash,
+    check_crashed,
+    crashpoint,
+    inject,
+)
+
+__all__ = [
+    "FaultSchedule",
+    "InjectedCrash",
+    "check_crashed",
+    "crashpoint",
+    "inject",
+]

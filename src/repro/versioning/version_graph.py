@@ -11,14 +11,15 @@ data files on every branch or commit operation, as in the paper
 
 from __future__ import annotations
 
-import json
 import os
 from dataclasses import dataclass, field
 
+from repro.core.durable import dump_json_atomic, load_checked_json
 from repro.errors import (
     BranchExistsError,
     BranchNotFoundError,
     CommitNotFoundError,
+    CorruptionError,
     VersionError,
 )
 
@@ -354,14 +355,24 @@ class VersionGraph:
         return graph
 
     def save(self, path: str) -> None:
-        """Persist the graph to ``path`` as JSON."""
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(self.to_dict(), handle, indent=2)
+        """Persist the graph to ``path``, CRC-stamped and atomically replaced.
+
+        The graph is the root of every engine's recoverable state, so it goes
+        through the full safe-replace protocol (crashpoints
+        ``graph-persist-mid-write`` / ``graph-persist-pre-rename``).
+        """
+        dump_json_atomic(path, self.to_dict(), label="graph-persist")
 
     @classmethod
     def load(cls, path: str) -> "VersionGraph":
-        """Load a graph previously written by :meth:`save`."""
+        """Load a graph previously written by :meth:`save`.
+
+        Raises :class:`~repro.errors.CorruptionError` if the file fails its
+        checksum -- a bit-flipped graph must never be silently misread.
+        """
         if not os.path.exists(path):
             raise VersionError(f"no version graph at {path!r}")
-        with open(path, "r", encoding="utf-8") as handle:
-            return cls.from_dict(json.load(handle))
+        raw = load_checked_json(path)
+        if not isinstance(raw, dict):
+            raise CorruptionError(path, "version graph payload is not an object")
+        return cls.from_dict(raw)

@@ -1,0 +1,290 @@
+"""Tests for the crash-safe durability layer.
+
+Covers the WAL's binary format and torn-tail repair, the atomic-write
+protocol for metadata files, CRC corruption detection (structured
+:class:`CorruptionError`, never a silent misread), strict vs degraded
+recovery modes, and the fault-injection harness itself.
+"""
+
+import json
+import os
+import zlib
+
+import pytest
+
+from repro.core.durable import (
+    append_framed,
+    atomic_write,
+    drain_recovery_notes,
+    dump_json_atomic,
+    load_checked_json,
+    read_framed,
+)
+from repro.core.wal import LogRecord, LogRecordType, WriteAheadLog
+from repro.errors import CorruptionError
+from repro.testing.faults import FaultSchedule, InjectedCrash, crashpoint, inject
+from repro.versioning.version_graph import VersionGraph
+
+
+@pytest.fixture(autouse=True)
+def _clean_notes():
+    """Keep the module-level recovery-note log isolated per test."""
+    drain_recovery_notes()
+    yield
+    drain_recovery_notes()
+
+
+def write_log(path, count=3):
+    wal = WriteAheadLog(path)
+    for txn in range(1, count + 1):
+        wal.append(LogRecord(LogRecordType.BEGIN, txn))
+        wal.append(
+            LogRecord(
+                LogRecordType.WRITE,
+                txn,
+                branch="master",
+                payload={"kind": "insert", "values": [txn, 0]},
+            )
+        )
+        wal.append(LogRecord(LogRecordType.COMMIT, txn))
+    return wal
+
+
+class TestWalTornTail:
+    def test_byte_truncated_final_record_is_repaired(self, tmp_path):
+        """Regression: a partial final record must not crash the log open."""
+        path = str(tmp_path / "wal.log")
+        full = len(write_log(path).records())
+        os.truncate(path, os.path.getsize(path) - 3)
+        reopened = WriteAheadLog(path)
+        assert len(reopened.records()) == full - 1
+        assert any("torn" in note for note in reopened.recovery_notes)
+        # The file itself is truncated back to the record boundary, so a
+        # second open sees a clean log with no further repair.
+        again = WriteAheadLog(path)
+        assert len(again.records()) == full - 1
+        assert again.recovery_notes == []
+
+    def test_truncation_mid_header(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        full = len(write_log(path).records())
+        os.truncate(path, os.path.getsize(path) - 1)
+        assert len(WriteAheadLog(path).records()) == full - 1
+
+    def test_torn_tail_surfaces_in_replay_report(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        write_log(path)
+        os.truncate(path, os.path.getsize(path) - 5)
+        report = WriteAheadLog(path).replay()
+        assert any("torn" in note for note in report.notes)
+
+    def test_torn_write_via_fault_injection(self, tmp_path):
+        """The harness's torn-write mode produces a recoverable log."""
+        path = str(tmp_path / "wal.log")
+        wal = write_log(path, count=2)
+        with inject(FaultSchedule("wal-append-pre-fsync", torn_bytes=4)):
+            with pytest.raises(InjectedCrash):
+                wal.append(LogRecord(LogRecordType.BEGIN, 99))
+        reopened = WriteAheadLog(path)
+        assert 99 not in {r.transaction_id for r in reopened.records()}
+        report = reopened.replay()
+        assert report.committed == {1, 2}
+
+
+class TestWalCorruption:
+    def test_bit_flip_mid_log_raises_structured_error(self, tmp_path):
+        """A corrupt record with valid data after it must raise, not truncate."""
+        path = str(tmp_path / "wal.log")
+        write_log(path)
+        with open(path, "r+b") as handle:
+            handle.seek(12)  # inside the first record's payload
+            byte = handle.read(1)
+            handle.seek(12)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        with pytest.raises(CorruptionError) as info:
+            WriteAheadLog(path)
+        assert info.value.file == path
+        assert info.value.expected is not None
+        assert info.value.actual is not None
+        assert info.value.expected != info.value.actual
+
+    def test_bit_flip_degraded_mode_truncates_with_note(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STRICT_RECOVERY", "0")
+        path = str(tmp_path / "wal.log")
+        write_log(path)
+        with open(path, "r+b") as handle:
+            handle.seek(12)
+            byte = handle.read(1)
+            handle.seek(12)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        reopened = WriteAheadLog(path)
+        assert reopened.records() == []
+        assert any("CRC32 mismatch" in note for note in reopened.recovery_notes)
+
+    def test_garbage_tail_is_a_clean_tear_even_in_strict_mode(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        full = len(write_log(path).records())
+        with open(path, "ab") as handle:
+            handle.write(b"\xde\xad\xbe\xef garbage that frames nothing")
+        reopened = WriteAheadLog(path)
+        assert len(reopened.records()) == full
+
+
+class TestWalCheckpoint:
+    def test_checkpoint_truncates_log(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = write_log(path)
+        wal.checkpoint()
+        reopened = WriteAheadLog(path)
+        assert [r.type for r in reopened.records()] == [LogRecordType.CHECKPOINT]
+
+    def test_crash_mid_checkpoint_preserves_old_log(self, tmp_path):
+        """Regression: checkpoint must never leave a half-written log."""
+        path = str(tmp_path / "wal.log")
+        wal = write_log(path)
+        before = [r.to_json() for r in wal.records()]
+        for point in ("wal-checkpoint-mid-write", "wal-checkpoint-pre-rename"):
+            with inject(FaultSchedule(point)):
+                with pytest.raises(InjectedCrash):
+                    wal.checkpoint()
+            reopened = WriteAheadLog(path)
+            assert [r.to_json() for r in reopened.records()] == before
+
+
+class TestAtomicWrite:
+    def test_replaces_content(self, tmp_path):
+        path = str(tmp_path / "meta.json")
+        atomic_write(path, b"old")
+        atomic_write(path, b"new")
+        with open(path, "rb") as handle:
+            assert handle.read() == b"new"
+
+    @pytest.mark.parametrize("point", ["meta-mid-write", "meta-pre-rename"])
+    def test_crash_leaves_old_file_intact(self, tmp_path, point):
+        path = str(tmp_path / "meta.json")
+        atomic_write(path, b"the old complete payload", label="meta")
+        with inject(FaultSchedule(point)):
+            with pytest.raises(InjectedCrash):
+                atomic_write(path, b"the new payload", label="meta")
+        with open(path, "rb") as handle:
+            assert handle.read() == b"the old complete payload"
+
+    def test_checked_json_round_trip(self, tmp_path):
+        path = str(tmp_path / "meta.json")
+        payload = {"alpha": [1, 2, 3], "beta": {"nested": True}}
+        dump_json_atomic(path, payload)
+        assert load_checked_json(path) == payload
+
+    def test_bit_flipped_metadata_detected(self, tmp_path):
+        path = str(tmp_path / "meta.json")
+        dump_json_atomic(path, {"value": 12345})
+        with open(path, "r+b") as handle:
+            data = bytearray(handle.read())
+        # Flip a digit inside the stamped payload without breaking the JSON.
+        index = data.index(b"12345")
+        data[index] = ord("9")
+        with open(path, "wb") as handle:
+            handle.write(bytes(data))
+        with pytest.raises(CorruptionError) as info:
+            load_checked_json(path)
+        assert info.value.file == path
+        assert info.value.expected != info.value.actual
+
+    def test_legacy_unstamped_file_loads(self, tmp_path):
+        path = str(tmp_path / "meta.json")
+        with open(path, "w") as handle:
+            json.dump({"legacy": True}, handle)
+        assert load_checked_json(path) == {"legacy": True}
+
+    def test_version_graph_corruption_detected(self, tmp_path):
+        path = str(tmp_path / "version_graph.json")
+        graph = VersionGraph()
+        graph.init(message="root")
+        graph.save(path)
+        with open(path, "r+b") as handle:
+            data = bytearray(handle.read())
+        index = data.index(b'"root"')
+        data[index + 1] = ord("x")
+        with open(path, "wb") as handle:
+            handle.write(bytes(data))
+        with pytest.raises(CorruptionError):
+            VersionGraph.load(path)
+
+
+class TestFramedLog:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "entries.log")
+        payloads = [b"first", b"second", b"third"]
+        for payload in payloads:
+            append_framed(path, payload)
+        assert read_framed(path) == payloads
+
+    def test_torn_tail_truncated(self, tmp_path):
+        path = str(tmp_path / "entries.log")
+        append_framed(path, b"survives")
+        append_framed(path, b"torn away")
+        os.truncate(path, os.path.getsize(path) - 2)
+        assert read_framed(path) == [b"survives"]
+
+    def test_mid_log_corruption_raises_in_strict_mode(self, tmp_path):
+        path = str(tmp_path / "entries.log")
+        append_framed(path, b"first record here")
+        append_framed(path, b"second record here")
+        with open(path, "r+b") as handle:
+            handle.seek(10)
+            handle.write(b"\xff")
+        with pytest.raises(CorruptionError):
+            read_framed(path)
+
+
+class TestFaultHarness:
+    def test_fires_on_nth_hit(self):
+        with inject(FaultSchedule("point", hit=3)) as injector:
+            crashpoint("point")
+            crashpoint("point")
+            with pytest.raises(InjectedCrash):
+                crashpoint("point")
+        assert injector.fired is not None
+        assert injector.counts["point"] == 3
+
+    def test_death_is_permanent(self):
+        with inject(FaultSchedule("lethal")):
+            with pytest.raises(InjectedCrash):
+                crashpoint("lethal")
+            # Any later crashpoint -- e.g. one reached from a finally block --
+            # also dies: a dead process cannot keep writing.
+            with pytest.raises(InjectedCrash):
+                crashpoint("unrelated")
+
+    def test_inert_when_unarmed(self):
+        crashpoint("anything")  # must be a no-op
+
+    def test_nesting_rejected(self):
+        with inject(FaultSchedule("a")):
+            with pytest.raises(RuntimeError):
+                with inject(FaultSchedule("b")):
+                    pass
+
+    def test_torn_bytes_truncate_target(self, tmp_path):
+        path = str(tmp_path / "file.bin")
+        with open(path, "wb") as handle:
+            handle.write(b"0123456789")
+        with inject(FaultSchedule("tear", torn_bytes=4)):
+            with pytest.raises(InjectedCrash):
+                crashpoint("tear", path=path)
+        assert os.path.getsize(path) == 6
+
+
+def test_wal_crc_framing_is_what_it_claims(tmp_path):
+    """White-box check of the on-disk framing documented in the module."""
+    path = str(tmp_path / "wal.log")
+    wal = WriteAheadLog(path)
+    record = LogRecord(LogRecordType.BEGIN, 7)
+    wal.append(record)
+    with open(path, "rb") as handle:
+        raw = handle.read()
+    crc = int.from_bytes(raw[0:4], "little")
+    length = int.from_bytes(raw[4:8], "little")
+    payload = raw[8 : 8 + length]
+    assert zlib.crc32(payload) == crc
+    assert LogRecord.from_json(payload.decode()) == record

@@ -18,6 +18,7 @@ from repro.analysis.lint.rules import (
     BareExceptRule,
     BenchWallClockRule,
     ColumnarBoundaryRule,
+    DurableWriteRule,
     EngineStatsParityRule,
     LockOrderRule,
     MutableDefaultRule,
@@ -426,6 +427,63 @@ class TestColumnarBoundaryRule:
                 f"repro/{path.name}", path.read_text(encoding="utf-8")
             )
             assert ColumnarBoundaryRule().check(src) == []
+
+
+class TestDurableWriteRule:
+    def test_truncating_open_flagged(self):
+        violations = check(
+            DurableWriteRule(),
+            "repro/storage/someplace.py",
+            """
+            def save(path, data):
+                with open(path, "w", encoding="utf-8") as handle:
+                    handle.write(data)
+            """,
+        )
+        assert len(violations) == 1
+        assert "atomic_write" in violations[0].message
+
+    def test_mode_keyword_flagged(self):
+        violations = check(
+            DurableWriteRule(),
+            "repro/versioning/x.py",
+            'open("f.json", mode="wb")',
+        )
+        assert len(violations) == 1
+
+    def test_read_and_append_modes_allowed(self):
+        violations = check(
+            DurableWriteRule(),
+            "repro/core/wal.py",
+            """
+            def load(path):
+                with open(path, "rb") as handle:
+                    data = handle.read()
+                with open(path, "ab") as handle:
+                    handle.write(b"x")
+                with open(path, "r+b") as handle:
+                    handle.seek(0)
+            """,
+        )
+        assert violations == []
+
+    def test_utility_and_bench_modules_exempt(self):
+        snippet = 'open("f", "wb")'
+        assert check(DurableWriteRule(), "repro/core/durable.py", snippet) == []
+        assert check(DurableWriteRule(), "repro/bench/experiments.py", snippet) == []
+        assert check(DurableWriteRule(), "repro/gitlike/repo.py", snippet) == []
+
+    def test_whole_repo_is_clean(self):
+        """No durable module bypasses atomic_write anywhere in the tree."""
+        import repro
+
+        root = Path(repro.__file__).parent.parent
+        for path in sorted((root / "repro").rglob("*.py")):
+            src = module(
+                path.relative_to(root).as_posix(),
+                path.read_text(encoding="utf-8"),
+            )
+            assert DurableWriteRule().check(src) == [], str(path)
 
 
 class TestRunRules:

@@ -86,7 +86,7 @@ class TestTransaction:
         txn.insert("master", Record((900, 0, 0, 0)))
         txn.commit()
         types = [record.type.value for record in manager.wal.records()]
-        assert types == ["begin", "write", "commit"]
+        assert types == ["begin", "write", "commit", "applied"]
 
     def test_abort_logged(self, manager):
         txn = manager.begin()
