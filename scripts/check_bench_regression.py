@@ -21,12 +21,14 @@ scales a sub-millisecond query is scheduler noise, not a signal.  Workloads
 with committed speedup <= 1 (or no recorded speedup at all, such as the
 informational spill-path entries) are not gated.
 
-Entries recording a *cost* ratio rather than a speedup -- currently the
+Entries recording a *cost* ratio rather than a speedup -- the
 ``recovery`` experiment's ``recovery_open_s / clean_open_s`` pair from
-``BENCH_pr8.json`` -- are gated the other way around: the fresh ratio must
-not *exceed* the committed ratio by more than the tolerance, so crash
-recovery cannot silently become disproportionately more expensive than a
-clean open.
+``BENCH_pr8.json`` and the ``concurrency`` experiment's ``p99_s / p50_s``
+tail-amplification pair from ``BENCH_pr9.json`` -- are gated the other
+way around: the fresh ratio must not *exceed* the committed ratio by more
+than the tolerance, so crash recovery cannot silently become
+disproportionately more expensive than a clean open and serving-layer
+tail latency cannot silently blow up under concurrency.
 """
 
 from __future__ import annotations
@@ -49,10 +51,12 @@ RATIO_KEY_PAIRS = (
 
 #: ``(cost_key, base_key)`` pairs gated as a *ceiling*: the fresh
 #: cost/base ratio must not exceed the committed ``ratio`` by more than
-#: the tolerance.  Used by the ``recovery`` experiment (PR 8), where a
-#: regression makes the ratio rise -- the floor gate above cannot see it.
+#: the tolerance.  Used by the ``recovery`` experiment (PR 8) and the
+#: serving-layer ``concurrency`` experiment (PR 9), where a regression
+#: makes the ratio rise -- the floor gate above cannot see it.
 CEILING_KEY_PAIRS = (
     ("recovery_open_s", "clean_open_s"),
+    ("p99_s", "p50_s"),
 )
 
 

@@ -495,6 +495,70 @@ class DurableWriteRule(LintRule):
         return violations
 
 
+#: Await targets the serving layer may use directly: the bounded asyncio
+#: primitives, plus the protocol's frame helpers (whose own awaits this rule
+#: checks, since ``repro/server/`` includes them).
+BOUNDED_AWAIT_CALLEES = {"wait_for", "sleep", "read_frame", "write_frame"}
+
+
+class BoundedAwaitRule(LintRule):
+    """Every ``await`` in the serving layer must carry a timeout.
+
+    The server's availability story rests on one discipline: no handler
+    ever waits on a peer, a worker, or a lock without a bound.  One naked
+    ``await reader.read()`` against a stalled client parks a handler
+    forever, and enough of them exhaust the session budget -- an outage
+    caused by the slowest client instead of the heaviest load.  Awaits in
+    ``repro/server/`` must therefore be ``asyncio.wait_for(...)``,
+    ``asyncio.sleep(...)``, one of the protocol's frame helpers (bounded
+    internally, checked by this same rule), or a local coroutine whose
+    name ends in ``_bounded`` -- the author's checked-here assertion that
+    every await inside it is itself bounded.
+    """
+
+    id = "REPRO010"
+    rationale = (
+        "an unbounded await in a server handler parks it on the slowest "
+        "peer forever; enough of them exhaust the session budget"
+    )
+    fix_hint = (
+        "wrap the await in asyncio.wait_for(..., timeout=...) or move it "
+        "into a *_bounded helper whose awaits are all bounded"
+    )
+
+    @staticmethod
+    def _callee_name(node: ast.expr) -> str | None:
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                return func.attr
+            if isinstance(func, ast.Name):
+                return func.id
+        return None
+
+    def check(self, module: SourceModule) -> list[Violation]:
+        if not module.relpath.startswith("repro/server/"):
+            return []
+        violations: list[Violation] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Await):
+                continue
+            name = self._callee_name(node.value)
+            if name is None or (
+                name not in BOUNDED_AWAIT_CALLEES
+                and not name.endswith("_bounded")
+            ):
+                violations.append(
+                    self.violation(
+                        module,
+                        node.lineno,
+                        f"unbounded await of {name or 'a non-call expression'!s} "
+                        "in the serving layer",
+                    )
+                )
+        return violations
+
+
 #: Every rule, in id order -- the default set run by ``scripts/lint.py``.
 ALL_RULES: tuple[LintRule, ...] = (
     OperatorProtocolRule(),
@@ -506,4 +570,5 @@ ALL_RULES: tuple[LintRule, ...] = (
     EngineStatsParityRule(),
     ColumnarBoundaryRule(),
     DurableWriteRule(),
+    BoundedAwaitRule(),
 )

@@ -105,6 +105,13 @@ EXPERIMENTS = {
             workdir, scale=scale, json_path=json_path
         ),
     ),
+    "concurrency": (
+        "Serving layer: latency percentiles at 1/4/16 clients "
+        "(writes BENCH_pr9.json)",
+        lambda workdir, scale, json_path=None: experiments.serving_concurrency(
+            workdir, scale=scale, json_path=json_path
+        ),
+    ),
     "ablation-orientation": (
         "Ablation: branch- vs tuple-oriented bitmaps (tuple-first)",
         lambda workdir, scale: experiments.ablation_bitmap_orientation(
@@ -166,10 +173,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--bench-json",
         default=None,
         help=(
-            "where the vectorized/operators/sort-topn/columnar/recovery "
-            "experiments write their JSON record (default: BENCH_pr3.json / "
-            "BENCH_pr4.json / BENCH_pr5.json / BENCH_pr7.json / "
-            "BENCH_pr8.json inside the workdir)"
+            "where the vectorized/operators/sort-topn/columnar/recovery/"
+            "concurrency experiments write their JSON record (default: "
+            "BENCH_pr3.json / BENCH_pr4.json / BENCH_pr5.json / "
+            "BENCH_pr7.json / BENCH_pr8.json / BENCH_pr9.json inside "
+            "the workdir)"
         ),
     )
     parser.add_argument(

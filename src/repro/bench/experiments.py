@@ -1624,3 +1624,161 @@ def recovery_open(
         f"transaction, and re-verify consistency; medians written to {json_path}"
     )
     return table
+
+
+def serving_concurrency(
+    workdir: str,
+    scale: ExperimentScale | None = None,
+    json_path: str | None = None,
+) -> ResultTable:
+    """Serving-layer latency and throughput at 1 / 4 / 16 concurrent clients.
+
+    A hybrid-engine dataset of ``scale.scan_rows`` rows is served by a
+    :class:`~repro.server.server.DecibelServer` on a background thread; each
+    client session runs a read-heavy mix (80% snapshot ``COUNT(*)`` queries,
+    20% insert+group-commit batches on its own branch) and records a
+    latency per request via ``time.perf_counter``.  Reported per client
+    count: p50/p90/p99 latency, aggregate throughput, and the tail ratio
+    ``p99 / p50`` -- the number admission control and group commit exist
+    to keep flat as concurrency grows.  The ratio is gated as a *ceiling*
+    by ``scripts/check_bench_regression.py``: a serving-layer change that
+    makes tails blow up under concurrency fails CI even if medians look
+    fine.
+    """
+    from repro.core.record import Record
+    from repro.core.schema import Schema
+    from repro.db.database import Decibel
+    from repro.server import DecibelClient, ServerConfig, ServerThread
+
+    scale = scale or ExperimentScale()
+    json_path = json_path or os.path.join(workdir, "BENCH_pr9.json")
+    rows = scale.scan_rows
+    requests_per_client = 40
+    client_counts = (1, 4, 16)
+    count_sql = "SELECT COUNT(*) FROM r WHERE r.Version = 'master'"
+    schema = Schema.of_ints(max(scale.num_columns, 2))
+    columns = max(scale.num_columns, 2)
+
+    table = ResultTable(
+        title=(
+            f"Serving layer: {requests_per_client} requests/client over "
+            f"{rows} rows (hybrid engine, read-heavy mix)"
+        ),
+        columns=[
+            "clients",
+            "p50 (s)",
+            "p90 (s)",
+            "p99 (s)",
+            "throughput (req/s)",
+            "ratio",
+        ],
+    )
+    payload: dict = {
+        "experiment": "serving-concurrency",
+        "rows": rows,
+        "requests_per_client": requests_per_client,
+        "workloads": {},
+    }
+
+    def percentile(sorted_values: list[float], q: float) -> float:
+        index = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+        return sorted_values[index]
+
+    for clients in client_counts:
+        directory = os.path.join(workdir, f"serving_{clients}")
+        db = Decibel(directory, engine="hybrid")
+        relation = db.create_relation("r", schema)
+        relation.init(
+            Record(tuple([key] + [key % 97] * (columns - 1)))
+            for key in range(rows)
+        )
+        config = ServerConfig(
+            max_sessions=clients + 4,
+            max_queue_depth=4 * clients + 8,
+            worker_threads=min(8, clients + 2),
+            default_deadline_s=60.0,
+            max_deadline_s=120.0,
+        )
+        server = ServerThread(db, config, own_db=True)
+        host, port = server.start()
+        with DecibelClient(host, port) as admin:
+            admin.connect()
+            for worker in range(clients):
+                admin.create_branch("r", f"w{worker}", from_branch="master")
+
+        latencies_per_client: list[list[float]] = [[] for _ in range(clients)]
+        failures: list[BaseException] = []
+        import threading
+
+        def run_client(worker: int) -> None:
+            try:
+                with DecibelClient(
+                    host, port, default_deadline_s=60.0
+                ) as client:
+                    client.connect()
+                    client.use_branch(f"w{worker}")
+                    key_base = 10_000_000 + worker * requests_per_client
+                    recorded = latencies_per_client[worker]
+                    for request in range(requests_per_client):
+                        start = time.perf_counter()
+                        if request % 5 == 4:
+                            client.insert(
+                                "r",
+                                [key_base + request]
+                                + [request % 97] * (columns - 1),
+                            )
+                            client.commit("bench batch")
+                        else:
+                            result = client.query(count_sql)
+                            if result.rows[0][0] < rows:
+                                raise BenchmarkError(
+                                    f"snapshot count shrank: {result.rows}"
+                                )
+                        recorded.append(time.perf_counter() - start)
+            except BaseException as exc:  # noqa: BLE001 - reported below
+                failures.append(exc)
+
+        wall_start = time.perf_counter()
+        threads = [
+            threading.Thread(target=run_client, args=(worker,))
+            for worker in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - wall_start
+        server.stop()
+        if failures:
+            raise BenchmarkError(
+                f"{clients}-client run failed: {failures[0]!r}"
+            )
+        latencies = sorted(
+            value for recorded in latencies_per_client for value in recorded
+        )
+        total_requests = len(latencies)
+        p50 = percentile(latencies, 0.50)
+        p90 = percentile(latencies, 0.90)
+        p99 = percentile(latencies, 0.99)
+        throughput = total_requests / wall if wall > 0 else 0.0
+        ratio = p99 / p50 if p50 > 0 else 0.0
+        table.add_row(str(clients), p50, p90, p99, throughput, ratio)
+        payload["workloads"][f"clients_{clients}"] = {
+            "clients": clients,
+            "requests": total_requests,
+            "p50_s": p50,
+            "p90_s": p90,
+            "p99_s": p99,
+            "throughput_rps": round(throughput, 1),
+            "ratio": round(ratio, 2),
+        }
+
+    with open(json_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    table.add_note(
+        "each session: 80% snapshot COUNT(*) reads, 20% insert+commit on a "
+        "private branch (group commit); the gated ratio is p99/p50 tail "
+        f"amplification; percentiles written to {json_path}"
+    )
+    return table

@@ -1,0 +1,138 @@
+"""Cooperative cancellation and deadlines for long-running engine work.
+
+The serving layer runs queries on worker threads; Python threads cannot be
+killed, so cancellation is cooperative: the thread that owns a request
+installs a :class:`CancelScope` (deadline and/or explicit cancel flag) and
+the engine's batch loops call :func:`checkpoint` once per batch.  A tripped
+scope raises :class:`~repro.errors.DeadlineExceededError` or
+:class:`~repro.errors.QueryCancelledError` out of the operator tree, which
+unwinds through the normal ``finally`` paths (releasing locks, transaction
+state and buffer-pool budget) exactly like any other query error.
+
+Checkpoints are placed at batch granularity (~1k rows), so the cost is one
+thread-local lookup and a monotonic-clock read per batch -- noise next to
+decoding the batch -- while bounding how long a cancelled query keeps
+running to a single batch's worth of work.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.errors import DeadlineExceededError, QueryCancelledError
+
+
+class CancelScope:
+    """A deadline plus an explicit cancel flag for one unit of work.
+
+    ``timeout_s`` is relative to construction time; ``deadline`` is an
+    absolute ``time.monotonic()`` value (at most one should be given).
+    A scope with neither never expires and only trips on :meth:`cancel`.
+    """
+
+    __slots__ = ("label", "deadline", "started", "_cancelled", "_reason")
+
+    def __init__(
+        self,
+        *,
+        timeout_s: float | None = None,
+        deadline: float | None = None,
+        label: str = "request",
+    ):
+        self.label = label
+        self.started = time.monotonic()
+        if deadline is not None:
+            self.deadline: float | None = deadline
+        elif timeout_s is not None:
+            self.deadline = self.started + timeout_s
+        else:
+            self.deadline = None
+        self._cancelled = False
+        self._reason = ""
+
+    def cancel(self, reason: str = "") -> None:
+        """Trip the scope; the owning thread raises at its next checkpoint."""
+        self._reason = reason
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def elapsed(self) -> float:
+        return time.monotonic() - self.started
+
+    def remaining(self) -> float | None:
+        """Seconds until the deadline (None when there is no deadline)."""
+        if self.deadline is None:
+            return None
+        return self.deadline - time.monotonic()
+
+    def expired(self) -> bool:
+        return self.deadline is not None and time.monotonic() >= self.deadline
+
+    def check(self) -> None:
+        """Raise if the scope has been cancelled or its deadline passed."""
+        if self._cancelled:
+            suffix = f": {self._reason}" if self._reason else ""
+            raise QueryCancelledError(f"{self.label} cancelled{suffix}")
+        if self.deadline is not None and time.monotonic() >= self.deadline:
+            elapsed = round(self.elapsed(), 4)
+            raise DeadlineExceededError(
+                f"{self.label} exceeded its deadline after {elapsed}s",
+                elapsed_s=elapsed,
+            )
+
+
+_current = threading.local()
+
+
+def current_scope() -> CancelScope | None:
+    """The scope installed on this thread, or None outside any scope."""
+    return getattr(_current, "scope", None)
+
+
+@contextmanager
+def use_scope(scope: CancelScope) -> Iterator[CancelScope]:
+    """Install ``scope`` as this thread's current scope for the block.
+
+    Scopes nest: the innermost wins while its block is active and the outer
+    scope is restored on exit, so a bounded sub-operation (say, a lock
+    acquisition with its own budget) does not erase the request's deadline.
+    """
+    previous = current_scope()
+    _current.scope = scope
+    try:
+        yield scope
+    finally:
+        _current.scope = previous
+
+
+def checkpoint() -> None:
+    """Raise if the current thread's scope (if any) has tripped.
+
+    Safe to call from any engine loop: outside a scope it is a single
+    thread-local lookup and returns immediately.
+    """
+    scope = current_scope()
+    if scope is not None:
+        scope.check()
+
+
+def remaining_time(default: float | None = None) -> float | None:
+    """Seconds left on the current scope's deadline, else ``default``.
+
+    Used to derive sub-operation budgets (lock timeouts, socket timeouts)
+    from the request deadline so no internal wait outlives the request.
+    The result is floored at 0.0 -- an already-expired scope yields a
+    zero-second budget, making the sub-operation fail fast.
+    """
+    scope = current_scope()
+    if scope is None or scope.deadline is None:
+        return default
+    remaining = scope.remaining()
+    assert remaining is not None
+    return max(0.0, remaining)

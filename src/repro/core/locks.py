@@ -47,11 +47,23 @@ class LockManager:
 
     # -- public API -----------------------------------------------------------
 
-    def acquire(self, transaction_id: int, resource: str, mode: LockMode) -> None:
+    def acquire(
+        self,
+        transaction_id: int,
+        resource: str,
+        mode: LockMode,
+        *,
+        timeout: float | None = None,
+    ) -> None:
         """Acquire ``resource`` in ``mode`` for ``transaction_id``.
+
+        ``timeout`` overrides the manager-wide default for this call -- the
+        serving layer passes the request's remaining deadline budget so no
+        lock wait outlives the request that asked for it.
 
         Raises :class:`TransactionError` on deadlock or timeout.
         """
+        wait_budget = self.timeout if timeout is None else timeout
         with self._condition:
             deadline = None
             while True:
@@ -66,7 +78,7 @@ class LockManager:
                 if deadline is None:
                     import time
 
-                    deadline = time.monotonic() + self.timeout
+                    deadline = time.monotonic() + wait_budget
                 entry = (transaction_id, mode)
                 lock = self._resources[resource]
                 if entry not in lock.waiters:

@@ -27,6 +27,7 @@ from repro.core.predicates import (
 from repro.core.record import Record
 from repro.core.schema import Column, ColumnType, Schema
 from repro.core.sort import ExternalRunSorter, make_sort_key, make_values_sort_key
+from repro.core.cancel import checkpoint
 from repro.errors import QueryError
 
 #: Records per batch moved between batch-aware operators.
@@ -45,6 +46,7 @@ def chunk_iterable(items: Iterable, batch_size: int) -> Iterator[list]:
     for item in items:
         append(item)
         if len(batch) >= batch_size:
+            checkpoint()
             yield batch
             batch = []
             append = batch.append
@@ -189,13 +191,19 @@ class SeqScan(Operator):
     def __iter__(self) -> Iterator[Record]:
         if self.batch_source is not None:
             for batch in self.batch_source:
+                checkpoint()
                 yield from batch
             return
         yield from self.source
 
     def batches(self, batch_size: int = DEFAULT_BATCH_SIZE) -> Iterator[list[Record]]:
+        # The scan is where all data enters the operator tree, so a
+        # cancellation checkpoint per batch here bounds a cancelled query's
+        # remaining work to one batch in every execution mode.
         if self.batch_source is not None:
-            yield from self.batch_source
+            for batch in self.batch_source:
+                checkpoint()
+                yield batch
             return
         yield from super().batches(batch_size)
 
@@ -205,7 +213,9 @@ class SeqScan(Operator):
         """Engine column scans pass through; record sources pivot at the
         scan, which is the columnar pipeline's declared source boundary."""
         if self.column_source is not None:
-            yield from self.column_source
+            for column_batch in self.column_source:
+                checkpoint()
+                yield column_batch
             return
         yield from super().column_batches(batch_size)
 

@@ -31,9 +31,11 @@ from __future__ import annotations
 
 import enum
 import itertools
+import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro.core.cancel import checkpoint, remaining_time
 from repro.core.locks import LockManager, LockMode
 from repro.core.record import Record
 from repro.core.wal import LogRecord, LogRecordType, WriteAheadLog
@@ -142,39 +144,64 @@ class Transaction:
         engine = self.manager.engine
         wal = self.manager.wal
         relation = self.manager.relation
+        # Group commit: BEGIN/WRITE/APPLIED records are buffered (ordered but
+        # not fsynced) and the COMMIT record rides a shared batch fsync with
+        # other concurrently committing sessions.  The commit point semantics
+        # are identical -- fsyncing the COMMIT record makes every earlier
+        # buffered record for this transaction durable too, and APPLIED is
+        # advisory (redo is idempotent, so losing it only costs redo work).
+        group = self.manager.group_commit
         try:
-            wal.append(
-                LogRecord(LogRecordType.BEGIN, self.transaction_id, relation=relation)
-            )
-            for write in self._writes:
-                # Apply first so a validation failure (duplicate key, missing
-                # row) aborts cleanly before the write is ever logged.
-                if write.kind == "insert":
-                    engine.insert(write.branch, write.record)
-                elif write.kind == "update":
-                    engine.update(write.branch, write.record)
-                else:
-                    engine.delete(write.branch, write.key)
+            # Last chance to observe a deadline before any work is applied;
+            # past the commit point the transaction always runs to completion.
+            checkpoint()
+            with engine.write_mutex:
                 wal.append(
                     LogRecord(
-                        LogRecordType.WRITE,
-                        self.transaction_id,
-                        branch=write.branch,
-                        payload=write.payload(),
-                        relation=relation,
-                    )
+                        LogRecordType.BEGIN, self.transaction_id, relation=relation
+                    ),
+                    sync=not group,
                 )
+                for write in self._writes:
+                    # Apply first so a validation failure (duplicate key,
+                    # missing row) aborts cleanly before the write is logged.
+                    if write.kind == "insert":
+                        engine.insert(write.branch, write.record)
+                    elif write.kind == "update":
+                        engine.update(write.branch, write.record)
+                    else:
+                        engine.delete(write.branch, write.key)
+                    wal.append(
+                        LogRecord(
+                            LogRecordType.WRITE,
+                            self.transaction_id,
+                            branch=write.branch,
+                            payload=write.payload(),
+                            relation=relation,
+                        ),
+                        sync=not group,
+                    )
             # The fsynced COMMIT record is the commit point: from here the
-            # transaction's effects must survive a crash (via redo).
-            wal.append(
-                LogRecord(LogRecordType.COMMIT, self.transaction_id, relation=relation)
+            # transaction's effects must survive a crash (via redo).  It is
+            # appended *outside* the engine write mutex so concurrent
+            # committers can share one batch fsync.
+            commit_record = LogRecord(
+                LogRecordType.COMMIT, self.transaction_id, relation=relation
             )
+            if group:
+                wal.append_group(commit_record)
+            else:
+                wal.append(commit_record)
             self.state = TransactionState.COMMITTED
             commits = {}
-            for branch in sorted({write.branch for write in self._writes}):
-                commits[branch] = engine.commit(branch, message=message)
+            with engine.write_mutex:
+                for branch in sorted({write.branch for write in self._writes}):
+                    commits[branch] = engine.commit(branch, message=message)
             wal.append(
-                LogRecord(LogRecordType.APPLIED, self.transaction_id, relation=relation)
+                LogRecord(
+                    LogRecordType.APPLIED, self.transaction_id, relation=relation
+                ),
+                sync=not group,
             )
             return commits
         except InjectedCrash:
@@ -209,8 +236,14 @@ class Transaction:
     # -- helpers --------------------------------------------------------------
 
     def _lock_branch(self, branch: str) -> None:
+        # A request-scoped deadline caps the lock wait: no transaction blocks
+        # on a branch lock longer than its request has left to live.
+        checkpoint()
         self.manager.lock_manager.acquire(
-            self.transaction_id, f"branch:{branch}", LockMode.EXCLUSIVE
+            self.transaction_id,
+            f"branch:{branch}",
+            LockMode.EXCLUSIVE,
+            timeout=remaining_time(),
         )
 
     def _check_active(self) -> None:
@@ -235,16 +268,23 @@ class TransactionManager:
         wal: WriteAheadLog | None = None,
         lock_manager: LockManager | None = None,
         relation: str | None = None,
+        group_commit: bool = False,
     ):
         self.engine = engine
         self.wal = wal if wal is not None else WriteAheadLog.in_memory()
         self.lock_manager = lock_manager if lock_manager is not None else LockManager()
         self.relation = relation
+        #: When True, COMMIT records share batch fsyncs across concurrently
+        #: committing sessions (the serving layer turns this on).
+        self.group_commit = group_commit
         self._ids = itertools.count(self.wal.max_transaction_id() + 1)
+        self._ids_lock = threading.Lock()
 
     def begin(self) -> Transaction:
         """Start a new transaction."""
-        return Transaction(next(self._ids), self)
+        with self._ids_lock:
+            transaction_id = next(self._ids)
+        return Transaction(transaction_id, self)
 
     def active_transaction(self) -> Transaction:
         """Alias of :meth:`begin` kept for API symmetry with sessions."""

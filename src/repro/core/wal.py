@@ -38,6 +38,7 @@ import enum
 import json
 import os
 import struct
+import threading
 import zlib
 from dataclasses import dataclass, field
 
@@ -142,6 +143,20 @@ class WriteAheadLog:
         #: Human-readable notes about repairs made while opening the log
         #: (torn-tail truncations); drained into the recovery report.
         self.recovery_notes: list[str] = []
+        # Concurrency: _mutex serializes file appends and _records mutation;
+        # _sync_cond coordinates group commit (followers wait on it until the
+        # leader's fsync covers their record).  Sequence numbers count
+        # appended records: _synced_seq <= _written_seq always, and a record
+        # with seq <= _synced_seq is durably on disk.
+        self._mutex = threading.Lock()
+        self._sync_cond = threading.Condition()
+        self._written_seq = 0
+        self._synced_seq = 0
+        self._sync_leader_active = False
+        #: Number of fsync() calls issued on the log file, and how many of
+        #: them were group-commit batch syncs (covering >= 1 waiting commit).
+        self.fsync_count = 0
+        self.group_batches = 0
         if path is not None and os.path.exists(path):
             self._load(path)
 
@@ -247,21 +262,87 @@ class WriteAheadLog:
 
     # -- writing --------------------------------------------------------------
 
-    def append(self, record: LogRecord) -> None:
-        """Append a record, persisting it immediately when file-backed."""
+    def append(self, record: LogRecord, *, sync: bool = True) -> None:
+        """Append a record; when ``sync`` (the default) fsync it immediately.
+
+        ``sync=False`` leaves the record in the OS page cache: it is ordered
+        before any later record but not yet durable.  A subsequent fsync on
+        the file -- an ordinary ``sync=True`` append or a group commit --
+        makes every buffered record before it durable too, which is what
+        lets BEGIN/WRITE records ride the COMMIT record's fsync for free.
+        """
         check_crashed()
-        if self.path is not None:
-            created = not os.path.exists(self.path)
-            with open(self.path, "ab") as handle:
-                handle.write(record.encode())
-                handle.flush()
-                crashpoint("wal-append-pre-fsync", path=self.path)
-                os.fsync(handle.fileno())
-            if created:
-                # First append creates the file; fsync the directory so the
-                # log's directory entry survives a crash too.
-                fsync_dir(os.path.dirname(os.path.abspath(self.path)))
-        self._records.append(record)
+        seq = self._write_record(record)
+        if sync and self.path is not None:
+            with self._mutex:
+                with open(self.path, "ab") as handle:
+                    crashpoint("wal-append-pre-fsync", path=self.path)
+                    os.fsync(handle.fileno())
+                self.fsync_count += 1
+            self._mark_synced(seq)
+
+    def append_group(self, record: LogRecord) -> None:
+        """Append a record and make it durable via a *group* fsync.
+
+        The record is written (buffered) immediately; the calling thread then
+        either becomes the sync leader -- issuing one fsync that covers every
+        record written so far, including other sessions' pending commits -- or
+        waits for the current leader's fsync to cover it.  Concurrent
+        committers therefore share fsyncs instead of queueing one each, which
+        is the classic group-commit optimization.  On return the record is
+        durable (or an injected crash has been raised before the fsync).
+        """
+        check_crashed()
+        seq = self._write_record(record)
+        if self.path is None:
+            return
+        while True:
+            with self._sync_cond:
+                while self._synced_seq < seq and self._sync_leader_active:
+                    self._sync_cond.wait()
+                if self._synced_seq >= seq:
+                    return
+                self._sync_leader_active = True
+            # This thread is now the leader: fsync once for the whole batch.
+            # ``synced_to`` stays 0 unless the fsync actually completed, so a
+            # crash injected before the fsync never marks records durable.
+            synced_to = 0
+            try:
+                with self._mutex:
+                    target = self._written_seq
+                    with open(self.path, "ab") as handle:
+                        crashpoint("wal-group-commit-pre-fsync", path=self.path)
+                        os.fsync(handle.fileno())
+                    self.fsync_count += 1
+                    self.group_batches += 1
+                    synced_to = target
+            finally:
+                with self._sync_cond:
+                    self._sync_leader_active = False
+                    self._synced_seq = max(self._synced_seq, synced_to)
+                    self._sync_cond.notify_all()
+
+    def _write_record(self, record: LogRecord) -> int:
+        """Write ``record`` to the file (no fsync) and return its sequence."""
+        with self._mutex:
+            if self.path is not None:
+                created = not os.path.exists(self.path)
+                with open(self.path, "ab") as handle:
+                    handle.write(record.encode())
+                    handle.flush()
+                if created:
+                    # First append creates the file; fsync the directory so
+                    # the log's directory entry survives a crash too.
+                    fsync_dir(os.path.dirname(os.path.abspath(self.path)))
+            self._records.append(record)
+            self._written_seq += 1
+            return self._written_seq
+
+    def _mark_synced(self, seq: int) -> None:
+        """Record that an fsync has covered every record up to ``seq``."""
+        with self._sync_cond:
+            self._synced_seq = max(self._synced_seq, seq)
+            self._sync_cond.notify_all()
 
     def checkpoint(self) -> None:
         """Write a checkpoint record and drop everything before it.
@@ -272,15 +353,18 @@ class WriteAheadLog:
         """
         check_crashed()
         checkpoint = LogRecord(LogRecordType.CHECKPOINT, transaction_id=0)
-        if self.path is not None:
-            atomic_write(self.path, checkpoint.encode(), label="wal-checkpoint")
-        self._records = [checkpoint]
+        with self._mutex:
+            if self.path is not None:
+                atomic_write(self.path, checkpoint.encode(), label="wal-checkpoint")
+            self._records = [checkpoint]
+        self._mark_synced(self._written_seq)
 
     # -- reading --------------------------------------------------------------
 
     def records(self) -> list[LogRecord]:
         """All records currently in the log, oldest first."""
-        return list(self._records)
+        with self._mutex:
+            return list(self._records)
 
     def max_transaction_id(self) -> int:
         """Highest transaction id seen in the log (0 when empty)."""

@@ -15,6 +15,8 @@ Versioned queries in the SQL dialect of the paper's Table 1 are executed via
 from __future__ import annotations
 
 import os
+import threading
+import time
 from typing import Iterable, Iterator
 
 from repro.core.buffer_pool import BufferPool
@@ -27,12 +29,13 @@ from repro.core.record import Record
 from repro.core.schema import Schema
 from repro.core.transactions import TransactionManager, redo_write
 from repro.core.wal import LogRecord, LogRecordType, RecoveryReport, WriteAheadLog
-from repro.errors import CorruptionError, StorageError
+from repro.errors import CorruptionError, DatabaseClosedError, StorageError
 from repro.storage import create_engine
 from repro.storage.base import MergeResult, StorageEngineKind, VersionedStorageEngine
 from repro.versioning.conflicts import MergePolicy
 from repro.versioning.diff import DiffResult
 from repro.versioning.session import Session
+from repro.versioning.snapshots import Snapshot, SnapshotManager
 
 
 class VersionedRelation:
@@ -162,6 +165,17 @@ class Decibel:
         self._transaction_managers: dict[str, TransactionManager] = {}
         #: Report of the last :meth:`recover` run, if any.
         self.last_recovery: RecoveryReport | None = None
+        #: Snapshot-isolated read views (pinned branch heads) for the
+        #: serving layer and anyone else who wants a stable read state.
+        self.snapshot_manager = SnapshotManager(self)
+        # Close protocol: operations register with _begin_operation /
+        # _end_operation; close() drains them before tearing engines down
+        # and is idempotent (a second close is a no-op).
+        self._closed = False
+        self._closing = False
+        self._active_operations = 0
+        self._drain = threading.Condition()
+        self._close_lock = threading.Lock()
 
     @classmethod
     def open(
@@ -346,7 +360,24 @@ class Decibel:
         """Execute a versioned SQL query (the dialect of the paper's Table 1)."""
         from repro.query.executor import execute_query
 
-        return execute_query(self, sql)
+        self._begin_operation()
+        try:
+            return execute_query(self, sql)
+        finally:
+            self._end_operation()
+
+    def snapshot(self, relations: list[str] | None = None) -> Snapshot:
+        """Pin every branch head and return a snapshot-isolated read view.
+
+        Queries run through ``snapshot.database`` see the pinned state no
+        matter what concurrent writers commit; see
+        :mod:`repro.versioning.snapshots`.
+        """
+        self._begin_operation()
+        try:
+            return self.snapshot_manager.acquire(relations)
+        finally:
+            self._end_operation()
 
     def explain(self, sql: str) -> str:
         """The optimized logical plan for ``sql``, rendered as text.
@@ -366,10 +397,50 @@ class Decibel:
         for relation in self._relations.values():
             relation.engine.flush()
 
-    def close(self) -> None:
-        """Flush and drop cached pages for every open relation."""
-        for relation in self._relations.values():
-            relation.engine.close()
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has completed."""
+        return self._closed
+
+    def _begin_operation(self) -> None:
+        """Register an in-flight operation; raises once close has started."""
+        with self._drain:
+            if self._closing or self._closed:
+                raise DatabaseClosedError(
+                    f"database at {self.directory!r} is closed"
+                )
+            self._active_operations += 1
+
+    def _end_operation(self) -> None:
+        with self._drain:
+            self._active_operations -= 1
+            if self._active_operations == 0:
+                self._drain.notify_all()
+
+    def close(self, drain_timeout_s: float = 30.0) -> None:
+        """Flush and drop cached pages for every open relation.
+
+        Safe to call concurrently with in-flight queries and with itself:
+        the first close stops admitting new operations
+        (:class:`~repro.errors.DatabaseClosedError`), waits up to
+        ``drain_timeout_s`` for in-flight ones to drain, then tears engines
+        down exactly once.  Any further close() is a no-op that returns
+        after the first one has finished (it shares the same lock).
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            with self._drain:
+                self._closing = True
+                deadline = time.monotonic() + drain_timeout_s
+                while self._active_operations > 0:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._drain.wait(remaining)
+            for relation in self._relations.values():
+                relation.engine.close()
+            self._closed = True
 
     def __enter__(self) -> "Decibel":
         return self

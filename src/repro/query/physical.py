@@ -31,6 +31,7 @@ from repro.core.operators import (
     SeqScan,
     TopN as TopNOp,
 )
+from repro.core.cancel import checkpoint
 from repro.core.predicates import ColumnPredicate, Predicate
 from repro.core.record import Record
 from repro.errors import QueryError
@@ -93,6 +94,7 @@ class HeadScanExec(Operator):
             self.node.predicate, batch_size=batch_size
         )
         for pairs in annotated:
+            checkpoint()
             yield [
                 Record(record.values + (branches,)) for record, branches in pairs
             ]
@@ -107,6 +109,7 @@ class HeadScanExec(Operator):
             self.node.predicate, batch_size=batch_size
         )
         for pairs in annotated:
+            checkpoint()
             yield ColumnBatch.from_rows(
                 self.schema,
                 [record.values + (branches,) for record, branches in pairs],
@@ -136,6 +139,7 @@ class VersionDiffExec(Operator):
 
     def _positive_records(self) -> list[Record]:
         node = self.node
+        checkpoint()
         diff = node.engine.diff(node.outer[1], node.inner[1])
         self.total_records = diff.total_records
         if node.include_modified:
@@ -432,6 +436,7 @@ def execute_plan(
         annotations = result.branch_annotations
         if mode == "columnar":
             for column_batch in operator.column_batches():
+                checkpoint()
                 annotations.extend(column_batch.columns[hidden])
                 visible = [
                     values
@@ -449,6 +454,7 @@ def execute_plan(
             else ([record] for record in operator)
         )
         for batch in source:
+            checkpoint()
             for record in batch:
                 values = record.values
                 rows.append(values[:hidden] + values[hidden + 1 :])
@@ -456,11 +462,13 @@ def execute_plan(
         return result
     if mode == "columnar":
         for column_batch in operator.column_batches():
+            checkpoint()
             rows.extend(column_batch.rows())
         return result
     if mode == "streaming":
         result.rows = [record.values for record in operator]
         return result
     for batch in operator.batches():
+        checkpoint()
         rows.extend(record.values for record in batch)
     return result

@@ -1,0 +1,41 @@
+"""Concurrent serving layer: sessions, snapshots, deadlines, admission.
+
+Public surface::
+
+    from repro.server import DecibelServer, ServerConfig, ServerThread
+    from repro.server import DecibelClient
+
+    with ServerThread(db) as (host, port):
+        with DecibelClient(host, port) as client:
+            client.connect()
+            result = client.query("SELECT ...", deadline_s=2.0)
+"""
+
+from repro.server.client import DecibelClient, QueryPayload
+from repro.server.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    encode_frame,
+    error_response,
+    ok_response,
+)
+from repro.server.server import (
+    DecibelServer,
+    ServerConfig,
+    ServerStats,
+    ServerThread,
+)
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "DecibelClient",
+    "DecibelServer",
+    "QueryPayload",
+    "ServerConfig",
+    "ServerStats",
+    "ServerThread",
+    "encode_frame",
+    "error_response",
+    "ok_response",
+]

@@ -1,0 +1,348 @@
+"""Blocking client for the Decibel serving layer.
+
+A thin, dependency-free socket client that speaks the protocol of
+:mod:`repro.server.protocol` and embodies the retry contract:
+
+* **Deadline propagation** -- every call carries the remaining client
+  budget as ``deadline_ms``; the server clamps and enforces it with
+  cooperative cancellation, and the client's socket timeout is the same
+  budget plus a grace, so neither side waits on a corpse.
+* **Retry on retryable errors only** -- ``overloaded`` and
+  ``unavailable`` responses mean the request was rejected *before*
+  executing, so retrying is safe for every op, including writes.
+  Connection failures are retried only for ops that are safe to repeat
+  (reads and session-control ops): a write whose response was lost may
+  or may not have been buffered, and the death of its session aborts it
+  anyway, so the client surfaces the failure instead of guessing.
+* **Capped exponential backoff with jitter** -- retries wait
+  ``backoff_base_s * 2^attempt`` (capped), multiplied by a random factor
+  in [0.5, 1.0) from a seedable RNG, and honour the server's
+  ``retry_after_s`` hint on overload.  Determinism in tests comes from
+  passing a seeded :class:`random.Random`.
+
+Errors cross the wire as ``DecibelError.to_wire()`` documents and are
+re-raised here as their original typed exceptions via
+:func:`repro.errors.error_from_wire`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import socket
+import time
+from typing import Any
+
+from repro.errors import (
+    DeadlineExceededError,
+    DecibelError,
+    OverloadedError,
+    ProtocolError,
+    UnavailableError,
+    error_from_wire,
+)
+from repro.server.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    encode_frame,
+    recv_frame_sync,
+    send_frame_sync,
+)
+
+#: Ops that are safe to resend after a connection failure mid-call: they
+#: either do not change server state or only change per-session state
+#: that died with the connection anyway.
+_RETRY_ON_DISCONNECT = frozenset(
+    {"ping", "hello", "stats", "query", "use_branch"}
+)
+
+
+class DecibelClient:
+    """A blocking connection to a :class:`~repro.server.server.DecibelServer`."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        connect_timeout_s: float = 5.0,
+        io_grace_s: float = 2.0,
+        default_deadline_s: float = 10.0,
+        max_attempts: int = 5,
+        backoff_base_s: float = 0.02,
+        backoff_cap_s: float = 0.5,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+        rng: random.Random | None = None,
+    ):
+        self.host = host
+        self.port = port
+        self.connect_timeout_s = connect_timeout_s
+        self.io_grace_s = io_grace_s
+        self.default_deadline_s = default_deadline_s
+        self.max_attempts = max_attempts
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.max_frame_bytes = max_frame_bytes
+        self._rng = rng if rng is not None else random.Random()
+        self._sock: socket.socket | None = None
+        self._request_ids = itertools.count(1)
+        self.session_id: int | None = None
+
+    # -- connection management ---------------------------------------------------
+
+    def connect(self) -> dict[str, Any]:
+        """Connect (if needed) and perform the ``hello`` handshake."""
+        self._ensure_connected(self.connect_timeout_s)
+        hello = self.call("hello")
+        self.session_id = hello.get("session_id")
+        return hello
+
+    def _ensure_connected(self, timeout_s: float) -> socket.socket:
+        if self._sock is None:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=max(timeout_s, 0.001)
+            )
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._sock = sock
+        return self._sock
+
+    def _disconnect(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+            self.session_id = None
+
+    def close(self) -> None:
+        self._disconnect()
+
+    def __enter__(self) -> "DecibelClient":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close()
+
+    # -- the call loop -----------------------------------------------------------
+
+    def call(
+        self, op: str, *, deadline_s: float | None = None, **params: Any
+    ) -> dict[str, Any]:
+        """Issue ``op`` and return its result, retrying retryable failures.
+
+        The deadline is a total budget across all attempts (connect,
+        send, wait, and every backoff sleep), propagated to the server on
+        each attempt as the *remaining* budget.
+        """
+        budget_s = self.default_deadline_s if deadline_s is None else deadline_s
+        deadline = time.monotonic() + budget_s
+        attempt = 0
+        last_error: DecibelError | None = None
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise last_error or DeadlineExceededError(
+                    f"client budget of {budget_s:.3f}s exhausted "
+                    f"before {op!r} completed",
+                    elapsed_s=budget_s,
+                )
+            retry_after = 0.0
+            try:
+                result, error = self._attempt(op, params, remaining)
+                if error is None:
+                    return result if result is not None else {}
+            except (ConnectionError, socket.timeout, OSError) as exc:
+                self._disconnect()
+                error = UnavailableError(f"connection failure during {op!r}: {exc}")
+                if op not in _RETRY_ON_DISCONNECT:
+                    raise error from exc
+            if isinstance(error, OverloadedError):
+                retry_after = error.retry_after_s
+            if not error.retryable:
+                raise error
+            attempt += 1
+            last_error = error
+            if attempt >= self.max_attempts:
+                raise error
+            delay = min(
+                self.backoff_cap_s, self.backoff_base_s * (2 ** (attempt - 1))
+            )
+            delay = retry_after + delay * (0.5 + self._rng.random() * 0.5)
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise error
+            time.sleep(min(delay, remaining))
+
+    def _attempt(
+        self, op: str, params: dict[str, Any], remaining_s: float
+    ) -> tuple[dict[str, Any] | None, DecibelError | None]:
+        """One wire round-trip: ``(result, None)`` or ``(None, wire error)``."""
+        sock = self._ensure_connected(min(remaining_s, self.connect_timeout_s))
+        request_id = next(self._request_ids)
+        request: dict[str, Any] = {
+            "v": PROTOCOL_VERSION,
+            "id": request_id,
+            "op": op,
+            "deadline_ms": max(1, int(remaining_s * 1000)),
+            **params,
+        }
+        # Validate locally before touching the socket so an oversized
+        # request cannot poison the connection.
+        encode_frame(request, max_bytes=self.max_frame_bytes)
+        send_frame_sync(
+            sock,
+            request,
+            timeout_s=min(remaining_s, self.connect_timeout_s) + self.io_grace_s,
+            max_bytes=self.max_frame_bytes,
+        )
+        response = recv_frame_sync(
+            sock,
+            timeout_s=remaining_s + self.io_grace_s,
+            max_bytes=self.max_frame_bytes,
+        )
+        if response is None:
+            raise ConnectionResetError("server closed the connection")
+        if response.get("id") not in (request_id, None):
+            raise ProtocolError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {request_id!r}"
+            )
+        if response.get("ok"):
+            result = response.get("result")
+            return (result if isinstance(result, dict) else {}), None
+        error_doc = response.get("error")
+        if not isinstance(error_doc, dict):
+            raise ProtocolError(f"malformed error response: {response!r}")
+        return None, error_from_wire(error_doc)
+
+    # -- convenience ops ---------------------------------------------------------
+
+    def ping(self, *, deadline_s: float | None = None) -> bool:
+        return bool(self.call("ping", deadline_s=deadline_s).get("pong"))
+
+    def query(self, sql: str, *, deadline_s: float | None = None) -> "QueryPayload":
+        doc = self.call("query", deadline_s=deadline_s, sql=sql)
+        return QueryPayload(
+            columns=list(doc.get("columns", [])),
+            rows=[tuple(row) for row in doc.get("rows", [])],
+            branches=[frozenset(b) for b in doc.get("branches", [])],
+        )
+
+    def insert(
+        self,
+        relation: str,
+        values: list[Any] | tuple[Any, ...],
+        *,
+        branch: str | None = None,
+        deadline_s: float | None = None,
+    ) -> dict[str, Any]:
+        return self.call(
+            "insert",
+            deadline_s=deadline_s,
+            relation=relation,
+            values=list(values),
+            branch=branch,
+        )
+
+    def update(
+        self,
+        relation: str,
+        values: list[Any] | tuple[Any, ...],
+        *,
+        branch: str | None = None,
+        deadline_s: float | None = None,
+    ) -> dict[str, Any]:
+        return self.call(
+            "update",
+            deadline_s=deadline_s,
+            relation=relation,
+            values=list(values),
+            branch=branch,
+        )
+
+    def delete(
+        self,
+        relation: str,
+        key: int,
+        *,
+        branch: str | None = None,
+        deadline_s: float | None = None,
+    ) -> dict[str, Any]:
+        return self.call(
+            "delete", deadline_s=deadline_s, relation=relation, key=key, branch=branch
+        )
+
+    def commit(
+        self, message: str = "", *, deadline_s: float | None = None
+    ) -> dict[str, dict[str, str]]:
+        doc = self.call("commit", deadline_s=deadline_s, message=message)
+        return dict(doc.get("commits", {}))
+
+    def abort(self, *, deadline_s: float | None = None) -> list[str]:
+        return list(self.call("abort", deadline_s=deadline_s).get("aborted", []))
+
+    def use_branch(self, branch: str, *, deadline_s: float | None = None) -> None:
+        self.call("use_branch", deadline_s=deadline_s, branch=branch)
+
+    def create_branch(
+        self,
+        relation: str,
+        name: str,
+        *,
+        from_branch: str | None = None,
+        deadline_s: float | None = None,
+    ) -> None:
+        self.call(
+            "branch",
+            deadline_s=deadline_s,
+            relation=relation,
+            name=name,
+            **{"from": from_branch},
+        )
+
+    def merge(
+        self,
+        relation: str,
+        target: str,
+        source: str,
+        *,
+        deadline_s: float | None = None,
+    ) -> dict[str, Any]:
+        return self.call(
+            "merge", deadline_s=deadline_s, relation=relation, target=target,
+            source=source,
+        )
+
+    def cancel(self, target_id: int, *, deadline_s: float | None = None) -> bool:
+        return bool(
+            self.call("cancel", deadline_s=deadline_s, target_id=target_id).get(
+                "cancelled"
+            )
+        )
+
+    def server_stats(self, *, deadline_s: float | None = None) -> dict[str, Any]:
+        return self.call("stats", deadline_s=deadline_s)
+
+
+class QueryPayload:
+    """Client-side view of a query result."""
+
+    def __init__(
+        self,
+        columns: list[str],
+        rows: list[tuple[Any, ...]],
+        branches: list[frozenset[str]],
+    ):
+        self.columns = columns
+        self.rows = rows
+        self.branches = branches
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Any:
+        return iter(self.rows)
+
+    def __repr__(self) -> str:
+        return f"QueryPayload(columns={self.columns!r}, rows={len(self.rows)})"

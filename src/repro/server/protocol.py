@@ -1,0 +1,240 @@
+"""Wire protocol for the serving layer: length-prefixed JSON frames.
+
+A frame is a 4-byte big-endian length followed by that many bytes of
+UTF-8 JSON.  Requests and responses are JSON objects carrying the
+protocol version (``"v"``) and a client-chosen request id (``"id"``)
+that the server echoes back, so a client can match responses even after
+retries.  Responses are either::
+
+    {"v": 1, "id": 7, "ok": true,  "result": {...}}
+    {"v": 1, "id": 7, "ok": false, "error": {"code": ..., "message": ...,
+                                             "retryable": ..., "fields": {...}}}
+
+where ``error`` is the :meth:`repro.errors.DecibelError.to_wire` form, so
+the client can rebuild the typed exception with
+:func:`repro.errors.error_from_wire`.
+
+Both async (server-side) and blocking-socket (client-side) frame I/O live
+here so the two endpoints cannot drift.  Every read and write is bounded
+by a timeout -- an unresponsive peer costs a connection, never a stuck
+handler -- and both paths consult :func:`repro.testing.faults.netpoint`
+so the fault-injection suite can kill, stall, or truncate any frame.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+import time
+from typing import Any
+
+from repro.errors import DecibelError, ProtocolError
+from repro.testing.faults import NetFaultSchedule, netpoint
+
+#: Protocol version spoken by this build.  Frames carrying a different
+#: version are rejected with a ``protocol`` error.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on a single frame's JSON body.  Large enough for any
+#: reasonable result page, small enough that a corrupt or hostile length
+#: prefix cannot make an endpoint buffer gigabytes.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+def encode_frame(message: dict[str, Any], *, max_bytes: int = MAX_FRAME_BYTES) -> bytes:
+    """Serialize ``message`` into a length-prefixed frame."""
+    body = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(body) > max_bytes:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds the {max_bytes}-byte limit"
+        )
+    return _LENGTH.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> dict[str, Any]:
+    """Parse a frame body; malformed JSON is a protocol error."""
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame body: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame body must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+def check_length(length: int, *, max_bytes: int = MAX_FRAME_BYTES) -> None:
+    if length > max_bytes:
+        raise ProtocolError(
+            f"peer announced a {length}-byte frame "
+            f"(limit {max_bytes}); closing the connection"
+        )
+
+
+# -- response envelopes ------------------------------------------------------------
+
+
+def ok_response(request_id: object, result: dict[str, Any]) -> dict[str, Any]:
+    return {"v": PROTOCOL_VERSION, "id": request_id, "ok": True, "result": result}
+
+
+def error_response(request_id: object, error: DecibelError) -> dict[str, Any]:
+    return {
+        "v": PROTOCOL_VERSION,
+        "id": request_id,
+        "ok": False,
+        "error": error.to_wire(),
+    }
+
+
+# -- async frame I/O (server side) -------------------------------------------------
+
+
+async def read_frame(
+    reader: asyncio.StreamReader,
+    *,
+    idle_timeout_s: float,
+    io_timeout_s: float,
+    max_bytes: int = MAX_FRAME_BYTES,
+) -> dict[str, Any] | None:
+    """Read one frame; ``None`` on clean EOF before any byte arrives.
+
+    ``idle_timeout_s`` bounds the wait for the *first* byte of the length
+    prefix (how long a connection may sit idle between requests);
+    ``io_timeout_s`` bounds every subsequent read (a peer that started a
+    frame must finish it promptly -- the slow-client guard).
+    """
+    fault = netpoint("server-recv-frame")
+    if fault is not None:
+        await _apply_read_fault_bounded(fault)
+    try:
+        first = await asyncio.wait_for(reader.readexactly(1), timeout=idle_timeout_s)
+    except asyncio.IncompleteReadError:
+        return None  # clean EOF between frames
+    rest = await asyncio.wait_for(reader.readexactly(3), timeout=io_timeout_s)
+    (length,) = _LENGTH.unpack(first + rest)
+    check_length(length, max_bytes=max_bytes)
+    body = await asyncio.wait_for(reader.readexactly(length), timeout=io_timeout_s)
+    return decode_body(body)
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter,
+    message: dict[str, Any],
+    *,
+    io_timeout_s: float,
+    max_bytes: int = MAX_FRAME_BYTES,
+) -> None:
+    """Write one frame, bounded by ``io_timeout_s`` for the drain."""
+    data = encode_frame(message, max_bytes=max_bytes)
+    fault = netpoint("server-send-frame")
+    if fault is not None:
+        data = await _apply_write_fault_bounded(fault, writer, data)
+        if data is None:
+            raise ConnectionResetError("injected network fault on send")
+    writer.write(data)
+    await asyncio.wait_for(writer.drain(), timeout=io_timeout_s)
+
+
+async def _apply_read_fault_bounded(fault: NetFaultSchedule) -> None:
+    if fault.action == "delay":
+        await asyncio.sleep(fault.delay_s)
+    elif fault.action in ("close", "truncate"):
+        # The read side cannot truncate its peer's send; both actions
+        # mean "the connection died under us".
+        raise ConnectionResetError(f"injected network fault: {fault.action}")
+
+
+async def _apply_write_fault_bounded(
+    fault: NetFaultSchedule, writer: asyncio.StreamWriter, data: bytes
+) -> bytes | None:
+    if fault.action == "delay":
+        await asyncio.sleep(fault.delay_s)
+        return data
+    if fault.action == "truncate":
+        # Send only the first keep_bytes, then kill the connection: the
+        # peer observes a torn frame.
+        writer.write(data[: fault.keep_bytes])
+        writer.transport.abort()
+        return None
+    writer.transport.abort()
+    return None
+
+
+# -- blocking-socket frame I/O (client side) ---------------------------------------
+
+
+def send_frame_sync(
+    sock: socket.socket,
+    message: dict[str, Any],
+    *,
+    timeout_s: float,
+    max_bytes: int = MAX_FRAME_BYTES,
+) -> None:
+    data = encode_frame(message, max_bytes=max_bytes)
+    fault = netpoint("client-send-frame")
+    if fault is not None:
+        if fault.action == "delay":
+            time.sleep(fault.delay_s)
+        elif fault.action == "truncate":
+            sock.settimeout(timeout_s)
+            sock.sendall(data[: fault.keep_bytes])
+            sock.close()
+            raise ConnectionResetError("injected network fault: truncate")
+        else:
+            sock.close()
+            raise ConnectionResetError("injected network fault: close")
+    sock.settimeout(timeout_s)
+    sock.sendall(data)
+
+
+def recv_frame_sync(
+    sock: socket.socket,
+    *,
+    timeout_s: float,
+    max_bytes: int = MAX_FRAME_BYTES,
+) -> dict[str, Any] | None:
+    """Read one frame from a blocking socket; ``None`` on clean EOF."""
+    fault = netpoint("client-recv-frame")
+    if fault is not None:
+        if fault.action == "delay":
+            time.sleep(fault.delay_s)
+        else:
+            sock.close()
+            raise ConnectionResetError(f"injected network fault: {fault.action}")
+    header = _recv_exactly(sock, 4, timeout_s, eof_ok=True)
+    if header is None:
+        return None
+    (length,) = _LENGTH.unpack(header)
+    check_length(length, max_bytes=max_bytes)
+    body = _recv_exactly(sock, length, timeout_s, eof_ok=False)
+    assert body is not None
+    return decode_body(body)
+
+
+def _recv_exactly(
+    sock: socket.socket, count: int, timeout_s: float, *, eof_ok: bool
+) -> bytes | None:
+    deadline = time.monotonic() + timeout_s
+    chunks: list[bytes] = []
+    got = 0
+    while got < count:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise socket.timeout(f"timed out reading a {count}-byte frame section")
+        sock.settimeout(remaining)
+        chunk = sock.recv(count - got)
+        if not chunk:
+            if eof_ok and got == 0:
+                return None
+            raise ConnectionResetError(
+                f"connection closed mid-frame ({got}/{count} bytes read)"
+            )
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)

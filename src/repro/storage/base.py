@@ -20,6 +20,7 @@ from __future__ import annotations
 import enum
 import os
 import shutil
+import threading
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
@@ -368,6 +369,15 @@ class VersionedStorageEngine(ABC):
         #: Persisted indexes are only saved when this is False, so a saved
         #: index always describes a state recovery can reproduce.
         self._dirty_writes = False
+        #: Serializes concurrent *physical* mutation of shared structures
+        #: (heap tail pages, branch bitmaps, indexes).  Branch locks give
+        #: logical isolation; this mutex only makes interleaved apply phases
+        #: memory-safe.  Reentrant so merge/commit paths can nest.
+        self.write_mutex = threading.RLock()
+        #: Held across "move branch head + record commit snapshot" so a
+        #: snapshot acquirer never observes a head commit whose bitmap
+        #: snapshot has not been recorded yet.
+        self.commit_gate = threading.RLock()
         os.makedirs(directory, exist_ok=True)
 
     # -- lifecycle --------------------------------------------------------------
@@ -440,25 +450,33 @@ class VersionedStorageEngine(ABC):
         """Create a branch off a branch head or any historical commit."""
         if from_branch is None and from_commit is None:
             from_branch = MASTER_BRANCH
-        if from_commit is not None:
-            parent_branch = self.graph.get_commit(from_commit).branch
-            at_head = self.graph.head(parent_branch) == from_commit
-        else:
-            parent_branch = from_branch
-            from_commit = self.graph.head(parent_branch)
-            at_head = True
-        self.graph.create_branch(
-            name, from_commit=from_commit, from_branch=parent_branch
-        )
-        self._materialize_branch(name, parent_branch, from_commit, at_head)
-        self.stats.branches_created += 1
-        self._flush_storage()
-        self._persist_graph()
+        with self.commit_gate:
+            if from_commit is not None:
+                parent_branch = self.graph.get_commit(from_commit).branch
+                at_head = self.graph.head(parent_branch) == from_commit
+            else:
+                parent_branch = from_branch
+                from_commit = self.graph.head(parent_branch)
+                at_head = True
+            self.graph.create_branch(
+                name, from_commit=from_commit, from_branch=parent_branch
+            )
+            self._materialize_branch(name, parent_branch, from_commit, at_head)
+            self.stats.branches_created += 1
+            self._flush_storage()
+            self._persist_graph()
 
     def commit(self, branch: str, message: str = "") -> str:
-        """Create a commit capturing the current state of ``branch``'s head."""
-        commit = self.graph.commit(branch, message=message)
-        self._commit_durably(branch, commit.commit_id)
+        """Create a commit capturing the current state of ``branch``'s head.
+
+        The head move and the snapshot recording happen under the commit
+        gate: a concurrent snapshot acquisition either sees the old head
+        (with its already-recorded snapshot) or the new head after its
+        snapshot exists -- never the half-open state in between.
+        """
+        with self.commit_gate:
+            commit = self.graph.commit(branch, message=message)
+            self._commit_durably(branch, commit.commit_id)
         return commit.commit_id
 
     def _commit_durably(self, branch: str, commit_id: str) -> None:
@@ -540,10 +558,11 @@ class VersionedStorageEngine(ABC):
             else:
                 self._apply_merge_change(target_branch, source_branch, key, source_record)
                 result.records_applied += 1
-        merge_commit = self.graph.merge(
-            target_branch, source_branch, message=message, precedence=target_branch
-        )
-        self._commit_durably(target_branch, merge_commit.commit_id)
+        with self.commit_gate:
+            merge_commit = self.graph.merge(
+                target_branch, source_branch, message=message, precedence=target_branch
+            )
+            self._commit_durably(target_branch, merge_commit.commit_id)
         self.stats.merges += 1
         result.commit_id = merge_commit.commit_id
         return result
@@ -658,6 +677,39 @@ class VersionedStorageEngine(ABC):
         self, commit_id: str, predicate: Predicate | None = None
     ) -> Iterator[Record]:
         """Yield the records of a historical commit."""
+
+    def scan_commit_batched(
+        self,
+        commit_id: str,
+        predicate: Predicate | None = None,
+        batch_size: int = DEFAULT_SCAN_BATCH_SIZE,
+    ) -> Iterator[list[Record]]:
+        """Yield ``scan_commit``'s records grouped into lists.
+
+        Flattening the batches reproduces :meth:`scan_commit` exactly.  The
+        bitmap engines override this with the same vectorized page-batch
+        path branch scans use, applied to the commit's recorded bitmap --
+        snapshot-isolated readers go through here, so the override keeps
+        pinned-snapshot reads as fast as head reads.
+        """
+        yield from chunk_iterable(self.scan_commit(commit_id, predicate), batch_size)
+
+    def scan_commit_columns(
+        self,
+        commit_id: str,
+        predicate: Predicate | None = None,
+        batch_size: int = DEFAULT_SCAN_BATCH_SIZE,
+    ) -> Iterator[ColumnBatch]:
+        """Yield ``scan_commit``'s rows as :class:`ColumnBatch`es."""
+        schema = self.schema
+        for batch in self.scan_commit_batched(commit_id, predicate, batch_size):
+            yield ColumnBatch.from_records(schema, batch)
+
+    def count_commit(self, commit_id: str, predicate: Predicate | None = None) -> int:
+        """Number of records of a historical commit matching ``predicate``."""
+        return sum(
+            len(batch) for batch in self.scan_commit_batched(commit_id, predicate)
+        )
 
     @abstractmethod
     def scan_branches(

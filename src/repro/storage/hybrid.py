@@ -442,9 +442,8 @@ class HybridEngine(VersionedStorageEngine):
             )
         return super().count_branch(branch, predicate)
 
-    def scan_commit(
-        self, commit_id: str, predicate: Predicate | None = None
-    ) -> Iterator[Record]:
+    def _commit_segment_bitmaps(self, commit_id: str) -> Iterator[tuple[str, Bitmap]]:
+        """Yield ``(segment_id, recorded bitmap)`` for a historical commit."""
         branch = self.graph.get_commit(commit_id).branch
         segment_ids = self._commit_segments.get(commit_id)
         if segment_ids is None:
@@ -455,8 +454,48 @@ class HybridEngine(VersionedStorageEngine):
             history = self._histories.get((branch, segment_id))
             if history is None or commit_id not in history:
                 continue
-            bitmap = history.checkout(commit_id)
+            yield segment_id, history.checkout(commit_id)
+
+    def scan_commit(
+        self, commit_id: str, predicate: Predicate | None = None
+    ) -> Iterator[Record]:
+        for segment_id, bitmap in self._commit_segment_bitmaps(commit_id):
             yield from self._scan_segment_bitmap(segment_id, bitmap, predicate)
+
+    def scan_commit_batched(
+        self,
+        commit_id: str,
+        predicate: Predicate | None = None,
+        batch_size: int = DEFAULT_SCAN_BATCH_SIZE,
+    ) -> Iterator[list[Record]]:
+        """Vectorized :meth:`scan_commit`: per-segment page-batch reads over
+        the commit's recorded bitmaps."""
+        for segment_id, bitmap in self._commit_segment_bitmaps(commit_id):
+            segment = self.segments.get(segment_id)
+            yield from scan_heap_bitmap_batched(
+                segment.heap, bitmap, self.schema, predicate, batch_size, self.stats
+            )
+
+    def scan_commit_columns(
+        self,
+        commit_id: str,
+        predicate: Predicate | None = None,
+        batch_size: int = DEFAULT_SCAN_BATCH_SIZE,
+    ) -> Iterator[ColumnBatch]:
+        """Columnar :meth:`scan_commit` over the commit's recorded bitmaps."""
+        for segment_id, bitmap in self._commit_segment_bitmaps(commit_id):
+            segment = self.segments.get(segment_id)
+            yield from scan_heap_bitmap_columns(
+                segment.heap, bitmap, self.schema, predicate, batch_size, self.stats
+            )
+
+    def count_commit(self, commit_id: str, predicate: Predicate | None = None) -> int:
+        if predicate is None:
+            return sum(
+                bitmap.count()
+                for _, bitmap in self._commit_segment_bitmaps(commit_id)
+            )
+        return super().count_commit(commit_id, predicate)
 
     def _scan_segment_bitmap(
         self, segment_id: str, bitmap: Bitmap, predicate: Predicate | None

@@ -240,6 +240,36 @@ class TupleFirstEngine(VersionedStorageEngine):
     ) -> Iterator[Record]:
         yield from self._scan_bitmap(self._bitmap_at_commit(commit_id), predicate)
 
+    def scan_commit_batched(
+        self,
+        commit_id: str,
+        predicate: Predicate | None = None,
+        batch_size: int = DEFAULT_SCAN_BATCH_SIZE,
+    ) -> Iterator[list[Record]]:
+        """Vectorized :meth:`scan_commit`: the branch-scan page-batch path
+        applied to the commit's recorded bitmap."""
+        bitmap = self._bitmap_at_commit(commit_id)
+        yield from scan_heap_bitmap_batched(
+            self.heap, bitmap, self.schema, predicate, batch_size, self.stats
+        )
+
+    def scan_commit_columns(
+        self,
+        commit_id: str,
+        predicate: Predicate | None = None,
+        batch_size: int = DEFAULT_SCAN_BATCH_SIZE,
+    ) -> Iterator[ColumnBatch]:
+        """Columnar :meth:`scan_commit` over the commit's recorded bitmap."""
+        bitmap = self._bitmap_at_commit(commit_id)
+        yield from scan_heap_bitmap_columns(
+            self.heap, bitmap, self.schema, predicate, batch_size, self.stats
+        )
+
+    def count_commit(self, commit_id: str, predicate: Predicate | None = None) -> int:
+        if predicate is None:
+            return self._bitmap_at_commit(commit_id).count()
+        return super().count_commit(commit_id, predicate)
+
     def _bitmap_at_commit(self, commit_id: str) -> Bitmap:
         branch = self.graph.get_commit(commit_id).branch
         history = self._histories.get(branch)

@@ -31,6 +31,7 @@ per-crashpoint cost in production is one global read and a ``None`` check.
 from __future__ import annotations
 
 import os
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
@@ -65,18 +66,24 @@ class FaultInjector:
     counts: dict[str, int] = field(default_factory=dict)
     crashed: bool = False
     fired: FaultSchedule | None = None
+    _lock: threading.Lock = field(default_factory=threading.Lock)
 
     def arrive(self, name: str, path: str | None) -> None:
-        if self.crashed:
-            raise InjectedCrash(f"process is dead (crashed at {self.fired!r})")
-        self.counts[name] = self.counts.get(name, 0) + 1
-        for schedule in self.schedules:
-            if schedule.crashpoint == name and self.counts[name] == schedule.hit:
-                if schedule.torn_bytes > 0 and path is not None:
-                    _tear_tail(path, schedule.torn_bytes)
-                self.crashed = True
-                self.fired = schedule
-                raise InjectedCrash(f"injected crash at {name!r} (hit {schedule.hit})")
+        # Serialized so concurrent server sessions racing through the same
+        # crashpoint still count hits deterministically.
+        with self._lock:
+            if self.crashed:
+                raise InjectedCrash(f"process is dead (crashed at {self.fired!r})")
+            self.counts[name] = self.counts.get(name, 0) + 1
+            for schedule in self.schedules:
+                if schedule.crashpoint == name and self.counts[name] == schedule.hit:
+                    if schedule.torn_bytes > 0 and path is not None:
+                        _tear_tail(path, schedule.torn_bytes)
+                    self.crashed = True
+                    self.fired = schedule
+                    raise InjectedCrash(
+                        f"injected crash at {name!r} (hit {schedule.hit})"
+                    )
 
 
 def _tear_tail(path: str, torn_bytes: int) -> None:
@@ -132,3 +139,92 @@ def inject(*schedules: FaultSchedule) -> Iterator[FaultInjector]:
         yield injector
     finally:
         _active = None
+
+
+# -- network-layer faults --------------------------------------------------------
+#
+# The serving layer adds a second fault surface: the wire.  Network faults
+# are *not* process deaths -- a dropped connection leaves both endpoints
+# running -- so they get their own schedule type and arming scope.  The
+# framing code places named netpoints (``server-send-frame``,
+# ``client-recv-frame``, ...) around socket reads and writes; an armed
+# schedule tells that point to misbehave on its N-th arrival.
+
+
+@dataclass
+class NetFaultSchedule:
+    """One planned network fault at the ``hit``-th arrival at ``netpoint``.
+
+    ``action`` selects the misbehaviour:
+
+    * ``"close"`` -- drop the connection immediately (peer sees a reset /
+      truncated stream);
+    * ``"truncate"`` -- transmit only ``keep_bytes`` bytes of the frame,
+      then drop the connection (a mid-frame kill: the peer reads a torn
+      length-prefixed frame);
+    * ``"delay"`` -- stall the operation for ``delay_s`` seconds before
+      letting it proceed (a slow or stalled peer; drives idle/slow-client
+      timeout paths).
+    """
+
+    netpoint: str
+    hit: int = 1
+    action: str = "close"
+    delay_s: float = 0.0
+    keep_bytes: int = 0
+
+
+@dataclass
+class NetFaultInjector:
+    """Mutable state for one armed :func:`inject_net` scope."""
+
+    schedules: list[NetFaultSchedule]
+    counts: dict[str, int] = field(default_factory=dict)
+    fired: list[NetFaultSchedule] = field(default_factory=list)
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+
+    def arrive(self, name: str) -> NetFaultSchedule | None:
+        """Record an arrival; return the schedule to apply, if any fires."""
+        with self._lock:
+            self.counts[name] = self.counts.get(name, 0) + 1
+            for schedule in self.schedules:
+                if schedule.netpoint == name and self.counts[name] == schedule.hit:
+                    self.fired.append(schedule)
+                    return schedule
+        return None
+
+
+_net_active: NetFaultInjector | None = None
+
+
+def netpoint(name: str) -> NetFaultSchedule | None:
+    """Mark a wire operation; returns the fault to apply when armed.
+
+    Unlike :func:`crashpoint`, the caller applies the fault itself (closing
+    its transport, sleeping, truncating its send) because the right
+    misbehaviour is endpoint-specific.  A no-op returning ``None`` unless
+    :func:`inject_net` is active.
+    """
+    injector = _net_active
+    if injector is not None:
+        return injector.arrive(name)
+    return None
+
+
+@contextmanager
+def inject_net(*schedules: NetFaultSchedule) -> Iterator[NetFaultInjector]:
+    """Arm network-fault schedules for the duration of the block.
+
+    Independent of :func:`inject` (the two may be combined to crash a
+    server while its clients suffer wire faults).  Yields the injector so
+    tests can assert what fired.
+    """
+    global _net_active
+    if _net_active is not None:
+        raise RuntimeError("network fault injection scopes cannot nest")
+    injector = NetFaultInjector(list(schedules))
+    _net_active = injector
+    try:
+        yield injector
+    finally:
+        _net_active = None

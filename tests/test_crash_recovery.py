@@ -314,3 +314,41 @@ def test_generated_workloads_recover(tmp_path_factory, engine, steps, crash_inde
             f"branch {name!r} diverged after crash at {point} "
             f"(crashed={crashed}, survived={survived})"
         )
+
+
+class TestServingLayerCrash:
+    """The PR-8 recovery path, driven through the serving layer.
+
+    A server session's commit dies at the WAL group-commit fsync.  The
+    client got no ACK, so either outcome is legitimate -- the commit
+    record reached the log (visible in full after recovery) or it did
+    not (no trace) -- but a *partial* commit or a lost previously-ACKed
+    commit is never acceptable.  The multi-writer no-lost-ACK variant
+    lives in tests/test_server_faults.py.
+    """
+
+    def test_crashed_server_commit_is_all_or_nothing(self, tmp_path):
+        from repro.errors import DecibelError
+        from repro.server import DecibelClient, ServerConfig, ServerThread
+
+        db = seed_database(tmp_path, "hybrid")
+        server = ServerThread(db, ServerConfig(worker_threads=2), own_db=True)
+        host, port = server.start()
+        with DecibelClient(host, port, max_attempts=1) as client:
+            client.connect()
+            # One ACKed commit before the crash: it must survive.
+            client.insert("t", [300, 3])
+            client.commit("durable")
+            # The next commit dies at its group fsync: no ACK, no trace.
+            client.insert("t", [400, 4])
+            with inject(FaultSchedule("wal-group-commit-pre-fsync")) as injector:
+                with pytest.raises((DecibelError, ConnectionError, OSError)):
+                    client.commit("dies at fsync")
+                server.stop()
+                assert injector.crashed
+        reopened = Decibel.open(str(tmp_path), engine="hybrid")
+        live = live_keys(reopened)
+        baseline = set(range(10)) | {100, 300}
+        assert live in (baseline, baseline | {400}), (
+            f"recovered state is neither pre- nor post-commit: {sorted(live)}"
+        )

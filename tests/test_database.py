@@ -131,3 +131,84 @@ class TestDatasetWideOperations:
         first = db.create_relation("R", schema)
         second = db.create_relation("S", schema)
         assert first.engine.buffer_pool is second.engine.buffer_pool
+
+
+class TestCloseProtocol:
+    """Decibel.close(): idempotent, drain-safe, and strict afterwards."""
+
+    def test_double_close_is_a_noop(self, db, schema):
+        relation = db.create_relation("R", schema)
+        relation.init(make_records(3))
+        db.close()
+        assert db.closed
+        db.close()  # second close must not raise or re-close engines
+        assert db.closed
+
+    def test_operations_after_close_raise_database_closed(self, db, schema):
+        from repro.errors import DatabaseClosedError
+
+        relation = db.create_relation("R", schema)
+        relation.init(make_records(3))
+        db.close()
+        with pytest.raises(DatabaseClosedError) as excinfo:
+            db.query("SELECT COUNT(*) FROM R WHERE R.Version = 'master'")
+        assert excinfo.value.code == "database-closed"
+        with pytest.raises(DatabaseClosedError):
+            db.snapshot()
+
+    def test_close_drains_in_flight_queries(self, db, schema):
+        import threading
+        import time
+
+        relation = db.create_relation("R", schema)
+        relation.init(make_records(2000))
+        results = []
+        release = threading.Event()
+
+        def slow_query():
+            # Hold an operation open across the close() call.
+            snap = db.snapshot()
+            results.append("acquired")
+            release.wait(timeout=10)
+            result = snap.database.query(
+                "SELECT COUNT(*) FROM R WHERE R.Version = 'master'"
+            )
+            snap.release()
+            results.append(result.rows[0][0])
+
+        t = threading.Thread(target=slow_query)
+        t.start()
+        while "acquired" not in results:
+            time.sleep(0.005)
+        closer = threading.Thread(target=lambda: db.close(drain_timeout_s=10.0))
+        closer.start()
+        time.sleep(0.05)
+        # close() is waiting on the drain; new work is already refused.
+        from repro.errors import DatabaseClosedError
+
+        with pytest.raises(DatabaseClosedError):
+            db.query("SELECT 1 FROM R WHERE R.Version = 'master'")
+        release.set()
+        t.join(timeout=10)
+        closer.join(timeout=10)
+        assert not closer.is_alive() and not t.is_alive()
+        assert results[-1] == 2000
+        assert db.closed
+
+    def test_concurrent_closes_converge(self, db, schema):
+        import threading
+
+        relation = db.create_relation("R", schema)
+        relation.init(make_records(3))
+        threads = [threading.Thread(target=db.close) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert not any(t.is_alive() for t in threads)
+        assert db.closed
+
+    def test_context_manager_closes(self, tmp_path, schema):
+        with Decibel(str(tmp_path / "cm"), engine="hybrid") as ctx_db:
+            ctx_db.create_relation("R", schema).init(make_records(2))
+        assert ctx_db.closed

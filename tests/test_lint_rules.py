@@ -508,3 +508,78 @@ class TestRunRules:
         assert violations == sorted(
             violations, key=lambda v: (v.path, v.line, v.rule_id)
         )
+
+
+class TestBoundedAwaitRule:
+    def rule(self):
+        from repro.analysis.lint.rules import BoundedAwaitRule
+
+        return BoundedAwaitRule()
+
+    def test_unbounded_await_in_server_flagged(self):
+        violations = check(
+            self.rule(),
+            "repro/server/server.py",
+            """
+            async def handler(reader):
+                data = await reader.read(4)
+                return data
+            """,
+        )
+        assert len(violations) == 1
+        assert "unbounded await" in violations[0].message
+
+    def test_wait_for_sleep_and_bounded_helpers_pass(self):
+        violations = check(
+            self.rule(),
+            "repro/server/server.py",
+            """
+            import asyncio
+
+            async def handler(reader, writer):
+                data = await asyncio.wait_for(reader.read(4), timeout=1.0)
+                await asyncio.sleep(0.01)
+                frame = await read_frame(reader, idle_timeout_s=1.0, io_timeout_s=1.0)
+                await self._respond_bounded(writer, frame)
+                return data
+            """,
+        )
+        assert violations == []
+
+    def test_awaiting_a_non_call_is_flagged(self):
+        violations = check(
+            self.rule(),
+            "repro/server/server.py",
+            """
+            async def handler(fut):
+                return await fut
+            """,
+        )
+        assert len(violations) == 1
+
+    def test_rule_is_scoped_to_the_serving_layer(self):
+        violations = check(
+            self.rule(),
+            "repro/core/operators.py",
+            """
+            async def helper(fut):
+                return await fut
+            """,
+        )
+        assert violations == []
+
+    def test_shipped_server_package_is_clean(self):
+        from pathlib import Path
+
+        from repro.analysis.lint.rules import ALL_RULES
+
+        rule = self.rule()
+        server_dir = Path(__file__).resolve().parents[1] / "src" / "repro" / "server"
+        assert server_dir.is_dir()
+        for path in sorted(server_dir.glob("*.py")):
+            mod = SourceModule(
+                path=path,
+                relpath=f"repro/server/{path.name}",
+                source=path.read_text(),
+            )
+            assert rule.check(mod) == [], f"{path.name} has unbounded awaits"

@@ -1,0 +1,243 @@
+"""Network-fault matrix for the serving layer.
+
+Each test arms :func:`repro.testing.faults.inject_net` (wire faults) or
+:func:`repro.testing.faults.inject` (process death) and asserts the
+robustness contract: a killed client costs its session and nothing else; a
+dropped response is retried transparently where safe; a stalled peer is
+disconnected, not waited on; a server crash mid-commit loses nothing a
+client was told was committed.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.core.record import Record
+from repro.core.schema import Schema
+from repro.db.database import Decibel
+from repro.errors import DecibelError, UnavailableError
+from repro.server import DecibelClient, ServerConfig, ServerThread
+from repro.testing.faults import (
+    FaultSchedule,
+    NetFaultSchedule,
+    inject,
+    inject_net,
+)
+
+SCHEMA = Schema.of_ints(2)
+
+
+def start_server(tmp_path, rows=10, **config_kwargs):
+    db = Decibel(str(tmp_path / "data"))
+    rel = db.create_relation("r", SCHEMA)
+    rel.init([Record((i, i)) for i in range(rows)])
+    config = ServerConfig(worker_threads=6, **config_kwargs)
+    thread = ServerThread(db, config, own_db=True)
+    host, port = thread.start()
+    return thread, host, port
+
+
+COUNT_SQL = "SELECT COUNT(*) FROM r WHERE r.Version = 'master'"
+
+
+class TestWireFaults:
+    def test_client_killed_mid_frame_only_costs_its_session(self, tmp_path):
+        server, host, port = start_server(tmp_path, io_timeout_s=2.0)
+        try:
+            victim = DecibelClient(host, port, max_attempts=1)
+            victim.connect()
+            # The victim's next send is cut off after 2 bytes of the
+            # header: the server sees a torn frame and drops the session.
+            with inject_net(
+                NetFaultSchedule("client-send-frame", action="truncate", keep_bytes=2)
+            ) as injector:
+                with pytest.raises((UnavailableError, ConnectionError)):
+                    victim.query(COUNT_SQL)
+                assert injector.fired, "the truncate fault never fired"
+            victim.close()
+            # The server survived: a fresh session works immediately.
+            with DecibelClient(host, port) as fresh:
+                fresh.connect()
+                assert fresh.query(COUNT_SQL).rows == [(10,)]
+                deadline = time.monotonic() + 10.0
+                while time.monotonic() < deadline:
+                    if fresh.server_stats()["sessions"] == 1:
+                        break
+                    time.sleep(0.05)
+                assert fresh.server_stats()["sessions"] == 1, (
+                    "victim session was never reaped"
+                )
+        finally:
+            server.stop()
+
+    def test_dropped_response_is_retried_for_reads(self, tmp_path):
+        server, host, port = start_server(tmp_path)
+        try:
+            with DecibelClient(host, port, default_deadline_s=15.0) as c:
+                c.connect()
+                # The server's next response frame is dropped mid-send; the
+                # client must reconnect and retry the (idempotent) query.
+                with inject_net(
+                    NetFaultSchedule(
+                        "server-send-frame", action="truncate", keep_bytes=3
+                    )
+                ) as injector:
+                    assert c.query(COUNT_SQL).rows == [(10,)]
+                    assert injector.fired, "the drop fault never fired"
+        finally:
+            server.stop()
+
+    def test_write_with_dropped_response_is_not_silently_retried(self, tmp_path):
+        server, host, port = start_server(tmp_path)
+        try:
+            with DecibelClient(host, port) as c:
+                c.connect()
+                c.insert("r", [700, 700])
+                # The commit ACK is dropped: the client cannot know the
+                # outcome and must surface the failure, not guess.
+                with inject_net(
+                    NetFaultSchedule("server-send-frame", action="close")
+                ):
+                    with pytest.raises(UnavailableError):
+                        c.commit("ack lost")
+        finally:
+            server.stop()
+
+    def test_delayed_response_does_not_wedge_other_sessions(self, tmp_path):
+        server, host, port = start_server(tmp_path, io_timeout_s=5.0)
+        try:
+            slow_result: list[object] = []
+
+            def slow_call():
+                with DecibelClient(host, port, default_deadline_s=15.0) as c:
+                    c.connect()
+                    with inject_net(
+                        NetFaultSchedule(
+                            "server-send-frame", action="delay", delay_s=1.0
+                        )
+                    ):
+                        slow_result.append(c.query(COUNT_SQL).rows)
+
+            t = threading.Thread(target=slow_call)
+            t.start()
+            time.sleep(0.1)
+            # While one session's response is stalled, others are served.
+            with DecibelClient(host, port) as other:
+                other.connect()
+                start = time.monotonic()
+                assert other.query(COUNT_SQL).rows == [(10,)]
+                assert time.monotonic() - start < 2.0
+            t.join(timeout=30)
+            assert not t.is_alive()
+            assert slow_result == [[(10,)]]
+        finally:
+            server.stop()
+
+
+class TestSlowAndIdleClients:
+    def test_mid_frame_stall_is_disconnected(self, tmp_path):
+        server, host, port = start_server(
+            tmp_path, io_timeout_s=0.3, idle_timeout_s=30.0
+        )
+        try:
+            raw = socket.create_connection((host, port), timeout=5.0)
+            # Two bytes of a length prefix, then silence: a slow client.
+            raw.sendall(b"\x00\x00")
+            raw.settimeout(10.0)
+            start = time.monotonic()
+            assert raw.recv(1) == b"", "server never hung up on the stalled frame"
+            assert time.monotonic() - start < 5.0
+            raw.close()
+        finally:
+            server.stop()
+
+    def test_idle_connection_is_disconnected(self, tmp_path):
+        server, host, port = start_server(
+            tmp_path, idle_timeout_s=0.3, io_timeout_s=5.0
+        )
+        try:
+            raw = socket.create_connection((host, port), timeout=5.0)
+            raw.settimeout(10.0)
+            start = time.monotonic()
+            assert raw.recv(1) == b"", "server never reaped the idle connection"
+            assert time.monotonic() - start < 5.0
+            raw.close()
+        finally:
+            server.stop()
+
+
+class TestServerCrashUnderLoad:
+    def test_crash_mid_group_commit_loses_no_acked_commit(self, tmp_path):
+        """Kill the server at a WAL group-commit fsync under concurrent
+        writers; every commit a client was told succeeded must survive
+        recovery, and no torn partial commit may appear."""
+        server, host, port = start_server(tmp_path, rows=0, max_sessions=16)
+        acked: dict[str, list[int]] = {}
+        acked_lock = threading.Lock()
+
+        def writer(branch, first_key):
+            try:
+                with DecibelClient(
+                    host, port, max_attempts=1, default_deadline_s=20.0
+                ) as c:
+                    c.connect()
+                    c.use_branch(branch)
+                    for batch in range(50):
+                        keys = [first_key + batch * 2 + i for i in range(2)]
+                        for k in keys:
+                            c.insert("r", [k, k])
+                        c.commit(f"batch {batch}")
+                        with acked_lock:
+                            acked.setdefault(branch, []).extend(keys)
+            except (DecibelError, ConnectionError, OSError):
+                return  # the server died under us, as planned
+
+        branches = [f"w{i}" for i in range(4)]
+        with DecibelClient(host, port) as admin:
+            admin.connect()
+            for branch in branches:
+                admin.create_branch("r", branch, from_branch="master")
+
+        # Let a few group commits through, then kill the fsync leader.
+        with inject(
+            FaultSchedule("wal-group-commit-pre-fsync", hit=6)
+        ) as injector:
+            threads = [
+                threading.Thread(target=writer, args=(b, 1000 * (i + 1)))
+                for i, b in enumerate(branches)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120)
+            assert not any(t.is_alive() for t in threads), "writers hung"
+            assert injector.crashed, "the crashpoint never fired"
+            server.stop()
+
+        # Recover exactly as after a real crash: reopen the directory.
+        reopened = Decibel.open(str(tmp_path / "data"))
+        try:
+            for branch in branches:
+                live = {
+                    r.key(SCHEMA)
+                    for r in reopened.relation("r").scan(branch)
+                }
+                expected = set(acked.get(branch, []))
+                missing = expected - live
+                assert not missing, (
+                    f"branch {branch}: ACKed keys lost after recovery: "
+                    f"{sorted(missing)}"
+                )
+                # No torn commits either: whatever extra rows exist beyond
+                # the ACKed set must form whole 2-row batches (a commit whose
+                # ACK was lost in flight is allowed to have landed).
+                extra = live - expected
+                assert len(extra) % 2 == 0, (
+                    f"branch {branch}: partial commit visible: {sorted(extra)}"
+                )
+        finally:
+            reopened.close()

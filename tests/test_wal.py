@@ -54,3 +54,59 @@ class TestWriteAheadLog:
     def test_replay_empty_log(self):
         report = WriteAheadLog.in_memory().replay()
         assert not report.committed and not report.losers
+
+
+class TestGroupCommit:
+    """append_group: concurrent committers share one fsync (leader batches)."""
+
+    def test_single_appender_still_syncs(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "wal.log"))
+        wal.append_group(LogRecord(LogRecordType.COMMIT, 1))
+        assert wal.fsync_count >= 1
+        assert wal.group_batches >= 1
+        reopened = WriteAheadLog(str(tmp_path / "wal.log"))
+        assert reopened.records()[-1].type is LogRecordType.COMMIT
+
+    def test_concurrent_committers_share_fsyncs(self, tmp_path):
+        import threading
+
+        wal = WriteAheadLog(str(tmp_path / "wal.log"))
+        committers = 16
+        barrier = threading.Barrier(committers)
+
+        def commit(txn_id):
+            barrier.wait(timeout=10)
+            wal.append_group(LogRecord(LogRecordType.COMMIT, txn_id))
+
+        threads = [
+            threading.Thread(target=commit, args=(i,)) for i in range(committers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not any(t.is_alive() for t in threads)
+        # Everyone is durable...
+        reopened = WriteAheadLog(str(tmp_path / "wal.log"))
+        assert len(reopened.records()) == committers
+        # ...but the log fsynced fewer times than there were committers:
+        # at least one batch covered multiple COMMIT records.
+        assert wal.fsync_count < committers, (
+            f"{wal.fsync_count} fsyncs for {committers} committers -- "
+            "group commit never batched"
+        )
+        assert wal.group_batches == wal.fsync_count
+
+    def test_unsynced_buffered_records_ride_the_group_fsync(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "wal.log"))
+        wal.append(LogRecord(LogRecordType.BEGIN, 1), sync=False)
+        wal.append(LogRecord(LogRecordType.WRITE, 1, branch="master"), sync=False)
+        before = wal.fsync_count
+        wal.append_group(LogRecord(LogRecordType.COMMIT, 1))
+        assert wal.fsync_count == before + 1
+        reopened = WriteAheadLog(str(tmp_path / "wal.log"))
+        assert [r.type for r in reopened.records()] == [
+            LogRecordType.BEGIN,
+            LogRecordType.WRITE,
+            LogRecordType.COMMIT,
+        ]
