@@ -14,8 +14,10 @@ median must not be more than ``--tolerance`` slower than what the fresh
 which is equivalent to ``fresh_speedup >= committed_speedup / (1 + tol)``.
 
 The slow/fast sides are whichever ratio pair the entry records: row-batched
-vs columnar execution (PR 7), streaming vs batched execution (PR 4) or full
-sort vs Top-N (PR 5).  Workloads whose
+vs columnar execution (PR 7), streaming vs batched execution (PR 4), full
+sort vs Top-N (PR 5), or -- from the ``index`` experiment's
+``BENCH_pr10.json`` (PR 10) -- lazy-rebuild vs persisted-index cold opens
+and full scans vs index scans.  Workloads whose
 fresh slow-side median is below ``--min-seconds`` are skipped: at smoke
 scales a sub-millisecond query is scheduler noise, not a signal.  Workloads
 with committed speedup <= 1 (or no recorded speedup at all, such as the
@@ -38,8 +40,10 @@ import json
 import sys
 
 #: ``(slow_key, fast_key)`` pairs an entry may record its ratio under, in
-#: lookup order: batched-vs-columnar (PR 7), streaming-vs-batched (PR 4)
-#: and full-sort-vs-Top-N (PR 5).  The columnar pair comes first so PR 7
+#: lookup order: batched-vs-columnar (PR 7), streaming-vs-batched (PR 4),
+#: full-sort-vs-Top-N (PR 5) and the PR 10 index pairs
+#: (rebuild-vs-indexed cold opens, full-scan-vs-index-scan queries).
+#: The columnar pair comes first so PR 7
 #: entries -- which carry all of streaming_s/batched_s/columnar_s -- gate
 #: the ratio their recorded ``speedup`` describes (batched / columnar);
 #: PR 4/5 entries lack ``columnar_s`` and fall through.
@@ -47,6 +51,8 @@ RATIO_KEY_PAIRS = (
     ("batched_s", "columnar_s"),
     ("streaming_s", "batched_s"),
     ("full_sort_s", "topn_s"),
+    ("rebuild_open_s", "indexed_open_s"),
+    ("full_scan_s", "index_scan_s"),
 )
 
 #: ``(cost_key, base_key)`` pairs gated as a *ceiling*: the fresh

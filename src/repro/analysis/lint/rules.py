@@ -559,6 +559,89 @@ class BoundedAwaitRule(LintRule):
         return violations
 
 
+#: Engine methods that mutate or wholesale-replace a branch's record set.
+#: Each must keep the index subsystem informed, or the indexes silently
+#: drift from storage and index scans return wrong answers.
+INDEX_MUTATION_METHODS = (
+    "insert",
+    "update",
+    "delete",
+    "_apply_merge_change",
+    "_materialize_branch",
+)
+
+
+class IndexMaintenanceRule(LintRule):
+    """Every engine mutation path must notify the index maintenance hook.
+
+    The primary-key and secondary indexes are derived state: they are only
+    correct while every path that adds, changes, removes, or wholesale
+    replaces records tells the engine's ``index_hook``.  A mutation method
+    that forgets the notification does not fail any single-path test -- it
+    produces an index that drifts from storage and an
+    :class:`~repro.query.logical.IndexScan` that silently returns wrong
+    rows.  Each mutation method defined in an engine module must therefore
+    reference ``index_hook`` directly or delegate to another mutation
+    method that does (e.g. ``update`` routing through ``insert``).
+    """
+
+    id = "REPRO011"
+    rationale = (
+        "a mutation path that skips the index hook leaves the pk/secondary "
+        "indexes stale, and index scans then return wrong rows"
+    )
+    fix_hint = (
+        "call the matching self.index_hook notification (applied/removed/"
+        "branch_created/branch_rebuilt) in the mutation method, or delegate "
+        "to a mutation method that does"
+    )
+
+    @staticmethod
+    def _touches_hook(node: ast.AST) -> bool:
+        for inner in ast.walk(node):
+            if isinstance(inner, ast.Attribute) and inner.attr == "index_hook":
+                return True
+        return False
+
+    @staticmethod
+    def _delegates(node: ast.AST) -> bool:
+        for inner in ast.walk(node):
+            if (
+                isinstance(inner, ast.Call)
+                and isinstance(inner.func, ast.Attribute)
+                and inner.func.attr in INDEX_MUTATION_METHODS
+                and isinstance(inner.func.value, ast.Name)
+                and inner.func.value.id == "self"
+            ):
+                return True
+        return False
+
+    def check(self, module: SourceModule) -> list[Violation]:
+        if module.relpath not in ENGINE_MODULES:
+            return []
+        violations: list[Violation] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for item in node.body:
+                if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if item.name not in INDEX_MUTATION_METHODS:
+                    continue
+                if self._touches_hook(item) or self._delegates(item):
+                    continue
+                violations.append(
+                    self.violation(
+                        module,
+                        item.lineno,
+                        f"engine mutation method {item.name}() neither "
+                        "notifies index_hook nor delegates to a mutation "
+                        "method that does",
+                    )
+                )
+        return violations
+
+
 #: Every rule, in id order -- the default set run by ``scripts/lint.py``.
 ALL_RULES: tuple[LintRule, ...] = (
     OperatorProtocolRule(),
@@ -571,4 +654,5 @@ ALL_RULES: tuple[LintRule, ...] = (
     ColumnarBoundaryRule(),
     DurableWriteRule(),
     BoundedAwaitRule(),
+    IndexMaintenanceRule(),
 )

@@ -64,6 +64,7 @@ from repro.core.predicates import (
     Not,
     Or,
     Predicate,
+    conjunction_terms,
 )
 from repro.core.schema import Column, ColumnType, Schema
 from repro.errors import PlanInvariantError, SchemaError
@@ -74,6 +75,7 @@ from repro.query.logical import (
     Distinct,
     Filter,
     HeadScan,
+    IndexScan,
     Join,
     Limit,
     LogicalNode,
@@ -158,8 +160,54 @@ def _columns_match(declared: Schema, expected: Schema) -> bool:
     ]
 
 
+def _check_pruned_scan(node: VersionScan) -> None:
+    """A column-pruned scan must still cover its predicate and schema."""
+    if node.kind != "branch":
+        _fail(
+            "rewrite-legality",
+            node,
+            "projection pushdown applies to branch-head scans only; commit "
+            "scans decode full records",
+        )
+    engine_names = node.engine.schema.column_names
+    for name in node.columns:
+        if name not in engine_names:
+            _fail(
+                "schema-propagation",
+                node,
+                f"pruned column list names {name!r}, which is not a column "
+                f"of relation {node.relation!r}",
+            )
+    try:
+        expected = node.engine.schema.project(list(node.columns))
+    except SchemaError as exc:
+        _fail(
+            "schema-propagation",
+            node,
+            f"pruned scan schema is not derivable from the relation: {exc}",
+        )
+        raise AssertionError("unreachable")  # pragma: no cover
+    if not _columns_match(node.schema, expected):
+        _fail(
+            "schema-propagation",
+            node,
+            "pruned scan output schema does not match the projection of its "
+            "column list",
+        )
+    if node.predicate is not None:
+        for term in _predicate_terms(node.predicate):
+            if term.column not in node.columns:
+                _fail(
+                    "rewrite-legality",
+                    node,
+                    f"projection pushdown dropped predicate column "
+                    f"{term.column!r}; the scan could not evaluate its own "
+                    "pushed-down predicate",
+                )
+
+
 def _check_scan_predicate(
-    node: VersionScan | HeadScan, predicate: Predicate | None
+    node: VersionScan | HeadScan | IndexScan, predicate: Predicate | None
 ) -> None:
     if predicate is None:
         return
@@ -211,12 +259,25 @@ def _check_schema(node: LogicalNode) -> None:
                 f"unknown scan kind {node.kind!r}; expected 'branch' or "
                 "'commit'",
             )
+        _check_scan_predicate(node, node.predicate)
+        if node.columns is None:
+            if not _columns_match(node.schema, node.engine.schema):
+                _fail(
+                    "schema-propagation",
+                    node,
+                    "scan output schema does not match the engine schema of "
+                    f"relation {node.relation!r}",
+                )
+        else:
+            _check_pruned_scan(node)
+        return
+    if isinstance(node, IndexScan):
         if not _columns_match(node.schema, node.engine.schema):
             _fail(
                 "schema-propagation",
                 node,
-                "scan output schema does not match the engine schema of "
-                f"relation {node.relation!r}",
+                "index-scan output schema does not match the engine schema "
+                f"of relation {node.relation!r}",
             )
         _check_scan_predicate(node, node.predicate)
         return
@@ -514,6 +575,48 @@ def _check_rewrites(node: LogicalNode, parent: LogicalNode | None) -> None:
             "a sort directly above another ordering node discards the "
             "inner node's work; the optimizer must not produce this shape",
         )
+    if isinstance(node, IndexScan):
+        # The index-scan rewrite is only legal when the index genuinely
+        # covers the driving term and the probed version is a branch head
+        # (index chains are versioned against branch heads, never commits).
+        hook = getattr(node.engine, "index_hook", None)
+        if hook is None or not hook.has_index(node.index_column):
+            _fail(
+                "rewrite-legality",
+                node,
+                f"no index exists on column {node.index_column!r} of "
+                f"relation {node.relation!r}; the scan cannot be answered "
+                "from an index",
+            )
+        if not hook.supports_op(node.index_column, node.op):
+            _fail(
+                "rewrite-legality",
+                node,
+                f"the index on {node.index_column!r} cannot answer operator "
+                f"{node.op!r} (the pk hash index answers equality only)",
+            )
+        if not node.engine.graph.has_branch(node.version):
+            _fail(
+                "rewrite-legality",
+                node,
+                f"index scan probes {node.version!r}, which is not a branch "
+                f"head of relation {node.relation!r}",
+            )
+        covered = any(
+            isinstance(term, ColumnPredicate)
+            and term.column == node.index_column
+            and term.op == node.op
+            and term.value == node.value
+            for term in conjunction_terms(node.predicate)
+        )
+        if not covered:
+            _fail(
+                "rewrite-legality",
+                node,
+                f"driving term {node.index_column} {node.op} "
+                f"{node.value!r} is not a top-level conjunct of the scan "
+                "predicate; probing the index would change results",
+            )
     if isinstance(node, VersionDiff) and not node.include_modified:
         # The SQL NOT IN rewrite is only legal between two branch heads of
         # the same relation compared on the primary key: commit-addressed

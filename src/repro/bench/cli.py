@@ -112,6 +112,13 @@ EXPERIMENTS = {
             workdir, scale=scale, json_path=json_path
         ),
     ),
+    "index": (
+        "Index subsystem: persisted pk cold opens + index vs full scans "
+        "(writes BENCH_pr10.json)",
+        lambda workdir, scale, json_path=None: experiments.index_subsystem(
+            workdir, scale=scale, json_path=json_path
+        ),
+    ),
     "ablation-orientation": (
         "Ablation: branch- vs tuple-oriented bitmaps (tuple-first)",
         lambda workdir, scale: experiments.ablation_bitmap_orientation(
@@ -174,10 +181,10 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help=(
             "where the vectorized/operators/sort-topn/columnar/recovery/"
-            "concurrency experiments write their JSON record (default: "
+            "concurrency/index experiments write their JSON record (default: "
             "BENCH_pr3.json / BENCH_pr4.json / BENCH_pr5.json / "
-            "BENCH_pr7.json / BENCH_pr8.json / BENCH_pr9.json inside "
-            "the workdir)"
+            "BENCH_pr7.json / BENCH_pr8.json / BENCH_pr9.json / "
+            "BENCH_pr10.json inside the workdir)"
         ),
     )
     parser.add_argument(

@@ -1782,3 +1782,166 @@ def serving_concurrency(
         f"amplification; percentiles written to {json_path}"
     )
     return table
+
+
+def index_subsystem(
+    workdir: str,
+    scale: ExperimentScale | None = None,
+    json_path: str | None = None,
+) -> ResultTable:
+    """Versioned index subsystem (PR 10): persisted pk index + index scans.
+
+    Part 1 times cold open-to-first-result -- ``Decibel.open`` plus one
+    primary-key point query -- on ``scale.scan_rows`` rows with the
+    persisted pk index present versus removed (forcing the lazy full-scan
+    rebuild the pre-index code always paid).  Part 2 compares a selective
+    (<=1%) secondary-index point query and a range query against the
+    columnar full scan the optimizer would otherwise run, toggled via
+    ``set_index_selection`` so both arms execute the same SQL through the
+    same pipeline.  Results are asserted identical between arms; medians
+    are written to ``json_path`` (``BENCH_pr10.json``) and gated as ratio
+    floors by ``scripts/check_bench_regression.py``.
+    """
+    import shutil
+
+    from repro.core.record import Record
+    from repro.core.schema import Schema
+    from repro.db.database import Decibel
+    from repro.query.executor import explain_query
+    from repro.query.optimizer import set_index_selection
+
+    scale = scale or ExperimentScale()
+    json_path = json_path or os.path.join(workdir, "BENCH_pr10.json")
+    rows = scale.scan_rows
+    columns = max(scale.num_columns, 3)
+    schema = Schema.of_ints(columns)
+    #: Distinct c1 values: a point predicate matches ~rows/distinct rows
+    #: (0.1% at the 100k acceptance scale), well under the optimizer's
+    #: selectivity threshold.
+    distinct = max(2, min(1000, rows // 100))
+    repetitions = 5
+    point_key = rows // 2
+    pk_sql = (
+        f"SELECT * FROM r WHERE r.Version = 'master' AND r.id = {point_key}"
+    )
+    point_sql = "SELECT * FROM r WHERE r.Version = 'master' AND r.c1 = 7"
+    range_sql = "SELECT * FROM r WHERE r.Version = 'master' AND r.c1 < 2"
+
+    table = ResultTable(
+        title=f"Index subsystem: persisted pk index and index scans ({rows} rows)",
+        columns=["workload", "baseline (s)", "indexed (s)", "speedup"],
+    )
+    payload: dict = {
+        "experiment": "index-subsystem",
+        "rows": rows,
+        "distinct_c1": distinct,
+        "notes": [
+            "cold_open speedup = lazy full-scan pk rebuild vs loading the "
+            "persisted snapshot chain, each timed as open + one pk point "
+            "query (time to first result)",
+            "point/range speedups toggle set_index_selection so both arms "
+            "run the same SQL through the same plan/optimize/execute "
+            "pipeline; results asserted identical",
+        ],
+        "workloads": {},
+    }
+
+    def record_for(key: int) -> Record:
+        return Record(
+            tuple([key, key % distinct] + [key % 97] * (columns - 2))
+        )
+
+    directory = os.path.join(workdir, "index_subsystem")
+    db = Decibel(directory, engine="hybrid")
+    relation = db.create_relation("r", schema, indexes=("c1",))
+    relation.init(record_for(key) for key in range(rows))
+    db.close()  # clean close persists the pk snapshot for master
+
+    # -- part 1: cold open to first result, persisted index vs rebuild -------
+    def timed_cold_open() -> float:
+        start = time.perf_counter()
+        opened = Decibel.open(directory, engine="hybrid")
+        result = opened.query(pk_sql)
+        elapsed = time.perf_counter() - start
+        if len(result.rows) != 1 or result.rows[0][0] != point_key:
+            raise BenchmarkError(
+                f"pk point query returned {result.rows!r}, "
+                f"expected one row with id {point_key}"
+            )
+        opened.close()
+        return elapsed
+
+    indexed_open = statistics.median(
+        timed_cold_open() for _ in range(repetitions)
+    )
+    index_dir = os.path.join(directory, "r", "index")
+    rebuild_times = []
+    for _ in range(repetitions):
+        if os.path.isdir(index_dir):
+            shutil.rmtree(index_dir)
+        rebuild_times.append(timed_cold_open())
+    rebuild_open = statistics.median(rebuild_times)
+    speedup = rebuild_open / indexed_open if indexed_open > 0 else 0.0
+    table.add_row("cold open + pk point query", rebuild_open, indexed_open, speedup)
+    payload["workloads"]["cold_open"] = {
+        "rows": rows,
+        "rebuild_open_s": rebuild_open,
+        "indexed_open_s": indexed_open,
+        "speedup": round(speedup, 2),
+    }
+
+    # -- part 2: selective point + range queries vs columnar full scan -------
+    db = Decibel.open(directory, engine="hybrid")
+    explained = explain_query(db, point_sql)
+    if "[index]" not in explained:
+        raise BenchmarkError(
+            f"selective point query did not plan an index scan:\n{explained}"
+        )
+
+    def measured_arm(sql: str, indexed: bool) -> tuple[float, list]:
+        set_index_selection(indexed)
+        try:
+            rows_out = sorted(db.query(sql).rows)  # warm caches + build index
+            seconds = statistics.median(
+                _timed_query(db, sql) for _ in range(repetitions)
+            )
+        finally:
+            set_index_selection(True)
+        return seconds, rows_out
+
+    def _timed_query(database, sql: str) -> float:
+        start = time.perf_counter()
+        database.query(sql)
+        return time.perf_counter() - start
+
+    for name, label, sql in (
+        ("point_query", "point c1 = 7 (<=1% selective)", point_sql),
+        ("range_query", "range c1 < 2", range_sql),
+    ):
+        full_seconds, full_rows = measured_arm(sql, indexed=False)
+        index_seconds, index_rows = measured_arm(sql, indexed=True)
+        if full_rows != index_rows:
+            raise BenchmarkError(
+                f"{name}: index scan rows differ from the full scan "
+                f"({len(index_rows)} vs {len(full_rows)})"
+            )
+        speedup = full_seconds / index_seconds if index_seconds > 0 else 0.0
+        table.add_row(label, full_seconds, index_seconds, speedup)
+        payload["workloads"][name] = {
+            "rows": rows,
+            "matching": len(index_rows),
+            "full_scan_s": full_seconds,
+            "index_scan_s": index_seconds,
+            "speedup": round(speedup, 2),
+        }
+    db.close()
+
+    with open(json_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    table.add_note(
+        "cold_open compares loading the persisted pk snapshot against the "
+        "lazy full-scan rebuild; point/range results asserted identical "
+        f"between arms; medians written to {json_path}"
+    )
+    return table

@@ -24,6 +24,9 @@ class RelationInfo:
     name: str
     schema: Schema
     engine_kind: str
+    #: Declared secondary-index columns (the pk index always exists and is
+    #: not listed here).  Persisted so re-opened databases re-declare them.
+    indexes: tuple[str, ...] = ()
 
     def to_dict(self) -> dict:
         """JSON-serializable form of this entry."""
@@ -39,6 +42,7 @@ class RelationInfo:
                 }
                 for column in self.schema.columns
             ],
+            "indexes": list(self.indexes),
         }
 
     @classmethod
@@ -49,7 +53,12 @@ class RelationInfo:
             for c in raw["columns"]
         )
         schema = Schema(columns, primary_key=raw["primary_key"])
-        return cls(name=raw["name"], schema=schema, engine_kind=raw["engine_kind"])
+        return cls(
+            name=raw["name"],
+            schema=schema,
+            engine_kind=raw["engine_kind"],
+            indexes=tuple(raw.get("indexes", ())),
+        )
 
 
 class Catalog:
@@ -89,16 +98,33 @@ class Catalog:
     # -- relation management --------------------------------------------------
 
     def create_relation(
-        self, name: str, schema: Schema, engine_kind: str
+        self,
+        name: str,
+        schema: Schema,
+        engine_kind: str,
+        indexes: tuple[str, ...] = (),
     ) -> RelationInfo:
         """Register a new relation; raises if the name is taken."""
         if not name or not name.isidentifier():
             raise SchemaError(f"invalid relation name: {name!r}")
         if name in self._relations:
             raise StorageError(f"relation {name!r} already exists")
-        info = RelationInfo(name=name, schema=schema, engine_kind=engine_kind)
+        for column in indexes:
+            schema.column(column)  # raises SchemaError on unknown columns
+        info = RelationInfo(
+            name=name, schema=schema, engine_kind=engine_kind, indexes=tuple(indexes)
+        )
         self._relations[name] = info
         self._save()
+        return info
+
+    def add_index(self, name: str, column: str) -> RelationInfo:
+        """Record a declared secondary index on ``name.column`` (idempotent)."""
+        info = self.relation(name)
+        info.schema.column(column)
+        if column not in info.indexes:
+            info.indexes = info.indexes + (column,)
+            self._save()
         return info
 
     def drop_relation(self, name: str) -> None:

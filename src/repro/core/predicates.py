@@ -398,6 +398,25 @@ class Not(Predicate):
         return f"(not {inner})"
 
 
+def conjunction_terms(predicate: Predicate | None) -> list[Predicate]:
+    """The top-level AND-ed conjuncts of ``predicate``.
+
+    ``And`` nodes are split recursively; every other predicate (including
+    ``Or``/``Not`` subtrees) is one opaque conjunct.  The optimizer's
+    index-scan selection uses this to find a :class:`ColumnPredicate` term
+    an index can answer, and the plan verifier uses it to prove the chosen
+    term really is a conjunct of the scan's predicate (dropping a
+    disjunction branch would change results).
+    """
+    if predicate is None:
+        return []
+    if isinstance(predicate, And):
+        return conjunction_terms(predicate.left) + conjunction_terms(
+            predicate.right
+        )
+    return [predicate]
+
+
 def non_selective_predicate(column: str, modulus: int = 10) -> Predicate:
     """A deliberately non-selective predicate for Query 4 style scans.
 

@@ -260,7 +260,10 @@ class Decibel:
                         f"unknown commit {head!r}",
                     )
                 pk_index = getattr(engine, "pk_index", None)
-                if pk_index is None:
+                if pk_index is None or not pk_index.branch_loaded(branch):
+                    # Unloaded branches hydrate (and are verified against
+                    # storage) lazily on first touch; forcing a load here
+                    # would defeat lazy cold opens.
                     continue
                 indexed = pk_index.live_count(branch)
                 live = engine.count_branch(branch)
@@ -297,14 +300,30 @@ class Decibel:
         name: str,
         schema: Schema,
         engine: StorageEngineKind | str | None = None,
+        indexes: tuple[str, ...] = (),
     ) -> VersionedRelation:
-        """Create (and register) a new versioned relation."""
+        """Create (and register) a new versioned relation.
+
+        ``indexes`` declares secondary indexes on the named columns; the
+        primary key is always hash-indexed and need not be listed.
+        """
         kind = self.default_engine_kind if engine is None else (
             StorageEngineKind(engine) if isinstance(engine, str) else engine
         )
-        self.catalog.create_relation(name, schema, kind.value)
-        relation = self._open_relation(name, schema, kind)
+        self.catalog.create_relation(name, schema, kind.value, indexes=indexes)
+        relation = self._open_relation(name, schema, kind, indexes=indexes)
         return relation
+
+    def create_index(self, relation: str, column: str) -> None:
+        """Declare a secondary index on ``relation.column``.
+
+        Idempotent; the index is built lazily per branch the first time the
+        optimizer (or a direct lookup) needs it, and maintained incrementally
+        afterwards.
+        """
+        engine = self.relation(relation).engine
+        engine.index_hook.declare(column)
+        self.catalog.add_index(relation, column)
 
     def relation(self, name: str) -> VersionedRelation:
         """Fetch a relation, opening it from the catalog if needed."""
@@ -312,7 +331,10 @@ class Decibel:
             return self._relations[name]
         info = self.catalog.relation(name)
         return self._open_relation(
-            name, info.schema, StorageEngineKind(info.engine_kind)
+            name,
+            info.schema,
+            StorageEngineKind(info.engine_kind),
+            indexes=info.indexes,
         )
 
     def relations(self) -> list[str]:
@@ -327,7 +349,11 @@ class Decibel:
         self._relations.pop(name, None)
 
     def _open_relation(
-        self, name: str, schema: Schema, kind: StorageEngineKind
+        self,
+        name: str,
+        schema: Schema,
+        kind: StorageEngineKind,
+        indexes: tuple[str, ...] = (),
     ) -> VersionedRelation:
         engine = create_engine(
             kind,
@@ -336,6 +362,8 @@ class Decibel:
             page_size=self.page_size,
             buffer_pool=self.buffer_pool,
         )
+        for column in indexes:
+            engine.index_hook.declare(column)
         relation = VersionedRelation(name, engine)
         self._relations[name] = relation
         return relation

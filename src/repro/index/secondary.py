@@ -1,0 +1,161 @@
+"""In-memory secondary indexes on declared predicate columns.
+
+A :class:`SecondaryIndex` maps, per branch, a column value to the set of
+primary keys currently carrying that value, plus the reverse ``pk -> value``
+map so updates and deletes never have to re-read the record from storage.
+Range lookups (``<``, ``<=``, ``>``, ``>=`` over INT or STRING) bisect a
+lazily cached sorted list of the distinct values.
+
+Secondary indexes are derived, per-process state: they are built lazily per
+branch from a full scan on first use and maintained incrementally from then
+on by :class:`repro.index.maintenance.IndexMaintenance`.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable
+
+from repro.errors import BranchNotFoundError
+
+#: Comparison operators a secondary index can answer.
+SUPPORTED_OPS = ("=", "==", "<", "<=", ">", ">=")
+
+
+class _BranchIndex:
+    """One branch's value map, reverse map, and sorted-value cache."""
+
+    __slots__ = ("by_value", "value_of", "_sorted")
+
+    def __init__(self):
+        self.by_value: dict[object, set[int]] = {}
+        self.value_of: dict[int, object] = {}
+        self._sorted: list | None = None
+
+    def clone(self) -> "_BranchIndex":
+        copy = _BranchIndex()
+        copy.by_value = {value: set(keys) for value, keys in self.by_value.items()}
+        copy.value_of = dict(self.value_of)
+        copy._sorted = list(self._sorted) if self._sorted is not None else None
+        return copy
+
+    def put(self, key: int, value: object) -> None:
+        if key in self.value_of:
+            previous = self.value_of[key]
+            if previous == value:
+                return
+            self._discard(key, previous)
+        self.value_of[key] = value
+        bucket = self.by_value.get(value)
+        if bucket is None:
+            self.by_value[value] = {key}
+            self._sorted = None  # new distinct value invalidates the cache
+        else:
+            bucket.add(key)
+
+    def remove(self, key: int) -> None:
+        if key in self.value_of:
+            self._discard(key, self.value_of.pop(key))
+
+    def _discard(self, key: int, value: object) -> None:
+        bucket = self.by_value.get(value)
+        if bucket is not None:
+            bucket.discard(key)
+            if not bucket:
+                del self.by_value[value]
+                self._sorted = None
+
+    def sorted_values(self) -> list:
+        if self._sorted is None:
+            self._sorted = sorted(self.by_value)
+        return self._sorted
+
+
+class SecondaryIndex:
+    """Per-branch ``value -> {primary keys}`` index for one column."""
+
+    def __init__(self, column: str, position: int):
+        self.column = column
+        #: The column's ordinal in the engine schema, for pulling the value
+        #: out of a record without a name lookup per row.
+        self.position = position
+        self._branches: dict[str, _BranchIndex] = {}
+
+    # -- branch management ----------------------------------------------------
+
+    def has_branch(self, branch: str) -> bool:
+        return branch in self._branches
+
+    def add_branch(self, branch: str, clone_from: str | None = None) -> None:
+        if clone_from is None:
+            self._branches.setdefault(branch, _BranchIndex())
+        else:
+            self._branches[branch] = self._branch(clone_from).clone()
+
+    def drop_branch(self, branch: str) -> None:
+        self._branches.pop(branch, None)
+
+    def build(self, branch: str, rows: Iterable[tuple[int, object]]) -> None:
+        """(Re)build ``branch`` from ``(primary key, column value)`` pairs."""
+        index = _BranchIndex()
+        for key, value in rows:
+            index.put(key, value)
+        self._branches[branch] = index
+
+    # -- maintenance ----------------------------------------------------------
+
+    def put(self, branch: str, key: int, value: object) -> None:
+        self._branch(branch).put(key, value)
+
+    def remove(self, branch: str, key: int) -> None:
+        self._branch(branch).remove(key)
+
+    # -- lookups --------------------------------------------------------------
+
+    def lookup(self, branch: str, op: str, value: object) -> list[int]:
+        """Primary keys whose column value satisfies ``op value``, unordered."""
+        index = self._branch(branch)
+        if op in ("=", "=="):
+            return list(index.by_value.get(value, ()))
+        keys: list[int] = []
+        for candidate in self._value_range(index, op, value):
+            keys.extend(index.by_value[candidate])
+        return keys
+
+    def matching_count(self, branch: str, op: str, value: object) -> int:
+        """How many live keys satisfy ``op value`` (exact, O(distinct))."""
+        index = self._branch(branch)
+        if op in ("=", "=="):
+            return len(index.by_value.get(value, ()))
+        return sum(
+            len(index.by_value[candidate])
+            for candidate in self._value_range(index, op, value)
+        )
+
+    def size(self, branch: str) -> int:
+        """Number of live keys indexed for ``branch``."""
+        return len(self._branch(branch).value_of)
+
+    @staticmethod
+    def _value_range(index: _BranchIndex, op: str, value: object) -> list:
+        ordered = index.sorted_values()
+        if op == "<":
+            return ordered[: bisect.bisect_left(ordered, value)]
+        if op == "<=":
+            return ordered[: bisect.bisect_right(ordered, value)]
+        if op == ">":
+            return ordered[bisect.bisect_right(ordered, value):]
+        if op == ">=":
+            return ordered[bisect.bisect_left(ordered, value):]
+        raise ValueError(f"unsupported secondary-index operator {op!r}")
+
+    # -- internals ------------------------------------------------------------
+
+    def _branch(self, branch: str) -> _BranchIndex:
+        try:
+            return self._branches[branch]
+        except KeyError:
+            raise BranchNotFoundError(
+                f"branch {branch!r} is not present in the secondary index "
+                f"on {self.column!r}"
+            ) from None

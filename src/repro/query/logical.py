@@ -102,6 +102,10 @@ class VersionScan(LogicalNode):
         self.kind = kind  # "branch" or "commit"
         self.version = version
         self.predicate = predicate
+        #: Set by the optimizer's projection-pushdown pass: the subset of
+        #: relation columns this scan must decode (schema order).  ``None``
+        #: means all columns; when set, ``schema`` is the projected schema.
+        self.columns: tuple[str, ...] | None = None
 
     def attach_predicate(self, predicate: Predicate) -> None:
         """AND ``predicate`` into the scan's pushed-down predicate."""
@@ -113,7 +117,51 @@ class VersionScan(LogicalNode):
         text = f"VersionScan({self.relation}@{self.version!r} {self.kind}"
         if self.predicate is not None:
             text += f", predicate=[{format_predicate(self.predicate)}]"
+        if self.columns is not None:
+            text += f", columns=[{', '.join(self.columns)}]"
         return text + ")"
+
+
+class IndexScan(LogicalNode):
+    """Probe an index for a scan's driving predicate term, then late-fetch.
+
+    Produced by the optimizer from a branch-head :class:`VersionScan` whose
+    pushed-down predicate contains a conjunct an index can answer (primary
+    key equality, or equality/range on a declared secondary-index column)
+    with an estimated match fraction below the selection threshold.  The
+    physical operator looks up matching primary keys in the index, fetches
+    only those records (late materialization), and re-applies the *full*
+    scan predicate, so the rewrite is exact even for composite predicates.
+    """
+
+    def __init__(
+        self,
+        engine: "VersionedStorageEngine",
+        relation: str,
+        alias: str,
+        version: str,
+        index_column: str,
+        op: str,
+        value: object,
+        predicate: Predicate,
+    ):
+        super().__init__([], engine.schema)
+        self.engine = engine
+        self.relation = relation
+        self.alias = alias
+        self.kind = "branch"  # index chains are versioned against branch heads
+        self.version = version
+        self.index_column = index_column
+        self.op = op
+        self.value = value
+        self.predicate = predicate
+
+    def label(self) -> str:
+        return (
+            f"IndexScan({self.relation}@{self.version!r} "
+            f"{self.index_column} {self.op} {self.value!r}"
+            f", predicate=[{format_predicate(self.predicate)}])"
+        )
 
 
 class HeadScan(LogicalNode):

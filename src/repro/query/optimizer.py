@@ -20,11 +20,14 @@ Two families of rewrites run over the logical plan, bottom-up:
 
 from __future__ import annotations
 
-from repro.core.predicates import ColumnPredicate
+from repro.core.predicates import ColumnPredicate, conjunction_terms
 from repro.query.logical import (
+    Aggregate,
     AntiJoin,
+    Distinct,
     Filter,
     HeadScan,
+    IndexScan,
     Join,
     Limit,
     LogicalNode,
@@ -36,12 +39,32 @@ from repro.query.logical import (
 )
 from repro.query.parser import ColumnComparison
 
+#: An index scan is selected only when its estimated match fraction is at or
+#: below this threshold; above it a sequential scan's streaming decode beats
+#: per-key point fetches.
+INDEX_SELECTIVITY_THRESHOLD = 0.25
+
+_index_selection = True
+
+
+def set_index_selection(enabled: bool) -> None:
+    """Globally enable/disable the index-scan rewrite (benchmark A/B knob)."""
+    global _index_selection
+    _index_selection = enabled
+
+
+def index_selection_enabled() -> bool:
+    """Whether :func:`select_index_scans` currently rewrites scans."""
+    return _index_selection
+
 
 def optimize(plan: LogicalNode) -> LogicalNode:
     """Apply all rewrite rules to ``plan`` and return the optimized plan."""
     plan = rewrite_diffs(plan)
     plan = push_down_predicates(plan)
+    plan = select_index_scans(plan)
     plan = fuse_top_n(plan)
+    plan = prune_scan_columns(plan)
     return plan
 
 
@@ -149,19 +172,169 @@ def fuse_top_n(node: LogicalNode) -> LogicalNode:
 def rewrite_labels(plan: LogicalNode) -> dict[int, str]:
     """Per-node rewrite annotations for EXPLAIN, keyed by ``id(node)``.
 
-    Every ``TopN`` produced by :func:`fuse_top_n` is tagged ``top-n k=n`` so
-    the Limit-over-Sort substitution is visible in plan output.
+    Every ``TopN`` produced by :func:`fuse_top_n` is tagged ``top-n k=n``,
+    every scan rewritten by :func:`select_index_scans` is tagged ``index``,
+    and every scan pruned by :func:`prune_scan_columns` is tagged
+    ``project``, so no optimizer substitution is silent.
     """
     labels: dict[int, str] = {}
 
     def walk(node: LogicalNode) -> None:
         if isinstance(node, TopN):
             labels[id(node)] = f"top-n k={node.n}"
+        elif isinstance(node, IndexScan):
+            labels[id(node)] = "index"
+        elif isinstance(node, VersionScan) and node.columns is not None:
+            labels[id(node)] = "project"
         for child in node.children:
             walk(child)
 
     walk(plan)
     return labels
+
+
+# -- rule: selective predicate term -> index scan -----------------------------
+
+
+def select_index_scans(plan: LogicalNode) -> LogicalNode:
+    """Rewrite branch scans whose predicate an index answers selectively.
+
+    A branch-head :class:`VersionScan` qualifies when its pushed-down
+    predicate has a top-level :class:`ColumnPredicate` conjunct over an
+    indexed column (the primary key, equality only; or a declared secondary
+    index, equality and ranges) whose estimated match fraction is at most
+    :data:`INDEX_SELECTIVITY_THRESHOLD`.  Among qualifying conjuncts the
+    most selective one drives the scan; the full predicate is kept on the
+    :class:`IndexScan` and re-applied after the fetch, so the rewrite never
+    changes results.  EXPLAIN tags rewritten scans ``[index]``.
+    """
+    if not _index_selection:
+        return plan
+    plan.children = [select_index_scans(child) for child in plan.children]
+    if not isinstance(plan, VersionScan):
+        return plan
+    if plan.kind != "branch" or plan.predicate is None:
+        return plan
+    hook = getattr(plan.engine, "index_hook", None)
+    if hook is None:
+        return plan
+    best: tuple[float, ColumnPredicate] | None = None
+    for term in conjunction_terms(plan.predicate):
+        if not isinstance(term, ColumnPredicate):
+            continue
+        if not hook.has_index(term.column):
+            continue
+        if not hook.supports_op(term.column, term.op):
+            continue
+        fraction = hook.match_fraction(
+            plan.version, term.column, term.op, term.value
+        )
+        if fraction is None or fraction > INDEX_SELECTIVITY_THRESHOLD:
+            continue
+        if best is None or fraction < best[0]:
+            best = (fraction, term)
+    if best is None:
+        return plan
+    term = best[1]
+    return IndexScan(
+        plan.engine,
+        plan.relation,
+        plan.alias,
+        plan.version,
+        term.column,
+        term.op,
+        term.value,
+        plan.predicate,
+    )
+
+
+# -- rule: projection pushdown into columnar scans -----------------------------
+
+
+def prune_scan_columns(plan: LogicalNode) -> LogicalNode:
+    """Push the plan's column requirements down into branch scans.
+
+    Runs last, and only when the whole plan executes columnar (the pruned
+    decode path lives in ``scan_branch_columns``).  Each branch-head
+    :class:`VersionScan` whose ancestors reference a proper subset of the
+    relation's columns gets ``scan.columns`` set -- predicate columns
+    included, schema order preserved -- and its output schema projected, so
+    the page decode skips every unreferenced column.  Nodes that need their
+    child's full schema (joins, diffs, head scans) stop the pruning.
+    """
+    if select_execution_mode(plan) != "columnar":
+        return plan
+
+    def walk(node: LogicalNode, needed: set[str] | None) -> None:
+        if isinstance(node, VersionScan):
+            if needed is None or node.kind != "branch":
+                return
+            all_names = node.engine.schema.column_names
+            keep = set(needed)
+            if node.predicate is not None:
+                keep.update(t.column for t in _term_columns(node.predicate))
+            if not keep:
+                keep = {node.engine.schema.primary_key}
+            ordered = tuple(name for name in all_names if name in keep)
+            if len(ordered) < len(all_names):
+                node.columns = ordered
+                node.schema = node.engine.schema.project(list(ordered))
+            return
+        if isinstance(node, Project):
+            walk(node.child, set(node.physical_columns))
+            return
+        if isinstance(node, Aggregate):
+            child_needed = set(node.group_by)
+            for item in node.items:
+                if item.is_aggregate:
+                    if item.argument != "*":
+                        child_needed.add(item.argument)
+                else:
+                    child_needed.add(item.column)
+            walk(node.child, child_needed)
+            return
+        if isinstance(node, Filter):
+            child_needed = (
+                None
+                if needed is None
+                else needed | {term.column for term in node.terms}
+            )
+            walk(node.child, child_needed)
+            node.schema = node.child.schema
+            return
+        if isinstance(node, (Sort, TopN)):
+            child_needed = (
+                None
+                if needed is None
+                else needed | {column for column, _ in node.keys}
+            )
+            walk(node.children[0], child_needed)
+            node.schema = node.children[0].schema
+            return
+        if isinstance(node, (Distinct, Limit)):
+            walk(node.children[0], needed)
+            node.schema = node.children[0].schema
+            return
+        # Joins, anti-joins, diffs, head scans and index scans need (or
+        # produce) their full relation schema; pruning stops here.
+        for child in node.children:
+            walk(child, None)
+
+    walk(plan, None)
+    return plan
+
+
+def _term_columns(term):
+    """The leaf column predicates below one conjunct (Or/Not included)."""
+    from repro.core.predicates import And, ModuloPredicate, Not, Or
+
+    if isinstance(term, (And, Or)):
+        return _term_columns(term.left) + _term_columns(term.right)
+    if isinstance(term, Not):
+        return _term_columns(term.inner)
+    if isinstance(term, (ColumnPredicate, ModuloPredicate)):
+        return [term]
+    return []
 
 
 # -- rule: NOT IN -> engine diff ---------------------------------------------------

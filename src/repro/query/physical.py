@@ -32,7 +32,7 @@ from repro.core.operators import (
     TopN as TopNOp,
 )
 from repro.core.cancel import checkpoint
-from repro.core.predicates import ColumnPredicate, Predicate
+from repro.core.predicates import ColumnPredicate, Predicate, compile_predicate
 from repro.core.record import Record
 from repro.errors import QueryError
 from repro.query.logical import (
@@ -42,6 +42,7 @@ from repro.query.logical import (
     Distinct,
     Filter,
     HeadScan,
+    IndexScan,
     Join,
     Limit,
     LogicalNode,
@@ -174,6 +175,53 @@ class VersionDiffExec(Operator):
         return len(self._positive_records())
 
 
+class IndexScanExec(Operator):
+    """Index probe + late-materialized fetch for a selective scan.
+
+    Looks up the primary keys matching the scan's driving index term,
+    fetches only those records through the engine's pk index
+    (``records_for_keys``), and re-applies the full pushed-down predicate --
+    the driving term is a conjunct of it, so results are identical to the
+    sequential scan the optimizer replaced.
+    """
+
+    def __init__(self, node: IndexScan):
+        self.node = node
+        self.schema = node.schema
+
+    def _records(self) -> list[Record]:
+        node = self.node
+        checkpoint()
+        keys = node.engine.index_hook.lookup_keys(
+            node.version, node.index_column, node.op, node.value
+        )
+        records = node.engine.records_for_keys(node.version, keys)
+        matches = compile_predicate(node.predicate, node.engine.schema)
+        if matches is None:  # pragma: no cover - index scans carry a predicate
+            return records
+        return [record for record in records if matches(record.values)]
+
+    def __iter__(self) -> Iterator[Record]:
+        yield from self._records()
+
+    def batches(self, batch_size: int = DEFAULT_BATCH_SIZE) -> Iterator[list[Record]]:
+        records = self._records()
+        for start in range(0, len(records), batch_size):
+            yield records[start : start + batch_size]
+
+    def column_batches(
+        self, batch_size: int = DEFAULT_BATCH_SIZE
+    ) -> Iterator[ColumnBatch]:
+        records = self._records()
+        for start in range(0, len(records), batch_size):
+            yield ColumnBatch.from_records(
+                self.schema, records[start : start + batch_size]
+            )
+
+    def count(self) -> int:
+        return len(self._records())
+
+
 class AnnotatedDistinct(Operator):
     """DISTINCT over head-scan rows.
 
@@ -263,24 +311,46 @@ def build_physical(
                         None,
                         plan.schema,
                         column_source=engine.scan_branch_columns(
-                            plan.version, plan.predicate
+                            plan.version, plan.predicate, columns=plan.columns
                         ),
                         count_source=count_source,
+                    )
+                batch_source = engine.scan_branch_batched(
+                    plan.version, plan.predicate
+                )
+                if plan.columns is not None:
+                    # The pruned decode path lives in scan_branch_columns;
+                    # row modes project here so every mode stays exact.
+                    positions = [
+                        engine.schema.index_of(name) for name in plan.columns
+                    ]
+                    batch_source = (
+                        [
+                            Record(tuple(record.values[p] for p in positions))
+                            for record in batch
+                        ]
+                        for batch in batch_source
                     )
                 return SeqScan(
                     None,
                     plan.schema,
-                    batch_source=engine.scan_branch_batched(
-                        plan.version, plan.predicate
-                    ),
+                    batch_source=batch_source,
                     count_source=count_source,
                 )
             records = engine.scan_branch(plan.version, plan.predicate)
         else:
             records = engine.scan_commit(plan.version, plan.predicate)
+        if plan.columns is not None:
+            positions = [engine.schema.index_of(name) for name in plan.columns]
+            records = (
+                Record(tuple(record.values[p] for p in positions))
+                for record in records
+            )
         return SeqScan(records, plan.schema)
     if isinstance(plan, HeadScan):
         return HeadScanExec(plan)
+    if isinstance(plan, IndexScan):
+        return IndexScanExec(plan)
     if isinstance(plan, VersionDiff):
         return VersionDiffExec(plan)
     if isinstance(plan, AntiJoin):
@@ -351,6 +421,7 @@ def build_physical(
 NODE_OPERATORS: dict[type, type[Operator]] = {
     VersionScan: SeqScan,
     HeadScan: HeadScanExec,
+    IndexScan: IndexScanExec,
     VersionDiff: VersionDiffExec,
     AntiJoin: HashAntiJoin,
     Join: HashJoin,

@@ -324,6 +324,19 @@ class DecibelClient:
     def server_stats(self, *, deadline_s: float | None = None) -> dict[str, Any]:
         return self.call("stats", deadline_s=deadline_s)
 
+    def op_latency(
+        self, op: str | None = None, *, deadline_s: float | None = None
+    ) -> dict[str, Any]:
+        """Per-op latency summaries (count, total/max, p50/p90/p99 seconds).
+
+        With ``op`` returns that op's histogram summary (empty dict if the
+        server has not served it yet); without, the full per-op mapping.
+        """
+        latency = self.server_stats(deadline_s=deadline_s).get("op_latency", {})
+        if op is None:
+            return dict(latency)
+        return dict(latency.get(op, {}))
+
 
 class QueryPayload:
     """Client-side view of a query result."""

@@ -41,7 +41,9 @@ process kill mid-request for the crash-recovery suite.
 from __future__ import annotations
 
 import asyncio
+import bisect
 import functools
+import math
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -96,6 +98,65 @@ class ServerConfig:
     retry_after_s: float = 0.05
 
 
+#: Fixed log-scale bucket upper bounds: 100 microseconds doubling up to
+#: ~14 minutes.  Fixed (not adaptive) so two histograms -- or two runs --
+#: are always bucket-for-bucket comparable.
+LATENCY_BUCKET_BOUNDS: tuple[float, ...] = tuple(
+    0.0001 * (2 ** i) for i in range(24)
+)
+
+
+class LatencyHistogram:
+    """Log-scale latency histogram with cheap percentile estimates.
+
+    Observations are O(log buckets) via bisect; percentiles are read off
+    bucket upper bounds, so an estimate errs at most one octave high and
+    never under-reports.  The final overflow bucket reports the true
+    maximum.  Written only from the event loop (one writer), so the
+    ``stats`` op can read it without locking.
+    """
+
+    __slots__ = ("counts", "count", "total_s", "max_s")
+
+    def __init__(self) -> None:
+        self.counts = [0] * (len(LATENCY_BUCKET_BOUNDS) + 1)
+        self.count = 0
+        self.total_s = 0.0
+        self.max_s = 0.0
+
+    def observe(self, seconds: float) -> None:
+        index = bisect.bisect_left(LATENCY_BUCKET_BOUNDS, seconds)
+        self.counts[index] += 1
+        self.count += 1
+        self.total_s += seconds
+        if seconds > self.max_s:
+            self.max_s = seconds
+
+    def percentile(self, q: float) -> float:
+        """Upper-bound estimate of the ``q``-quantile (0 < q <= 1)."""
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil(q * self.count))
+        seen = 0
+        for index, bucket_count in enumerate(self.counts):
+            seen += bucket_count
+            if seen >= rank:
+                if index < len(LATENCY_BUCKET_BOUNDS):
+                    return LATENCY_BUCKET_BOUNDS[index]
+                return self.max_s
+        return self.max_s
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "total_s": self.total_s,
+            "max_s": self.max_s,
+            "p50_s": self.percentile(0.50),
+            "p90_s": self.percentile(0.90),
+            "p99_s": self.percentile(0.99),
+        }
+
+
 @dataclass
 class ServerStats:
     """Operational counters, exposed via the ``stats`` op."""
@@ -107,6 +168,14 @@ class ServerStats:
     deadline_exceeded: int = 0
     cancelled: int = 0
     errors: int = 0
+    #: op name -> latency histogram over every dispatched request of that op.
+    op_latency: dict[str, LatencyHistogram] = field(default_factory=dict)
+
+    def observe(self, op: str, seconds: float) -> None:
+        histogram = self.op_latency.get(op)
+        if histogram is None:
+            histogram = self.op_latency[op] = LatencyHistogram()
+        histogram.observe(seconds)
 
     def snapshot(self) -> dict[str, int]:
         return {
@@ -117,6 +186,12 @@ class ServerStats:
             "deadline_exceeded": self.deadline_exceeded,
             "cancelled": self.cancelled,
             "errors": self.errors,
+        }
+
+    def latency_snapshot(self) -> dict[str, dict[str, float]]:
+        return {
+            op: histogram.snapshot()
+            for op, histogram in sorted(self.op_latency.items())
         }
 
 
@@ -347,6 +422,19 @@ class DecibelServer:
     async def _dispatch_bounded(
         self, session: _Session, request: dict[str, Any]
     ) -> dict[str, Any] | None:
+        op = request.get("op")
+        started = time.perf_counter()
+        try:
+            return await self._dispatch_request_bounded(session, request)
+        finally:
+            # Rejections and deadline answers count too: the histogram is
+            # the client-observed latency of the op, not just happy paths.
+            if isinstance(op, str):
+                self.stats.observe(op, time.perf_counter() - started)
+
+    async def _dispatch_request_bounded(
+        self, session: _Session, request: dict[str, Any]
+    ) -> dict[str, Any] | None:
         request_id = request.get("id")
         self.stats.requests += 1
         version = request.get("v")
@@ -496,6 +584,7 @@ class DecibelServer:
             "snapshots_active": self.db.snapshot_manager.active,
             "wal_fsyncs": wal.fsync_count,
             "wal_group_batches": wal.group_batches,
+            "op_latency": self.stats.latency_snapshot(),
             **self.stats.snapshot(),
         }
 

@@ -27,12 +27,6 @@ from typing import Iterable, Iterator
 
 from repro.core.buffer_pool import BufferPool
 from repro.core.columns import ColumnBatch, regroup_column_batches
-from repro.core.durable import (
-    add_recovery_note,
-    dump_json_atomic,
-    load_checked_json,
-    strict_recovery,
-)
 from repro.core.operators import chunk_iterable
 from repro.core.page import DEFAULT_PAGE_SIZE, PAGE_HEADER_SIZE
 from repro.core.predicates import (
@@ -44,7 +38,8 @@ from repro.core.predicates import (
 )
 from repro.core.record import Record
 from repro.core.schema import Schema
-from repro.errors import CorruptionError, VersionError
+from repro.errors import VersionError
+from repro.index.maintenance import IndexMaintenance
 from repro.versioning.conflicts import (
     MergePolicy,
     PrecedencePolicy,
@@ -229,6 +224,7 @@ def scan_heap_bitmap_columns(
     predicate: Predicate | None,
     batch_size: int,
     stats: EngineStats,
+    columns: tuple[str, ...] | None = None,
 ):
     """Columnar scan of one heap file's live ordinals (shared hot path).
 
@@ -238,15 +234,27 @@ def scan_heap_bitmap_columns(
     column containers through zero-copy, and predicates run as compiled
     column selections.  Flattening the batches row-wise reproduces the
     record scan of the same bitmap exactly.
+
+    With ``columns`` (projection pushdown) only the named columns appear in
+    the output batches -- and on the raw late-materialization path, only
+    those columns (plus the predicate's) are ever decoded at all.
     """
+    out_positions = out_schema = None
+    if columns is not None:
+        out_positions = [schema.index_of(name) for name in columns]
+        out_schema = schema.project(list(columns))
     yield from regroup_column_batches(
-        _heap_bitmap_page_column_hits(heap, bitmap, schema, predicate, stats),
+        _heap_bitmap_page_column_hits(
+            heap, bitmap, schema, predicate, stats, out_positions, out_schema
+        ),
         batch_size,
-        schema,
+        out_schema if out_schema is not None else schema,
     )
 
 
-def _heap_bitmap_page_column_hits(heap, bitmap, schema, predicate, stats):
+def _heap_bitmap_page_column_hits(
+    heap, bitmap, schema, predicate, stats, out_positions=None, out_schema=None
+):
     """Per-page :class:`ColumnBatch`es for :func:`scan_heap_bitmap_columns`."""
     select = compile_column_filter(predicate, schema)
     matches = compile_predicate(predicate, schema) if select is None else None
@@ -255,6 +263,15 @@ def _heap_bitmap_page_column_hits(heap, bitmap, schema, predicate, stats):
     record_size = codec.record_size
     per_page = heap.records_per_page
     transient = heap.scan_exceeds_pool()
+    if out_schema is None:
+        out_positions = list(range(len(schema.columns)))
+        out_schema = schema
+
+    def project(containers):
+        # Zero-copy column pruning: pick the requested containers out of
+        # the page's decoded column list.
+        return [containers[position] for position in out_positions]
+
     data = bitmap.to_bytes()
     total_bits = len(data) * 8
     page_mask = (1 << per_page) - 1
@@ -271,7 +288,9 @@ def _heap_bitmap_page_column_hits(heap, bitmap, schema, predicate, stats):
         stats.records_scanned += live.bit_count()
         fully_live = live == (1 << num_records) - 1
         if predicate is None:
-            page_batch = ColumnBatch(schema, page.columns_view(), num_records)
+            page_batch = ColumnBatch(
+                out_schema, project(page.columns_view()), num_records
+            )
             if fully_live:
                 yield page_batch
                 continue
@@ -291,8 +310,9 @@ def _heap_bitmap_page_column_hits(heap, bitmap, schema, predicate, stats):
         if raw is not None:
             # Late materialization: decode only the predicate's columns
             # (one padded batch unpack each), run the compiled selection,
-            # then decode just the selected records' bytes -- unselected
-            # records never become Python values at all.
+            # then decode just the selected records' bytes -- and of those,
+            # only the projected columns; everything else never becomes a
+            # Python value at all.
             predicate_columns = {
                 index: codec.decode_column(
                     raw, index, PAGE_HEADER_SIZE, num_records
@@ -305,7 +325,9 @@ def _heap_bitmap_page_column_hits(heap, bitmap, schema, predicate, stats):
             if not selection:
                 continue
             if len(selection) == num_records:
-                yield ColumnBatch(schema, page.columns_view(), num_records)
+                yield ColumnBatch(
+                    out_schema, project(page.columns_view()), num_records
+                )
                 continue
             filtered = b"".join(
                 [
@@ -317,30 +339,43 @@ def _heap_bitmap_page_column_hits(heap, bitmap, schema, predicate, stats):
                     for ordinal in selection
                 ]
             )
-            yield ColumnBatch(
-                schema,
-                codec.decode_batch_columns(filtered, 0, len(selection)),
-                len(selection),
-            )
+            if len(out_positions) < len(schema.columns):
+                yield ColumnBatch(
+                    out_schema,
+                    [
+                        codec.decode_column(filtered, index, 0, len(selection))
+                        for index in out_positions
+                    ],
+                    len(selection),
+                )
+            else:
+                yield ColumnBatch(
+                    out_schema,
+                    codec.decode_batch_columns(filtered, 0, len(selection)),
+                    len(selection),
+                )
             continue
         # Evaluate the predicate over the whole page, then intersect with
         # the live mask: dead slots hold well-typed decoded values, so
         # running the selection on them is safe, and a partially-live page
         # costs one gather instead of two.
-        page_batch = ColumnBatch(schema, page.columns_view(), num_records)
+        containers = page.columns_view()
         if select is not None:
-            selection = select(page_batch.columns, page_batch.num_rows)
+            selection = select(containers, num_records)
         else:
             selection = [
                 i
-                for i, values in enumerate(page_batch.rows())
+                for i, values in enumerate(
+                    ColumnBatch(schema, containers, num_records).rows()
+                )
                 if matches(values)
             ]
         if not fully_live:
             selection = [i for i in selection if live >> i & 1]
         if not selection:
             continue
-        if len(selection) == page_batch.num_rows:
+        page_batch = ColumnBatch(out_schema, project(containers), num_records)
+        if len(selection) == num_records:
             yield page_batch
         else:
             yield page_batch.take(selection)
@@ -365,6 +400,11 @@ class VersionedStorageEngine(ABC):
         self.buffer_pool = buffer_pool if buffer_pool is not None else BufferPool()
         self.graph = VersionGraph()
         self.stats = EngineStats()
+        #: The versioned index subsystem facade: every mutation path must
+        #: notify it (lint rule REPRO011); it owns the in-memory pk index,
+        #: its durable snapshot/delta files, and the declared secondary
+        #: indexes the optimizer plans :class:`IndexScan` nodes against.
+        self.index_hook = IndexMaintenance(directory, schema)
         #: True while branch heads hold writes newer than their last commit.
         #: Persisted indexes are only saved when this is False, so a saved
         #: index always describes a state recovery can reproduce.
@@ -487,12 +527,20 @@ class VersionedStorageEngine(ABC):
            cache;
         2. record the commit snapshot (fsynced history append / commit
            location);
-        3. atomically persist the version graph -- the graph is the root of
-           truth, so a crash between 2 and 3 leaves an orphan snapshot that
-           reload discards, never a graph naming a snapshot that is missing.
+        3. advance the branch's durable pk-index chain (snapshot or delta
+           frame) -- the index is derived data stamped with commit epochs,
+           so an index written for a commit the graph never acknowledges is
+           simply off-chain and rebuilt on next touch;
+        4. atomically persist the version graph -- the graph is the root of
+           truth, so a crash between 2/3 and 4 leaves an orphan snapshot or
+           index epoch that reload discards, never a graph naming state
+           that is missing.
         """
         self._flush_storage()
         self._record_commit_state(branch, commit_id)
+        commit = self.graph.get_commit(commit_id)
+        previous = commit.parents[0] if commit.parents else None
+        self.index_hook.committed(branch, commit_id, previous)
         self.stats.commits += 1
         self._dirty_writes = False
         self._persist_graph()
@@ -619,6 +667,21 @@ class VersionedStorageEngine(ABC):
                 return record
         return None
 
+    def records_for_keys(
+        self, branch: str, keys: Iterable[int]
+    ) -> list[Record]:
+        """The live records for ``keys`` in ``branch``, skipping absent keys.
+
+        The index-scan fetch path: only the matched keys' records are ever
+        decoded (late materialization), in the order ``keys`` arrive.
+        """
+        out: list[Record] = []
+        for key in keys:
+            record = self.record_for_key(branch, key)
+            if record is not None:
+                out.append(record)
+        return out
+
     # -- scans ---------------------------------------------------------------------
 
     @abstractmethod
@@ -647,17 +710,29 @@ class VersionedStorageEngine(ABC):
         branch: str,
         predicate: Predicate | None = None,
         batch_size: int = DEFAULT_SCAN_BATCH_SIZE,
+        columns: tuple[str, ...] | None = None,
     ) -> Iterator[ColumnBatch]:
         """Yield ``scan_branch``'s rows as :class:`ColumnBatch`es.
 
         Row-flattening the batches always reproduces :meth:`scan_branch`
-        exactly (same rows, same order).  This default pivots the batched
-        record scan at the declared boundary; the concrete engines override
-        it with page-decode columnar paths that never build records.
+        exactly (same rows, same order).  With ``columns`` (projection
+        pushdown) only the named columns appear in the output batches.
+        This default pivots the batched record scan at the declared
+        boundary; the concrete engines override it with page-decode
+        columnar paths that never build records and decode only the
+        projected columns.
         """
         schema = self.schema
+        if columns is None:
+            for batch in self.scan_branch_batched(branch, predicate, batch_size):
+                yield ColumnBatch.from_records(schema, batch)
+            return
+        positions = [schema.index_of(name) for name in columns]
+        out_schema = schema.project(list(columns))
         for batch in self.scan_branch_batched(branch, predicate, batch_size):
-            yield ColumnBatch.from_records(schema, batch)
+            yield ColumnBatch.from_records(schema, batch).select_columns(
+                positions, out_schema
+            )
 
     def count_branch(self, branch: str, predicate: Predicate | None = None) -> int:
         """Number of live records of ``branch`` matching ``predicate``.
@@ -819,7 +894,13 @@ class VersionedStorageEngine(ABC):
         )
 
     def _save_indexes(self) -> None:
-        """Persist rebuildable index structures on clean close (optional)."""
+        """Persist rebuildable index structures on clean close.
+
+        Snapshots every loaded branch of the pk index whose durable chain
+        is stale; branches never touched this process keep their (still
+        valid) persisted files untouched.
+        """
+        self.index_hook.save()
 
     # -- sizes ----------------------------------------------------------------------------
 
@@ -835,58 +916,6 @@ class VersionedStorageEngine(ABC):
 
     def _persist_graph(self) -> None:
         self.graph.save(os.path.join(self.directory, "version_graph.json"))
-
-    def _pk_index_path(self) -> str:
-        return os.path.join(self.directory, "pk_index.json")
-
-    def _save_pk_index(self, pk_index, encode=None) -> None:
-        """Persist the primary-key index, stamped with the graph heads.
-
-        Only called on a clean close (no writes since the last commit), so
-        the stamp identifies exactly the state the entries describe.  A
-        reopen whose recovered heads differ -- any crash that loses or redoes
-        work -- ignores the file and rebuilds.
-        """
-        if encode is None:
-            encode = lambda location: location  # noqa: E731 - identity
-        branches = {}
-        for branch in self.graph.branch_names():
-            if pk_index.has_branch(branch):
-                branches[branch] = [
-                    [key, encode(location)]
-                    for key, location in pk_index.items(branch)
-                ]
-        payload = {"heads": self.graph.heads(), "branches": branches}
-        dump_json_atomic(self._pk_index_path(), payload, label="pk-index")
-
-    def _load_pk_index(self, pk_index, decode=None) -> bool:
-        """Load a persisted pk index; False (rebuild needed) when unusable.
-
-        Unusable means missing, corrupt (quarantined with a recovery note in
-        degraded mode, raised in strict mode), or stale -- stamped with heads
-        that do not match the recovered graph.
-        """
-        if decode is None:
-            decode = lambda location: location  # noqa: E731 - identity
-        path = self._pk_index_path()
-        if not os.path.exists(path):
-            return False
-        try:
-            payload = load_checked_json(path)
-        except CorruptionError as error:
-            if strict_recovery():
-                raise
-            add_recovery_note(f"ignored corrupt pk index: {error}")
-            return False
-        if not isinstance(payload, dict) or payload.get("heads") != self.graph.heads():
-            return False
-        for branch, entries in payload.get("branches", {}).items():
-            if not pk_index.has_branch(branch):
-                pk_index.add_branch(branch)
-            pk_index.replace_branch(
-                branch, {key: decode(location) for key, location in entries}
-            )
-        return True
 
     def _changes_between(
         self, ancestor_map: dict[int, Record], head_map: dict[int, Record]

@@ -86,7 +86,15 @@ class HybridEngine(VersionedStorageEngine):
         #: commit id -> segment ids whose bitmaps were snapshotted at that commit.
         self._commit_segments: dict[str, list[str]] = {}
         #: (branch, primary key) -> (segment id, ordinal) of the latest copy.
-        self.pk_index: PrimaryKeyIndex[tuple[str, int]] = PrimaryKeyIndex()
+        #: Owned by the index subsystem facade, which persists it per branch
+        #: and hydrates branches lazily on first touch.
+        self.pk_index: PrimaryKeyIndex[tuple[str, int]] = self.index_hook.pk
+        self.index_hook.bind(
+            self._pk_entries_for_branch,
+            self.scan_branch,
+            lambda branch: self.graph.head(branch),
+            decode=tuple,
+        )
 
     # -- engine hooks --------------------------------------------------------------
 
@@ -94,7 +102,7 @@ class HybridEngine(VersionedStorageEngine):
         segment = self._new_head_segment(MASTER_BRANCH, parents=())
         self._head_segment[MASTER_BRANCH] = segment.segment_id
         self._branch_segments[MASTER_BRANCH] = set()
-        self.pk_index.add_branch(MASTER_BRANCH)
+        self.index_hook.branch_created(MASTER_BRANCH)
 
     def _new_head_segment(
         self, branch: str, parents: tuple[ParentPointer, ...]
@@ -109,8 +117,10 @@ class HybridEngine(VersionedStorageEngine):
     ) -> None:
         if at_head:
             self._branch_from_head(name, parent_branch)
+            self.index_hook.branch_created(name, clone_from=parent_branch)
         else:
-            self._branch_from_commit(name, parent_branch, from_commit)
+            entries = self._branch_from_commit(name, parent_branch, from_commit)
+            self.index_hook.branch_rebuilt(name, entries)
 
     def _branch_from_head(self, name: str, parent_branch: str) -> None:
         """The paper's branch operation: freeze the parent head, fork bitmaps."""
@@ -138,11 +148,10 @@ class HybridEngine(VersionedStorageEngine):
         )
         self._head_segment[parent_branch] = parent_new_head.segment_id
         self._head_segment[name] = child_head.segment_id
-        self.pk_index.add_branch(name, clone_from=parent_branch)
 
     def _branch_from_commit(
         self, name: str, parent_branch: str, from_commit: str
-    ) -> None:
+    ) -> dict[int, tuple[str, int]]:
         """Branch from a historical commit by restoring its bitmap snapshots."""
         segment_ids = self._commit_segments.get(from_commit)
         if segment_ids is None:
@@ -169,8 +178,7 @@ class HybridEngine(VersionedStorageEngine):
                 entries[record.values[pk_position]] = (segment_id, ordinal)
         child_head = self._new_head_segment(name, parents=())
         self._head_segment[name] = child_head.segment_id
-        self.pk_index.add_branch(name)
-        self.pk_index.replace_branch(name, entries)
+        return entries
 
     def _record_commit_state(self, branch: str, commit_id: str) -> None:
         segment_ids = sorted(
@@ -303,22 +311,21 @@ class HybridEngine(VersionedStorageEngine):
                 local.restore_branch(branch, snapshot)
                 if snapshot.any():
                     self._branch_segments[branch].add(segment_id)
-        for branch in branches:
-            self.pk_index.add_branch(branch)
-        if not self._load_pk_index(self.pk_index, decode=tuple):
-            pk_position = self.schema.primary_key_index
-            for branch in branches:
-                entries: dict[int, tuple[str, int]] = {}
-                for segment_id in sorted(self._branch_segments[branch]):
-                    local = self._local_bitmaps[segment_id]
-                    segment = self.segments.get(segment_id)
-                    for ordinal in local.branch_bitmap(branch).iter_set_bits():
-                        record = segment.record_at(ordinal)
-                        entries[record.values[pk_position]] = (segment_id, ordinal)
-                self.pk_index.replace_branch(branch, entries)
+        # Branch pk maps hydrate lazily on first touch, from the persisted
+        # index chain when current, otherwise via _pk_entries_for_branch.
+        self.index_hook.attach_lazy(self.graph.branch_names())
 
-    def _save_indexes(self) -> None:
-        self._save_pk_index(self.pk_index)
+    def _pk_entries_for_branch(self, branch: str) -> dict[int, tuple[str, int]]:
+        """Derive a branch's pk -> (segment, ordinal) map from its bitmaps."""
+        pk_position = self.schema.primary_key_index
+        entries: dict[int, tuple[str, int]] = {}
+        for segment_id in sorted(self._branch_segments.get(branch, ())):
+            local = self._local_bitmaps[segment_id]
+            segment = self.segments.get(segment_id)
+            for ordinal in local.branch_bitmap(branch).iter_set_bits():
+                record = segment.record_at(ordinal)
+                entries[record.values[pk_position]] = (segment_id, ordinal)
+        return entries
 
     def record_for_key(self, branch: str, key: int) -> Record | None:
         location = self.pk_index.get(branch, key)
@@ -326,6 +333,28 @@ class HybridEngine(VersionedStorageEngine):
             return None
         segment_id, ordinal = location
         return self.segments.get(segment_id).record_at(ordinal)
+
+    def records_for_keys(self, branch: str, keys) -> list[Record]:
+        """Index-scan fetch: each touched page is fetched once, in key order."""
+        out: list[Record] = []
+        heaps: dict[str, object] = {}
+        pages: dict[tuple[str, int], object] = {}
+        for key in keys:
+            location = self.pk_index.get(branch, key)
+            if location is None:
+                continue
+            segment_id, ordinal = location
+            heap = heaps.get(segment_id)
+            if heap is None:
+                heap = heaps[segment_id] = self.segments.get(segment_id).heap
+            page_number, slot = divmod(ordinal, heap.records_per_page)
+            page = pages.get((segment_id, page_number))
+            if page is None:
+                if len(pages) > 64:
+                    pages.clear()  # bound decoded-page references per fetch
+                page = pages[(segment_id, page_number)] = heap.page(page_number)
+            out.append(page.record_at(slot))
+        return out
 
     def _history(self, branch: str, segment_id: str) -> CommitHistory:
         key = (branch, segment_id)
@@ -355,7 +384,9 @@ class HybridEngine(VersionedStorageEngine):
             local.add_branch(branch)
         local.set(ordinal, branch)
         self._branch_segments[branch].add(segment_id)
-        self.pk_index.put(branch, record.key(self.schema), (segment_id, ordinal))
+        self.index_hook.applied(
+            branch, record.key(self.schema), (segment_id, ordinal), record
+        )
         self._dirty_writes = True
         self.stats.records_inserted += 1
 
@@ -375,7 +406,7 @@ class HybridEngine(VersionedStorageEngine):
             raise StorageError(f"key {key} is not live in branch {branch!r}")
         segment_id, ordinal = previous
         self._local_bitmaps[segment_id].clear(ordinal, branch)
-        self.pk_index.remove(branch, key)
+        self.index_hook.removed(branch, key)
         self._dirty_writes = True
         self.stats.records_deleted += 1
 
@@ -419,6 +450,7 @@ class HybridEngine(VersionedStorageEngine):
         branch: str,
         predicate: Predicate | None = None,
         batch_size: int = DEFAULT_SCAN_BATCH_SIZE,
+        columns: tuple[str, ...] | None = None,
     ) -> Iterator[ColumnBatch]:
         """Columnar :meth:`scan_branch`: per-segment page-decode column
         scans, in the same segment order as the row scan."""
@@ -431,6 +463,7 @@ class HybridEngine(VersionedStorageEngine):
                 predicate,
                 batch_size,
                 self.stats,
+                columns=columns,
             )
 
     def count_branch(self, branch: str, predicate: Predicate | None = None) -> int:
@@ -712,7 +745,9 @@ class HybridEngine(VersionedStorageEngine):
                     local.add_branch(target_branch)
                 local.set(ordinal, target_branch)
                 self._branch_segments[target_branch].add(segment_id)
-                self.pk_index.put(target_branch, key, (segment_id, ordinal))
+                self.index_hook.applied(
+                    target_branch, key, (segment_id, ordinal), record
+                )
                 return
         super()._apply_merge_change(target_branch, source_branch, key, record)
 

@@ -10,7 +10,7 @@ location type is whatever the owning engine uses.
 
 from __future__ import annotations
 
-from typing import Generic, Iterator, TypeVar
+from typing import Callable, Generic, Iterable, Iterator, TypeVar
 
 from repro.errors import BranchNotFoundError
 
@@ -18,31 +18,68 @@ LocationT = TypeVar("LocationT")
 
 
 class PrimaryKeyIndex(Generic[LocationT]):
-    """Maps (branch, primary key) to the latest physical location of the key."""
+    """Maps (branch, primary key) to the latest physical location of the key.
+
+    Branches registered through :meth:`register_lazy` hold no entries until
+    first touched: the first key operation against such a branch invokes the
+    registered hydrator (which loads a persisted snapshot or rebuilds from
+    storage) and caches the result.  This keeps cold opens O(branches
+    touched), not O(total data).
+    """
 
     def __init__(self):
         self._branches: dict[str, dict[int, LocationT]] = {}
+        self._lazy: set[str] = set()
+        self._hydrator: Callable[[str], dict[int, LocationT]] | None = None
 
     # -- branch management ----------------------------------------------------
 
     def add_branch(self, branch: str, clone_from: str | None = None) -> None:
         """Register ``branch``, optionally cloning another branch's entries."""
+        self._lazy.discard(branch)
         if clone_from is None:
             self._branches.setdefault(branch, {})
         else:
             self._branches[branch] = dict(self._branch(clone_from))
 
+    def register_lazy(
+        self,
+        branches: Iterable[str],
+        hydrator: Callable[[str], dict[int, LocationT]],
+    ) -> None:
+        """Register ``branches`` whose entries materialize on first touch.
+
+        ``hydrator(branch)`` must produce the full key map without going
+        back through this index (no reentrancy).
+        """
+        self._hydrator = hydrator
+        for branch in branches:
+            if branch not in self._branches:
+                self._lazy.add(branch)
+
     def has_branch(self, branch: str) -> bool:
-        """True if ``branch`` is registered."""
+        """True if ``branch`` is registered (loaded or pending lazy load)."""
+        return branch in self._branches or branch in self._lazy
+
+    def branch_loaded(self, branch: str) -> bool:
+        """True if ``branch``'s entries are materialized in memory."""
         return branch in self._branches
+
+    def loaded_branches(self) -> list[str]:
+        """Names of the branches whose entries are materialized."""
+        return list(self._branches)
 
     def drop_branch(self, branch: str) -> None:
         """Forget all entries of ``branch``."""
+        if branch in self._lazy:
+            self._lazy.discard(branch)
+            return
         self._branch(branch)
         del self._branches[branch]
 
     def replace_branch(self, branch: str, entries: dict[int, LocationT]) -> None:
         """Overwrite the whole key map of ``branch`` (used by checkouts)."""
+        self._lazy.discard(branch)
         self._branches[branch] = dict(entries)
 
     # -- key operations ---------------------------------------------------------
@@ -95,6 +132,11 @@ class PrimaryKeyIndex(Generic[LocationT]):
         try:
             return self._branches[branch]
         except KeyError:
+            if branch in self._lazy and self._hydrator is not None:
+                self._lazy.discard(branch)
+                entries = dict(self._hydrator(branch))
+                self._branches[branch] = entries
+                return entries
             raise BranchNotFoundError(
                 f"branch {branch!r} is not present in the primary-key index"
             ) from None

@@ -67,7 +67,12 @@ class TupleFirstEngine(VersionedStorageEngine):
             page_size=page_size,
         )
         self.bitmap_index = make_bitmap_index(bitmap_orientation)
-        self.pk_index: PrimaryKeyIndex[int] = PrimaryKeyIndex()
+        self.pk_index: PrimaryKeyIndex[int] = self.index_hook.pk
+        self.index_hook.bind(
+            self._pk_entries_for_branch,
+            self.scan_branch,
+            lambda branch: self.graph.head(branch),
+        )
         self.commit_layer_interval = commit_layer_interval
         self._histories: dict[str, CommitHistory] = {}
 
@@ -78,7 +83,7 @@ class TupleFirstEngine(VersionedStorageEngine):
 
     def _add_branch_structures(self, branch: str, clone_from: str | None) -> None:
         self.bitmap_index.add_branch(branch, clone_from=clone_from)
-        self.pk_index.add_branch(branch, clone_from=clone_from)
+        self.index_hook.branch_created(branch, clone_from=clone_from)
         self._histories[branch] = CommitHistory(
             path=os.path.join(self.directory, f"commits_{branch}.hist"),
             layer_interval=self.commit_layer_interval,
@@ -101,7 +106,7 @@ class TupleFirstEngine(VersionedStorageEngine):
         for ordinal in snapshot.iter_set_bits():
             record = self.heap.record_by_ordinal(ordinal)
             entries[record.values[pk_position]] = ordinal
-        self.pk_index.replace_branch(name, entries)
+        self.index_hook.branch_rebuilt(name, entries)
 
     def _record_commit_state(self, branch: str, commit_id: str) -> None:
         snapshot = self.bitmap_index.branch_bitmap(branch)
@@ -122,7 +127,6 @@ class TupleFirstEngine(VersionedStorageEngine):
         """
         for branch in self.graph.branch_names():
             self.bitmap_index.add_branch(branch)
-            self.pk_index.add_branch(branch)
             history = CommitHistory(
                 path=os.path.join(self.directory, f"commits_{branch}.hist"),
                 layer_interval=self.commit_layer_interval,
@@ -137,27 +141,26 @@ class TupleFirstEngine(VersionedStorageEngine):
             self.bitmap_index.restore_branch(
                 branch, self._bitmap_at_commit(self.graph.head(branch))
             )
-        if not self._load_pk_index(self.pk_index):
-            for branch in self.graph.branch_names():
-                self._rebuild_pk_branch(branch)
+        # Primary-key maps hydrate lazily on first touch: from the persisted
+        # per-branch index files when their epoch matches the recovered
+        # head, otherwise by the bitmap walk below.
+        self.index_hook.attach_lazy(self.graph.branch_names())
 
-    def _rebuild_pk_branch(self, branch: str) -> None:
+    def _pk_entries_for_branch(self, branch: str) -> dict[int, int]:
+        """Derive a branch's full pk map from its live bitmap (index rebuild)."""
         pk_position = self.schema.primary_key_index
         entries: dict[int, int] = {}
         for ordinal in self.bitmap_index.branch_bitmap(branch).iter_set_bits():
             record = self.heap.record_by_ordinal(ordinal)
             entries[record.values[pk_position]] = ordinal
-        self.pk_index.replace_branch(branch, entries)
-
-    def _save_indexes(self) -> None:
-        self._save_pk_index(self.pk_index)
+        return entries
 
     # -- data operations --------------------------------------------------------
 
     def insert(self, branch: str, record: Record) -> None:
         ordinal = self._append(record)
         self.bitmap_index.set(ordinal, branch)
-        self.pk_index.put(branch, record.key(self.schema), ordinal)
+        self.index_hook.applied(branch, record.key(self.schema), ordinal, record)
         self.stats.records_inserted += 1
         self._dirty_writes = True
 
@@ -170,7 +173,7 @@ class TupleFirstEngine(VersionedStorageEngine):
             self.bitmap_index.clear(previous, branch)
         ordinal = self._append(record)
         self.bitmap_index.set(ordinal, branch)
-        self.pk_index.put(branch, key, ordinal)
+        self.index_hook.applied(branch, key, ordinal, record)
         self.stats.records_updated += 1
         self._dirty_writes = True
 
@@ -179,7 +182,7 @@ class TupleFirstEngine(VersionedStorageEngine):
         if previous is None:
             raise StorageError(f"key {key} is not live in branch {branch!r}")
         self.bitmap_index.clear(previous, branch)
-        self.pk_index.remove(branch, key)
+        self.index_hook.removed(branch, key)
         self.stats.records_deleted += 1
         self._dirty_writes = True
 
@@ -191,6 +194,25 @@ class TupleFirstEngine(VersionedStorageEngine):
         if ordinal is None:
             return None
         return self.heap.record_by_ordinal(ordinal)
+
+    def records_for_keys(self, branch: str, keys) -> list[Record]:
+        """Index-scan fetch: each touched page is fetched once, in key order."""
+        out: list[Record] = []
+        pages: dict[int, object] = {}
+        heap = self.heap
+        per_page = heap.records_per_page
+        for key in keys:
+            ordinal = self.pk_index.get(branch, key)
+            if ordinal is None:
+                continue
+            page_number, slot = divmod(ordinal, per_page)
+            page = pages.get(page_number)
+            if page is None:
+                if len(pages) > 64:
+                    pages.clear()  # bound decoded-page references per fetch
+                page = pages[page_number] = heap.page(page_number)
+            out.append(page.record_at(slot))
+        return out
 
     def _append(self, record: Record) -> int:
         record_id = self.heap.append(record)
@@ -221,12 +243,20 @@ class TupleFirstEngine(VersionedStorageEngine):
         branch: str,
         predicate: Predicate | None = None,
         batch_size: int = DEFAULT_SCAN_BATCH_SIZE,
+        columns: tuple[str, ...] | None = None,
     ) -> Iterator[ColumnBatch]:
         """Columnar :meth:`scan_branch`: pages decode straight into typed
-        column arrays, never building record objects."""
+        column arrays, never building record objects.  ``columns`` pushes
+        projection into the page decode."""
         bitmap = self.bitmap_index.branch_bitmap(branch)
         yield from scan_heap_bitmap_columns(
-            self.heap, bitmap, self.schema, predicate, batch_size, self.stats
+            self.heap,
+            bitmap,
+            self.schema,
+            predicate,
+            batch_size,
+            self.stats,
+            columns=columns,
         )
 
     def count_branch(self, branch: str, predicate: Predicate | None = None) -> int:
@@ -458,7 +488,7 @@ class TupleFirstEngine(VersionedStorageEngine):
                 if target_ordinal is not None:
                     self.bitmap_index.clear(target_ordinal, target_branch)
                 self.bitmap_index.set(source_ordinal, target_branch)
-                self.pk_index.put(target_branch, key, source_ordinal)
+                self.index_hook.applied(target_branch, key, source_ordinal, record)
                 return
         super()._apply_merge_change(target_branch, source_branch, key, record)
 

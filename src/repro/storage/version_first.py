@@ -86,8 +86,16 @@ class VersionFirstEngine(VersionedStorageEngine):
         #: has no index): it lets multi-branch locate passes and batched
         #: single-branch scans become bulk index probes instead of
         #: per-record chain walks, while :meth:`scan_branch` remains the
-        #: chain-walking reference implementation.
-        self.pk_index: PrimaryKeyIndex[tuple[str, int]] = PrimaryKeyIndex()
+        #: chain-walking reference implementation.  Owned by the index
+        #: subsystem facade, which also persists it per branch (snapshot +
+        #: delta log) and hydrates branches lazily on first touch.
+        self.pk_index: PrimaryKeyIndex[tuple[str, int]] = self.index_hook.pk
+        self.index_hook.bind(
+            self._pk_entries_for_branch,
+            self.scan_branch,
+            lambda branch: self.graph.head(branch),
+            decode=tuple,
+        )
         #: Columnar scan acceleration: segment id -> (record count at build
         #: time, per-column containers concatenated over the segment's pages
         #: in ordinal order).  Staleness-checked against the segment heap's
@@ -99,7 +107,7 @@ class VersionFirstEngine(VersionedStorageEngine):
     def _prepare_master(self) -> None:
         segment = self.segments.create(owner_branch=MASTER_BRANCH)
         self._head_segment[MASTER_BRANCH] = segment.segment_id
-        self.pk_index.add_branch(MASTER_BRANCH)
+        self.index_hook.branch_created(MASTER_BRANCH)
 
     def _materialize_branch(
         self, name: str, parent_branch: str, from_commit: str, at_head: bool
@@ -109,7 +117,7 @@ class VersionFirstEngine(VersionedStorageEngine):
             limit = self.segments.get(parent_segment_id).record_count
             # Every parent location is visible through the branch point, so
             # the child's index is a straight clone.
-            self.pk_index.add_branch(name, clone_from=parent_branch)
+            self.index_hook.branch_created(name, clone_from=parent_branch)
         else:
             parent_segment_id, limit = self._commit_location(from_commit)
             pk_position = self.schema.primary_key_index
@@ -119,8 +127,7 @@ class VersionFirstEngine(VersionedStorageEngine):
                     parent_segment_id, limit
                 )
             }
-            self.pk_index.add_branch(name)
-            self.pk_index.replace_branch(name, entries)
+            self.index_hook.branch_rebuilt(name, entries)
         segment = self.segments.create(
             owner_branch=name,
             parents=(ParentPointer(parent_segment_id, limit),),
@@ -193,30 +200,29 @@ class VersionFirstEngine(VersionedStorageEngine):
             segment = self.segments.get(segment_id)
             if segment.record_count > floor:
                 segment.heap.truncate_records(floor)
-            self.pk_index.add_branch(branch)
-        if not self._load_pk_index(self.pk_index, decode=tuple):
-            pk_position = self.schema.primary_key_index
-            for branch in self.graph.branch_names():
-                if branch not in self._head_segment:
-                    continue
-                entries = {
-                    record.values[pk_position]: (seg_id, ordinal)
-                    for seg_id, ordinal, record in self._locate_chain(
-                        self._head_segment[branch], None
-                    )
-                }
-                self.pk_index.replace_branch(branch, entries)
+        # Primary-key maps hydrate lazily on first touch: from the persisted
+        # per-branch index files when their epoch matches the recovered
+        # head, otherwise by the chain walk below.
+        self.index_hook.attach_lazy(self.graph.branch_names())
 
-    def _save_indexes(self) -> None:
-        self._save_pk_index(self.pk_index)
+    def _pk_entries_for_branch(self, branch: str) -> dict[int, tuple[str, int]]:
+        """Derive a branch's full pk map by chain walk (index rebuild)."""
+        segment_id = self._head_segment.get(branch)
+        if segment_id is None:
+            return {}
+        pk_position = self.schema.primary_key_index
+        return {
+            record.values[pk_position]: (seg_id, ordinal)
+            for seg_id, ordinal, record in self._locate_chain(segment_id, None)
+        }
 
     # -- data operations -------------------------------------------------------------
 
     def insert(self, branch: str, record: Record) -> None:
         segment = self._head(branch)
         ordinal = segment.append(record)
-        self.pk_index.put(
-            branch, record.key(self.schema), (segment.segment_id, ordinal)
+        self.index_hook.applied(
+            branch, record.key(self.schema), (segment.segment_id, ordinal), record
         )
         self.stats.records_inserted += 1
         self._dirty_writes = True
@@ -227,8 +233,8 @@ class VersionFirstEngine(VersionedStorageEngine):
         # index is repointed at the new copy.
         segment = self._head(branch)
         ordinal = segment.append(record)
-        self.pk_index.put(
-            branch, record.key(self.schema), (segment.segment_id, ordinal)
+        self.index_hook.applied(
+            branch, record.key(self.schema), (segment.segment_id, ordinal), record
         )
         self.stats.records_updated += 1
         self._dirty_writes = True
@@ -237,7 +243,7 @@ class VersionFirstEngine(VersionedStorageEngine):
         if not self.pk_index.contains(branch, key):
             raise StorageError(f"key {key} is not live in branch {branch!r}")
         self._head(branch).append(Record.deleted(self.schema, key))
-        self.pk_index.remove(branch, key)
+        self.index_hook.removed(branch, key)
         self.stats.records_deleted += 1
         self._dirty_writes = True
 
@@ -250,6 +256,28 @@ class VersionFirstEngine(VersionedStorageEngine):
             return None
         segment_id, ordinal = location
         return self.segments.get(segment_id).record_at(ordinal)
+
+    def records_for_keys(self, branch: str, keys) -> list[Record]:
+        """Index-scan fetch: each touched page is fetched once, in key order."""
+        out: list[Record] = []
+        heaps: dict[str, object] = {}
+        pages: dict[tuple[str, int], object] = {}
+        for key in keys:
+            location = self.pk_index.get(branch, key)
+            if location is None:
+                continue
+            segment_id, ordinal = location
+            heap = heaps.get(segment_id)
+            if heap is None:
+                heap = heaps[segment_id] = self.segments.get(segment_id).heap
+            page_number, slot = divmod(ordinal, heap.records_per_page)
+            page = pages.get((segment_id, page_number))
+            if page is None:
+                if len(pages) > 64:
+                    pages.clear()  # bound decoded-page references per fetch
+                page = pages[(segment_id, page_number)] = heap.page(page_number)
+            out.append(page.record_at(slot))
+        return out
 
     def _head(self, branch: str):
         try:
@@ -438,6 +466,7 @@ class VersionFirstEngine(VersionedStorageEngine):
         branch: str,
         predicate: Predicate | None = None,
         batch_size: int = DEFAULT_SCAN_BATCH_SIZE,
+        columns: tuple[str, ...] | None = None,
     ) -> Iterator[ColumnBatch]:
         """Columnar :meth:`scan_branch_batched`: bulk index probe, column gather.
 
@@ -445,13 +474,22 @@ class VersionFirstEngine(VersionedStorageEngine):
         ordinals (newest-first, reproducing the row scan's record order)
         straight out of the cached per-segment column containers
         (:meth:`_segment_columns`); no :class:`Record` is ever built.
-        Predicates run as compiled column selections where possible.
+        Predicates run as compiled column selections where possible.  With
+        ``columns`` (projection pushdown) only the named columns are
+        gathered into the output batches.
         """
+        schema = self.schema
+        if columns is None:
+            out_positions = None
+            out_schema = schema
+        else:
+            out_positions = [schema.index_of(name) for name in columns]
+            out_schema = schema.project(list(columns))
 
         def segment_hits() -> Iterator[ColumnBatch]:
-            select = compile_column_filter(predicate, self.schema)
+            select = compile_column_filter(predicate, schema)
             matches = (
-                compile_predicate(predicate, self.schema)
+                compile_predicate(predicate, schema)
                 if select is None
                 else None
             )
@@ -460,10 +498,10 @@ class VersionFirstEngine(VersionedStorageEngine):
                 ordinals = by_segment.get(seg_id)
                 if not ordinals:
                     continue
-                columns = self._segment_columns(seg_id)
+                containers = self._segment_columns(seg_id)
                 ordinals.sort(reverse=True)
                 self.stats.records_scanned += len(ordinals)
-                segment_batch = ColumnBatch(self.schema, columns)
+                segment_batch = ColumnBatch(schema, containers)
                 if select is not None:
                     # Run the compiled selection over the full cached segment
                     # columns first and intersect with the live ordinals, so
@@ -472,28 +510,26 @@ class VersionFirstEngine(VersionedStorageEngine):
                         select(segment_batch.columns, segment_batch.num_rows)
                     )
                     hits = [o for o in ordinals if o in selected]
-                    if hits:
-                        yield segment_batch.take(hits)
-                    continue
-                batch = segment_batch.take(ordinals)
-                if predicate is None:
-                    yield batch
-                    continue
-                selection = [
-                    i
-                    for i, values in enumerate(batch.rows())
-                    if matches(values)
-                ]
-                if not selection:
-                    continue
-                if len(selection) == batch.num_rows:
-                    yield batch
+                elif predicate is None:
+                    hits = ordinals
                 else:
-                    yield batch.take(selection)
+                    gathered = segment_batch.take(ordinals)
+                    hits = [
+                        ordinal
+                        for ordinal, values in zip(ordinals, gathered.rows())
+                        if matches(values)
+                    ]
+                if not hits:
+                    continue
+                if out_positions is None:
+                    yield segment_batch.take(hits)
+                else:
+                    yield ColumnBatch(
+                        out_schema,
+                        [containers[position] for position in out_positions],
+                    ).take(hits)
 
-        yield from regroup_column_batches(
-            segment_hits(), batch_size, self.schema
-        )
+        yield from regroup_column_batches(segment_hits(), batch_size, out_schema)
 
     def drop_caches(self) -> None:
         """Drop page caches and the per-segment column cache."""

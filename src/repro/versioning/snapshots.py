@@ -93,9 +93,19 @@ class SnapshotEngineView:
         branch: str,
         predicate: Predicate | None = None,
         batch_size: int = DEFAULT_SCAN_BATCH_SIZE,
+        columns: tuple[str, ...] | None = None,
     ) -> Iterator[ColumnBatch]:
-        return self._engine.scan_commit_columns(
+        batches = self._engine.scan_commit_columns(
             self._pin(branch), predicate, batch_size
+        )
+        if columns is None:
+            return batches
+        # Commit-addressed decodes have no pruned page path; project the
+        # full batches at the view boundary instead.
+        positions = [self.schema.index_of(name) for name in columns]
+        out_schema = self.schema.project(list(columns))
+        return (
+            batch.select_columns(positions, out_schema) for batch in batches
         )
 
     def count_branch(self, branch: str, predicate: Predicate | None = None) -> int:

@@ -22,6 +22,7 @@ from hypothesis import strategies as st
 from repro.core.record import Record
 from repro.core.schema import Schema
 from repro.db.database import Decibel
+from repro.query.executor import explain_query
 from repro.testing.faults import FaultSchedule, InjectedCrash, inject
 
 #: Every named crashpoint the durable write paths register, spanning the WAL
@@ -35,7 +36,9 @@ CRASHPOINTS = [
     "history-append-pre-fsync",
     "commit-locations-pre-rename",
     "hybrid-meta-pre-fsync",
-    "pk-index-pre-rename",
+    "index-mid-write",
+    "index-pre-rename",
+    "index-delta-pre-fsync",
 ]
 
 ENGINES = ["tuple-first", "version-first", "hybrid"]
@@ -219,6 +222,116 @@ class TestRecoveryDetails:
         assert new_txn.transaction_id != txn.transaction_id
 
 
+class TestIndexCrash:
+    """Index files are derived data: a crash anywhere in their write path
+    must leave a database that rebuilds the index, never one serving a
+    stale or torn map.
+
+    The crashpoints fire at different commits: a branch's *first* chain
+    commit writes a full snapshot (``index-mid-write`` /
+    ``index-pre-rename``), later commits append delta frames
+    (``index-delta-pre-fsync``).  ``torn_bytes`` additionally truncates
+    the delta log's tail before dying, modelling a frame that only
+    partially reached the platter.
+    """
+
+    def _verify_index_agrees_with_scan(self, reopened, branch="master"):
+        """Every live key answers through the pk index; misses answer []."""
+        keys = live_keys(reopened, branch)
+        plan = explain_query(
+            reopened,
+            f"SELECT * FROM t WHERE t.Version = '{branch}' AND t.id = 0",
+        )
+        assert "[index]" in plan, "pk point query lost its index scan"
+        for key in sorted(keys):
+            rows = reopened.query(
+                f"SELECT * FROM t WHERE t.Version = '{branch}' AND t.id = {key}"
+            ).rows
+            assert len(rows) == 1 and rows[0][0] == key, (
+                f"index disagrees with scan for key {key} on {branch!r}"
+            )
+        return keys
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("point", ["index-mid-write", "index-pre-rename"])
+    def test_snapshot_crash_rebuilds(self, tmp_path, engine, point):
+        """Die writing a branch's first index snapshot; recovery rebuilds."""
+        db = seed_database(tmp_path, engine)
+        db.relation("t").branch("dev", from_branch="master")
+        txn = db.transactions("t").begin()
+        txn.insert("dev", record(200, 2))
+        crashed = False
+        try:
+            # Dev's first chain commit writes a full snapshot: the armed
+            # point fires inside that write.
+            with inject(FaultSchedule(point)) as injector:
+                txn.commit("dies writing the dev snapshot")
+        except InjectedCrash:
+            crashed = True
+            assert injector.fired is not None
+        assert crashed, f"{point} never fired during the first dev commit"
+        reopened = Decibel.open(str(tmp_path), engine=engine)
+        self._verify_index_agrees_with_scan(reopened, "master")
+        dev = self._verify_index_agrees_with_scan(reopened, "dev")
+        committed = txn.transaction_id in reopened.last_recovery.committed
+        if committed:
+            assert 200 in dev, "committed insert missing after index crash"
+        else:
+            rows = reopened.query(
+                "SELECT * FROM t WHERE t.Version = 'dev' AND t.id = 200"
+            ).rows
+            assert rows == [], "loser insert visible through the index"
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("torn_bytes", [0, 3], ids=["clean", "torn-tail"])
+    def test_delta_crash_rebuilds(self, tmp_path, engine, torn_bytes):
+        """Die appending a delta frame (optionally tearing its tail)."""
+        db = seed_database(tmp_path, engine)
+        txn = db.transactions("t").begin()
+        txn.insert("master", record(200, 2))
+        txn.delete("master", 3)
+        crashed = False
+        try:
+            with inject(
+                FaultSchedule("index-delta-pre-fsync", torn_bytes=torn_bytes)
+            ) as injector:
+                txn.commit("dies appending the master delta frame")
+        except InjectedCrash:
+            crashed = True
+            assert injector.fired is not None
+        assert crashed, "index-delta-pre-fsync never fired"
+        reopened = Decibel.open(str(tmp_path), engine=engine)
+        keys = self._verify_index_agrees_with_scan(reopened, "master")
+        committed = txn.transaction_id in reopened.last_recovery.committed
+        if committed:
+            assert 200 in keys and 3 not in keys
+        else:
+            assert keys == set(range(10)) | {100}
+            rows = reopened.query(
+                "SELECT * FROM t WHERE t.Version = 'master' AND t.id = 200"
+            ).rows
+            assert rows == [], "loser insert visible through the index"
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_corrupt_snapshot_on_disk_is_rebuilt(self, tmp_path, engine):
+        """Flip bytes in a persisted snapshot; the loader must reject it."""
+        import glob
+
+        db = seed_database(tmp_path, engine)
+        db.close()
+        snapshots = glob.glob(
+            str(tmp_path / "t" / "index" / "pk_*.json")
+        )
+        assert snapshots, "clean close left no pk snapshot behind"
+        for path in snapshots:
+            with open(path, "r+b") as handle:
+                handle.seek(-8, 2)
+                handle.write(b"garbage!")
+        reopened = Decibel.open(str(tmp_path), engine=engine)
+        keys = self._verify_index_agrees_with_scan(reopened, "master")
+        assert keys == set(range(10)) | {100}
+
+
 # -- hypothesis-driven matrix -------------------------------------------------
 
 workload_steps = st.lists(
@@ -237,7 +350,10 @@ workload_steps = st.lists(
     deadline=None,
     suppress_health_check=[HealthCheck.function_scoped_fixture],
 )
-@given(steps=workload_steps, crash_index=st.integers(min_value=0, max_value=8))
+@given(
+    steps=workload_steps,
+    crash_index=st.integers(min_value=0, max_value=len(CRASHPOINTS) - 1),
+)
 @pytest.mark.parametrize("engine", ENGINES)
 def test_generated_workloads_recover(tmp_path_factory, engine, steps, crash_index):
     """Random workloads, crashed at a random point, recover to model state."""

@@ -583,3 +583,85 @@ class TestBoundedAwaitRule:
                 source=path.read_text(),
             )
             assert rule.check(mod) == [], f"{path.name} has unbounded awaits"
+
+
+class TestIndexMaintenanceRule:
+    @staticmethod
+    def rule():
+        from repro.analysis.lint.rules import IndexMaintenanceRule
+
+        return IndexMaintenanceRule()
+
+    def test_mutation_without_hook_flagged(self):
+        violations = check(
+            self.rule(),
+            "repro/storage/tuple_first.py",
+            """
+            class Engine:
+                def insert(self, branch, record):
+                    self.heap.append(record)
+            """,
+        )
+        assert len(violations) == 1
+        assert "insert()" in violations[0].message
+        assert "index_hook" in violations[0].message
+
+    def test_hook_notification_passes(self):
+        violations = check(
+            self.rule(),
+            "repro/storage/tuple_first.py",
+            """
+            class Engine:
+                def insert(self, branch, record):
+                    location = self.heap.append(record)
+                    self.index_hook.applied(branch, record.key(self.schema), location)
+            """,
+        )
+        assert violations == []
+
+    def test_delegation_to_a_mutating_method_passes(self):
+        # hybrid/version-first update() routes through insert(), which owns
+        # the hook call: delegation satisfies the rule.
+        violations = check(
+            self.rule(),
+            "repro/storage/hybrid.py",
+            """
+            class Engine:
+                def insert(self, branch, record):
+                    self.index_hook.applied(branch, 1, (1, 2))
+
+                def update(self, branch, record):
+                    self.delete(branch, record.key(self.schema))
+                    return self.insert(branch, record)
+
+                def delete(self, branch, key):
+                    self.index_hook.removed(branch, key)
+            """,
+        )
+        assert violations == []
+
+    def test_rule_is_scoped_to_engine_modules(self):
+        violations = check(
+            self.rule(),
+            "repro/query/physical.py",
+            """
+            class NotAnEngine:
+                def insert(self, branch, record):
+                    pass
+            """,
+        )
+        assert violations == []
+
+    def test_shipped_engines_are_clean(self):
+        from pathlib import Path
+
+        from repro.analysis.lint.rules import ENGINE_MODULES
+
+        rule = self.rule()
+        src = Path(__file__).resolve().parents[1] / "src"
+        for relpath in ENGINE_MODULES:
+            path = src / relpath
+            mod = SourceModule(
+                path=path, relpath=relpath, source=path.read_text()
+            )
+            assert rule.check(mod) == [], f"{relpath} breaks index maintenance"

@@ -1,0 +1,102 @@
+"""Per-op latency histograms in the serving layer.
+
+The histogram itself is pure bookkeeping (fixed log-scale buckets, so
+snapshots are comparable across runs and processes); the round-trip tests
+check that every dispatched op -- including the ``stats`` op that reads
+them -- lands in a histogram the client can fetch.
+"""
+
+from __future__ import annotations
+
+from repro.core.record import Record
+from repro.core.schema import Schema
+from repro.db.database import Decibel
+from repro.server import DecibelClient, ServerConfig, ServerThread
+from repro.server.server import LATENCY_BUCKET_BOUNDS, LatencyHistogram
+
+SCHEMA = Schema.of_ints(2)
+
+
+class TestLatencyHistogram:
+    def test_empty_histogram_reports_zeros(self):
+        snap = LatencyHistogram().snapshot()
+        assert snap == {
+            "count": 0,
+            "total_s": 0.0,
+            "max_s": 0.0,
+            "p50_s": 0.0,
+            "p90_s": 0.0,
+            "p99_s": 0.0,
+        }
+
+    def test_single_observation(self):
+        histogram = LatencyHistogram()
+        histogram.observe(LATENCY_BUCKET_BOUNDS[3])
+        snap = histogram.snapshot()
+        assert snap["count"] == 1
+        assert snap["max_s"] == LATENCY_BUCKET_BOUNDS[3]
+        # A percentile answers with its bucket's upper bound: it may err
+        # high (by at most one octave) but never under-report.
+        assert snap["p50_s"] == LATENCY_BUCKET_BOUNDS[3]
+        assert snap["p99_s"] == LATENCY_BUCKET_BOUNDS[3]
+
+    def test_percentiles_split_a_bimodal_load(self):
+        histogram = LatencyHistogram()
+        for _ in range(95):
+            histogram.observe(0.0001)  # fast path: first bucket
+        for _ in range(5):
+            histogram.observe(0.1)  # slow path: ~10 octaves up
+        snap = histogram.snapshot()
+        assert snap["count"] == 100
+        assert snap["p50_s"] <= 0.0002
+        assert snap["p90_s"] <= 0.0002
+        assert snap["p99_s"] >= 0.1
+        assert snap["p50_s"] <= snap["p90_s"] <= snap["p99_s"]
+
+    def test_overflow_bucket_reports_true_max(self):
+        histogram = LatencyHistogram()
+        beyond = LATENCY_BUCKET_BOUNDS[-1] * 4
+        histogram.observe(beyond)
+        assert histogram.percentile(1.0) == beyond
+        assert histogram.snapshot()["max_s"] == beyond
+
+    def test_percentile_never_under_reports(self):
+        histogram = LatencyHistogram()
+        values = [0.00013, 0.0009, 0.0041, 0.033, 0.27]
+        for value in values:
+            histogram.observe(value)
+        # p99 with five observations is the maximum's bucket.
+        assert histogram.percentile(0.99) >= max(values) or (
+            histogram.percentile(0.99) == histogram.snapshot()["max_s"]
+        )
+
+
+class TestServerLatencyRoundTrip:
+    def test_ops_land_in_histograms_the_client_can_read(self, tmp_path):
+        db = Decibel(str(tmp_path / "data"))
+        rel = db.create_relation("r", SCHEMA)
+        rel.init([Record((i, i)) for i in range(10)])
+        server = ServerThread(db, ServerConfig(worker_threads=2), own_db=True)
+        host, port = server.start()
+        try:
+            with DecibelClient(host, port) as client:
+                client.connect()
+                client.ping()
+                for _ in range(3):
+                    client.query("SELECT * FROM r WHERE r.Version = 'master'")
+                latency = client.op_latency()
+                assert latency["ping"]["count"] >= 1
+                assert latency["query"]["count"] == 3
+                query = latency["query"]
+                assert query["total_s"] > 0.0
+                assert query["max_s"] > 0.0
+                assert (
+                    query["p50_s"] <= query["p90_s"] <= query["p99_s"]
+                )
+                # The single-op helper returns just that histogram.
+                assert client.op_latency("query")["count"] >= 3
+                assert client.op_latency("no-such-op") == {}
+                # The stats op records itself too (visible on the next read).
+                assert client.op_latency("stats")["count"] >= 1
+        finally:
+            server.stop()
